@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures via the
+experiment modules and asserts its headline property, so `pytest
+benchmarks/ --benchmark-only` doubles as an end-to-end reproduction run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, TTMModel
+
+
+@pytest.fixture(scope="session")
+def model() -> TTMModel:
+    """Nominal TTM model shared across benchmarks."""
+    return TTMModel.nominal()
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    """Nominal cost model shared across benchmarks."""
+    return CostModel.nominal()

@@ -1,0 +1,122 @@
+"""Ablation benchmarks for the modeling choices DESIGN.md calls out.
+
+Each benchmark toggles one assumption of the default model and asserts
+the direction of the effect, quantifying how much the choice matters:
+
+* negative-binomial vs Poisson yield (alpha = 3 vs alpha -> inf);
+* plain vs edge-corrected dies-per-wafer;
+* pipelined vs strict-sequential multi-die scheduling;
+* serial vs block-parallel tapeout staffing;
+* Eq. 6 vs core-salvage yield for a manycore SKU.
+"""
+
+import pytest
+
+from repro import TTMModel
+from repro.design.library import (
+    a11,
+    ariane_manycore,
+    ariane_manycore_salvage,
+    zen2,
+)
+from repro.technology.yield_model import negative_binomial_yield, poisson_yield
+
+N_CHIPS = 10e6
+
+
+def test_bench_ablation_yield_model(benchmark, model):
+    """Clustered defects (alpha = 3) are worth real wafers on big dies."""
+
+    def evaluate():
+        node = model.foundry.technology["250nm"]
+        design = a11("250nm")
+        area = design.dies[0].area_on(node)
+        return (
+            negative_binomial_yield(area, node.defect_density_per_cm2),
+            poisson_yield(area, node.defect_density_per_cm2),
+        )
+
+    clustered, poisson = benchmark(evaluate)
+    assert clustered > poisson
+    assert (clustered - poisson) / poisson > 0.05
+
+
+def test_bench_ablation_edge_dies(benchmark):
+    """The edge-die correction strictly lengthens fabrication."""
+    plain = TTMModel.nominal()
+    corrected = TTMModel.nominal(edge_corrected=True)
+
+    def evaluate():
+        design = a11("28nm")
+        return (
+            plain.total_weeks(design, N_CHIPS),
+            corrected.total_weeks(design, N_CHIPS),
+        )
+
+    base, edge = benchmark(evaluate)
+    assert edge > base
+
+
+def test_bench_ablation_schedule(benchmark):
+    """Pipelined scheduling beats the strict Eq. 1 sum for chiplets."""
+    pipelined = TTMModel.nominal()
+    sequential = TTMModel.nominal(schedule="sequential")
+
+    def evaluate():
+        design = zen2()
+        return (
+            pipelined.total_weeks(design, N_CHIPS),
+            sequential.total_weeks(design, N_CHIPS),
+        )
+
+    fast, slow = benchmark(evaluate)
+    assert fast < slow
+
+
+def test_bench_ablation_block_parallel(benchmark):
+    """Parallel block staffing shortens tapeout for block-rich dies."""
+    serial = TTMModel.nominal()
+    parallel = TTMModel.nominal(block_parallel=True)
+
+    def evaluate():
+        design = a11("5nm")
+        return (
+            serial.time_to_market(design, N_CHIPS).tapeout_weeks,
+            parallel.time_to_market(design, N_CHIPS).tapeout_weeks,
+        )
+
+    serial_weeks, parallel_weeks = benchmark(evaluate)
+    assert parallel_weeks < serial_weeks
+
+
+def test_bench_ablation_salvage(benchmark, model):
+    """Selling 14-of-16-core SKUs cuts wafer demand on a large die."""
+
+    def evaluate():
+        base = ariane_manycore("7nm", cores=16, icache_kb=512, dcache_kb=1024)
+        salvaged = ariane_manycore_salvage(
+            "7nm", cores=16, required_cores=14, icache_kb=512, dcache_kb=1024
+        )
+        return (
+            sum(model.wafer_demand(base, 1e8).values()),
+            sum(model.wafer_demand(salvaged, 1e8).values()),
+        )
+
+    base_wafers, salvage_wafers = benchmark(evaluate)
+    assert salvage_wafers < base_wafers
+
+
+def test_bench_ablation_alpha(benchmark, model):
+    """Less clustering (higher alpha) means lower yield, more wafers."""
+
+    def evaluate():
+        loose = TTMModel.nominal(alpha=1.0)
+        tight = TTMModel.nominal(alpha=10.0)
+        design = a11("28nm")
+        return (
+            sum(loose.wafer_demand(design, N_CHIPS).values()),
+            sum(tight.wafer_demand(design, N_CHIPS).values()),
+        )
+
+    clustered_wafers, spread_wafers = benchmark(evaluate)
+    assert clustered_wafers < spread_wafers

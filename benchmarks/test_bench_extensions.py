@@ -1,0 +1,49 @@
+"""Benchmarks for the extension experiments and substrates."""
+
+from repro.design.library import raven_multicore
+from repro.experiments import interposer_study, profit_study_a11
+from repro.market.dynamics import DemandScript, lead_time_trace
+from repro.multiprocess import balance_allocation, evaluate_allocation
+
+
+def test_bench_interposer_study(benchmark, model, cost_model):
+    result = benchmark(interposer_study.run, model, cost_model)
+    # The paper's what-if: 40 nm beats 65 nm when capacity is scarce.
+    assert (
+        result.option("40nm").crunch_ttm_weeks
+        < result.option("65nm").crunch_ttm_weeks
+    )
+
+
+def test_bench_profit_study(benchmark, model, cost_model):
+    result = benchmark(profit_study_a11.run, model, cost_model)
+    assert result.race.most_profitable.process == "28nm"
+
+
+def test_bench_kway_allocation(benchmark, model, cost_model):
+    def evaluate():
+        shares = balance_allocation(
+            raven_multicore,
+            ["180nm", "65nm", "40nm", "28nm", "14nm"],
+            model,
+            1e9,
+        )
+        return evaluate_allocation(
+            raven_multicore, shares, model, cost_model, 1e9
+        )
+
+    result = benchmark(evaluate)
+    # The balanced multi-way plan beats the best single node.
+    assert result.ttm_weeks < model.total_weeks(raven_multicore("28nm"), 1e9)
+
+
+def test_bench_dynamic_queue(benchmark):
+    script = (
+        DemandScript.steady(156, 55_000.0)
+        .with_demand_surge(20, 40, 1.3)
+        .with_capacity_outage(90, 10, 0.5)
+    )
+
+    trace = benchmark(lead_time_trace, 58_000.0, 18, script)
+    # The surge and the outage both show up as lead-time spikes.
+    assert max(trace) > trace[0] + 1.0

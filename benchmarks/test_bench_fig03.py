@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 3 (Chip A/B TTM and CAS curves)."""
+
+from repro.experiments import fig03_chip_ab
+
+
+def test_bench_fig03(benchmark, model):
+    result = benchmark(fig03_chip_ab.run, model)
+    # Chip B is the agile one: higher CAS at every capacity point.
+    for a, b in zip(result.cas["Chip A"], result.cas["Chip B"]):
+        assert b > a

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 4 (IPC vs TTM cache scatter, 121 points)."""
+
+from repro.experiments import fig04_cache_scatter
+
+
+def test_bench_fig04(benchmark, model):
+    result = benchmark(fig04_cache_scatter.run, model)
+    assert len(result.points) == 121
+    # The defining tension: max-IPC config is not the min-TTM config.
+    best_ipc = max(result.points, key=lambda p: p.ipc)
+    fastest = min(result.points, key=lambda p: p.ttm_weeks)
+    assert best_ipc.ttm_weeks > fastest.ttm_weeks

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 5 (IPC/TTM vs IPC/cost optima)."""
+
+from repro.experiments import fig05_ipc_tradeoffs
+
+
+def test_bench_fig05(benchmark, model, cost_model):
+    result = benchmark(fig05_ipc_tradeoffs.run, model, cost_model)
+    ttm_opt = result.best_ipc_per_ttm
+    cost_opt = result.best_ipc_per_cost
+    # The two figures of merit pick different cache configurations.
+    assert (ttm_opt.icache_kb, ttm_opt.dcache_kb) != (
+        cost_opt.icache_kb,
+        cost_opt.dcache_kb,
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 6 (optimal cache matrix, 60 cells)."""
+
+from repro.experiments import fig06_cache_matrix
+
+
+def test_bench_fig06(benchmark, model):
+    result = benchmark(fig06_cache_matrix.run, model)
+    assert len(result.cells) == 60
+    # Mass production shrinks the optimal caches on every node.
+    for process in result.processes:
+        small = result.cell(process, 1e3)
+        mass = result.cell(process, 1e8)
+        assert (
+            mass.icache_kb + mass.dcache_kb
+            <= small.icache_kb + small.dcache_kb
+        )

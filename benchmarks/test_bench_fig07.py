@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 7 (A11 TTM phases + cost, with CI bands)."""
+
+from repro.experiments import fig07_a11_ttm_cost
+
+
+def test_bench_fig07(benchmark, model, cost_model):
+    result = benchmark(fig07_a11_ttm_cost.run, model, cost_model)
+    # 28 nm is the fastest node to re-release the A11 on.
+    assert result.fastest.process == "28nm"
+    gain_7nm, gain_5nm = fig07_a11_ttm_cost.headline_band(result)
+    # Paper: +73% (7 nm) and +116% (5 nm) over the best legacy node.
+    assert gain_5nm > gain_7nm > 0.3

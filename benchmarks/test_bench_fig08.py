@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 8 (Sobol sensitivity heatmap, 10 nodes)."""
+
+from repro.experiments import fig08_a11_sensitivity
+
+
+def test_bench_fig08(benchmark, model):
+    result = benchmark(fig08_a11_sensitivity.run, model)
+    # The paper's pattern: NTT rules legacy, latency rules the middle,
+    # NUT rises at 5 nm.
+    assert result.dominant_factor("250nm") == "NTT"
+    assert result.dominant_factor("28nm") == "Lfab"
+    assert result.total_effect("NUT", "5nm") > result.total_effect(
+        "NUT", "28nm"
+    )

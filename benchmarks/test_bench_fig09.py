@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 9 (A11 CAS curves on advanced nodes)."""
+
+from repro.experiments import fig09_a11_cas
+
+
+def test_bench_fig09(benchmark, model):
+    result = benchmark(fig09_a11_cas.run, model)
+    ranking = result.ranking_at_full_capacity()
+    # 7 nm most agile; 14 nm above 5 nm; 40 nm least agile.
+    assert ranking[0] == "7nm"
+    assert ranking[-1] == "40nm"
+    full = result.at_full_capacity()
+    assert full["14nm"] > full["5nm"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig. 10 (A11 TTM matrix, 60 cells)."""
+
+from repro.experiments import fig10_a11_matrix
+
+
+def test_bench_fig10(benchmark, model):
+    result = benchmark(fig10_a11_matrix.run, model)
+    assert len(result.ttm) == 60
+    # Volume shifts the fastest node from legacy toward 28 nm.
+    assert result.fastest_for(1e7) == "28nm"
+    # 180 nm stays ahead of 130/90 nm at every volume (wafer rate wins).
+    for n in result.quantities:
+        assert result.ttm[("180nm", n)] < result.ttm[("130nm", n)]

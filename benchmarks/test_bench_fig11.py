@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 11 (queue-time TTM curves @7 nm)."""
+
+from repro.experiments import fig11_queue_ttm
+
+
+def test_bench_fig11(benchmark, model):
+    result = benchmark(fig11_queue_ttm.run, model)
+    at_full = result.at_full_capacity()
+    # Longer quotes mean longer TTM, and the 4-week quote costs exactly
+    # 4 weeks at full rate.
+    assert at_full[0.0] < at_full[1.0] < at_full[2.0] < at_full[4.0]
+    assert abs((at_full[4.0] - at_full[0.0]) - 4.0) < 0.05

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Fig. 12 (queue-time CAS curves @7 nm)."""
+
+from repro.experiments import fig12_queue_cas
+
+
+def test_bench_fig12(benchmark, model):
+    result = benchmark(fig12_queue_cas.run, model)
+    peaks = result.max_cas()
+    # Any quoted backlog erodes agility; more queue, less CAS.
+    assert peaks[0.0] > peaks[1.0] > peaks[2.0] > peaks[4.0]
+    # Paper: 1 quoted week cut max CAS by ~37%; ours is >= that.
+    assert result.one_week_drop() > 0.3

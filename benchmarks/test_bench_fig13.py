@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 13 (chiplet/mixed-process comparison)."""
+
+from repro.experiments import fig13_chiplets
+
+
+def test_bench_fig13(benchmark, model, cost_model):
+    result = benchmark(
+        fig13_chiplets.run, model, cost_model, (10e6, 25e6)
+    )
+    # Mixed-process Zen 2: fastest of the chiplet family and most agile.
+    assert result.ttm["Zen 2"][-1] < result.ttm["7nm chiplet"][-1]
+    full_cas = result.cas_at_full_capacity()
+    assert full_cas["Zen 2"] > full_cas["7nm chiplet"]
+    assert full_cas["7nm chiplet"] > full_cas["7nm monolithic"]

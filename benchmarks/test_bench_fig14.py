@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 14 (two-process manufacturing matrices).
+
+The full 55-pair x 50-split sweep is the heaviest artifact; the benchmark
+runs it end to end with the standard grid.
+"""
+
+from repro.experiments import fig14_multiprocess
+
+GRID = tuple(s / 25 for s in range(1, 26))
+
+
+def test_bench_fig14(benchmark, model, cost_model):
+    result = benchmark(
+        fig14_multiprocess.run, model, cost_model, 1e9, None, GRID
+    )
+    fastest = result.study.fastest()
+    # Sec. 7's headline: 28 nm + 40 nm is the fastest combination, and
+    # multi-process manufacturing beats every single-process baseline.
+    assert {fastest.primary, fastest.secondary} == {"28nm", "40nm"}
+    singles = result.study.single_process_results()
+    assert fastest.best.ttm_weeks < min(
+        r.best.ttm_weeks for r in singles.values()
+    )
+    assert result.headline["agility_gain"] > 0.2

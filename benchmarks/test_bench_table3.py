@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 3 (accelerator speed-up / tapeout cost)."""
+
+from repro.experiments import table3_accelerators
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(table3_accelerators.run)
+    # Streaming variants out-run but out-cost their iterative siblings.
+    for kind in ("sorting", "dft"):
+        stream = result.row(f"{kind}-stream")
+        iterative = result.row(f"{kind}-iterative")
+        assert stream.speedup > iterative.speedup
+        assert stream.tapeout_cost_usd > iterative.tapeout_cost_usd
+        assert stream.tapeout_weeks > iterative.tapeout_weeks

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 4 (Zen-2 die data)."""
+
+from repro.experiments import table4_zen2_dies
+
+
+def test_bench_table4(benchmark):
+    result = benchmark(table4_zen2_dies.run)
+    # The published tapeout anchors: 3.6/10.4 (compute), 4.0/11.5 (io).
+    assert abs(result.row("compute", "14nm").tapeout_weeks - 3.6) < 0.1
+    assert abs(result.row("compute", "7nm").tapeout_weeks - 10.4) < 0.1
+    assert abs(result.row("io", "14nm").tapeout_weeks - 4.0) < 0.1
+    assert abs(result.row("io", "7nm").tapeout_weeks - 11.5) < 0.1

@@ -1,0 +1,74 @@
+"""Living through a demand shock, week by week.
+
+The static model answers "what is my TTM under these conditions?". This
+example uses the dynamic foundry-queue substrate to play out a COVID-
+style demand surge on the 7 nm node, derive the lead time the foundry
+would quote each week, and show how the *same* chip order's total TTM
+balloons depending on when in the crisis it is placed — the timing
+dimension behind the paper's Sec. 6.3 queue study.
+
+Run with:  python examples/demand_shock_timeline.py
+"""
+
+from repro import TTMModel
+from repro.analysis import format_table
+from repro.design.library import a11
+from repro.market.dynamics import DemandScript, lead_time_trace, summarize
+from repro.market.dynamics import FoundryQueue, simulate
+
+PROCESS = "7nm"
+N_CHIPS = 10e6
+HORIZON_WEEKS = 52
+
+
+def main() -> None:
+    model = TTMModel.nominal()
+    node = model.foundry.technology[PROCESS]
+    rate = node.max_wafer_rate_per_week
+
+    # Baseline demand at 92% utilization; a 30-week surge to 115%.
+    script = DemandScript.steady(HORIZON_WEEKS, rate * 0.92)
+    script = script.with_demand_surge(start=8, duration=30, multiplier=1.25)
+
+    quotes = lead_time_trace(rate, int(node.fab_latency_weeks), script)
+    queue = FoundryQueue(
+        capacity_per_week=rate,
+        fab_latency_weeks=int(node.fab_latency_weeks),
+    )
+    summary = summarize(simulate(queue, script))
+    print(
+        f"Simulated {PROCESS} line: peak quoted lead time "
+        f"{summary['peak_lead_time_weeks']:.1f} weeks, "
+        f"utilization {summary['utilization']:.0%}.\n"
+    )
+
+    design = a11(PROCESS)
+    rows = []
+    for order_week in (0, 8, 16, 24, 32, 40, 48):
+        quote = quotes[order_week]
+        conditions = model.foundry.conditions.with_queue(PROCESS, quote)
+        quoted_model = model.with_foundry(
+            model.foundry.with_conditions(conditions)
+        )
+        total = quoted_model.total_weeks(design, N_CHIPS)
+        rows.append(
+            [order_week, f"{quote:.1f}", f"{total:.1f}",
+             f"{order_week + total:.1f}"]
+        )
+    print("Ordering 10M A11-class chips during the crisis:\n")
+    print(
+        format_table(
+            ["order week", "quoted queue wk", "TTM wk", "delivery week"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: every week of hesitation before the surge costs more"
+        "\nthan a week of delivery (the order also inherits the growing"
+        "\nbacklog), and mid-peak orders pay the full quote on top --"
+        "\nsupply-chain timing is a design input, not an afterthought."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: evaluate a chip design's time-to-market, agility and cost.
+
+Builds a small two-die chiplet design from scratch, then asks the three
+questions the framework answers:
+
+1. How long until my chips arrive? (TTM, Eq. 1)
+2. How resilient is the design to production-side disruptions? (CAS, Eq. 8)
+3. What does the production run cost? (Moonwalk-derived cost model)
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Block, ChipDesign, CostModel, Die, TTMModel, ip_block
+from repro import chip_agility_score
+from repro.units import format_usd, format_weeks
+
+N_CHIPS = 20e6
+
+
+def build_design() -> ChipDesign:
+    """A 4-core compute die at 7 nm plus an I/O die at 14 nm."""
+    compute = Die(
+        name="compute",
+        process="7nm",
+        blocks=(
+            Block(name="cpu-core", transistors=450e6, instances=4),
+            ip_block("l3-sram", 900e6),
+        ),
+        top_level_transistors=30e6,
+    )
+    io = Die(
+        name="io",
+        process="14nm",
+        blocks=(
+            Block(name="io-hub", transistors=800e6, unique_transistors=200e6),
+        ),
+    )
+    return ChipDesign(name="demo-chiplet", dies=(compute, io))
+
+
+def main() -> None:
+    design = build_design()
+    model = TTMModel.nominal()
+    costs = CostModel.nominal()
+
+    result = model.time_to_market(design, N_CHIPS)
+    print(f"=== {design.name}: {N_CHIPS:g} final chips ===")
+    for phase, weeks in result.phase_breakdown():
+        print(f"  {phase:<12} {format_weeks(weeks)}")
+    print(f"  {'TOTAL':<12} {format_weeks(result.total_weeks)}")
+    print(f"  bottleneck process: {result.bottleneck_process}")
+    print(f"  wafers ordered:     {result.total_wafers:,.0f}")
+
+    agility = chip_agility_score(model, design, N_CHIPS)
+    print(f"\nChip Agility Score: {agility.normalized:.1f} "
+          f"(dominated by {agility.dominant_process})")
+
+    bill = costs.chip_creation_cost(design, N_CHIPS)
+    print(f"\nChip creation cost: {format_usd(bill.total_usd)} "
+          f"({format_usd(bill.usd_per_chip)} per chip)")
+    print(f"  NRE            {format_usd(bill.nre_usd)}")
+    print(f"  manufacturing  {format_usd(bill.manufacturing_usd)}")
+
+    # What if a disruption cuts 7 nm to a tenth of its capacity?
+    disrupted = model.with_foundry(
+        model.foundry.with_conditions(
+            model.foundry.conditions.with_capacity("7nm", 0.1)
+        )
+    )
+    delta = disrupted.total_weeks(design, N_CHIPS) - result.total_weeks
+    print(f"\nIf 7 nm drops to 10% capacity, delivery slips by "
+          f"{format_weeks(delta)}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Shortage war room: stress a product portfolio against market scenarios.
+
+The 2020-2023 chip crunch forced firms to ask: which of our designs can
+still ship on time if a node's capacity drops or lead times explode? This
+example runs three library designs (the A11-class SoC, the Zen-2-class
+chiplet, the Raven-class MCU) through the preset scenarios using the
+portfolio-assessment API and prints the slip matrix a planning review
+wants, plus each product's agility and worst-case exposure.
+
+Run with:  python examples/shortage_war_room.py
+"""
+
+from repro import TTMModel
+from repro.analysis import PortfolioEntry, assess_portfolio
+from repro.design.library import a11, raven_multicore, zen2
+from repro.market import scenarios
+
+PORTFOLIO = {
+    "A11-class SoC @28nm": PortfolioEntry(design=a11("28nm"), n_chips=10e6),
+    "Zen2-class chiplet": PortfolioEntry(design=zen2(), n_chips=10e6),
+    "Raven-class MCU @180nm": PortfolioEntry(
+        design=raven_multicore("180nm"), n_chips=100e6
+    ),
+}
+
+SCENARIOS = {
+    "shortage_2021": scenarios.shortage_2021(),
+    "advanced_drought": scenarios.advanced_drought(),
+    "legacy_crunch": scenarios.legacy_crunch(),
+    "fab_fire_28nm": scenarios.fab_fire("28nm"),
+}
+
+
+def main() -> None:
+    model = TTMModel.nominal()
+    assessment = assess_portfolio(model, PORTFOLIO, SCENARIOS)
+    print("TTM slips under market scenarios (weeks vs nominal):\n")
+    print(assessment.table())
+    print()
+    for product in assessment.products:
+        worst = assessment.worst_scenario_for(product)
+        print(
+            f"{product}: worst case is {worst} "
+            f"(+{assessment.delta(product, worst):.1f} wk)"
+        )
+    print(
+        "\nReading: the MCU rides out advanced-node droughts untouched, the"
+        "\nSoC is exposed to its single node, and the mixed-process chiplet"
+        "\nis hit by disruptions on either of its nodes."
+    )
+
+
+if __name__ == "__main__":
+    main()

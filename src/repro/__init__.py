@@ -1,0 +1,60 @@
+"""Supply chain aware computer architecture modeling (ISCA '23 repro).
+
+Public API for the time-to-market model, Chip Agility Score, and chip
+creation cost model from Ning, Tziantzioulis & Wentzlaff, *Supply Chain
+Aware Computer Architecture*, ISCA 2023.
+
+Quickstart::
+
+    from repro import TTMModel, CostModel, chip_agility_score
+    from repro.design.library import a11
+
+    model = TTMModel.nominal()
+    design = a11("28nm")
+    result = model.time_to_market(design, n_chips=10e6)
+    print(result.total_weeks)
+    print(chip_agility_score(model, design, 10e6).normalized)
+"""
+
+from .agility import CASResult, cas_curve, chip_agility_score, ttm_curve
+from .cost import CostModel, CostResult
+from .design import Block, ChipDesign, Die, ip_block
+from .errors import (
+    CalibrationError,
+    InvalidDesignError,
+    InvalidParameterError,
+    NodeUnavailableError,
+    ReproError,
+    UnknownNodeError,
+)
+from .market import Foundry, MarketConditions
+from .technology import ProcessNode, TechnologyDatabase
+from .ttm import TTMModel, TTMResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Block",
+    "CASResult",
+    "CalibrationError",
+    "ChipDesign",
+    "CostModel",
+    "CostResult",
+    "Die",
+    "Foundry",
+    "InvalidDesignError",
+    "InvalidParameterError",
+    "MarketConditions",
+    "NodeUnavailableError",
+    "ProcessNode",
+    "ReproError",
+    "TTMModel",
+    "TTMResult",
+    "TechnologyDatabase",
+    "UnknownNodeError",
+    "__version__",
+    "cas_curve",
+    "chip_agility_score",
+    "ip_block",
+    "ttm_curve",
+]

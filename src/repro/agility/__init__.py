@@ -1,0 +1,25 @@
+"""Chip Agility Score (Eq. 8) and supporting numerics."""
+
+from .analytic import analytic_cas, queue_cas_penalty, single_node_cas
+from .cas import (
+    CASResult,
+    WAFERS_PER_NORMALIZED_UNIT,
+    cas_curve,
+    chip_agility_score,
+    ttm_curve,
+)
+from .derivative import DEFAULT_RELATIVE_STEP, central_difference, ttm_rate_sensitivity
+
+__all__ = [
+    "CASResult",
+    "DEFAULT_RELATIVE_STEP",
+    "WAFERS_PER_NORMALIZED_UNIT",
+    "analytic_cas",
+    "cas_curve",
+    "central_difference",
+    "chip_agility_score",
+    "queue_cas_penalty",
+    "single_node_cas",
+    "ttm_curve",
+    "ttm_rate_sensitivity",
+]

@@ -1,0 +1,105 @@
+"""Closed-form CAS for single-node designs.
+
+For a design fabricated entirely on one node with no synchronization
+kinks, Eq. 8 has an exact closed form. Total TTM depends on the wafer
+rate mu only through
+
+    T_queue + T_prod = (N_ahead + N_W) / mu        (Eqs. 4-5)
+
+so |dTTM/dmu| = (N_ahead + N_W) / mu^2 and
+
+    CAS = mu^2 / (N_ahead + N_W).
+
+This module provides that closed form both as a cross-check for the
+numeric differentiator (the test suite asserts agreement to ~0.1%) and
+as a fast path for large sweeps. It also exposes the two qualitative
+consequences the paper draws from it:
+
+* CAS scales *quadratically* with capacity fraction (Figs. 9/12/13c all
+  bend down-left), and
+* a quoted backlog enters the denominator at full weight, which is why
+  one quoted week can halve-or-worse the max CAS (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+
+
+def single_node_cas(
+    wafer_rate_per_week: float,
+    wafers_for_design: float,
+    wafers_ahead: float = 0.0,
+) -> float:
+    """Closed-form Eq. 8 for one node: mu^2 / (N_ahead + N_W)."""
+    if wafer_rate_per_week <= 0.0:
+        raise InvalidParameterError(
+            f"wafer rate must be positive, got {wafer_rate_per_week}"
+        )
+    if wafers_for_design < 0.0 or wafers_ahead < 0.0:
+        raise InvalidParameterError("wafer counts must be >= 0")
+    total_wafers = wafers_for_design + wafers_ahead
+    if total_wafers <= 0.0:
+        raise InvalidParameterError(
+            "CAS is unbounded for a design that needs no wafers"
+        )
+    return wafer_rate_per_week**2 / total_wafers
+
+
+def analytic_cas(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    capacity_fraction: Optional[float] = None,
+) -> float:
+    """Closed-form CAS of a single-node design under a model's conditions.
+
+    Raises for multi-node designs — their max() synchronization makes the
+    derivative piecewise and the numeric path in
+    :func:`repro.agility.cas.chip_agility_score` is the right tool.
+    """
+    processes = design.processes
+    if len(processes) != 1:
+        raise InvalidParameterError(
+            f"analytic CAS needs a single-node design, got {processes}"
+        )
+    process = processes[0]
+    foundry = model.foundry
+    fraction = (
+        capacity_fraction
+        if capacity_fraction is not None
+        else foundry.conditions.capacity_for(process)
+    )
+    if fraction <= 0.0:
+        raise InvalidParameterError(
+            f"capacity fraction must be positive, got {fraction}"
+        )
+    node = foundry.technology.require_production(process)
+    rate = node.max_wafer_rate_per_week * fraction
+    wafers = model.wafer_demand(design, n_chips)[process]
+    backlog = foundry.wafers_ahead(process)
+    return single_node_cas(rate, wafers, backlog)
+
+
+def queue_cas_penalty(
+    wafers_for_design: float, wafers_ahead: float
+) -> float:
+    """Fractional max-CAS loss caused by a quoted backlog.
+
+    From the closed form: 1 - N_W / (N_W + N_ahead). Independent of the
+    wafer rate — the quote's damage is set purely by how the backlog
+    compares to the design's own wafer demand.
+    """
+    if wafers_for_design <= 0.0:
+        raise InvalidParameterError(
+            f"design wafer count must be positive, got {wafers_for_design}"
+        )
+    if wafers_ahead < 0.0:
+        raise InvalidParameterError(
+            f"backlog must be >= 0, got {wafers_ahead}"
+        )
+    return wafers_ahead / (wafers_for_design + wafers_ahead)

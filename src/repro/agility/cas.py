@@ -1,0 +1,149 @@
+"""Chip Agility Score (paper Sec. 4, Eq. 8).
+
+    CAS = ( sum_{p in d} | d TTM(c, d, n, p) / d mu_W(p) | ) ^ -1
+
+A higher CAS means the design's time-to-market is less sensitive to
+production-rate changes on the nodes it uses — it is more resilient to
+production-side supply chain disruptions. CAS is measured in wafers per
+week squared; the figures report it in "normalized wafers/week^2", which
+this module implements as kilo-wafers/week^2 (a fixed unit scale, so
+designs remain directly comparable across figures).
+
+CAS deliberately ignores the design and tapeout phases (they are upstream
+of production rates); this falls out automatically because those phases do
+not depend on mu_W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+from .derivative import DEFAULT_RELATIVE_STEP, ttm_rate_sensitivity
+
+#: Raw wafers/week^2 per one "normalized" CAS unit used in the figures.
+WAFERS_PER_NORMALIZED_UNIT = 1000.0
+
+
+@dataclass(frozen=True)
+class CASResult:
+    """Chip Agility Score with per-node sensitivities.
+
+    ``sensitivity`` maps node name -> |dTTM/dmu_W| (weeks per wafer/week);
+    ``cas`` is the Eq. 8 inverse sum in wafers/week^2.
+    """
+
+    design: str
+    n_chips: float
+    cas: float
+    sensitivity: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensitivity", dict(self.sensitivity))
+
+    @property
+    def normalized(self) -> float:
+        """CAS in normalized (kilo-wafer) units, as plotted in the paper."""
+        return self.cas / WAFERS_PER_NORMALIZED_UNIT
+
+    @property
+    def dominant_process(self) -> str:
+        """The node contributing the largest TTM sensitivity."""
+        return max(self.sensitivity.items(), key=lambda item: item[1])[0]
+
+
+def chip_agility_score(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+) -> CASResult:
+    """Evaluate Eq. 8 at the model's current market conditions.
+
+    For every node the design uses, the node's capacity is perturbed by
+    ``relative_step`` in both directions (all other nodes held fixed) and
+    the TTM slope against the node's absolute wafer rate is measured.
+    """
+    conditions = model.foundry.conditions
+    sensitivities: Dict[str, float] = {}
+    for process in design.processes:
+        node = model.foundry.technology.require_production(process)
+        fraction = conditions.capacity_for(process)
+        if fraction <= 0.0:
+            raise InvalidParameterError(
+                f"cannot evaluate CAS with zero capacity on {process!r}"
+            )
+        max_rate = node.max_wafer_rate_per_week
+
+        def ttm_at_rate(rate: float, _process: str = process) -> float:
+            perturbed = model.with_foundry(
+                model.foundry.with_conditions(
+                    conditions.with_capacity(_process, rate / max_rate)
+                )
+            )
+            return perturbed.total_weeks(design, n_chips)
+
+        sensitivities[process] = ttm_rate_sensitivity(
+            ttm_at_rate, fraction * max_rate, relative_step
+        )
+
+    total = sum(sensitivities.values())
+    if total <= 0.0:
+        raise InvalidParameterError(
+            f"design {design.name!r} has zero TTM sensitivity on all nodes; "
+            "CAS is unbounded (check the production volume is non-trivial)"
+        )
+    return CASResult(
+        design=design.name,
+        n_chips=n_chips,
+        cas=1.0 / total,
+        sensitivity=sensitivities,
+    )
+
+
+def cas_curve(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    fractions: Sequence[float],
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+) -> Tuple[Tuple[float, CASResult], ...]:
+    """CAS swept over global capacity fractions (Figs. 3, 9, 12, 13c).
+
+    Every node is scaled to the same fraction of its maximum rate; queue
+    backlogs stay pinned to their quoted (full-rate) wafer counts, which is
+    what makes queued designs lose agility as capacity drops (Fig. 12).
+    """
+    results = []
+    for fraction in fractions:
+        if fraction <= 0.0:
+            raise InvalidParameterError(
+                f"capacity fractions must be positive, got {fraction}"
+            )
+        swept = model.at_capacity(fraction)
+        results.append(
+            (fraction, chip_agility_score(swept, design, n_chips, relative_step))
+        )
+    return tuple(results)
+
+
+def ttm_curve(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    fractions: Sequence[float],
+) -> Tuple[Tuple[float, float], ...]:
+    """Total TTM swept over global capacity fractions (Figs. 3 and 11)."""
+    results = []
+    for fraction in fractions:
+        if fraction <= 0.0:
+            raise InvalidParameterError(
+                f"capacity fractions must be positive, got {fraction}"
+            )
+        results.append(
+            (fraction, model.at_capacity(fraction).total_weeks(design, n_chips))
+        )
+    return tuple(results)

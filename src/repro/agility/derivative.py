@@ -1,0 +1,57 @@
+"""Numeric differentiation of TTM with respect to wafer production rate.
+
+CAS (Eq. 8) needs |d TTM / d mu_W(p)| for every node p a design uses. The
+TTM model is piecewise smooth — max() synchronization points (Eq. 3)
+introduce kinks, which are not artifacts but the behaviour behind the
+Zen-2 CAS cliff (Fig. 13c) — so we use a central difference with a small
+relative step. Across a kink the central difference returns the average of
+the one-sided slopes, which is the correct "sensitivity to small
+disturbances in either direction" reading for an agility metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import InvalidParameterError
+
+#: Default relative perturbation applied to a node's capacity fraction.
+DEFAULT_RELATIVE_STEP = 1.0e-3
+
+
+def central_difference(
+    function: Callable[[float], float],
+    at: float,
+    step: float,
+) -> float:
+    """Symmetric difference quotient ``(f(x+h) - f(x-h)) / (2h)``."""
+    if step <= 0.0:
+        raise InvalidParameterError(f"step must be positive, got {step}")
+    upper = function(at + step)
+    lower = function(at - step)
+    return (upper - lower) / (2.0 * step)
+
+
+def ttm_rate_sensitivity(
+    ttm_at_rate: Callable[[float], float],
+    rate: float,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+) -> float:
+    """|d TTM / d mu_W| at the given production rate (wafers/week).
+
+    ``ttm_at_rate`` maps an absolute wafer rate for one node to total TTM
+    in weeks with everything else held fixed. Time-to-market generally
+    increases as production rate decreases (Sec. 4), so the derivative is
+    negative; CAS uses its absolute value.
+    """
+    if rate <= 0.0:
+        raise InvalidParameterError(
+            f"production rate must be positive, got {rate}"
+        )
+    if not 0.0 < relative_step < 1.0:
+        raise InvalidParameterError(
+            f"relative step must be in (0, 1), got {relative_step}"
+        )
+    step = rate * relative_step
+    slope = central_difference(ttm_at_rate, rate, step)
+    return abs(slope)

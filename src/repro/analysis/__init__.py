@@ -1,0 +1,38 @@
+"""Sweep, Pareto, and table helpers shared by experiments and the CLI."""
+
+from .export import to_json, to_jsonable
+from .pareto import dominates, knee_point, pareto_front
+from .portfolio import PortfolioAssessment, PortfolioEntry, assess_portfolio
+from .search import Configuration, SearchResult, SearchSpace, grid_search
+from .sweep import (
+    argmax,
+    argmin,
+    capacity_fractions,
+    chip_quantities,
+    normalized,
+    sweep,
+)
+from .tables import format_cell, format_table
+
+__all__ = [
+    "Configuration",
+    "PortfolioAssessment",
+    "PortfolioEntry",
+    "SearchResult",
+    "SearchSpace",
+    "argmax",
+    "argmin",
+    "assess_portfolio",
+    "capacity_fractions",
+    "chip_quantities",
+    "dominates",
+    "format_cell",
+    "format_table",
+    "grid_search",
+    "knee_point",
+    "normalized",
+    "pareto_front",
+    "sweep",
+    "to_json",
+    "to_jsonable",
+]

@@ -1,0 +1,56 @@
+"""Structured export of experiment results.
+
+Experiment result objects are frozen dataclasses (possibly nested, with
+mapping fields keyed by tuples). :func:`to_jsonable` converts any of
+them into plain JSON-compatible data — dicts, lists, strings, numbers —
+so the CLI can emit machine-readable output (``ttm-cas run fig7 --json``)
+and downstream tooling can diff runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from ..errors import InvalidParameterError
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object to JSON-compatible data.
+
+    Handles dataclasses (by field), mappings (keys stringified — JSON
+    has no tuple keys), sequences, and primitives. Unknown objects fall
+    back to ``str`` so exports never crash on exotic fields.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {_key(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "items"):  # mapping-like (e.g. frozen Mapping views)
+        return {_key(key): to_jsonable(item) for key, item in value.items()}
+    return str(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (int, float, bool)):
+        return str(key)
+    if isinstance(key, tuple):
+        return "|".join(_key(part) for part in key)
+    return str(key)
+
+
+def to_json(value: Any, indent: int = 2) -> str:
+    """JSON text of a result object."""
+    if indent < 0:
+        raise InvalidParameterError(f"indent must be >= 0, got {indent}")
+    return json.dumps(to_jsonable(value), indent=indent, sort_keys=True)

@@ -1,0 +1,81 @@
+"""Pareto-front utilities for multi-objective design-space views.
+
+The cache study (Figs. 4 and 5) is a two-objective trade-off (performance
+vs time-to-market / cost); these helpers identify the non-dominated
+configurations and the knee points the paper's arrows mark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from ..errors import InvalidParameterError
+
+T = TypeVar("T")
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float], maximize: Sequence[bool]
+) -> bool:
+    """True if objective vector ``a`` Pareto-dominates ``b``.
+
+    ``maximize[i]`` selects the direction of objective i. Domination
+    requires at-least-as-good everywhere and strictly better somewhere.
+    """
+    if not (len(a) == len(b) == len(maximize)):
+        raise InvalidParameterError("objective vectors must share a length")
+    at_least_as_good = True
+    strictly_better = False
+    for value_a, value_b, bigger_is_better in zip(a, b, maximize):
+        better = value_a > value_b if bigger_is_better else value_a < value_b
+        equal = value_a == value_b
+        if not (better or equal):
+            at_least_as_good = False
+            break
+        if better:
+            strictly_better = True
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Callable[[T], Sequence[float]],
+    maximize: Sequence[bool],
+) -> List[T]:
+    """The non-dominated subset of ``items`` (stable order)."""
+    if not items:
+        return []
+    vectors = [tuple(objectives(item)) for item in items]
+    front = []
+    for i, item in enumerate(items):
+        dominated = any(
+            dominates(vectors[j], vectors[i], maximize)
+            for j in range(len(items))
+            if j != i
+        )
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def knee_point(
+    items: Sequence[T],
+    objectives: Callable[[T], Tuple[float, float]],
+) -> T:
+    """The item maximizing the product of two (normalized) objectives.
+
+    A simple knee heuristic for two maximize-objectives: normalize each
+    axis to its maximum, pick the point with the largest area.
+    """
+    if not items:
+        raise InvalidParameterError("knee point of an empty sequence")
+    pairs = [objectives(item) for item in items]
+    max_x = max(pair[0] for pair in pairs)
+    max_y = max(pair[1] for pair in pairs)
+    if max_x <= 0.0 or max_y <= 0.0:
+        raise InvalidParameterError("knee point needs positive objectives")
+    best_index = max(
+        range(len(items)),
+        key=lambda i: (pairs[i][0] / max_x) * (pairs[i][1] / max_y),
+    )
+    return items[best_index]

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the CLI and experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import InvalidParameterError
+
+
+def format_cell(value: object) -> str:
+    """Render one cell: floats compactly, everything else via str()."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 1e-3:
+        return f"{value:.3g}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a header rule, ready for printing."""
+    if not headers:
+        raise InvalidParameterError("table needs at least one column")
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise InvalidParameterError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        rendered.append([format_cell(cell) for cell in row])
+    widths = [
+        max(len(rendered[r][c]) for r in range(len(rendered)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for r, cells in enumerate(rendered):
+        line = "  ".join(cell.rjust(widths[c]) for c, cell in enumerate(cells))
+        lines.append(line)
+        if r == 0:
+            lines.append("  ".join("-" * widths[c] for c in range(len(headers))))
+    return "\n".join(lines)

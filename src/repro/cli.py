@@ -1,0 +1,177 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    ttm-cas list                # enumerate experiments
+    ttm-cas run fig7            # print Fig. 7's rows
+    ttm-cas run all             # the whole evaluation section
+    ttm-cas nodes               # dump the technology database
+
+(Equivalently: ``python -m repro.cli ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.export import to_json
+from .analysis.tables import format_table
+from .experiments import registry
+from .technology.database import TechnologyDatabase
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    rows = [[exp.key, exp.title] for exp in registry.EXPERIMENTS.values()]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    keys = (
+        list(registry.experiment_keys()) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for key in keys:
+        try:
+            experiment = registry.get(key)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        result = experiment.runner()
+        if args.json:
+            print(to_json(result))
+        else:
+            print(f"== {experiment.key}: {experiment.title} ==")
+            print(result.table())  # type: ignore[attr-defined]
+            print()
+    return 0
+
+
+def _cmd_lint(_: argparse.Namespace) -> int:
+    from .technology.validate import ERROR, lint_database
+
+    findings = lint_database(TechnologyDatabase.default())
+    if not findings:
+        print("technology database: no findings")
+        return 0
+    for finding in findings:
+        print(finding)
+    has_errors = any(finding.severity == ERROR for finding in findings)
+    return 1 if has_errors else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    lines = [
+        "# ttm-cas evaluation report",
+        "",
+        "Regenerated tables and figures (paper artifacts + extensions).",
+        "",
+    ]
+    for experiment in registry.EXPERIMENTS.values():
+        result = experiment.runner()
+        lines.append(f"## {experiment.key}: {experiment.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(result.table())  # type: ignore[attr-defined]
+        lines.append("```")
+        lines.append("")
+    text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_nodes(_: argparse.Namespace) -> int:
+    db = TechnologyDatabase.default()
+    rows = []
+    for node in db.nodes:
+        rows.append(
+            [
+                node.name,
+                node.density_mtr_per_mm2,
+                node.defect_density_per_cm2,
+                node.wafer_rate_kwpm,
+                node.fab_latency_weeks,
+                f"{node.tapeout_effort:.2e}",
+                node.wafer_cost_usd,
+                node.mask_set_cost_usd / 1e6,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "node",
+                "MTr/mm^2",
+                "D0 /cm^2",
+                "kW/mo",
+                "L_fab wk",
+                "E_tapeout ew/tr",
+                "wafer $",
+                "masks $M",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ttm-cas",
+        description=(
+            "Supply chain aware computer architecture: regenerate the "
+            "ISCA '23 paper's tables and figures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="enumerate available experiments").set_defaults(
+        handler=_cmd_list
+    )
+    run_parser = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument(
+        "experiment", help="experiment id from 'list', or 'all'"
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw result as JSON instead of a table",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+    sub.add_parser("nodes", help="print the technology database").set_defaults(
+        handler=_cmd_nodes
+    )
+    report_parser = sub.add_parser(
+        "report", help="write the full evaluation as markdown"
+    )
+    report_parser.add_argument(
+        "-o", "--output", default="", help="file to write (default: stdout)"
+    )
+    report_parser.set_defaults(handler=_cmd_report)
+    sub.add_parser(
+        "lint", help="lint the technology database for consistency"
+    ).set_defaults(handler=_cmd_lint)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``ttm-cas`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; not an
+        # error from our side.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,39 @@
+"""Chip-creation cost model (Moonwalk-derived, paper Sec. 5)."""
+
+from .crossover import cost_crossover_volume, ttm_crossover_volume
+from .manufacturing import (
+    DIE_HANDLING_COST_USD,
+    ManufacturingBreakdown,
+    PACKAGE_AREA_COST_USD_PER_MM2,
+    PACKAGE_BASE_COST_USD,
+    TEST_COST_USD_PER_TRANSISTOR,
+    manufacturing_cost,
+    wafer_demand,
+)
+from .model import CostModel, CostResult
+from .nre import (
+    ENGINEER_WEEK_COST_USD,
+    NREBreakdown,
+    block_tapeout_cost_usd,
+    design_nre,
+    nre_by_process,
+)
+
+__all__ = [
+    "CostModel",
+    "CostResult",
+    "DIE_HANDLING_COST_USD",
+    "ENGINEER_WEEK_COST_USD",
+    "ManufacturingBreakdown",
+    "NREBreakdown",
+    "PACKAGE_AREA_COST_USD_PER_MM2",
+    "PACKAGE_BASE_COST_USD",
+    "TEST_COST_USD_PER_TRANSISTOR",
+    "block_tapeout_cost_usd",
+    "cost_crossover_volume",
+    "design_nre",
+    "manufacturing_cost",
+    "nre_by_process",
+    "ttm_crossover_volume",
+    "wafer_demand",
+]

@@ -1,0 +1,109 @@
+"""NRE-amortization crossovers: at what volume does a node win on cost?
+
+The Moonwalk lineage's central question: an advanced node charges more
+NRE (masks, tapeout) but less silicon per chip; a legacy node is cheap to
+enter but pays for every wafer. Their total-cost curves cross at some
+volume, below which the legacy node is the economical choice. This module
+finds that crossover by bisection on the (monotone) cost difference.
+
+The same machinery answers the TTM flavor — Fig. 10's "the fastest node
+shifts with volume" — via :func:`ttm_crossover_volume`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+from .model import CostModel
+
+#: A factory mapping a node name to the ported design (Sec. 7 convention).
+DesignFactory = Callable[[str], object]
+
+
+def _crossover(
+    difference: Callable[[float], float],
+    low: float,
+    high: float,
+    iterations: int = 80,
+) -> Optional[float]:
+    """Root of a monotone-ish sign-changing difference, or None."""
+    f_low = difference(low)
+    f_high = difference(high)
+    if f_low == 0.0:
+        return low
+    if f_high == 0.0:
+        return high
+    if (f_low > 0.0) == (f_high > 0.0):
+        return None
+    for _ in range(iterations):
+        mid = (low * high) ** 0.5  # geometric: volumes span decades
+        if (difference(mid) > 0.0) == (f_low > 0.0):
+            low = mid
+        else:
+            high = mid
+    return (low * high) ** 0.5
+
+
+def cost_crossover_volume(
+    design_factory: DesignFactory,
+    cheap_entry_node: str,
+    cheap_silicon_node: str,
+    cost_model: CostModel,
+    min_chips: float = 1e3,
+    max_chips: float = 1e10,
+) -> Optional[float]:
+    """The volume where total costs of the two nodes are equal.
+
+    Below the crossover, ``cheap_entry_node`` (low NRE) wins; above it,
+    ``cheap_silicon_node`` (low marginal cost) wins. Returns ``None`` if
+    one node dominates across the whole range — which the caller should
+    treat as "there is no volume argument for the other node".
+    """
+    _validate_range(min_chips, max_chips)
+
+    def difference(n_chips: float) -> float:
+        entry = cost_model.total_usd(
+            design_factory(cheap_entry_node), n_chips  # type: ignore[arg-type]
+        )
+        silicon = cost_model.total_usd(
+            design_factory(cheap_silicon_node), n_chips  # type: ignore[arg-type]
+        )
+        return entry - silicon
+
+    return _crossover(difference, min_chips, max_chips)
+
+
+def ttm_crossover_volume(
+    design_factory: DesignFactory,
+    quick_start_node: str,
+    high_throughput_node: str,
+    model: TTMModel,
+    min_chips: float = 1e3,
+    max_chips: float = 1e10,
+) -> Optional[float]:
+    """The volume where the two nodes' TTM curves cross (Fig. 10's walk).
+
+    ``quick_start_node`` wins small runs (little tapeout, short latency);
+    ``high_throughput_node`` catches up as wafer throughput dominates.
+    """
+    _validate_range(min_chips, max_chips)
+
+    def difference(n_chips: float) -> float:
+        quick = model.total_weeks(
+            design_factory(quick_start_node), n_chips  # type: ignore[arg-type]
+        )
+        throughput = model.total_weeks(
+            design_factory(high_throughput_node), n_chips  # type: ignore[arg-type]
+        )
+        return quick - throughput
+
+    return _crossover(difference, min_chips, max_chips)
+
+
+def _validate_range(min_chips: float, max_chips: float) -> None:
+    if not 0.0 < min_chips < max_chips:
+        raise InvalidParameterError(
+            f"need 0 < min < max chips, got {min_chips} and {max_chips}"
+        )

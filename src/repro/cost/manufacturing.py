@@ -1,0 +1,115 @@
+"""Recurring manufacturing costs: wafers, testing, packaging.
+
+Wafer spend dominates at legacy nodes (low density -> huge dies -> many
+wafers) while advanced nodes trade fewer wafers against much higher cost
+per wafer — the tension behind Fig. 7's cost curve. Testing and packaging
+costs follow the same drivers as their Eq. 7 time terms: transistors
+tested (with yield overhead) and die area assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase
+from ..technology.wafer import wafers_required
+from ..technology.yield_model import DEFAULT_ALPHA
+
+#: Per-final-chip packaging base cost (USD): substrate, assembly line,
+#: final test insertion. This node-independent floor dominates per-chip
+#: cost for small dies, which is why Fig. 14b's cost matrix is tight
+#: (~8% spread) even though wafer spend varies by an order of magnitude.
+PACKAGE_BASE_COST_USD = 6.0
+
+#: Handling/attach cost per die placed in the package (USD). Chiplets pay
+#: this once per die — the cost-side counterpart of Eq. 7's alignment
+#: effort — but it is small enough that their yield advantage wins.
+DIE_HANDLING_COST_USD = 1.0
+
+#: Assembly cost per mm^2 of die area (USD).
+PACKAGE_AREA_COST_USD_PER_MM2 = 1.0e-3
+
+#: Test cost per transistor tested (USD) — aggregate tester amortization.
+TEST_COST_USD_PER_TRANSISTOR = 1.0e-11
+
+
+@dataclass(frozen=True)
+class ManufacturingBreakdown:
+    """Recurring cost components in USD."""
+
+    wafer_usd: float
+    testing_usd: float
+    packaging_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """All recurring manufacturing cost in USD."""
+        return self.wafer_usd + self.testing_usd + self.packaging_usd
+
+
+def wafer_demand(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+) -> Dict[str, float]:
+    """Wafers ordered per node (market-independent, unlike Eq. 4/5 times)."""
+    if n_chips < 0.0:
+        raise InvalidParameterError(f"chip count must be >= 0, got {n_chips}")
+    demand: Dict[str, float] = {}
+    for die in design.dies:
+        node = technology[die.process]
+        wafers = wafers_required(
+            n_chips * die.count,
+            die.area_on(node),
+            die.yield_on(node, alpha=alpha),
+            wafer_diameter_mm=node.wafer_diameter_mm,
+            edge_corrected=edge_corrected,
+        )
+        demand[die.process] = demand.get(die.process, 0.0) + wafers
+    return demand
+
+
+def manufacturing_cost(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+    package_base_usd: float = PACKAGE_BASE_COST_USD,
+    die_handling_usd: float = DIE_HANDLING_COST_USD,
+    package_area_usd_per_mm2: float = PACKAGE_AREA_COST_USD_PER_MM2,
+    test_usd_per_transistor: float = TEST_COST_USD_PER_TRANSISTOR,
+) -> ManufacturingBreakdown:
+    """Recurring cost of manufacturing ``n_chips`` final chips.
+
+    Packaging cost is one base fee per final chip plus a handling fee and
+    an area charge per die placed; testing bills every die that flows
+    through the testers (yield overhead included).
+    """
+    demand = wafer_demand(
+        design, technology, n_chips, alpha=alpha, edge_corrected=edge_corrected
+    )
+    wafer_usd = sum(
+        wafers * technology[process].wafer_cost_usd
+        for process, wafers in demand.items()
+    )
+    testing_usd = 0.0
+    packaging_usd = n_chips * package_base_usd
+    for die in design.dies:
+        node = technology[die.process]
+        die_yield = die.yield_on(node, alpha=alpha)
+        dies_tested = n_chips * die.count / die_yield
+        testing_usd += dies_tested * die.ntt * test_usd_per_transistor
+        packaging_usd += n_chips * die.count * (
+            die_handling_usd + die.area_on(node) * package_area_usd_per_mm2
+        )
+    return ManufacturingBreakdown(
+        wafer_usd=wafer_usd,
+        testing_usd=testing_usd,
+        packaging_usd=packaging_usd,
+    )

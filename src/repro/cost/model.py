@@ -1,0 +1,140 @@
+"""Top-level chip-creation cost model.
+
+Chip creation cost = NRE (tapeout engineering + fixed bring-up + masks)
+plus recurring manufacturing (wafers + testing + packaging), per the
+paper's Moonwalk-derived methodology (Sec. 5). Costs are independent of
+market conditions: a slow supply chain delays chips, it does not change
+what the foundry bills (price dynamics during shortages are out of scope
+for the paper and for this model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase
+from ..technology.yield_model import DEFAULT_ALPHA
+from .manufacturing import (
+    DIE_HANDLING_COST_USD,
+    PACKAGE_AREA_COST_USD_PER_MM2,
+    PACKAGE_BASE_COST_USD,
+    TEST_COST_USD_PER_TRANSISTOR,
+    manufacturing_cost,
+    wafer_demand,
+)
+from .nre import ENGINEER_WEEK_COST_USD, design_nre
+
+
+@dataclass(frozen=True)
+class CostResult:
+    """Complete chip-creation cost breakdown in USD."""
+
+    design: str
+    n_chips: float
+    engineering_usd: float
+    fixed_usd: float
+    mask_usd: float
+    wafer_usd: float
+    testing_usd: float
+    packaging_usd: float
+    wafers_by_process: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "wafers_by_process", dict(self.wafers_by_process))
+
+    @property
+    def nre_usd(self) -> float:
+        """One-time costs: engineering + fixed bring-up + masks."""
+        return self.engineering_usd + self.fixed_usd + self.mask_usd
+
+    @property
+    def manufacturing_usd(self) -> float:
+        """Recurring costs: wafers + testing + packaging."""
+        return self.wafer_usd + self.testing_usd + self.packaging_usd
+
+    @property
+    def total_usd(self) -> float:
+        """Total chip-creation cost."""
+        return self.nre_usd + self.manufacturing_usd
+
+    @property
+    def usd_per_chip(self) -> float:
+        """Total cost amortized over the production run."""
+        return self.total_usd / self.n_chips
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers."""
+        return {
+            "engineering_usd": self.engineering_usd,
+            "fixed_usd": self.fixed_usd,
+            "mask_usd": self.mask_usd,
+            "wafer_usd": self.wafer_usd,
+            "testing_usd": self.testing_usd,
+            "packaging_usd": self.packaging_usd,
+            "nre_usd": self.nre_usd,
+            "manufacturing_usd": self.manufacturing_usd,
+            "total_usd": self.total_usd,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Evaluates chip-creation cost for designs on a technology database."""
+
+    technology: TechnologyDatabase
+    engineer_week_cost_usd: float = ENGINEER_WEEK_COST_USD
+    package_base_usd: float = PACKAGE_BASE_COST_USD
+    die_handling_usd: float = DIE_HANDLING_COST_USD
+    package_area_usd_per_mm2: float = PACKAGE_AREA_COST_USD_PER_MM2
+    test_usd_per_transistor: float = TEST_COST_USD_PER_TRANSISTOR
+    alpha: float = DEFAULT_ALPHA
+    edge_corrected: bool = False
+
+    @classmethod
+    def nominal(cls, technology: Optional[TechnologyDatabase] = None) -> "CostModel":
+        """A cost model over the default technology database."""
+        return cls(technology=technology or TechnologyDatabase.default())
+
+    def chip_creation_cost(self, design: ChipDesign, n_chips: float) -> CostResult:
+        """Full cost breakdown for producing ``n_chips`` final chips."""
+        if n_chips <= 0.0:
+            raise InvalidParameterError(
+                f"number of final chips must be positive, got {n_chips}"
+            )
+        nre = design_nre(design, self.technology, self.engineer_week_cost_usd)
+        recurring = manufacturing_cost(
+            design,
+            self.technology,
+            n_chips,
+            alpha=self.alpha,
+            edge_corrected=self.edge_corrected,
+            package_base_usd=self.package_base_usd,
+            die_handling_usd=self.die_handling_usd,
+            package_area_usd_per_mm2=self.package_area_usd_per_mm2,
+            test_usd_per_transistor=self.test_usd_per_transistor,
+        )
+        demand = wafer_demand(
+            design,
+            self.technology,
+            n_chips,
+            alpha=self.alpha,
+            edge_corrected=self.edge_corrected,
+        )
+        return CostResult(
+            design=design.name,
+            n_chips=n_chips,
+            engineering_usd=nre.engineering_usd,
+            fixed_usd=nre.fixed_usd,
+            mask_usd=nre.mask_usd,
+            wafer_usd=recurring.wafer_usd,
+            testing_usd=recurring.testing_usd,
+            packaging_usd=recurring.packaging_usd,
+            wafers_by_process=demand,
+        )
+
+    def total_usd(self, design: ChipDesign, n_chips: float) -> float:
+        """Shorthand for ``chip_creation_cost(...).total_usd``."""
+        return self.chip_creation_cost(design, n_chips).total_usd

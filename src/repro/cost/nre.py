@@ -1,0 +1,97 @@
+"""Non-recurring engineering costs (Moonwalk-derived, paper Sec. 5).
+
+The paper adopts Moonwalk's [56] NRE modeling, augmented with newer nodes
+and updated mask costs [50]. For our purposes NRE decomposes into:
+
+* **tapeout engineering** — the Eq. 2 effort priced per engineer-week.
+  The rate is calibrated from Table 3: the cost delta between the
+  streaming and iterative sorting accelerators at 5 nm ($2.2 M over
+  ~104 engineer-weeks of extra effort) implies ~$21 K per engineer-week
+  (fully loaded, EDA seats included);
+* **fixed per-tapeout bring-up** — sign-off, licenses, shuttle overhead;
+  the ~$3 M intercept of Table 3's C_tapeout column at 5 nm, exponential
+  across the roadmap;
+* **photomask sets** — one per node the design tapes out on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase
+from ..technology.node import ProcessNode
+
+#: Fully loaded engineer-week cost calibrated from Table 3 (USD).
+ENGINEER_WEEK_COST_USD = 21_000.0
+
+
+@dataclass(frozen=True)
+class NREBreakdown:
+    """NRE components in USD."""
+
+    engineering_usd: float
+    fixed_usd: float
+    mask_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        """All NRE in USD."""
+        return self.engineering_usd + self.fixed_usd + self.mask_usd
+
+
+def block_tapeout_cost_usd(
+    unique_transistors: float,
+    node: ProcessNode,
+    engineer_week_cost_usd: float = ENGINEER_WEEK_COST_USD,
+) -> float:
+    """C_tapeout of adding one block to an existing chip (Table 3).
+
+    Engineering effort priced per engineer-week plus the node's fixed
+    bring-up cost. No mask-set charge: the block rides the host chip's
+    masks.
+    """
+    if unique_transistors < 0.0:
+        raise InvalidParameterError(
+            f"unique transistors must be >= 0, got {unique_transistors}"
+        )
+    effort_weeks = unique_transistors * node.tapeout_effort
+    return effort_weeks * engineer_week_cost_usd + node.tapeout_fixed_cost_usd
+
+
+def design_nre(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineer_week_cost_usd: float = ENGINEER_WEEK_COST_USD,
+) -> NREBreakdown:
+    """Full-design NRE: engineering + fixed + one mask set per node."""
+    engineering = 0.0
+    fixed = 0.0
+    masks = 0.0
+    for process, nut in design.nut_by_process().items():
+        node = technology[process]
+        engineering += nut * node.tapeout_effort * engineer_week_cost_usd
+        fixed += node.tapeout_fixed_cost_usd
+        masks += node.mask_set_cost_usd
+    return NREBreakdown(
+        engineering_usd=engineering, fixed_usd=fixed, mask_usd=masks
+    )
+
+
+def nre_by_process(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineer_week_cost_usd: float = ENGINEER_WEEK_COST_USD,
+) -> Dict[str, float]:
+    """Total NRE attributed to each node (for split-cost reporting)."""
+    totals: Dict[str, float] = {}
+    for process, nut in design.nut_by_process().items():
+        node = technology[process]
+        totals[process] = (
+            nut * node.tapeout_effort * engineer_week_cost_usd
+            + node.tapeout_fixed_cost_usd
+            + node.mask_set_cost_usd
+        )
+    return totals

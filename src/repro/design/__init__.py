@@ -1,0 +1,15 @@
+"""Chip design representation: blocks, dies, chips, and a design library."""
+
+from .block import Block, ip_block
+from .chip import ChipDesign
+from .die import Die
+from .serialize import design_from_dict, design_to_dict
+
+__all__ = [
+    "Block",
+    "ChipDesign",
+    "Die",
+    "design_from_dict",
+    "design_to_dict",
+    "ip_block",
+]

@@ -1,0 +1,94 @@
+"""Design blocks: the unit of tapeout reuse.
+
+Chips are built in block-level increments (paper Sec. 3.2): a block only
+completes the tapeout phase once, no matter how many times it is
+instantiated, and pre-verified soft/IP blocks skip tapeout entirely. A
+:class:`Block` therefore carries both a *total* transistor count (per
+instance, contributing to NTT, die area, and testing time) and a *unique*
+transistor count (counted once, contributing to NUT and tapeout effort).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InvalidDesignError
+
+
+@dataclass(frozen=True)
+class Block:
+    """A reusable design block.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, unique within a die.
+    transistors:
+        Total transistors of *one instance* of the block (contributes to
+        NTT ``instances`` times).
+    instances:
+        How many copies of the block the die contains (e.g. 16 identical
+        cores). Unique transistors are counted once regardless.
+    unique_transistors:
+        NUT contribution: transistors that must complete the tapeout phase.
+        ``None`` (default) means the whole block is new and unverified
+        (NUT = transistors); ``0`` marks a pre-verified IP block.
+    """
+
+    name: str
+    transistors: float
+    instances: int = 1
+    unique_transistors: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidDesignError("block name must be non-empty")
+        if self.transistors < 0.0:
+            raise InvalidDesignError(
+                f"block {self.name!r}: transistors must be >= 0, "
+                f"got {self.transistors}"
+            )
+        if self.instances < 1:
+            raise InvalidDesignError(
+                f"block {self.name!r}: instances must be >= 1, "
+                f"got {self.instances}"
+            )
+        if self.unique_transistors is not None:
+            if self.unique_transistors < 0.0:
+                raise InvalidDesignError(
+                    f"block {self.name!r}: unique transistors must be >= 0"
+                )
+            if self.unique_transistors > self.transistors:
+                raise InvalidDesignError(
+                    f"block {self.name!r}: unique transistors "
+                    f"({self.unique_transistors:g}) cannot exceed total "
+                    f"transistors ({self.transistors:g})"
+                )
+
+    @property
+    def total_transistors(self) -> float:
+        """NTT contribution across all instances."""
+        return self.transistors * self.instances
+
+    @property
+    def nut(self) -> float:
+        """NUT contribution (counted once across instances)."""
+        if self.unique_transistors is None:
+            return self.transistors
+        return self.unique_transistors
+
+    @property
+    def is_verified(self) -> bool:
+        """Whether the block skips tapeout entirely (NUT == 0)."""
+        return self.nut == 0.0
+
+
+def ip_block(name: str, transistors: float, instances: int = 1) -> Block:
+    """A pre-verified IP block: contributes area/NTT but no tapeout effort."""
+    return Block(
+        name=name,
+        transistors=transistors,
+        instances=instances,
+        unique_transistors=0.0,
+    )

@@ -1,0 +1,128 @@
+"""Chip designs: the ``d`` in TTM(c, d, n, p).
+
+A :class:`ChipDesign` is a set of die types (each with a per-package
+count), plus the per-design constant for the design-and-implementation
+phase (Sec. 3.1). It answers the aggregate questions the models ask —
+which process nodes are used, NUT per node (Eq. 2), dies per package
+(Eq. 7) — without knowing anything about market conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..errors import InvalidDesignError
+from .die import Die
+
+
+@dataclass(frozen=True)
+class ChipDesign:
+    """A complete chip design.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"A11"`` or ``"Zen 2 (7nm + 12nm)"``.
+    dies:
+        The die types packaged into one final chip. Monolithic designs
+        have exactly one entry with ``count == 1``.
+    design_weeks:
+        The per-design constant modeling T_design+implementation
+        (Sec. 3.1). Independent of supply-chain conditions; defaults to 0
+        so results isolate the supply-chain-dependent phases, matching the
+        paper's figures.
+    """
+
+    name: str
+    dies: Tuple[Die, ...]
+    design_weeks: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InvalidDesignError("design name must be non-empty")
+        object.__setattr__(self, "dies", tuple(self.dies))
+        if not self.dies:
+            raise InvalidDesignError(
+                f"design {self.name!r}: needs at least one die"
+            )
+        names = [die.name for die in self.dies]
+        if len(set(names)) != len(names):
+            raise InvalidDesignError(
+                f"design {self.name!r}: duplicate die names {names}"
+            )
+        if self.design_weeks < 0.0:
+            raise InvalidDesignError(
+                f"design {self.name!r}: design weeks must be >= 0"
+            )
+
+    # -- Aggregate structure -----------------------------------------------------
+
+    @property
+    def processes(self) -> Tuple[str, ...]:
+        """Distinct process nodes used, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for die in self.dies:
+            seen.setdefault(die.process, None)
+        return tuple(seen)
+
+    @property
+    def is_multi_process(self) -> bool:
+        """True when dies span more than one process node."""
+        return len(self.processes) > 1
+
+    @property
+    def dies_per_package(self) -> int:
+        """N_die,package: total dies assembled into one final chip."""
+        return sum(die.count for die in self.dies)
+
+    @property
+    def is_chiplet(self) -> bool:
+        """True when more than one die is packaged per chip."""
+        return self.dies_per_package > 1
+
+    @property
+    def ntt_per_chip(self) -> float:
+        """Total transistors in one final chip, across all dies."""
+        return sum(die.ntt * die.count for die in self.dies)
+
+    def nut_by_process(self) -> Dict[str, float]:
+        """NUT(d, p) per node (the per-node sums feeding Eq. 2)."""
+        totals: Dict[str, float] = {}
+        for die in self.dies:
+            totals[die.process] = totals.get(die.process, 0.0) + die.nut
+        return totals
+
+    def dies_on(self, process: str) -> Tuple[Die, ...]:
+        """Die types fabricated on the given node."""
+        return tuple(die for die in self.dies if die.process == process)
+
+    def die(self, name: str) -> Die:
+        """Look up a die type by name."""
+        for candidate in self.dies:
+            if candidate.name == name:
+                return candidate
+        raise InvalidDesignError(
+            f"design {self.name!r}: no die named {name!r}"
+        )
+
+    # -- Derivation -----------------------------------------------------------------
+
+    def retarget(self, process: str, name: str = "") -> "ChipDesign":
+        """This design with *every* die ported to one process node.
+
+        Used by the A11 study (re-release a 10 nm design on each candidate
+        node) and by single-process chiplet variants in the Zen-2 study.
+        """
+        dies = tuple(die.retarget(process) for die in self.dies)
+        return replace(
+            self, name=name or f"{self.name} @ {process}", dies=dies
+        )
+
+    def with_die(self, die: Die) -> "ChipDesign":
+        """This design with an extra die appended (e.g. an interposer)."""
+        return replace(self, dies=self.dies + (die,))
+
+    def renamed(self, name: str) -> "ChipDesign":
+        """This design under a different display name."""
+        return replace(self, name=name)

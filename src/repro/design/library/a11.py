@@ -1,0 +1,65 @@
+"""Apple-A11-like design (re-release case study, Sec. 6.2).
+
+Known architecture (from the paper, citing AnandTech [35]): two big CPU
+cores, four little CPU cores, three GPU cores, one neural processing unit,
+all custom; 4.3 B transistors on an 88 mm^2 die at TSMC 10 nm. The paper
+estimates the unique/unverified transistor count at ~514 M from the block
+area estimates, treating the rest of the die as pre-verified memory and
+third-party soft IP.
+
+The block split below reproduces those aggregates exactly:
+
+    NTT = 2x170M + 4x50M + 3x75M + 180M + 39M (top) + 3.316B (IP) = 4.3 B
+    NUT = 170M + 50M + 75M + 180M + 39M = 514 M
+
+Blocks tape out in parallel (100-engineer team each) and synchronize at
+the 39 M-transistor top level, per the paper's calendar conversion.
+"""
+
+from __future__ import annotations
+
+from ..block import Block, ip_block
+from ..chip import ChipDesign
+from ..die import Die
+
+#: Total transistors on the die (paper Sec. 6.2).
+A11_TOTAL_TRANSISTORS = 4.3e9
+
+#: Unique/unverified transistors (paper estimate, Sec. 6.2).
+A11_UNIQUE_TRANSISTORS = 5.14e8
+
+#: The node the A11 originally shipped on.
+A11_ORIGINAL_PROCESS = "10nm"
+
+_BIG_CPU = 170e6
+_LITTLE_CPU = 50e6
+_GPU_CORE = 75e6
+_NPU = 180e6
+_TOP_LEVEL = 39e6
+_SOFT_IP = A11_TOTAL_TRANSISTORS - (
+    2 * _BIG_CPU + 4 * _LITTLE_CPU + 3 * _GPU_CORE + _NPU + _TOP_LEVEL
+)
+
+
+def a11(process: str = A11_ORIGINAL_PROCESS, name: str = "") -> ChipDesign:
+    """The A11-like design targeted at ``process``.
+
+    Re-targeting to any node only changes the die's implied area (via that
+    node's transistor density) and the per-node effort coefficients — the
+    architecture, NTT and NUT stay fixed, exactly the paper's re-release
+    scenario.
+    """
+    blocks = (
+        Block(name="big-cpu", transistors=_BIG_CPU, instances=2),
+        Block(name="little-cpu", transistors=_LITTLE_CPU, instances=4),
+        Block(name="gpu-core", transistors=_GPU_CORE, instances=3),
+        Block(name="npu", transistors=_NPU),
+        ip_block("memory-and-soft-ip", _SOFT_IP),
+    )
+    die = Die(
+        name="a11-die",
+        process=process,
+        blocks=blocks,
+        top_level_transistors=_TOP_LEVEL,
+    )
+    return ChipDesign(name=name or f"A11 @ {process}", dies=(die,))

@@ -1,0 +1,77 @@
+"""Accelerator blocks for the cost-of-specialization study (Sec. 6.4).
+
+The paper benchmarks SPIRAL-generated fixed-point sorting networks [130]
+and floating-point FFT accelerators [79] against Ariane on 2048-element
+blocks, with unique transistor counts from commercial synthesis runs
+"assuming that non-memory transistors are unique" — which makes the
+accelerators' NUT equal their NTT in Table 3. The transistor counts below
+are Table 3's, verbatim; the matching *performance* models (which actually
+sort and actually compute DFTs) live in :mod:`repro.perf.accel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..block import Block
+
+#: Problem size used throughout the study.
+ACCELERATOR_BLOCK_SIZE = 2048
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """Static description of one accelerator variant (Table 3 row)."""
+
+    key: str
+    display_name: str
+    kind: str  # "sorting" or "dft"
+    style: str  # "stream" or "iterative"
+    transistors: float
+
+    def block(self) -> Block:
+        """The tapeout-facing design block (fully unique, per the paper)."""
+        return Block(name=self.key, transistors=self.transistors)
+
+
+#: Table 3 rows, in the paper's order.
+ACCELERATORS: Tuple[AcceleratorSpec, ...] = (
+    AcceleratorSpec(
+        key="sorting-stream",
+        display_name="Sorting Stream",
+        kind="sorting",
+        style="stream",
+        transistors=45.62e6,
+    ),
+    AcceleratorSpec(
+        key="sorting-iterative",
+        display_name="Sorting Iterative",
+        kind="sorting",
+        style="iterative",
+        transistors=18.90e6,
+    ),
+    AcceleratorSpec(
+        key="dft-stream",
+        display_name="DFT Stream",
+        kind="dft",
+        style="stream",
+        transistors=37.31e6,
+    ),
+    AcceleratorSpec(
+        key="dft-iterative",
+        display_name="DFT Iterative",
+        kind="dft",
+        style="iterative",
+        transistors=18.18e6,
+    ),
+)
+
+
+def accelerator_by_key(key: str) -> AcceleratorSpec:
+    """Look up a Table 3 accelerator by its key."""
+    for spec in ACCELERATORS:
+        if spec.key == key:
+            return spec
+    known = ", ".join(spec.key for spec in ACCELERATORS)
+    raise KeyError(f"unknown accelerator {key!r} (known: {known})")

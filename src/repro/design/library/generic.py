@@ -1,0 +1,53 @@
+"""Generic parametric designs.
+
+Helpers for studies that only need aggregate transistor counts — the
+sensitivity analysis perturbs NTT/NUT directly, and the synthetic Chip A /
+Chip B of Fig. 3 are defined purely by size and node.
+"""
+
+from __future__ import annotations
+
+from ...errors import InvalidDesignError
+from ..block import Block
+from ..chip import ChipDesign
+from ..die import Die
+
+
+def monolithic_design(
+    name: str,
+    process: str,
+    ntt: float,
+    nut: float,
+    min_area_mm2: float = 0.0,
+) -> ChipDesign:
+    """A single-die design with explicit NTT / NUT totals."""
+    if nut > ntt:
+        raise InvalidDesignError(
+            f"design {name!r}: NUT ({nut:g}) cannot exceed NTT ({ntt:g})"
+        )
+    block = Block(name="logic", transistors=ntt, unique_transistors=nut)
+    die = Die(
+        name=f"{name}-die",
+        process=process,
+        blocks=(block,),
+        min_area_mm2=min_area_mm2,
+    )
+    return ChipDesign(name=name, dies=(die,))
+
+
+def demo_chip_a(process: str = "40nm") -> ChipDesign:
+    """Fig. 3's "Chip A": a large die on a busy node.
+
+    Many wafers per unit of production rate make its TTM steep against
+    capacity loss — the *less* agile of the demonstration pair.
+    """
+    return monolithic_design("Chip A", process, ntt=8.0e9, nut=3.0e8)
+
+
+def demo_chip_b(process: str = "7nm") -> ChipDesign:
+    """Fig. 3's "Chip B": a small advanced-node die.
+
+    Longer baseline TTM (tapeout + latency) but far fewer wafers, so its
+    TTM barely moves when capacity drops — the *more* agile design.
+    """
+    return monolithic_design("Chip B", process, ntt=2.0e9, nut=2.0e8)

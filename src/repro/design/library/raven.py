@@ -1,0 +1,57 @@
+"""Raven/PicoRV32-style microcontroller (multi-process study, Sec. 7).
+
+The paper models a multicore design inspired by efabless' Raven
+(a PicoSoC around the PicoRV32 RISC-V core [28]), previously taped out at
+180 nm; "performance and chip area are akin to a low-end ARM Cortex-M IP
+commonly used in automotive and cross-market microcontrollers". The
+minimum die area is 1 mm^2 (pad-limited), which dominates at every modern
+node — exactly why the Sec. 7 study is driven by wafer rates and
+latencies rather than density.
+"""
+
+from __future__ import annotations
+
+from ..block import Block, ip_block
+from ..chip import ChipDesign
+from ..die import Die
+
+#: Node Raven originally taped out on.
+RAVEN_ORIGINAL_PROCESS = "180nm"
+
+#: Pad-ring floor from Sec. 7.
+RAVEN_MIN_AREA_MM2 = 1.0
+
+#: One PicoRV32 core plus its peripherals (per instance).
+PICORV32_CORE_TRANSISTORS = 60_000.0
+
+#: On-die memory: pre-verified SRAM + embedded-NVM macros. Cross-market
+#: MCUs are memory-dominated (~1 MB of code/data storage), which is what
+#: makes legacy-node production volumes non-trivial in Fig. 14.
+RAVEN_SRAM_TRANSISTORS = 5.8e7
+
+#: Shared bus fabric, IO, housekeeping.
+RAVEN_UNCORE_TRANSISTORS = 200_000.0
+
+
+def raven_multicore(
+    process: str = RAVEN_ORIGINAL_PROCESS,
+    cores: int = 16,
+    name: str = "",
+) -> ChipDesign:
+    """A ``cores``-core Raven-inspired microcontroller at ``process``."""
+    core = Block(
+        name="picorv32",
+        transistors=PICORV32_CORE_TRANSISTORS,
+        instances=cores,
+    )
+    sram = ip_block("sram-macro", RAVEN_SRAM_TRANSISTORS)
+    uncore = Block(name="uncore", transistors=RAVEN_UNCORE_TRANSISTORS)
+    die = Die(
+        name="raven-die",
+        process=process,
+        blocks=(core, sram, uncore),
+        min_area_mm2=RAVEN_MIN_AREA_MM2,
+    )
+    return ChipDesign(
+        name=name or f"Raven {cores}-core @ {process}", dies=(die,)
+    )

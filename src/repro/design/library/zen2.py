@@ -1,0 +1,186 @@
+"""Zen-2-like chiplet designs (mixed-process case study, Sec. 6.5).
+
+The study uses a Zen-2-inspired chip: two compute dies (7 nm) plus one
+central I/O die (GlobalFoundries "12 nm"), optionally on a 65 nm silicon
+interposer, compared against single-process chiplet and monolithic
+equivalents. Die data comes from the paper's Table 4 (asterisks there mark
+numbers taken directly from ISSCC publications [86, 105]):
+
+    Compute die: NTT 3.8 B, NUT 475 M, area 206 mm^2 @14nm / 74 mm^2 @7nm
+    I/O die:     NTT 2.1 B, NUT 523 M, area 125 mm^2 @14nm / 38 mm^2 @7nm
+
+Our roadmap has no 12 nm entry; the paper's 12 nm maps to our 14 nm node
+(same role: the trailing FinFET node the I/O die stays on).
+
+Interposers follow Sec. 6.5: fabricated at 65 nm by default, area 120% of
+the combined chiplet area, passive with an optimistic 99.99% yield.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...errors import InvalidDesignError
+from ..block import Block
+from ..chip import ChipDesign
+from ..die import Die
+
+#: The node standing in for the paper's "12 nm" I/O process.
+IO_PROCESS = "14nm"
+
+#: The compute dies' native node.
+COMPUTE_PROCESS = "7nm"
+
+#: Default interposer node (Sec. 6.5, citing [90]).
+INTERPOSER_PROCESS = "65nm"
+
+#: Interposer area relative to the chiplet area it carries.
+INTERPOSER_AREA_RATIO = 1.2
+
+#: Passive-interposer yield assumed by the paper.
+INTERPOSER_YIELD = 0.9999
+
+COMPUTE_NTT = 3.8e9
+COMPUTE_NUT = 4.75e8
+IO_NTT = 2.1e9
+IO_NUT = 5.23e8
+
+#: Published die areas (mm^2) per node, from Table 4.
+COMPUTE_AREA_MM2: Dict[str, float] = {"14nm": 206.0, "7nm": 74.0}
+IO_AREA_MM2: Dict[str, float] = {"14nm": 125.0, "7nm": 38.0}
+
+
+def compute_die(process: str = COMPUTE_PROCESS, count: int = 2) -> Die:
+    """A Zen-2-like compute chiplet (one unique core block, 8 instances)."""
+    core = Block(
+        name="zen2-core-complex",
+        transistors=COMPUTE_NTT / 8.0,
+        instances=8,
+        unique_transistors=COMPUTE_NUT,
+    )
+    return Die(
+        name="compute",
+        process=process,
+        blocks=(core,),
+        count=count,
+        area_mm2=COMPUTE_AREA_MM2.get(process),
+    )
+
+
+def io_die(process: str = IO_PROCESS) -> Die:
+    """The central I/O die (~25% of its transistors unique, per [115])."""
+    logic = Block(
+        name="io-complex",
+        transistors=IO_NTT,
+        unique_transistors=IO_NUT,
+    )
+    return Die(
+        name="io",
+        process=process,
+        blocks=(logic,),
+        area_mm2=IO_AREA_MM2.get(process),
+    )
+
+
+def interposer_die(
+    carried_area_mm2: float, process: str = INTERPOSER_PROCESS
+) -> Die:
+    """A passive interposer sized for the chiplets it carries."""
+    if carried_area_mm2 <= 0.0:
+        raise InvalidDesignError(
+            f"carried chiplet area must be positive, got {carried_area_mm2}"
+        )
+    return Die(
+        name="interposer",
+        process=process,
+        blocks=(),
+        area_mm2=carried_area_mm2 * INTERPOSER_AREA_RATIO,
+        yield_override=INTERPOSER_YIELD,
+    )
+
+
+def _chiplet_area(dies: Tuple[Die, ...], areas: Dict[str, float]) -> float:
+    return sum(areas[die.name] * die.count for die in dies)
+
+
+def zen2(
+    io_process: str = IO_PROCESS,
+    compute_process: str = COMPUTE_PROCESS,
+    interposer: bool = False,
+    interposer_process: str = INTERPOSER_PROCESS,
+    name: str = "",
+) -> ChipDesign:
+    """A Zen-2-like chiplet design, optionally on an interposer.
+
+    The interposer's area is 120% of the combined *published* chiplet
+    areas at their chosen nodes (falling back to 14 nm-class sizes for
+    nodes without a published area, which the case study never needs).
+    """
+    compute = compute_die(compute_process)
+    io = io_die(io_process)
+    dies: Tuple[Die, ...] = (compute, io)
+    if interposer:
+        areas = {
+            "compute": COMPUTE_AREA_MM2.get(compute_process, COMPUTE_AREA_MM2["14nm"]),
+            "io": IO_AREA_MM2.get(io_process, IO_AREA_MM2["14nm"]),
+        }
+        dies = dies + (
+            interposer_die(_chiplet_area((compute, io), areas), interposer_process),
+        )
+    if not name:
+        processes = {compute_process, io_process}
+        flavor = "mixed" if len(processes) > 1 else next(iter(processes))
+        suffix = " w/ interposer" if interposer else ""
+        name = f"Zen 2 ({flavor} chiplets){suffix}"
+    return ChipDesign(name=name, dies=dies)
+
+
+def zen2_monolithic(process: str, name: str = "") -> ChipDesign:
+    """The monolithic equivalent: both compute dies + I/O merged into one.
+
+    The merged die keeps the same blocks (the core complex is still one
+    reusable block; the I/O complex still has 523 M unique transistors)
+    and the area is the sum of the published per-die areas at the node.
+    """
+    if process not in COMPUTE_AREA_MM2:
+        raise InvalidDesignError(
+            f"monolithic Zen 2 has published areas only at "
+            f"{sorted(COMPUTE_AREA_MM2)}, got {process!r}"
+        )
+    core = Block(
+        name="zen2-core-complex",
+        transistors=COMPUTE_NTT / 8.0,
+        instances=16,
+        unique_transistors=COMPUTE_NUT,
+    )
+    logic = Block(
+        name="io-complex",
+        transistors=IO_NTT,
+        unique_transistors=IO_NUT,
+    )
+    die = Die(
+        name="monolithic",
+        process=process,
+        blocks=(core, logic),
+        area_mm2=2.0 * COMPUTE_AREA_MM2[process] + IO_AREA_MM2[process],
+    )
+    return ChipDesign(name=name or f"Zen 2 monolithic @ {process}", dies=(die,))
+
+
+def fig13_variants() -> Tuple[ChipDesign, ...]:
+    """The eight designs compared in Fig. 13, in the paper's legend order."""
+    return (
+        zen2(name="Zen 2"),
+        zen2(interposer=True, name="Zen 2 w/ interposer"),
+        zen2("7nm", "7nm", name="7nm chiplet"),
+        zen2("7nm", "7nm", interposer=True, name="7nm chiplet w/ interposer"),
+        zen2_monolithic("7nm", name="7nm monolithic"),
+        zen2("14nm", "14nm", name="12nm-class chiplet"),
+        zen2(
+            "14nm",
+            "14nm",
+            interposer=True,
+            name="12nm-class chiplet w/ interposer",
+        ),
+        zen2_monolithic("14nm", name="12nm-class monolithic"),
+    )

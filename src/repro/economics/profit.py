@@ -1,0 +1,130 @@
+"""Profit-optimal node selection: revenue minus chip-creation cost.
+
+Closes the economic loop the paper opens: TTM (via the market-window
+revenue model) and chip-creation cost (via the Moonwalk-derived model)
+combine into expected profit per candidate process node, so an architect
+can ask the question firms actually face — not "which node is fastest?"
+or "which is cheapest?" but "which node makes the most money given the
+race we are in?".
+
+The reference product launches the race at week 0; the chip enters the
+market when its TTM elapses, so the *entire* TTM counts as delay against
+the window (callers can subtract a head start via ``head_start_weeks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..cost.model import CostModel
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+from .market_window import MarketWindow
+
+
+@dataclass(frozen=True)
+class ProfitPoint:
+    """Profitability of one candidate node."""
+
+    process: str
+    ttm_weeks: float
+    delay_weeks: float
+    revenue_usd: float
+    cost_usd: float
+
+    @property
+    def profit_usd(self) -> float:
+        """Revenue minus chip-creation cost."""
+        return self.revenue_usd - self.cost_usd
+
+
+@dataclass(frozen=True)
+class ProfitStudy:
+    """Profitability across candidate nodes for one design family."""
+
+    n_chips: float
+    window: MarketWindow
+    points: Tuple[ProfitPoint, ...]
+
+    def point(self, process: str) -> ProfitPoint:
+        """Look up one node's profitability."""
+        for candidate in self.points:
+            if candidate.process == process:
+                return candidate
+        raise KeyError(f"no profit point for {process!r}")
+
+    @property
+    def most_profitable(self) -> ProfitPoint:
+        """The node maximizing profit."""
+        return max(self.points, key=lambda point: point.profit_usd)
+
+    @property
+    def fastest(self) -> ProfitPoint:
+        """The node minimizing TTM."""
+        return min(self.points, key=lambda point: point.ttm_weeks)
+
+    @property
+    def cheapest(self) -> ProfitPoint:
+        """The node minimizing chip-creation cost."""
+        return min(self.points, key=lambda point: point.cost_usd)
+
+    def table(self) -> str:
+        """Per-node profitability rows."""
+        rows = [
+            [
+                point.process,
+                point.ttm_weeks,
+                point.revenue_usd / 1e9,
+                point.cost_usd / 1e9,
+                point.profit_usd / 1e9,
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            ["node", "TTM wk", "revenue $B", "cost $B", "profit $B"], rows
+        )
+
+
+def profit_study(
+    design_factory,
+    processes: Sequence[str],
+    window: MarketWindow,
+    n_chips: float,
+    model: Optional[TTMModel] = None,
+    cost_model: Optional[CostModel] = None,
+    head_start_weeks: float = 0.0,
+) -> ProfitStudy:
+    """Evaluate profit across candidate nodes.
+
+    ``design_factory`` maps a node name to the ported
+    :class:`~repro.design.chip.ChipDesign` (exactly the Sec. 7 factory
+    convention); ``head_start_weeks`` shifts the window opening later
+    (e.g. the weeks of design work already banked before the clock
+    starts).
+    """
+    if not processes:
+        raise InvalidParameterError("need at least one candidate node")
+    if head_start_weeks < 0.0:
+        raise InvalidParameterError(
+            f"head start must be >= 0, got {head_start_weeks}"
+        )
+    ttm_model = model or TTMModel.nominal()
+    costs = cost_model or CostModel.nominal()
+    points = []
+    for process in processes:
+        design: ChipDesign = design_factory(process)
+        ttm = ttm_model.total_weeks(design, n_chips)
+        delay = max(ttm - head_start_weeks, 0.0)
+        points.append(
+            ProfitPoint(
+                process=process,
+                ttm_weeks=ttm,
+                delay_weeks=delay,
+                revenue_usd=window.revenue_usd(delay),
+                cost_usd=costs.total_usd(design, n_chips),
+            )
+        )
+    return ProfitStudy(n_chips=n_chips, window=window, points=tuple(points))

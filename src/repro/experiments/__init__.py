@@ -1,0 +1,51 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+One module per artifact; see :mod:`repro.experiments.registry` for the
+uniform entry points used by the CLI and benchmarks.
+"""
+
+from . import (  # noqa: F401  (re-exported for discoverability)
+    accelerator_scaling,
+    codesign_search,
+    fig03_chip_ab,
+    fig04_cache_scatter,
+    fig05_ipc_tradeoffs,
+    fig06_cache_matrix,
+    fig07_a11_ttm_cost,
+    fig08_a11_sensitivity,
+    fig09_a11_cas,
+    fig10_a11_matrix,
+    fig11_queue_ttm,
+    fig12_queue_cas,
+    fig13_chiplets,
+    fig14_multiprocess,
+    interposer_study,
+    profit_study_a11,
+    ramp_timing,
+    robustness,
+    table3_accelerators,
+    table4_zen2_dies,
+)
+
+__all__ = [
+    "accelerator_scaling",
+    "codesign_search",
+    "fig03_chip_ab",
+    "fig04_cache_scatter",
+    "fig05_ipc_tradeoffs",
+    "fig06_cache_matrix",
+    "fig07_a11_ttm_cost",
+    "fig08_a11_sensitivity",
+    "fig09_a11_cas",
+    "fig10_a11_matrix",
+    "fig11_queue_ttm",
+    "fig12_queue_cas",
+    "fig13_chiplets",
+    "fig14_multiprocess",
+    "interposer_study",
+    "profit_study_a11",
+    "ramp_timing",
+    "robustness",
+    "table3_accelerators",
+    "table4_zen2_dies",
+]

@@ -1,0 +1,86 @@
+"""Extension: accelerator speed-up vs problem size.
+
+Table 3 fixes the block size at 2048 elements. The cycle models make
+sharper statements as the block size sweeps:
+
+* the *streaming* architectures saturate toward their asymptotic
+  advantage (the pipeline-fill overhead amortizes away);
+* the *iterative sorter* degrades with block size — its pass count grows
+  as log^2(n) against the core's n*log(n) software sort, so its edge is
+  ~32/(log2(n)+1) and keeps shrinking;
+* the *iterative DFT* is size-independent: both it and the software FFT
+  do Theta(n log n) butterfly work, so the ratio pins at
+  (cycles/op) / (II/2).
+
+For routines run on ever-larger blocks, that asymmetry is exactly the
+paper's Sec. 6.4 caution about which specialization is worth its tapeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..design.library.accelerators import ACCELERATORS
+from ..errors import InvalidParameterError
+from ..perf.accel.scalar import ScalarCoreModel
+from ..perf.accel.speedup import evaluate_speedup
+
+DEFAULT_BLOCK_SIZES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Speed-up series per accelerator over the block-size sweep."""
+
+    block_sizes: Tuple[int, ...]
+    series: Mapping[str, Tuple[float, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", dict(self.series))
+
+    def speedup(self, key: str, block_size: int) -> float:
+        """One (accelerator, size) cell."""
+        index = self.block_sizes.index(block_size)
+        return self.series[key][index]
+
+    def trend(self, key: str) -> str:
+        """"growing", "shrinking" or "flat" across the sweep."""
+        values = self.series[key]
+        first, last = values[0], values[-1]
+        if last > first * 1.02:
+            return "growing"
+        if last < first * 0.98:
+            return "shrinking"
+        return "flat"
+
+    def table(self) -> str:
+        """Speed-ups per block size, one accelerator per column."""
+        headers = ["block size"] + list(self.series) + [""]
+        rows = []
+        for i, size in enumerate(self.block_sizes):
+            rows.append(
+                [size]
+                + [f"{self.series[key][i]:.2f}x" for key in self.series]
+                + [""]
+            )
+        trend_row = ["trend"] + [self.trend(key) for key in self.series] + [""]
+        return format_table(headers, rows + [trend_row])
+
+
+def run(
+    block_sizes: Sequence[int] = DEFAULT_BLOCK_SIZES,
+    core: Optional[ScalarCoreModel] = None,
+) -> ScalingResult:
+    """Sweep the block size for all four Table 3 accelerators."""
+    if not block_sizes:
+        raise InvalidParameterError("need at least one block size")
+    baseline = core or ScalarCoreModel()
+    series = {}
+    for spec in ACCELERATORS:
+        series[spec.key] = tuple(
+            evaluate_speedup(spec, block_size=size, core=baseline).speedup
+            for size in block_sizes
+        )
+    return ScalingResult(block_sizes=tuple(block_sizes), series=series)

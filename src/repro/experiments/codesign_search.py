@@ -1,0 +1,154 @@
+"""Extension: joint node/core/cache co-design under a cost cap.
+
+The case studies sweep one axis at a time (caches in Sec. 6.1, nodes in
+Sec. 6.2). Real chip planning picks a *point* in the joint space. This
+experiment searches (process node) x (core count) x (L1 capacities) for
+the configuration maximizing throughput per week of time-to-market —
+cores x IPC / TTM — subject to a chip-creation budget, exercising the
+entire model stack through one optimizer call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..analysis.search import Configuration, SearchSpace, grid_search
+from ..analysis.tables import format_table
+from ..cost.model import CostModel
+from ..design.library.ariane import ariane_manycore
+from ..perf.ipc import IPCModel
+from ..ttm.model import TTMModel
+
+DEFAULT_N_CHIPS = 50e6
+DEFAULT_BUDGET_USD = 0.38e9
+DEFAULT_PROCESSES: Tuple[str, ...] = ("65nm", "40nm", "28nm", "14nm", "7nm")
+DEFAULT_CORES: Tuple[int, ...] = (4, 8, 16, 32)
+DEFAULT_CACHES_KB: Tuple[int, ...] = (8, 16, 32, 64, 128)
+
+#: Customer share of each node's line (same rationale as Fig. 4).
+DEFAULT_CAPACITY_SHARE = 0.05
+
+
+@dataclass(frozen=True)
+class CodesignPoint:
+    """Full evaluation of one configuration."""
+
+    process: str
+    cores: int
+    icache_kb: int
+    dcache_kb: int
+    ipc: float
+    throughput: float
+    ttm_weeks: float
+    cost_usd: float
+
+    @property
+    def throughput_per_week(self) -> float:
+        """The search objective: cores * IPC / TTM."""
+        return self.throughput / self.ttm_weeks
+
+
+@dataclass(frozen=True)
+class CodesignResult:
+    """Search outcome plus context."""
+
+    n_chips: float
+    budget_usd: float
+    best: CodesignPoint
+    evaluated: int
+    feasible: int
+
+    def table(self) -> str:
+        """The winning configuration as a one-row table."""
+        best = self.best
+        return format_table(
+            [
+                "node",
+                "cores",
+                "I$/D$ KB",
+                "IPC",
+                "TTM wk",
+                "cost $B",
+                "thpt/wk",
+            ],
+            [
+                [
+                    best.process,
+                    best.cores,
+                    f"{best.icache_kb}/{best.dcache_kb}",
+                    best.ipc,
+                    best.ttm_weeks,
+                    best.cost_usd / 1e9,
+                    best.throughput_per_week,
+                ]
+            ],
+        ) + (
+            f"\n\nfeasible {self.feasible}/{self.evaluated} points under "
+            f"${self.budget_usd / 1e9:.2f}B"
+        )
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    cost_model: Optional[CostModel] = None,
+    ipc_model: Optional[IPCModel] = None,
+    n_chips: float = DEFAULT_N_CHIPS,
+    budget_usd: float = DEFAULT_BUDGET_USD,
+    processes: Sequence[str] = DEFAULT_PROCESSES,
+    cores: Sequence[int] = DEFAULT_CORES,
+    caches_kb: Sequence[int] = DEFAULT_CACHES_KB,
+    capacity_share: float = DEFAULT_CAPACITY_SHARE,
+) -> CodesignResult:
+    """Search the joint space for the best throughput-per-week design."""
+    ttm_model = (model or TTMModel.nominal()).at_capacity(capacity_share)
+    costs = cost_model or CostModel.nominal()
+    perf = ipc_model or IPCModel()
+
+    cache: Dict[Tuple[str, int, int, int], CodesignPoint] = {}
+
+    def evaluate(configuration: Configuration) -> CodesignPoint:
+        key = (
+            str(configuration["process"]),
+            int(configuration["cores"]),  # type: ignore[arg-type]
+            int(configuration["icache_kb"]),  # type: ignore[arg-type]
+            int(configuration["dcache_kb"]),  # type: ignore[arg-type]
+        )
+        if key not in cache:
+            process, n_cores, icache_kb, dcache_kb = key
+            design = ariane_manycore(
+                process, cores=n_cores, icache_kb=icache_kb, dcache_kb=dcache_kb
+            )
+            ipc = perf.ipc(icache_kb, dcache_kb)
+            cache[key] = CodesignPoint(
+                process=process,
+                cores=n_cores,
+                icache_kb=icache_kb,
+                dcache_kb=dcache_kb,
+                ipc=ipc,
+                throughput=n_cores * ipc,
+                ttm_weeks=ttm_model.total_weeks(design, n_chips),
+                cost_usd=costs.total_usd(design, n_chips),
+            )
+        return cache[key]
+
+    space = SearchSpace(
+        {
+            "process": tuple(processes),
+            "cores": tuple(cores),
+            "icache_kb": tuple(caches_kb),
+            "dcache_kb": tuple(caches_kb),
+        }
+    )
+    outcome = grid_search(
+        space,
+        objective=lambda cfg: evaluate(cfg).throughput_per_week,
+        constraints=[lambda cfg: evaluate(cfg).cost_usd <= budget_usd],
+    )
+    return CodesignResult(
+        n_chips=n_chips,
+        budget_usd=budget_usd,
+        best=evaluate(outcome.best),
+        evaluated=outcome.evaluated,
+        feasible=outcome.feasible,
+    )

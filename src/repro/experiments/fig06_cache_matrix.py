@@ -1,0 +1,150 @@
+"""Fig. 6 — IPC/TTM-optimal (I$, D$) per node and production volume.
+
+For each (process node, number of final chips) cell, find the cache pair
+maximizing IPC per week of time-to-market. The paper's trends:
+
+* shrinking nodes make cache area cheap -> optimal capacities grow;
+* larger volumes make wafer throughput the bottleneck -> optimal
+  capacities shrink;
+* data caches are generally preferred, except at legacy nodes under
+  mass production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..analysis.sweep import chip_quantities
+from ..analysis.tables import format_table
+from ..design.library.ariane import CACHE_SWEEP_KB, ariane_manycore
+from ..perf.ipc import IPCModel
+from ..ttm.model import TTMModel
+from .fig04_cache_scatter import DEFAULT_CAPACITY_SHARE
+
+DEFAULT_PROCESSES: Tuple[str, ...] = (
+    "250nm",
+    "180nm",
+    "130nm",
+    "90nm",
+    "65nm",
+    "40nm",
+    "28nm",
+    "14nm",
+    "7nm",
+    "5nm",
+)
+DEFAULT_CORES = 16
+
+
+@dataclass(frozen=True)
+class CellOptimum:
+    """Best cache pair for one (node, quantity) cell."""
+
+    process: str
+    n_chips: float
+    icache_kb: int
+    dcache_kb: int
+    ipc: float
+    ttm_weeks: float
+    cache_area_fraction: float
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    """The optimization matrix, keyed by (process, n_chips)."""
+
+    processes: Tuple[str, ...]
+    quantities: Tuple[float, ...]
+    cells: Mapping[Tuple[str, float], CellOptimum] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", dict(self.cells))
+
+    def cell(self, process: str, n_chips: float) -> CellOptimum:
+        """One matrix cell."""
+        return self.cells[(process, n_chips)]
+
+    def table(self) -> str:
+        """The matrix as "I$/D$" cells (KB), quantities as rows."""
+        headers = ["chips"] + list(self.processes)
+        rows = []
+        for quantity in self.quantities:
+            row = [f"{quantity:g}"]
+            for process in self.processes:
+                best = self.cells[(process, quantity)]
+                row.append(f"{best.icache_kb}/{best.dcache_kb}")
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+def _cache_area_fraction(
+    model: TTMModel, process: str, cores: int, icache_kb: int, dcache_kb: int
+) -> float:
+    """Fraction of die area spent on the swept caches (the color bar)."""
+    node = model.foundry.technology[process]
+    with_caches = ariane_manycore(
+        process, cores=cores, icache_kb=icache_kb, dcache_kb=dcache_kb
+    )
+    # A hypothetical cache-less design isolates the cache contribution.
+    minimal = ariane_manycore(process, cores=cores, icache_kb=0, dcache_kb=0)
+    total = with_caches.dies[0].area_on(node)
+    base = minimal.dies[0].area_on(node)
+    return (total - base) / total
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    ipc_model: Optional[IPCModel] = None,
+    processes: Sequence[str] = DEFAULT_PROCESSES,
+    quantities: Optional[Sequence[float]] = None,
+    cores: int = DEFAULT_CORES,
+    sizes_kb: Optional[Sequence[int]] = None,
+    capacity_share: float = DEFAULT_CAPACITY_SHARE,
+) -> Fig06Result:
+    """Regenerate Fig. 6's optimal-configuration matrix."""
+    ttm_model = (model or TTMModel.nominal()).at_capacity(capacity_share)
+    perf = ipc_model or IPCModel()
+    volume_grid = tuple(quantities) if quantities else chip_quantities()
+    sweep = tuple(sizes_kb) if sizes_kb else CACHE_SWEEP_KB
+    cells = {}
+    for process in processes:
+        for n_chips in volume_grid:
+            best: Optional[CellOptimum] = None
+            for icache_kb in sweep:
+                for dcache_kb in sweep:
+                    design = ariane_manycore(
+                        process,
+                        cores=cores,
+                        icache_kb=icache_kb,
+                        dcache_kb=dcache_kb,
+                    )
+                    ipc = perf.ipc(icache_kb, dcache_kb)
+                    ttm = ttm_model.total_weeks(design, n_chips)
+                    candidate = CellOptimum(
+                        process=process,
+                        n_chips=n_chips,
+                        icache_kb=icache_kb,
+                        dcache_kb=dcache_kb,
+                        ipc=ipc,
+                        ttm_weeks=ttm,
+                        cache_area_fraction=0.0,
+                    )
+                    if best is None or ipc / ttm > best.ipc / best.ttm_weeks:
+                        best = candidate
+            assert best is not None  # sweep is never empty
+            fraction = _cache_area_fraction(
+                ttm_model, process, cores, best.icache_kb, best.dcache_kb
+            )
+            cells[(process, n_chips)] = CellOptimum(
+                process=best.process,
+                n_chips=best.n_chips,
+                icache_kb=best.icache_kb,
+                dcache_kb=best.dcache_kb,
+                ipc=best.ipc,
+                ttm_weeks=best.ttm_weeks,
+                cache_area_fraction=fraction,
+            )
+    return Fig06Result(
+        processes=tuple(processes), quantities=volume_grid, cells=cells
+    )

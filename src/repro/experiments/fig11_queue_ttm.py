@@ -1,0 +1,81 @@
+"""Fig. 11 — queue time amplifies capacity loss (TTM view, Sec. 6.3).
+
+A11 at 7 nm, 10 M chips, with quoted lead times of 0/1/2/4 weeks. The
+quote pins a wafer backlog at full rate; as capacity drops, both the
+backlog and the design's own wafers drain slower, so queued curves
+steepen — the longer the quoted queue, the steeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..agility.cas import ttm_curve
+from ..analysis.sweep import capacity_fractions
+from ..analysis.tables import format_table
+from ..design.library.a11 import a11
+from ..market.conditions import MarketConditions
+from ..ttm.model import TTMModel
+from .fig07_a11_ttm_cost import DEFAULT_N_CHIPS
+
+DEFAULT_PROCESS = "7nm"
+DEFAULT_QUEUES: Tuple[float, ...] = (0.0, 1.0, 2.0, 4.0)
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """TTM series per quoted queue time."""
+
+    process: str
+    n_chips: float
+    fractions: Tuple[float, ...]
+    series: Mapping[float, Tuple[float, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", dict(self.series))
+
+    def at_full_capacity(self) -> Mapping[float, float]:
+        """{queue weeks: TTM} at max production rate."""
+        return {queue: values[-1] for queue, values in self.series.items()}
+
+    def table(self) -> str:
+        """The curves as rows per capacity point."""
+        headers = ["capacity %"] + [f"queue {q:g} wk" for q in self.series]
+        rows = []
+        for i, fraction in enumerate(self.fractions):
+            rows.append(
+                [round(fraction * 100)]
+                + [self.series[queue][i] for queue in self.series]
+            )
+        return format_table(headers, rows)
+
+
+def queue_model(
+    base: TTMModel, process: str, queue_weeks: float
+) -> TTMModel:
+    """The base model with a lead time quoted on one node."""
+    conditions = MarketConditions.nominal().with_queue(process, queue_weeks)
+    return base.with_foundry(base.foundry.with_conditions(conditions))
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    process: str = DEFAULT_PROCESS,
+    n_chips: float = DEFAULT_N_CHIPS,
+    queues: Sequence[float] = DEFAULT_QUEUES,
+    fractions: Optional[Sequence[float]] = None,
+) -> Fig11Result:
+    """Regenerate Fig. 11's TTM-vs-capacity curves per queue time."""
+    base = model or TTMModel.nominal()
+    sweep = tuple(fractions) if fractions else capacity_fractions(0.25, 1.0, 16)
+    design = a11(process)
+    series = {}
+    for queue_weeks in queues:
+        queued = queue_model(base, process, queue_weeks)
+        series[queue_weeks] = tuple(
+            weeks for _, weeks in ttm_curve(queued, design, n_chips, sweep)
+        )
+    return Fig11Result(
+        process=process, n_chips=n_chips, fractions=sweep, series=series
+    )

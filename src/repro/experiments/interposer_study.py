@@ -1,0 +1,127 @@
+"""Extension: which node should the interposer be fabricated on?
+
+Sec. 6.5 closes with a what-if: "Fabricating the interposer at the
+higher-wafer-production-rate 40 nm process decreases time-to-market for
+100 million final chips from 51 weeks to 45 weeks and increases max CAS
+by 126% with only a $77 M increase in chip creation costs." This
+experiment sweeps the interposer's node for the Zen-2-with-interposer
+design and reports TTM (nominal and under a capacity crunch, where the
+interposer line binds), chip-creation cost, and CAS under the crunch.
+
+Under our calibration the interposer line only becomes the bottleneck
+below ~42% of max capacity (the paper's parameters bind earlier), so the
+TTM/CAS gains surface in the crunch column — same mechanism, shifted
+operating point. See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..agility.cas import chip_agility_score
+from ..analysis.tables import format_table
+from ..cost.model import CostModel
+from ..design.library.zen2 import zen2
+from ..ttm.model import TTMModel
+
+DEFAULT_N_CHIPS = 100e6
+DEFAULT_CRUNCH_CAPACITY = 0.3
+DEFAULT_INTERPOSER_NODES: Tuple[str, ...] = (
+    "250nm",
+    "180nm",
+    "130nm",
+    "90nm",
+    "65nm",
+    "40nm",
+)
+
+
+@dataclass(frozen=True)
+class InterposerOption:
+    """Metrics for one candidate interposer node."""
+
+    process: str
+    ttm_weeks: float
+    crunch_ttm_weeks: float
+    cost_usd: float
+    crunch_cas: float
+
+
+@dataclass(frozen=True)
+class InterposerStudyResult:
+    """The sweep over interposer nodes."""
+
+    n_chips: float
+    crunch_capacity: float
+    options: Tuple[InterposerOption, ...]
+
+    def option(self, process: str) -> InterposerOption:
+        """Look up one candidate node."""
+        for candidate in self.options:
+            if candidate.process == process:
+                return candidate
+        raise KeyError(f"no interposer option for {process!r}")
+
+    def best_under_crunch(self) -> InterposerOption:
+        """The node minimizing TTM when capacity is scarce."""
+        return min(self.options, key=lambda option: option.crunch_ttm_weeks)
+
+    def table(self) -> str:
+        """The sweep as rows."""
+        rows = [
+            [
+                option.process,
+                option.ttm_weeks,
+                option.crunch_ttm_weeks,
+                option.cost_usd / 1e9,
+                option.crunch_cas,
+            ]
+            for option in self.options
+        ]
+        return format_table(
+            [
+                "interposer node",
+                "TTM wk (100%)",
+                f"TTM wk ({self.crunch_capacity:.0%})",
+                "cost $B",
+                f"CAS ({self.crunch_capacity:.0%})",
+            ],
+            rows,
+        )
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    cost_model: Optional[CostModel] = None,
+    n_chips: float = DEFAULT_N_CHIPS,
+    crunch_capacity: float = DEFAULT_CRUNCH_CAPACITY,
+    interposer_nodes: Sequence[str] = DEFAULT_INTERPOSER_NODES,
+) -> InterposerStudyResult:
+    """Sweep the interposer node for the Zen-2-with-interposer design."""
+    base = model or TTMModel.nominal()
+    costs = cost_model or CostModel.nominal()
+    crunch = base.at_capacity(crunch_capacity)
+    options = []
+    for process in interposer_nodes:
+        design = zen2(
+            interposer=True,
+            interposer_process=process,
+            name=f"Zen 2 w/ {process} interposer",
+        )
+        options.append(
+            InterposerOption(
+                process=process,
+                ttm_weeks=base.total_weeks(design, n_chips),
+                crunch_ttm_weeks=crunch.total_weeks(design, n_chips),
+                cost_usd=costs.total_usd(design, n_chips),
+                crunch_cas=chip_agility_score(
+                    crunch, design, n_chips
+                ).normalized,
+            )
+        )
+    return InterposerStudyResult(
+        n_chips=n_chips,
+        crunch_capacity=crunch_capacity,
+        options=tuple(options),
+    )

@@ -1,0 +1,100 @@
+"""Extension: profit-optimal node selection for the A11 re-release.
+
+Fig. 7 gives the A11's TTM and cost per node; Sec. 2.2 reminds us both
+only matter through profit ("products must meet time-to-market
+requirements to maximize revenue"). This experiment closes the loop with
+the market-window revenue model: for a smartphone-class race (a ~2-year
+window) and an embedded-class product (a long, modest window), which
+node actually maximizes profit?
+
+The punchline mirrors the paper's framing: in the race the profit
+optimum coincides with the TTM optimum (28 nm), not the cost optimum —
+time is worth more than wafers — while the long-lived product's optimum
+drifts toward the cheapest node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..cost.model import CostModel
+from ..design.library.a11 import a11
+from ..economics.market_window import MarketWindow
+from ..economics.profit import ProfitStudy, profit_study
+from ..ttm.model import TTMModel
+
+DEFAULT_N_CHIPS = 10e6
+DEFAULT_PROCESSES: Tuple[str, ...] = (
+    "180nm",
+    "130nm",
+    "90nm",
+    "65nm",
+    "40nm",
+    "28nm",
+    "14nm",
+    "7nm",
+    "5nm",
+)
+
+#: Smartphone-class race: ~2-year window, ~$60 M peak weekly revenue.
+RACE_WINDOW = MarketWindow(window_weeks=104.0, peak_weekly_revenue_usd=60e6)
+
+#: Embedded-class product: ~15-year window, modest weekly revenue.
+EMBEDDED_WINDOW = MarketWindow(
+    window_weeks=780.0, peak_weekly_revenue_usd=1.5e6
+)
+
+
+@dataclass(frozen=True)
+class ProfitExperimentResult:
+    """The two profit studies side by side."""
+
+    race: ProfitStudy
+    embedded: ProfitStudy
+
+    def table(self) -> str:
+        """Optima under both market shapes."""
+        rows = []
+        for label, study in (("race", self.race), ("embedded", self.embedded)):
+            best = study.most_profitable
+            rows.append(
+                [
+                    label,
+                    best.process,
+                    study.fastest.process,
+                    study.cheapest.process,
+                    best.profit_usd / 1e9,
+                ]
+            )
+        header = format_table(
+            [
+                "market",
+                "profit-optimal",
+                "TTM-optimal",
+                "cost-optimal",
+                "best profit $B",
+            ],
+            rows,
+        )
+        return header + "\n\nrace detail:\n" + self.race.table()
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    cost_model: Optional[CostModel] = None,
+    n_chips: float = DEFAULT_N_CHIPS,
+    processes: Sequence[str] = DEFAULT_PROCESSES,
+) -> ProfitExperimentResult:
+    """Run both profit studies over the candidate nodes."""
+    ttm_model = model or TTMModel.nominal()
+    costs = cost_model or CostModel.nominal()
+    return ProfitExperimentResult(
+        race=profit_study(
+            a11, processes, RACE_WINDOW, n_chips, ttm_model, costs
+        ),
+        embedded=profit_study(
+            a11, processes, EMBEDDED_WINDOW, n_chips, ttm_model, costs
+        ),
+    )

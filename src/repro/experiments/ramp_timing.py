@@ -1,0 +1,152 @@
+"""Extension: when should you order on a freshly ramped node?
+
+The paper freezes defect density at a snapshot; its background (Sec. 2.2)
+notes yields improve with a node's time in production. This experiment
+adds the time axis: a GPU-class 600 mm^2 design wants the new 5 nm node,
+whose D0 starts high and learns downward. Ordering at month t pays
+``t`` months of waiting plus TTM evaluated at D0(t); the delivery-optimal
+entry is an interior point — day-one orders buy wafers at the worst
+yield of the node's life, while waiting too long just burns calendar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..analysis.tables import format_table
+from ..cost.model import CostModel
+from ..design.library.generic import monolithic_design
+from ..errors import InvalidParameterError
+from ..market.foundry import Foundry
+from ..technology.learning import (
+    YieldLearningCurve,
+    delivery_week,
+    technology_at_maturity,
+)
+from ..ttm.model import TTMModel
+
+DEFAULT_PROCESS = "5nm"
+DEFAULT_N_CHIPS = 10e6
+
+#: Leading-edge ramp: risk-production D0 ~0.4/cm^2 maturing toward ~0.07
+#: with a ~6-month learning constant (the N7/N5 trajectories reported by
+#: AnandTech [27] close most of their gap within the first year).
+DEFAULT_CURVE = YieldLearningCurve(
+    initial_d0=0.4, mature_d0=0.07, time_constant_months=6.0
+)
+
+#: GPU-class reticle-buster: ~600 mm^2 at 5 nm density. Most of the die
+#: is replicated shader arrays and reused IP, so the unique fraction is
+#: small — the study's timing tension lives in fabrication and testing.
+GPU_CLASS_TRANSISTORS = 100e9
+GPU_CLASS_NUT = 5.0e8
+
+DEFAULT_MONTHS: Tuple[float, ...] = (0, 1, 2, 3, 4, 6, 9, 12, 18, 24, 36)
+
+
+@dataclass(frozen=True)
+class RampPoint:
+    """Metrics for one candidate entry month."""
+
+    entry_month: float
+    d0: float
+    die_yield: float
+    ttm_weeks: float
+    delivery_week: float
+    cost_usd: float
+
+
+@dataclass(frozen=True)
+class RampTimingResult:
+    """The wait-vs-yield trade-off curve."""
+
+    process: str
+    n_chips: float
+    points: Tuple[RampPoint, ...]
+
+    @property
+    def best(self) -> RampPoint:
+        """The delivery-optimal entry month."""
+        return min(self.points, key=lambda point: point.delivery_week)
+
+    def point(self, entry_month: float) -> RampPoint:
+        """Look up one candidate month."""
+        for candidate in self.points:
+            if candidate.entry_month == entry_month:
+                return candidate
+        raise KeyError(f"no ramp point for month {entry_month!r}")
+
+    def table(self) -> str:
+        """The trade-off as rows."""
+        rows = [
+            [
+                point.entry_month,
+                point.d0,
+                point.die_yield,
+                point.ttm_weeks,
+                point.delivery_week,
+                point.cost_usd / 1e9,
+            ]
+            for point in self.points
+        ]
+        return format_table(
+            [
+                "entry month",
+                "D0 /cm^2",
+                "die yield",
+                "TTM wk",
+                "delivery wk",
+                "cost $B",
+            ],
+            rows,
+        )
+
+
+def run(
+    model: Optional[TTMModel] = None,
+    cost_model: Optional[CostModel] = None,
+    process: str = DEFAULT_PROCESS,
+    n_chips: float = DEFAULT_N_CHIPS,
+    curve: YieldLearningCurve = DEFAULT_CURVE,
+    months: Sequence[float] = DEFAULT_MONTHS,
+) -> RampTimingResult:
+    """Sweep candidate entry months on a ramping node."""
+    if not months:
+        raise InvalidParameterError("need at least one candidate month")
+    base = model or TTMModel.nominal()
+    base_costs = cost_model or CostModel.nominal()
+    design = monolithic_design(
+        "gpu-class", process, ntt=GPU_CLASS_TRANSISTORS, nut=GPU_CLASS_NUT
+    )
+    points = []
+    for month in months:
+        technology = technology_at_maturity(
+            base.foundry.technology, process, curve, month
+        )
+        model_t = base.with_foundry(
+            Foundry(technology=technology, conditions=base.foundry.conditions)
+        )
+        costs_t = CostModel(
+            technology=technology,
+            engineer_week_cost_usd=base_costs.engineer_week_cost_usd,
+            package_base_usd=base_costs.package_base_usd,
+            die_handling_usd=base_costs.die_handling_usd,
+            package_area_usd_per_mm2=base_costs.package_area_usd_per_mm2,
+            test_usd_per_transistor=base_costs.test_usd_per_transistor,
+        )
+        ttm = model_t.total_weeks(design, n_chips)
+        node = technology[process]
+        points.append(
+            RampPoint(
+                entry_month=float(month),
+                d0=node.defect_density_per_cm2,
+                die_yield=design.dies[0].yield_on(node),
+                ttm_weeks=ttm,
+                delivery_week=delivery_week(float(month), lambda _m: ttm),
+                cost_usd=costs_t.total_usd(design, n_chips),
+            )
+        )
+    return RampTimingResult(
+        process=process, n_chips=n_chips, points=tuple(points)
+    )

@@ -1,0 +1,164 @@
+"""Experiment registry: every paper table/figure by id.
+
+Each entry maps an experiment id to a zero-argument runner returning a
+result object with a ``table()`` method, so the CLI (and the benchmarks)
+can enumerate the full evaluation uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from . import (
+    accelerator_scaling,
+    codesign_search,
+    fig03_chip_ab,
+    fig04_cache_scatter,
+    fig05_ipc_tradeoffs,
+    fig06_cache_matrix,
+    fig07_a11_ttm_cost,
+    fig08_a11_sensitivity,
+    fig09_a11_cas,
+    fig10_a11_matrix,
+    fig11_queue_ttm,
+    fig12_queue_cas,
+    fig13_chiplets,
+    fig14_multiprocess,
+    interposer_study,
+    profit_study_a11,
+    ramp_timing,
+    robustness,
+    table3_accelerators,
+    table4_zen2_dies,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    key: str
+    title: str
+    runner: Callable[[], object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    exp.key: exp
+    for exp in (
+        Experiment(
+            "fig3",
+            "TTM and CAS of Chip A / Chip B vs production capacity",
+            fig03_chip_ab.run,
+        ),
+        Experiment(
+            "fig4",
+            "IPC vs TTM over the (I$, D$) design space",
+            fig04_cache_scatter.run,
+        ),
+        Experiment(
+            "fig5",
+            "Normalized IPC/TTM vs IPC/cost optima",
+            fig05_ipc_tradeoffs.run,
+        ),
+        Experiment(
+            "fig6",
+            "IPC/TTM-optimal cache configurations per node and volume",
+            fig06_cache_matrix.run,
+        ),
+        Experiment(
+            "fig7",
+            "A11 TTM phases and cost per node (10M chips)",
+            fig07_a11_ttm_cost.run,
+        ),
+        Experiment(
+            "fig8",
+            "A11 TTM Sobol total-effect sensitivity per node",
+            fig08_a11_sensitivity.run,
+        ),
+        Experiment(
+            "fig9",
+            "A11 CAS vs capacity on advanced nodes",
+            fig09_a11_cas.run,
+        ),
+        Experiment(
+            "fig10",
+            "A11 TTM matrix: node x number of final chips",
+            fig10_a11_matrix.run,
+        ),
+        Experiment(
+            "fig11",
+            "A11 @7nm TTM vs capacity under 0-4 week queues",
+            fig11_queue_ttm.run,
+        ),
+        Experiment(
+            "fig12",
+            "A11 @7nm CAS vs capacity under 0-4 week queues",
+            fig12_queue_cas.run,
+        ),
+        Experiment(
+            "table3",
+            "Accelerator speed-up, size, tapeout time/cost @5nm",
+            table3_accelerators.run,
+        ),
+        Experiment(
+            "table4",
+            "Zen-2 die NTT/NUT/area/tapeout @14nm and 7nm",
+            table4_zen2_dies.run,
+        ),
+        Experiment(
+            "fig13",
+            "Chiplet & mixed-process TTM/cost/CAS comparison",
+            fig13_chiplets.run,
+        ),
+        Experiment(
+            "fig14",
+            "Two-process manufacturing matrices and headline gains",
+            fig14_multiprocess.run,
+        ),
+        Experiment(
+            "interposer",
+            "[extension] Interposer node exploration (Sec. 6.5 what-if)",
+            interposer_study.run,
+        ),
+        Experiment(
+            "profit",
+            "[extension] Profit-optimal node under market windows",
+            profit_study_a11.run,
+        ),
+        Experiment(
+            "ramp",
+            "[extension] Order timing on a ramping node (yield learning)",
+            ramp_timing.run,
+        ),
+        Experiment(
+            "codesign",
+            "[extension] Joint node/core/cache search under a cost cap",
+            codesign_search.run,
+        ),
+        Experiment(
+            "accel-scaling",
+            "[extension] Accelerator speed-up vs block size",
+            accelerator_scaling.run,
+        ),
+        Experiment(
+            "robustness",
+            "[extension] Headline-finding survival under calibration noise",
+            robustness.run,
+        ),
+    )
+}
+
+
+def experiment_keys() -> Tuple[str, ...]:
+    """All experiment ids in registry order."""
+    return tuple(EXPERIMENTS)
+
+
+def get(key: str) -> Experiment:
+    """Look up one experiment by id."""
+    try:
+        return EXPERIMENTS[key]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {key!r} (known: {known})") from None

@@ -1,0 +1,89 @@
+"""Table 4 — Zen-2-like die data: NTT, NUT, area and tapeout time.
+
+Transistor counts and published areas per die (compute and I/O) at the
+"12 nm-class" (mapped to 14 nm) and 7 nm nodes, plus the tapeout weeks a
+100-engineer team needs — the calibration anchor for E_tapeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..analysis.tables import format_table
+from ..design.library.zen2 import compute_die, io_die
+from ..technology.database import TechnologyDatabase
+from ..ttm.model import DEFAULT_ENGINEERS
+from ..ttm.tapeout import die_tapeout_calendar_weeks
+
+DEFAULT_PROCESSES: Tuple[str, ...] = ("14nm", "7nm")
+
+
+@dataclass(frozen=True)
+class DieRow:
+    """One (die, node) entry."""
+
+    die: str
+    process: str
+    ntt: float
+    nut: float
+    area_mm2: float
+    tapeout_weeks: float
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """All (die, node) entries."""
+
+    rows: Tuple[DieRow, ...]
+
+    def row(self, die: str, process: str) -> DieRow:
+        """Look up one (die, node) entry."""
+        for candidate in self.rows:
+            if (candidate.die, candidate.process) == (die, process):
+                return candidate
+        raise KeyError(f"no row for die {die!r} at {process!r}")
+
+    def table(self) -> str:
+        """The table as printed in the paper (one row per die x node)."""
+        return format_table(
+            ["die", "node", "NTT (B)", "NUT (M)", "area mm^2", "T_tapeout wk"],
+            [
+                [
+                    row.die,
+                    row.process,
+                    row.ntt / 1e9,
+                    row.nut / 1e6,
+                    row.area_mm2,
+                    row.tapeout_weeks,
+                ]
+                for row in self.rows
+            ],
+        )
+
+
+def run(
+    technology: Optional[TechnologyDatabase] = None,
+    processes: Tuple[str, ...] = DEFAULT_PROCESSES,
+    engineers: int = DEFAULT_ENGINEERS,
+) -> Table4Result:
+    """Regenerate Table 4."""
+    db = technology or TechnologyDatabase.default()
+    rows = []
+    for process in processes:
+        for factory, label in ((compute_die, "compute"), (io_die, "io")):
+            die = factory(process)
+            node = db[process]
+            rows.append(
+                DieRow(
+                    die=label,
+                    process=process,
+                    ntt=die.ntt,
+                    nut=die.nut,
+                    area_mm2=die.area_on(node),
+                    tapeout_weeks=die_tapeout_calendar_weeks(
+                        die, node, engineers
+                    ),
+                )
+            )
+    return Table4Result(rows=tuple(rows))

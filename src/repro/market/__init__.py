@@ -1,0 +1,45 @@
+"""Market-side modeling: conditions, foundry view, scenarios, dynamics."""
+
+from .conditions import MarketConditions
+from .dynamics import (
+    DemandScript,
+    FoundryQueue,
+    WeekState,
+    lead_time_trace,
+    order_completion_week,
+    simulate,
+    summarize,
+)
+from .foundry import Foundry
+from .scenarios import (
+    ADVANCED_NODES,
+    LEGACY_NODES,
+    SCENARIOS,
+    advanced_drought,
+    by_name,
+    fab_fire,
+    legacy_crunch,
+    nominal,
+    shortage_2021,
+)
+
+__all__ = [
+    "ADVANCED_NODES",
+    "DemandScript",
+    "Foundry",
+    "FoundryQueue",
+    "LEGACY_NODES",
+    "MarketConditions",
+    "SCENARIOS",
+    "WeekState",
+    "advanced_drought",
+    "by_name",
+    "fab_fire",
+    "lead_time_trace",
+    "legacy_crunch",
+    "nominal",
+    "order_completion_week",
+    "shortage_2021",
+    "simulate",
+    "summarize",
+]

@@ -1,0 +1,147 @@
+"""Market conditions: the ``c`` in TTM(c, d, n, p).
+
+The paper folds the supply-chain state into two per-node quantities:
+
+* a **capacity fraction** scaling the foundry's maximum wafer production
+  rate (production-side disruptions; the x-axis of Figs. 3, 9, 11–13), and
+* a **quoted queue time** (foundry lead time, Eq. 4). Following Sec. 6.3,
+  the quote fixes a number of wafers ahead of the order
+  (``queue_weeks x rate at quote time``); if capacity later degrades, the
+  same backlog takes proportionally longer to drain, which is exactly what
+  makes queued designs less agile (Figs. 11 and 12).
+
+:class:`MarketConditions` is an immutable value object; deriving a variant
+(e.g. for a capacity sweep) returns a new instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from ..errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class MarketConditions:
+    """Per-node capacity fractions and quoted queue times.
+
+    Attributes
+    ----------
+    capacity_fraction:
+        node name -> fraction of the node's maximum wafer rate currently
+        available. Missing nodes default to ``default_capacity``.
+    queue_weeks:
+        node name -> lead time in weeks quoted *at full production rate*
+        (the quote pins the backlog in wafers, Sec. 6.3). Missing nodes
+        default to ``default_queue_weeks``.
+    default_capacity:
+        Capacity fraction for nodes not listed explicitly (1.0 = the
+        paper's nominal conditions).
+    default_queue_weeks:
+        Queue weeks for nodes not listed explicitly (0 = the paper's
+        "most optimistic estimate", Sec. 5).
+    """
+
+    capacity_fraction: Mapping[str, float] = field(default_factory=dict)
+    queue_weeks: Mapping[str, float] = field(default_factory=dict)
+    default_capacity: float = 1.0
+    default_queue_weeks: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "capacity_fraction", dict(self.capacity_fraction))
+        object.__setattr__(self, "queue_weeks", dict(self.queue_weeks))
+        if self.default_capacity < 0.0:
+            raise InvalidParameterError(
+                f"default capacity must be >= 0, got {self.default_capacity}"
+            )
+        if self.default_queue_weeks < 0.0:
+            raise InvalidParameterError(
+                f"default queue weeks must be >= 0, got {self.default_queue_weeks}"
+            )
+        for name, fraction in self.capacity_fraction.items():
+            if fraction < 0.0:
+                raise InvalidParameterError(
+                    f"capacity fraction must be >= 0, got {fraction} for {name!r}"
+                )
+        for name, weeks in self.queue_weeks.items():
+            if weeks < 0.0:
+                raise InvalidParameterError(
+                    f"queue weeks must be >= 0, got {weeks} for {name!r}"
+                )
+
+    @classmethod
+    def nominal(cls) -> "MarketConditions":
+        """Full capacity everywhere, empty queues (the paper's default)."""
+        return cls()
+
+    def capacity_for(self, node_name: str) -> float:
+        """Capacity fraction in effect for a node."""
+        return self.capacity_fraction.get(node_name, self.default_capacity)
+
+    def queue_weeks_for(self, node_name: str) -> float:
+        """Quoted lead time (weeks at full rate) in effect for a node."""
+        return self.queue_weeks.get(node_name, self.default_queue_weeks)
+
+    # -- Derivation helpers ---------------------------------------------------
+
+    def with_capacity(self, node_name: str, fraction: float) -> "MarketConditions":
+        """A copy with one node's capacity fraction replaced."""
+        updated = dict(self.capacity_fraction)
+        updated[node_name] = fraction
+        return MarketConditions(
+            capacity_fraction=updated,
+            queue_weeks=self.queue_weeks,
+            default_capacity=self.default_capacity,
+            default_queue_weeks=self.default_queue_weeks,
+        )
+
+    def with_global_capacity(self, fraction: float) -> "MarketConditions":
+        """A copy with *every* node scaled to ``fraction`` of max rate.
+
+        This is the x-axis sweep of Figs. 3, 9, 11, 12 and 13c: explicit
+        per-node entries are dropped and the default is replaced.
+        """
+        if fraction < 0.0:
+            raise InvalidParameterError(
+                f"capacity fraction must be >= 0, got {fraction}"
+            )
+        return MarketConditions(
+            capacity_fraction={},
+            queue_weeks=self.queue_weeks,
+            default_capacity=fraction,
+            default_queue_weeks=self.default_queue_weeks,
+        )
+
+    def with_queue(self, node_name: str, weeks: float) -> "MarketConditions":
+        """A copy with one node's quoted queue time replaced."""
+        updated = dict(self.queue_weeks)
+        updated[node_name] = weeks
+        return MarketConditions(
+            capacity_fraction=self.capacity_fraction,
+            queue_weeks=updated,
+            default_capacity=self.default_capacity,
+            default_queue_weeks=self.default_queue_weeks,
+        )
+
+    def with_global_queue(self, weeks: float) -> "MarketConditions":
+        """A copy quoting the same lead time on every node."""
+        if weeks < 0.0:
+            raise InvalidParameterError(f"queue weeks must be >= 0, got {weeks}")
+        return MarketConditions(
+            capacity_fraction=self.capacity_fraction,
+            queue_weeks={},
+            default_capacity=self.default_capacity,
+            default_queue_weeks=weeks,
+        )
+
+    # -- Reporting -------------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Plain-dict summary, handy for experiment logs."""
+        return {
+            "capacity_fraction": dict(self.capacity_fraction),
+            "queue_weeks": dict(self.queue_weeks),
+            "default_capacity": self.default_capacity,
+            "default_queue_weeks": self.default_queue_weeks,
+        }

@@ -1,0 +1,106 @@
+"""Foundry abstraction: technology database + market conditions.
+
+A :class:`Foundry` answers the supply-side questions the TTM model asks
+(Eqs. 4 and 5): the *effective* wafer production rate of each node under
+the current conditions, the backlog of wafers ahead of a new order, and
+the resulting queue time. It holds no mutable state; a different market
+scenario is a different ``Foundry`` wrapping the same database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase
+from ..technology.node import ProcessNode
+from .conditions import MarketConditions
+
+
+@dataclass(frozen=True)
+class Foundry:
+    """Supply-side view of the chip-creation process.
+
+    Attributes
+    ----------
+    technology:
+        The process-node database (parameters at *maximum* capacity).
+    conditions:
+        Current market conditions applied on top of the database.
+    """
+
+    technology: TechnologyDatabase
+    conditions: MarketConditions
+
+    @classmethod
+    def nominal(
+        cls, technology: Optional[TechnologyDatabase] = None
+    ) -> "Foundry":
+        """A foundry at full capacity with empty queues."""
+        return cls(
+            technology=technology or TechnologyDatabase.default(),
+            conditions=MarketConditions.nominal(),
+        )
+
+    def node(self, name: str) -> ProcessNode:
+        """The node's (capacity-independent) parameters."""
+        return self.technology[name]
+
+    def wafer_rate_per_week(self, name: str) -> float:
+        """Effective wafer production rate, wafers/week (mu_W in Eq. 4/5).
+
+        Raises
+        ------
+        NodeUnavailableError
+            If the node has zero maximum capacity (e.g. 20 nm / 10 nm) —
+            no market recovery is modeled for nodes that left production.
+        InvalidParameterError
+            If the current capacity fraction is zero: a fully halted node
+            would make every downstream time infinite.
+        """
+        node = self.technology.require_production(name)
+        fraction = self.conditions.capacity_for(name)
+        rate = node.max_wafer_rate_per_week * fraction
+        if rate <= 0.0:
+            raise InvalidParameterError(
+                f"node {name!r} has zero effective capacity "
+                f"(fraction {fraction}); time-to-market would be unbounded"
+            )
+        return rate
+
+    def wafers_ahead(self, name: str) -> float:
+        """Backlog N_W,ahead implied by the quoted lead time (Sec. 6.3).
+
+        The quote is assumed issued at full production rate, so the backlog
+        in *wafers* is ``queue_weeks x max rate``; draining it at a reduced
+        rate takes proportionally longer.
+        """
+        node = self.technology.require_production(name)
+        return self.conditions.queue_weeks_for(name) * node.max_wafer_rate_per_week
+
+    def queue_weeks(self, name: str) -> float:
+        """T_fab,queue (Eq. 4): backlog divided by the effective rate."""
+        backlog = self.wafers_ahead(name)
+        if backlog == 0.0:
+            return 0.0
+        return backlog / self.wafer_rate_per_week(name)
+
+    def at_capacity(self, fraction: float) -> "Foundry":
+        """This foundry with every node at ``fraction`` of max capacity."""
+        return Foundry(
+            technology=self.technology,
+            conditions=self.conditions.with_global_capacity(fraction),
+        )
+
+    def with_conditions(self, conditions: MarketConditions) -> "Foundry":
+        """This foundry under different market conditions."""
+        return Foundry(technology=self.technology, conditions=conditions)
+
+    def available_nodes(self) -> tuple:
+        """Names of nodes that can currently fabricate wafers."""
+        return tuple(
+            node.name
+            for node in self.technology.production_nodes()
+            if self.conditions.capacity_for(node.name) > 0.0
+        )

@@ -1,0 +1,86 @@
+"""Preset market scenarios used by the examples and stress tests.
+
+The paper evaluates "current and speculative supply chain changes"
+(abstract). These presets encode the situations its narrative describes so
+examples and tests can reference them by name instead of hand-building
+condition objects:
+
+* ``nominal``            — full capacity, empty queues (paper default).
+* ``shortage_2021``      — the 2020–present crunch: long quoted lead times
+                           on every node still in production.
+* ``advanced_drought``   — Taiwan drought / EUV constraints: advanced nodes
+                           (14 nm and below) at reduced capacity.
+* ``legacy_crunch``      — 200 mm-era tooling shortage: legacy nodes
+                           (65 nm and above) at reduced capacity.
+* ``fab_fire_28nm``      — a single-fab outage slashing 28 nm capacity
+                           (Renesas-fire style event).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from ..technology.database import ROADMAP, NANOMETERS
+from .conditions import MarketConditions
+
+#: Nodes at 14 nm and below (the "advanced" half of the roadmap).
+ADVANCED_NODES: Tuple[str, ...] = tuple(
+    name for name in ROADMAP if NANOMETERS[name] <= 14.0
+)
+
+#: Nodes at 65 nm and above (the "legacy" half of the roadmap).
+LEGACY_NODES: Tuple[str, ...] = tuple(
+    name for name in ROADMAP if NANOMETERS[name] >= 65.0
+)
+
+
+def nominal() -> MarketConditions:
+    """Full capacity everywhere, no queues."""
+    return MarketConditions.nominal()
+
+
+def shortage_2021(queue_weeks: float = 4.0) -> MarketConditions:
+    """Demand shock: every node quotes ``queue_weeks`` of lead time.
+
+    Mirrors Sec. 6.3, where queue time (not capacity) is the disruption.
+    """
+    return MarketConditions.nominal().with_global_queue(queue_weeks)
+
+
+def advanced_drought(capacity: float = 0.6) -> MarketConditions:
+    """Advanced nodes (<= 14 nm) throttled to ``capacity`` of max rate."""
+    return MarketConditions(
+        capacity_fraction={name: capacity for name in ADVANCED_NODES}
+    )
+
+
+def legacy_crunch(capacity: float = 0.5) -> MarketConditions:
+    """Legacy nodes (>= 65 nm) throttled to ``capacity`` of max rate."""
+    return MarketConditions(
+        capacity_fraction={name: capacity for name in LEGACY_NODES}
+    )
+
+
+def fab_fire(node: str = "28nm", capacity: float = 0.3) -> MarketConditions:
+    """A single node's capacity slashed by a localized outage."""
+    return MarketConditions(capacity_fraction={node: capacity})
+
+
+#: Registry of named scenario factories (zero-argument defaults).
+SCENARIOS: Dict[str, Callable[[], MarketConditions]] = {
+    "nominal": nominal,
+    "shortage_2021": shortage_2021,
+    "advanced_drought": advanced_drought,
+    "legacy_crunch": legacy_crunch,
+    "fab_fire_28nm": fab_fire,
+}
+
+
+def by_name(name: str) -> MarketConditions:
+    """Look up a scenario by registry name."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r} (known: {known})") from None
+    return factory()

@@ -1,0 +1,49 @@
+"""Multi-process chip manufacturing methodology (paper Sec. 7)."""
+
+from .allocation import (
+    AllocationResult,
+    balance_allocation,
+    evaluate_allocation,
+    greedy_node_selection,
+)
+from .optimizer import (
+    DEFAULT_SPLIT_GRID,
+    PairResult,
+    SplitStudy,
+    best_split_for_pair,
+    headline_comparison,
+    run_split_study,
+)
+from .split import (
+    DesignFactory,
+    ProductionSplit,
+    SplitEvaluation,
+    evaluate_split,
+    make_plan,
+    single_process_plan,
+    split_cas,
+    split_cost_usd,
+    split_ttm_weeks,
+)
+
+__all__ = [
+    "AllocationResult",
+    "DEFAULT_SPLIT_GRID",
+    "DesignFactory",
+    "PairResult",
+    "ProductionSplit",
+    "SplitEvaluation",
+    "SplitStudy",
+    "balance_allocation",
+    "best_split_for_pair",
+    "evaluate_allocation",
+    "evaluate_split",
+    "greedy_node_selection",
+    "headline_comparison",
+    "make_plan",
+    "run_split_study",
+    "single_process_plan",
+    "split_cas",
+    "split_cost_usd",
+    "split_ttm_weeks",
+]

@@ -1,0 +1,179 @@
+"""CAS-optimal production-split search (the Fig. 14 sweep).
+
+For every (primary, secondary) node pair, sweep the production split and
+keep the split with the highest CAS; report that split's TTM and cost.
+The paper's Fig. 14 runs this for a Raven-inspired multicore at one
+billion final chips and highlights the overall fastest combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..cost.model import CostModel
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+from .split import (
+    DesignFactory,
+    ProductionSplit,
+    SplitEvaluation,
+    evaluate_split,
+    single_process_plan,
+)
+
+#: Default split grid: 1% .. 100% of chips on the primary node.
+DEFAULT_SPLIT_GRID: Tuple[float, ...] = tuple(s / 100.0 for s in range(1, 101))
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """The CAS-optimal split for one (primary, secondary) pair."""
+
+    primary: str
+    secondary: str
+    best: SplitEvaluation
+
+    @property
+    def is_single_process(self) -> bool:
+        """True when the optimum puts everything on one node."""
+        return self.best.split >= 1.0 or self.primary == self.secondary
+
+
+@dataclass(frozen=True)
+class SplitStudy:
+    """Full Fig. 14 sweep output."""
+
+    n_chips: float
+    pairs: Mapping[Tuple[str, str], PairResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", dict(self.pairs))
+
+    def fastest(self) -> PairResult:
+        """The combination with the lowest time-to-market."""
+        return min(self.pairs.values(), key=lambda pair: pair.best.ttm_weeks)
+
+    def cheapest(self) -> PairResult:
+        """The combination with the lowest chip-creation cost."""
+        return min(self.pairs.values(), key=lambda pair: pair.best.cost_usd)
+
+    def most_agile(self) -> PairResult:
+        """The combination with the highest CAS."""
+        return max(self.pairs.values(), key=lambda pair: pair.best.cas)
+
+    def single_process_results(self) -> Dict[str, PairResult]:
+        """The diagonal: one-node manufacturing baselines."""
+        return {
+            primary: result
+            for (primary, secondary), result in self.pairs.items()
+            if primary == secondary
+        }
+
+
+def best_split_for_pair(
+    design_factory: DesignFactory,
+    primary: str,
+    secondary: str,
+    model: TTMModel,
+    cost_model: CostModel,
+    n_chips: float,
+    split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
+) -> PairResult:
+    """Sweep the split grid for one pair, keeping the max-CAS split.
+
+    Ties on CAS break toward lower TTM. The diagonal (primary ==
+    secondary) evaluates only the single-process plan.
+    """
+    if not split_grid:
+        raise InvalidParameterError("split grid must be non-empty")
+    plans: List[ProductionSplit] = []
+    if primary == secondary:
+        plans.append(single_process_plan(design_factory, primary))
+    else:
+        for split in split_grid:
+            if split >= 1.0:
+                plans.append(single_process_plan(design_factory, primary))
+            else:
+                plans.append(
+                    ProductionSplit(
+                        design_factory=design_factory,
+                        primary=primary,
+                        secondary=secondary,
+                        split=split,
+                    )
+                )
+    evaluations = [
+        evaluate_split(plan, model, cost_model, n_chips) for plan in plans
+    ]
+    best = max(evaluations, key=lambda ev: (ev.cas, -ev.ttm_weeks))
+    return PairResult(primary=primary, secondary=secondary, best=best)
+
+
+def run_split_study(
+    design_factory: DesignFactory,
+    processes: Sequence[str],
+    model: TTMModel,
+    cost_model: CostModel,
+    n_chips: float,
+    split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
+    include_singles: bool = True,
+) -> SplitStudy:
+    """Evaluate every unordered node pair (plus singles on the diagonal).
+
+    ``processes`` should contain only nodes currently in production; the
+    primary is always the more advanced (later-roadmap) node of the pair,
+    matching the paper's axes.
+    """
+    if len(processes) < 1:
+        raise InvalidParameterError("need at least one process node")
+    if len(set(processes)) != len(processes):
+        raise InvalidParameterError(f"duplicate nodes in {processes}")
+    pairs: Dict[Tuple[str, str], PairResult] = {}
+    ordered = list(processes)
+    for i, secondary in enumerate(ordered):
+        start = i if include_singles else i + 1
+        for primary in ordered[start:]:
+            pairs[(primary, secondary)] = best_split_for_pair(
+                design_factory,
+                primary,
+                secondary,
+                model,
+                cost_model,
+                n_chips,
+                split_grid,
+            )
+    return SplitStudy(n_chips=n_chips, pairs=pairs)
+
+
+def headline_comparison(study: SplitStudy) -> Dict[str, float]:
+    """The Sec. 7 headline numbers.
+
+    * ``agility_gain`` — fastest multi-process split's CAS over the
+      fastest single process's CAS, minus 1 (paper: +47%).
+    * ``ttm_gain_vs_cheapest`` — how much faster the fastest multi-process
+      split is than the cheapest process, as a fraction (paper: 8%).
+    * ``cost_increase`` — its cost over the cheapest process's cost,
+      minus 1 (paper: +1.6%).
+    """
+    singles = study.single_process_results()
+    if not singles:
+        raise InvalidParameterError("study has no single-process baselines")
+    multi = {
+        key: result
+        for key, result in study.pairs.items()
+        if not result.is_single_process
+    }
+    if not multi:
+        raise InvalidParameterError("study found no true multi-process optima")
+    fastest_multi = min(multi.values(), key=lambda r: r.best.ttm_weeks)
+    fastest_single = min(singles.values(), key=lambda r: r.best.ttm_weeks)
+    cheapest_single = min(singles.values(), key=lambda r: r.best.cost_usd)
+    return {
+        "agility_gain": fastest_multi.best.cas / fastest_single.best.cas - 1.0,
+        "ttm_gain_vs_cheapest": 1.0
+        - fastest_multi.best.ttm_weeks / cheapest_single.best.ttm_weeks,
+        "cost_increase": fastest_multi.best.cost_usd
+        / cheapest_single.best.cost_usd
+        - 1.0,
+    }

@@ -1,0 +1,13 @@
+"""Performance substrate: cache/IPC models and accelerator cycle models."""
+
+from .ipc import IPCModel, ipc_bounds
+from .measured import MeasuredMPKI, measure_mpki, measured_ipc, measured_sweep
+
+__all__ = [
+    "IPCModel",
+    "MeasuredMPKI",
+    "ipc_bounds",
+    "measure_mpki",
+    "measured_ipc",
+    "measured_sweep",
+]

@@ -1,0 +1,48 @@
+"""Accelerator substrate: sorting networks, FFT, scalar baseline."""
+
+from .fft import (
+    ITERATIVE_II,
+    STREAMING_PIPELINE_DEPTH,
+    bit_reverse_permutation,
+    butterfly_count,
+    dft_direct,
+    fft,
+    iterative_fft_cycles,
+    streaming_fft_cycles,
+)
+from .scalar import ScalarCoreModel, merge_sort
+from .sorting import (
+    bitonic_compare_exchange_pairs,
+    bitonic_sort,
+    bitonic_stage_count,
+    iterative_sort_cycles,
+    streaming_sort_cycles,
+)
+from .speedup import (
+    SpeedupResult,
+    accelerator_cycles,
+    evaluate_speedup,
+    scalar_cycles,
+)
+
+__all__ = [
+    "ITERATIVE_II",
+    "STREAMING_PIPELINE_DEPTH",
+    "ScalarCoreModel",
+    "SpeedupResult",
+    "accelerator_cycles",
+    "bit_reverse_permutation",
+    "bitonic_compare_exchange_pairs",
+    "bitonic_sort",
+    "bitonic_stage_count",
+    "butterfly_count",
+    "dft_direct",
+    "evaluate_speedup",
+    "fft",
+    "iterative_fft_cycles",
+    "iterative_sort_cycles",
+    "merge_sort",
+    "scalar_cycles",
+    "streaming_fft_cycles",
+    "streaming_sort_cycles",
+]

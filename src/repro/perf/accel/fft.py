@@ -1,0 +1,106 @@
+"""Radix-2 FFT: functional model + cycle models (Sec. 6.4).
+
+The paper's DFT accelerators are SPIRAL-generated (Milder et al. [79]);
+like the sorting networks they come in streaming and iterative flavors:
+
+* **streaming** — one butterfly column per FFT stage, fully pipelined;
+  each of the log2(n) stages processes n/2 butterflies at one butterfly
+  per cycle: ``cycles = (n/2) * log2(n) + depth``.
+* **iterative** — a single butterfly unit reused across all stages,
+  bottlenecked by its dual-ported working memory: each butterfly needs
+  two reads and two writes through limited ports, giving an effective
+  initiation interval of ``ITERATIVE_II`` cycles per butterfly:
+  ``cycles = (n/2) * log2(n) * ITERATIVE_II``.
+
+:func:`fft` is a real iterative Cooley-Tukey implementation (tested
+against a direct DFT), so the stage/butterfly counts the cycle models
+charge for are the ones actually executed.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import List, Sequence
+
+from ...errors import InvalidParameterError
+
+#: Pipeline fill of the streaming datapath (butterfly + twiddle ROM).
+STREAMING_PIPELINE_DEPTH = 96
+
+#: Effective cycles per butterfly for the memory-limited iterative unit
+#: (2 reads + 2 writes through shared ports, partially overlapped).
+ITERATIVE_II = 2.75
+
+
+def _check_size(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise InvalidParameterError(
+            f"radix-2 FFT needs a power-of-two size >= 2, got {n}"
+        )
+    return int(math.log2(n))
+
+
+def bit_reverse_permutation(n: int) -> List[int]:
+    """Input permutation of the iterative radix-2 FFT."""
+    bits = _check_size(n)
+    result = []
+    for i in range(n):
+        reversed_index = 0
+        for b in range(bits):
+            if i & (1 << b):
+                reversed_index |= 1 << (bits - 1 - b)
+        result.append(reversed_index)
+    return result
+
+
+def fft(values: Sequence[complex]) -> List[complex]:
+    """Iterative radix-2 Cooley-Tukey FFT (functional reference)."""
+    n = len(values)
+    _check_size(n)
+    order = bit_reverse_permutation(n)
+    data = [complex(values[i]) for i in order]
+    half = 1
+    while half < n:
+        step = cmath.exp(-1j * math.pi / half)
+        for start in range(0, n, 2 * half):
+            twiddle = 1.0 + 0.0j
+            for offset in range(half):
+                i = start + offset
+                j = i + half
+                product = data[j] * twiddle
+                data[j] = data[i] - product
+                data[i] = data[i] + product
+                twiddle *= step
+        half *= 2
+    return data
+
+
+def dft_direct(values: Sequence[complex]) -> List[complex]:
+    """O(n^2) reference DFT used to validate :func:`fft` in tests."""
+    n = len(values)
+    if n == 0:
+        raise InvalidParameterError("DFT input must be non-empty")
+    out = []
+    for k in range(n):
+        total = 0.0 + 0.0j
+        for t, value in enumerate(values):
+            total += complex(value) * cmath.exp(-2j * math.pi * k * t / n)
+        out.append(total)
+    return out
+
+
+def butterfly_count(n: int) -> int:
+    """Total butterflies executed: (n/2) * log2(n)."""
+    log_n = _check_size(n)
+    return (n // 2) * log_n
+
+
+def streaming_fft_cycles(n: int) -> float:
+    """Cycles for the streaming pipeline to transform one block."""
+    return float(butterfly_count(n) + STREAMING_PIPELINE_DEPTH)
+
+
+def iterative_fft_cycles(n: int) -> float:
+    """Cycles for the single-butterfly iterative implementation."""
+    return float(butterfly_count(n)) * ITERATIVE_II

@@ -1,0 +1,81 @@
+"""Scalar in-order core baseline for the accelerator study (Sec. 6.4).
+
+The paper's baseline is Ariane running software sorting and FFT on
+2048-element blocks. We model the core with per-operation cycle costs on
+the algorithms' O(n log n) operation counts:
+
+* sorting (merge sort): ``SORT_CYCLES_PER_OP`` cycles per element-compare
+  step — loads, compare, branch, stores on a single-issue in-order core;
+* DFT (software radix-2 FFT): ``FFT_CYCLES_PER_OP`` cycles per butterfly
+  *sample* step — complex MACs on a core without an FPU fused pipeline.
+
+The constants are calibrated so the resulting speed-ups match Table 3's
+shape (streaming sorting ~16x, iterative sorting ~3x, streaming DFT
+~56x, iterative DFT ~20x); see EXPERIMENTS.md for measured-vs-paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ...errors import InvalidParameterError
+
+#: Cycles per n*log2(n) unit for in-order software merge sort.
+SORT_CYCLES_PER_OP = 16.0
+
+#: Cycles per n*log2(n) unit for in-order software FFT.
+FFT_CYCLES_PER_OP = 28.0
+
+
+def _check_size(n: int) -> int:
+    if n < 2 or n & (n - 1):
+        raise InvalidParameterError(
+            f"block size must be a power of two >= 2, got {n}"
+        )
+    return int(math.log2(n))
+
+
+@dataclass(frozen=True)
+class ScalarCoreModel:
+    """Cycle model of the general-purpose baseline core."""
+
+    sort_cycles_per_op: float = SORT_CYCLES_PER_OP
+    fft_cycles_per_op: float = FFT_CYCLES_PER_OP
+
+    def __post_init__(self) -> None:
+        if self.sort_cycles_per_op <= 0.0 or self.fft_cycles_per_op <= 0.0:
+            raise InvalidParameterError("per-op cycle costs must be positive")
+
+    def sort_cycles(self, n: int) -> float:
+        """Cycles to sort an ``n``-element block in software."""
+        log_n = _check_size(n)
+        return self.sort_cycles_per_op * n * log_n
+
+    def fft_cycles(self, n: int) -> float:
+        """Cycles to transform an ``n``-element block in software."""
+        log_n = _check_size(n)
+        return self.fft_cycles_per_op * n * log_n
+
+
+def merge_sort(values: Sequence[float]) -> List[float]:
+    """Functional reference of the software baseline (tested vs sorted())."""
+    data = list(values)
+    if len(data) <= 1:
+        return data
+    middle = len(data) // 2
+    left = merge_sort(data[:middle])
+    right = merge_sort(data[middle:])
+    merged: List[float] = []
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged

@@ -1,0 +1,77 @@
+"""Accelerator speed-up evaluation (Table 3's performance column).
+
+Combines the scalar baseline with the accelerator cycle models. The
+dispatch is keyed on the :class:`~repro.design.library.accelerators.
+AcceleratorSpec`'s ``kind``/``style`` fields so the tapeout-facing specs
+and the performance models stay in one-to-one correspondence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ...design.library.accelerators import ACCELERATOR_BLOCK_SIZE, AcceleratorSpec
+from ...errors import InvalidParameterError
+from .fft import iterative_fft_cycles, streaming_fft_cycles
+from .scalar import ScalarCoreModel
+from .sorting import iterative_sort_cycles, streaming_sort_cycles
+
+_ACCEL_CYCLES: Dict[Tuple[str, str], Callable[[int], float]] = {
+    ("sorting", "stream"): streaming_sort_cycles,
+    ("sorting", "iterative"): iterative_sort_cycles,
+    ("dft", "stream"): streaming_fft_cycles,
+    ("dft", "iterative"): iterative_fft_cycles,
+}
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """Cycle counts and the resulting speed-up for one accelerator."""
+
+    accelerator: str
+    block_size: int
+    scalar_cycles: float
+    accelerator_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        """cycles(scalar) / cycles(accelerator), Table 3's metric."""
+        return self.scalar_cycles / self.accelerator_cycles
+
+
+def accelerator_cycles(spec: AcceleratorSpec, block_size: int) -> float:
+    """Cycles for ``spec`` to process one ``block_size`` block."""
+    try:
+        model = _ACCEL_CYCLES[(spec.kind, spec.style)]
+    except KeyError:
+        raise InvalidParameterError(
+            f"no cycle model for accelerator kind={spec.kind!r} "
+            f"style={spec.style!r}"
+        ) from None
+    return model(block_size)
+
+
+def scalar_cycles(
+    spec: AcceleratorSpec, block_size: int, core: ScalarCoreModel
+) -> float:
+    """Cycles for the baseline core on the same task."""
+    if spec.kind == "sorting":
+        return core.sort_cycles(block_size)
+    if spec.kind == "dft":
+        return core.fft_cycles(block_size)
+    raise InvalidParameterError(f"unknown accelerator kind {spec.kind!r}")
+
+
+def evaluate_speedup(
+    spec: AcceleratorSpec,
+    block_size: int = ACCELERATOR_BLOCK_SIZE,
+    core: ScalarCoreModel = ScalarCoreModel(),
+) -> SpeedupResult:
+    """Speed-up of one accelerator over the scalar baseline."""
+    return SpeedupResult(
+        accelerator=spec.key,
+        block_size=block_size,
+        scalar_cycles=scalar_cycles(spec, block_size, core),
+        accelerator_cycles=accelerator_cycles(spec, block_size),
+    )

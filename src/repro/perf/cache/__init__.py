@@ -1,0 +1,36 @@
+"""Cache substrate: simulator, hierarchy, traces, SPEC-shaped curves."""
+
+from .hierarchy import CacheHierarchy, HierarchyIPCModel, HierarchyStats
+from .simulator import Cache, CacheConfig, CacheStats, simulate_miss_ratio
+from .spec_data import (
+    CACHE_SIZES_KB,
+    dcache_mpki,
+    icache_mpki,
+    mpki_table,
+)
+from .traces import (
+    data_trace,
+    instruction_trace,
+    looping_trace,
+    materialize,
+    sequential_trace,
+)
+
+__all__ = [
+    "CACHE_SIZES_KB",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyIPCModel",
+    "HierarchyStats",
+    "data_trace",
+    "dcache_mpki",
+    "icache_mpki",
+    "instruction_trace",
+    "looping_trace",
+    "materialize",
+    "mpki_table",
+    "sequential_trace",
+    "simulate_miss_ratio",
+]

@@ -1,0 +1,188 @@
+"""Two-level cache hierarchy simulation.
+
+The single-level simulator backs the paper's L1 sweep; real Ariane-class
+SoCs add a shared L2, and the CPI stack splits an L1 miss into "hit in
+L2" and "go to memory". This module composes the level-one caches with a
+shared second level:
+
+* L1I and L1D are private; the L2 is unified and shared;
+* the hierarchy is *inclusive by construction for lookups*: every L1
+  miss performs an L2 access (fill on miss), so L2 contents are a
+  superset of recently missed lines;
+* statistics are kept per level, letting the extended IPC model charge
+  ``l2_hit_cycles`` for L1 misses that hit L2 and ``memory_cycles`` for
+  global misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ...errors import InvalidParameterError
+from .simulator import Cache, CacheConfig, CacheStats
+
+
+@dataclass(frozen=True)
+class HierarchyStats:
+    """Per-level statistics of one simulation run."""
+
+    l1i: CacheStats
+    l1d: CacheStats
+    l2: CacheStats
+    instructions: int
+
+    @property
+    def l1_misses(self) -> int:
+        """Total level-one misses (instruction + data)."""
+        return self.l1i.misses + self.l1d.misses
+
+    @property
+    def l2_hit_ratio(self) -> float:
+        """Fraction of L1 misses served by the L2."""
+        if self.l2.accesses == 0:
+            return 0.0
+        return self.l2.hits / self.l2.accesses
+
+    @property
+    def memory_accesses(self) -> int:
+        """References that left the chip (global misses)."""
+        return self.l2.misses
+
+    def mpki(self) -> Tuple[float, float, float]:
+        """(L1I, L1D, L2->memory) misses per kilo-instruction."""
+        if self.instructions <= 0:
+            raise InvalidParameterError("run recorded no instructions")
+        scale = 1000.0 / self.instructions
+        return (
+            self.l1i.misses * scale,
+            self.l1d.misses * scale,
+            self.l2.misses * scale,
+        )
+
+
+@dataclass
+class CacheHierarchy:
+    """Private L1I/L1D over a shared unified L2."""
+
+    l1i: Cache
+    l1d: Cache
+    l2: Cache
+    _instructions: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        l1i_kb: int,
+        l1d_kb: int,
+        l2_kb: int,
+        line_bytes: int = 64,
+        l1_associativity: int = 4,
+        l2_associativity: int = 8,
+    ) -> "CacheHierarchy":
+        """Construct a hierarchy from capacities in KB."""
+        if l2_kb < max(l1i_kb, l1d_kb):
+            raise InvalidParameterError(
+                f"L2 ({l2_kb} KB) must be at least as large as each L1 "
+                f"({l1i_kb}/{l1d_kb} KB)"
+            )
+        make = lambda kb, ways: Cache(  # noqa: E731
+            CacheConfig(
+                size_bytes=kb * 1024,
+                line_bytes=line_bytes,
+                associativity=ways,
+            )
+        )
+        return cls(
+            l1i=make(l1i_kb, l1_associativity),
+            l1d=make(l1d_kb, l1_associativity),
+            l2=make(l2_kb, l2_associativity),
+        )
+
+    def fetch(self, address: int) -> bool:
+        """Instruction fetch; returns True on an L1I hit."""
+        self._instructions += 1
+        hit = self.l1i.access(address)
+        if not hit:
+            self.l2.access(address)
+        return hit
+
+    def load_store(self, address: int) -> bool:
+        """Data reference; returns True on an L1D hit."""
+        hit = self.l1d.access(address)
+        if not hit:
+            self.l2.access(address)
+        return hit
+
+    def run(
+        self,
+        instruction_addresses: Iterable[int],
+        data_addresses: Iterable[int],
+    ) -> HierarchyStats:
+        """Interleave an instruction stream with a data stream.
+
+        Data references are issued round-robin against instructions at
+        the streams' natural ratio (both are consumed fully).
+        """
+        data_iter = iter(data_addresses)
+        pending = list(data_iter)
+        i_stream = list(instruction_addresses)
+        if not i_stream:
+            raise InvalidParameterError("instruction stream must be non-empty")
+        ratio = len(pending) / len(i_stream)
+        issued = 0.0
+        consumed = 0
+        for address in i_stream:
+            self.fetch(address)
+            issued += ratio
+            while consumed < int(issued):
+                self.load_store(pending[consumed])
+                consumed += 1
+        while consumed < len(pending):
+            self.load_store(pending[consumed])
+            consumed += 1
+        return self.stats()
+
+    def stats(self) -> HierarchyStats:
+        """Current per-level statistics."""
+        return HierarchyStats(
+            l1i=self.l1i.stats,
+            l1d=self.l1d.stats,
+            l2=self.l2.stats,
+            instructions=self._instructions,
+        )
+
+
+@dataclass(frozen=True)
+class HierarchyIPCModel:
+    """CPI stack with an L2 between the L1s and memory.
+
+    CPI = base + (L1-miss, L2-hit rate) * l2_hit_cycles / 1000
+               + (L2-miss rate)         * memory_cycles / 1000
+    """
+
+    base_cpi: float = 3.6
+    l2_hit_cycles: float = 18.0
+    memory_cycles: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0.0:
+            raise InvalidParameterError("base CPI must be positive")
+        if self.l2_hit_cycles < 0.0 or self.memory_cycles < 0.0:
+            raise InvalidParameterError("penalties must be >= 0")
+        if self.memory_cycles < self.l2_hit_cycles:
+            raise InvalidParameterError(
+                "memory must cost at least as much as an L2 hit"
+            )
+
+    def ipc(self, stats: HierarchyStats) -> float:
+        """IPC for a measured run."""
+        l1i_mpki, l1d_mpki, memory_mpki = stats.mpki()
+        l1_miss_mpki = l1i_mpki + l1d_mpki
+        l2_hit_mpki = max(l1_miss_mpki - memory_mpki, 0.0)
+        cpi = (
+            self.base_cpi
+            + l2_hit_mpki * self.l2_hit_cycles / 1000.0
+            + memory_mpki * self.memory_cycles / 1000.0
+        )
+        return 1.0 / cpi

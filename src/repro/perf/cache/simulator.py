@@ -1,0 +1,163 @@
+"""Trace-driven set-associative cache simulator.
+
+The cache-sizing case study (Sec. 6.1) consumes miss-rate-vs-capacity
+curves. The paper takes them from SPEC CPU2000 measurements (Cantin &
+Hill [18]); since that raw dataset is not redistributable, this simulator
+regenerates curves of the same shape from synthetic traces with SPEC-like
+locality (see :mod:`repro.perf.cache.traces`), and the shipped analytic
+table in :mod:`repro.perf.cache.spec_data` is validated against it.
+
+The model is a single-level, physically indexed, set-associative cache
+with true-LRU replacement — the standard configuration of the Cantin-Hill
+study. Only hit/miss accounting matters here; no data is stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ...errors import InvalidParameterError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("size_bytes", self.size_bytes),
+            ("line_bytes", self.line_bytes),
+            ("associativity", self.associativity),
+        ):
+            if not _is_power_of_two(value):
+                raise InvalidParameterError(
+                    f"{name} must be a positive power of two, got {value}"
+                )
+        if self.size_bytes < self.line_bytes * self.associativity:
+            raise InvalidParameterError(
+                f"cache of {self.size_bytes} B cannot hold "
+                f"{self.associativity} ways of {self.line_bytes} B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def size_kb(self) -> float:
+        """Capacity in KB."""
+        return self.size_bytes / 1024.0
+
+    def set_index(self, address: int) -> int:
+        """Set an address maps to."""
+        return (address // self.line_bytes) % self.num_sets
+
+    def tag(self, address: int) -> int:
+        """Tag bits of an address."""
+        return address // (self.line_bytes * self.num_sets)
+
+
+@dataclass
+class CacheStats:
+    """Access counters."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of hits."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0 for an untouched cache)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction for a run of ``instructions``."""
+        if instructions <= 0:
+            raise InvalidParameterError(
+                f"instruction count must be positive, got {instructions}"
+            )
+        return 1000.0 * self.misses / instructions
+
+
+@dataclass
+class Cache:
+    """A set-associative LRU cache; call :meth:`access` per reference."""
+
+    config: CacheConfig
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        # One LRU-ordered list of tags per set; index 0 is most recent.
+        self._sets: Dict[int, List[int]] = {}
+
+    def access(self, address: int) -> bool:
+        """Reference one address; returns True on hit.
+
+        LRU update on hit, LRU eviction on conflict miss.
+        """
+        if address < 0:
+            raise InvalidParameterError(f"address must be >= 0, got {address}")
+        self.stats.accesses += 1
+        index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        ways = self._sets.setdefault(index, [])
+        if tag in ways:
+            ways.remove(tag)
+            ways.insert(0, tag)
+            return True
+        self.stats.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.config.associativity:
+            ways.pop()
+        return False
+
+    def run(self, trace: Iterable[int]) -> CacheStats:
+        """Feed a whole address trace; returns the accumulated stats."""
+        for address in trace:
+            self.access(address)
+        return self.stats
+
+    def reset(self) -> None:
+        """Clear contents and statistics."""
+        self._sets.clear()
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached (for invariant tests)."""
+        return sum(len(ways) for ways in self._sets.values())
+
+
+def simulate_miss_ratio(
+    trace: Iterable[int],
+    size_kb: float,
+    line_bytes: int = 64,
+    associativity: int = 4,
+) -> float:
+    """Miss ratio of one trace on one cache geometry (convenience)."""
+    config = CacheConfig(
+        size_bytes=int(size_kb * 1024),
+        line_bytes=line_bytes,
+        associativity=associativity,
+    )
+    cache = Cache(config)
+    materialized = list(trace)
+    if not materialized:
+        raise InvalidParameterError("trace must contain at least one access")
+    return cache.run(materialized).miss_ratio

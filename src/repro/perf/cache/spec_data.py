@@ -1,0 +1,61 @@
+"""SPEC2000-shaped miss-rate curves for the cache-sizing study.
+
+The paper sweeps instruction/data caches from 1 KB to 1 MB using SPEC
+CPU2000 aggregate miss rates (Cantin & Hill [18]). This module ships an
+analytic stand-in with the same structure — misses per kilo-instruction
+(MPKI) falling as a power of capacity with a compulsory-miss floor:
+
+    MPKI_I(s) = 45 * s^-0.95 + 0.45      (s in KB)
+    MPKI_D(s) = 60 * s^-0.75 + 1.40
+
+The exponents encode the classic behaviours: instruction working sets
+fall off faster (loops fit quickly), data curves have a heavier tail
+(heap/stream misses persist). The trace-driven simulator in
+:mod:`repro.perf.cache.simulator` regenerates curves of this shape from
+synthetic workloads; a test asserts the agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...errors import InvalidParameterError
+
+#: Capacities tabulated by the study (KB).
+CACHE_SIZES_KB: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Instruction-side power-law parameters.
+ICACHE_SCALE = 45.0
+ICACHE_EXPONENT = 0.95
+ICACHE_FLOOR = 0.45
+
+#: Data-side power-law parameters.
+DCACHE_SCALE = 60.0
+DCACHE_EXPONENT = 0.75
+DCACHE_FLOOR = 1.40
+
+
+def icache_mpki(size_kb: float) -> float:
+    """Instruction-cache misses per kilo-instruction at ``size_kb``."""
+    _check_size(size_kb)
+    return ICACHE_SCALE * size_kb ** (-ICACHE_EXPONENT) + ICACHE_FLOOR
+
+
+def dcache_mpki(size_kb: float) -> float:
+    """Data-cache misses per kilo-instruction at ``size_kb``."""
+    _check_size(size_kb)
+    return DCACHE_SCALE * size_kb ** (-DCACHE_EXPONENT) + DCACHE_FLOOR
+
+
+def mpki_table() -> Dict[int, Tuple[float, float]]:
+    """{size KB: (I-MPKI, D-MPKI)} over the standard sweep."""
+    return {
+        size: (icache_mpki(size), dcache_mpki(size)) for size in CACHE_SIZES_KB
+    }
+
+
+def _check_size(size_kb: float) -> None:
+    if size_kb <= 0.0:
+        raise InvalidParameterError(
+            f"cache size must be positive, got {size_kb} KB"
+        )

@@ -1,0 +1,70 @@
+"""Analytic IPC model for the cache-sizing study (Sec. 6.1).
+
+A classic in-order CPI decomposition:
+
+    CPI = CPI_base + (MPKI_I + MPKI_D) * miss_penalty / 1000
+    IPC = 1 / CPI
+
+with MPKI curves from :mod:`repro.perf.cache.spec_data`. The defaults
+place IPC in the paper's Fig. 4 range (~0.10 at 1 KB/1 KB up to ~0.27 at
+1 MB/1 MB for an application-class in-order core like Ariane).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import InvalidParameterError
+from .cache.spec_data import dcache_mpki, icache_mpki
+
+
+@dataclass(frozen=True)
+class IPCModel:
+    """CPI-stack IPC estimator for one core.
+
+    Attributes
+    ----------
+    base_cpi:
+        Cycles per instruction with perfect L1s (issue/execute/stall
+        structure of the in-order pipeline).
+    miss_penalty_cycles:
+        Average penalty of one L1 miss (next-level + memory mix).
+    """
+
+    base_cpi: float = 3.6
+    miss_penalty_cycles: float = 45.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0.0:
+            raise InvalidParameterError(
+                f"base CPI must be positive, got {self.base_cpi}"
+            )
+        if self.miss_penalty_cycles < 0.0:
+            raise InvalidParameterError(
+                f"miss penalty must be >= 0, got {self.miss_penalty_cycles}"
+            )
+
+    def cpi(self, icache_kb: float, dcache_kb: float) -> float:
+        """Cycles per instruction at the given L1 capacities."""
+        mpki = icache_mpki(icache_kb) + dcache_mpki(dcache_kb)
+        return self.base_cpi + mpki * self.miss_penalty_cycles / 1000.0
+
+    def ipc(self, icache_kb: float, dcache_kb: float) -> float:
+        """Instructions per cycle at the given L1 capacities."""
+        return 1.0 / self.cpi(icache_kb, dcache_kb)
+
+    def ipc_from_mpki(self, mpki_i: float, mpki_d: float) -> float:
+        """IPC from externally supplied MPKI values (simulator output)."""
+        if mpki_i < 0.0 or mpki_d < 0.0:
+            raise InvalidParameterError("MPKI values must be >= 0")
+        return 1.0 / (
+            self.base_cpi + (mpki_i + mpki_d) * self.miss_penalty_cycles / 1000.0
+        )
+
+
+def ipc_bounds(model: IPCModel) -> Tuple[float, float]:
+    """(worst, best) IPC over the standard 1 KB..1 MB sweep."""
+    worst = model.ipc(1, 1)
+    best = model.ipc(1024, 1024)
+    return worst, best

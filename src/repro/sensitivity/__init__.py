@@ -1,0 +1,49 @@
+"""Variance-based sensitivity analysis and uncertainty bands (Sec. 5)."""
+
+from .distributions import (
+    DEFAULT_VARIATION,
+    Factor,
+    WIDE_VARIATION,
+    factor_names,
+    sample_matrix,
+)
+from .sobol import (
+    DEFAULT_BASE_SAMPLES,
+    DEFAULT_SEED,
+    SobolResult,
+    sobol_indices,
+)
+from .ttm_factors import (
+    FACTOR_NAMES,
+    cas_factor_function,
+    ttm_factor_function,
+    ttm_factors,
+)
+from .uncertainty import (
+    DEFAULT_CONFIDENCE,
+    DEFAULT_SAMPLES,
+    UncertaintyResult,
+    output_uncertainty,
+    uncertainty_bands,
+)
+
+__all__ = [
+    "DEFAULT_BASE_SAMPLES",
+    "DEFAULT_CONFIDENCE",
+    "DEFAULT_SAMPLES",
+    "DEFAULT_SEED",
+    "DEFAULT_VARIATION",
+    "FACTOR_NAMES",
+    "Factor",
+    "SobolResult",
+    "UncertaintyResult",
+    "WIDE_VARIATION",
+    "cas_factor_function",
+    "factor_names",
+    "output_uncertainty",
+    "sample_matrix",
+    "sobol_indices",
+    "ttm_factor_function",
+    "ttm_factors",
+    "uncertainty_bands",
+]

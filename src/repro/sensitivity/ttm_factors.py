@@ -1,0 +1,150 @@
+"""Binding the paper's six uncertain inputs to the TTM model.
+
+The paper analyzes six inputs "that are difficult to estimate since they
+are closely guarded by foundries and design firms" (Sec. 5):
+
+    NTT   — total transistor count
+    NUT   — unique transistor count
+    D0    — defect density
+    muW   — wafer production rate
+    Lfab  — foundry latency
+    LOSAT — testing/assembly/packaging latency
+
+:func:`ttm_factor_function` returns a callable suitable for
+:func:`repro.sensitivity.sobol.sobol_indices` and
+:func:`repro.sensitivity.uncertainty.output_uncertainty`: it rebuilds a
+monolithic design and a perturbed technology database from a factor dict
+and evaluates total TTM at one process node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional
+
+from ..design.library.generic import monolithic_design
+from ..errors import InvalidParameterError
+from ..market.foundry import Foundry
+from ..technology.database import TechnologyDatabase
+from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
+from .distributions import DEFAULT_VARIATION, Factor
+
+#: Canonical factor order used in Fig. 8's rows.
+FACTOR_NAMES = ("NTT", "NUT", "D0", "muW", "Lfab", "LOSAT")
+
+
+def ttm_factors(
+    process: str,
+    base_ntt: float,
+    base_nut: float,
+    technology: Optional[TechnologyDatabase] = None,
+    variation: float = DEFAULT_VARIATION,
+) -> List[Factor]:
+    """The paper's six factors, centered on the node's point estimates."""
+    db = technology or TechnologyDatabase.default()
+    node = db.require_production(process)
+    nominals = {
+        "NTT": base_ntt,
+        "NUT": base_nut,
+        "D0": node.defect_density_per_cm2,
+        "muW": node.wafer_rate_kwpm,
+        "Lfab": node.fab_latency_weeks,
+        "LOSAT": 6.0,
+    }
+    return [Factor(name, nominals[name], variation) for name in FACTOR_NAMES]
+
+
+def ttm_factor_function(
+    process: str,
+    n_chips: float,
+    technology: Optional[TechnologyDatabase] = None,
+    design_name: str = "sensitivity-design",
+    engineers: int = DEFAULT_ENGINEERS,
+) -> Callable[[Mapping[str, float]], float]:
+    """A ``{factor: value} -> TTM weeks`` function for one node.
+
+    Each call rebuilds the design (NTT/NUT) and a perturbed copy of the
+    technology database (D0, muW, Lfab), plus the model's TAP latency
+    (LOSAT), then evaluates total TTM. Nominal market conditions are
+    assumed, matching the paper's Fig. 8 setup.
+    """
+    db = technology or TechnologyDatabase.default()
+    db.require_production(process)
+
+    def build_model(values: Mapping[str, float]) -> TTMModel:
+        perturbed = db.override(
+            {
+                process: {
+                    "defect_density_per_cm2": values["D0"],
+                    "wafer_rate_kwpm": values["muW"],
+                    "fab_latency_weeks": values["Lfab"],
+                }
+            }
+        )
+        return TTMModel(
+            foundry=Foundry.nominal(perturbed),
+            engineers=engineers,
+            tap_latency_weeks=values["LOSAT"],
+        )
+
+    def evaluate(values: Mapping[str, float]) -> float:
+        _check_factors(values)
+        ntt = values["NTT"]
+        nut = min(values["NUT"], ntt)
+        design = monolithic_design(design_name, process, ntt=ntt, nut=nut)
+        return build_model(values).total_weeks(design, n_chips)
+
+    return evaluate
+
+
+def cas_factor_function(
+    process: str,
+    n_chips: float,
+    technology: Optional[TechnologyDatabase] = None,
+    design_name: str = "sensitivity-design",
+    engineers: int = DEFAULT_ENGINEERS,
+    capacity_fraction: float = 1.0,
+) -> Callable[[Mapping[str, float]], float]:
+    """A ``{factor: value} -> normalized CAS`` function for one node.
+
+    The CAS counterpart of :func:`ttm_factor_function`, backing the
+    confidence bands around the paper's Fig. 9 and Fig. 12 curves. The
+    perturbed ``muW`` becomes the node's *maximum* rate; the sweep's
+    ``capacity_fraction`` then scales it, exactly as in the figures.
+    """
+    from ..agility.cas import chip_agility_score
+
+    db = technology or TechnologyDatabase.default()
+    db.require_production(process)
+    if capacity_fraction <= 0.0:
+        raise InvalidParameterError(
+            f"capacity fraction must be positive, got {capacity_fraction}"
+        )
+
+    def evaluate(values: Mapping[str, float]) -> float:
+        _check_factors(values)
+        ntt = values["NTT"]
+        nut = min(values["NUT"], ntt)
+        design = monolithic_design(design_name, process, ntt=ntt, nut=nut)
+        perturbed = db.override(
+            {
+                process: {
+                    "defect_density_per_cm2": values["D0"],
+                    "wafer_rate_kwpm": values["muW"],
+                    "fab_latency_weeks": values["Lfab"],
+                }
+            }
+        )
+        model = TTMModel(
+            foundry=Foundry.nominal(perturbed),
+            engineers=engineers,
+            tap_latency_weeks=values["LOSAT"],
+        ).at_capacity(capacity_fraction)
+        return chip_agility_score(model, design, n_chips).normalized
+
+    return evaluate
+
+
+def _check_factors(values: Mapping[str, float]) -> None:
+    missing = [name for name in FACTOR_NAMES if name not in values]
+    if missing:
+        raise InvalidParameterError(f"missing sensitivity factors: {missing}")

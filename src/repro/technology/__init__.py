@@ -1,0 +1,77 @@
+"""Process-technology substrate: nodes, density, yield, wafers, efforts.
+
+This package models everything the paper attributes to the foundry and the
+process roadmap (Sections 3 and 5): per-node parameters, the negative-
+binomial yield model (Eq. 6), wafer geometry with edge-die accounting, and
+the regression-fitted engineering-effort curves.
+"""
+
+from .database import ROADMAP, TechnologyDatabase, TAP_LATENCY_WEEKS
+from .density import DENSITY_MTR_PER_MM2, implied_die_area_mm2
+from .effort import (
+    ExponentialFit,
+    LinearFit,
+    LogLinearInterpolator,
+    engineering_weeks_to_calendar_weeks,
+    fit_exponential,
+    fit_linear,
+)
+from .learning import YieldLearningCurve, technology_at_maturity
+from .node import ProcessNode
+from .salvage import (
+    SalvageSpec,
+    binomial_tail,
+    expected_good_units,
+    salvage_gain,
+    salvage_yield,
+)
+from .validate import Finding, assert_clean, lint_database
+from .wafer import (
+    dies_per_wafer,
+    dies_per_wafer_simple,
+    good_dies_per_wafer,
+    wafer_area_mm2,
+    wafers_required,
+)
+from .yield_model import (
+    DEFAULT_ALPHA,
+    area_for_target_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    seeds_yield,
+)
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DENSITY_MTR_PER_MM2",
+    "ExponentialFit",
+    "Finding",
+    "LinearFit",
+    "LogLinearInterpolator",
+    "ProcessNode",
+    "ROADMAP",
+    "SalvageSpec",
+    "TAP_LATENCY_WEEKS",
+    "TechnologyDatabase",
+    "YieldLearningCurve",
+    "area_for_target_yield",
+    "assert_clean",
+    "binomial_tail",
+    "dies_per_wafer",
+    "dies_per_wafer_simple",
+    "engineering_weeks_to_calendar_weeks",
+    "expected_good_units",
+    "fit_exponential",
+    "fit_linear",
+    "good_dies_per_wafer",
+    "implied_die_area_mm2",
+    "lint_database",
+    "negative_binomial_yield",
+    "poisson_yield",
+    "salvage_gain",
+    "salvage_yield",
+    "seeds_yield",
+    "technology_at_maturity",
+    "wafer_area_mm2",
+    "wafers_required",
+]

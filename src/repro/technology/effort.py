@@ -1,0 +1,169 @@
+"""Engineering-effort curve fits (paper Sec. 5, "Methodology").
+
+The paper derives three per-node effort coefficients from published survey
+data (IBS verification/validation cost reports, the ITRS test-volume
+roadmap) plus the authors' own tapeout experience:
+
+* ``E_tapeout(p)`` — engineer-weeks per unique transistor. Grows
+  *exponentially* toward advanced nodes (design-rule complexity), fit with
+  an exponential regression.
+* ``E_package(p)`` — aggregate packaging-line weeks per chip and mm^2 of
+  die, also fit with an exponential regression over the node index.
+* ``E_testing(p)`` — aggregate test-line weeks per transistor tested, fit
+  with a *linear* regression over the feature size in nanometers.
+
+This module provides the generic fitting machinery (`ExponentialFit`,
+`LinearFit`) plus a monotone log-space interpolator used by the default
+database so that the curve passes *exactly* through the anchors recovered
+from the paper's published intermediate results (Tables 3 and 4); the
+global regression is exposed for analyses that prefer a strict
+two-parameter exponential.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..errors import CalibrationError, InvalidParameterError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = intercept + slope * x``."""
+
+    intercept: float
+    slope: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line at ``x``."""
+        return self.intercept + self.slope * x
+
+    def __call__(self, x: float) -> float:
+        return self.predict(x)
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """Least-squares exponential ``y = scale * exp(rate * x)``.
+
+    Fit in log space: ``ln y = ln scale + rate * x``, which is the standard
+    "exponential regression" the paper references.
+    """
+
+    scale: float
+    rate: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted exponential at ``x``."""
+        return self.scale * math.exp(self.rate * x)
+
+    def __call__(self, x: float) -> float:
+        return self.predict(x)
+
+    @property
+    def doubling_interval(self) -> float:
+        """Distance in ``x`` over which the fit doubles (infinite if flat)."""
+        if self.rate == 0.0:
+            return math.inf
+        return math.log(2.0) / self.rate
+
+
+def fit_linear(points: Sequence[Tuple[float, float]]) -> LinearFit:
+    """Ordinary least-squares line through ``(x, y)`` anchor points."""
+    if len(points) < 2:
+        raise CalibrationError("linear fit needs at least two points")
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    n = float(len(points))
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        raise CalibrationError("linear fit needs at least two distinct x values")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    return LinearFit(intercept=intercept, slope=slope)
+
+
+def fit_exponential(points: Sequence[Tuple[float, float]]) -> ExponentialFit:
+    """Least-squares exponential through positive ``(x, y)`` anchors."""
+    if len(points) < 2:
+        raise CalibrationError("exponential fit needs at least two points")
+    for x, y in points:
+        if y <= 0.0:
+            raise CalibrationError(
+                f"exponential fit requires positive y values, got {y!r} at x={x!r}"
+            )
+    log_points = [(x, math.log(y)) for x, y in points]
+    line = fit_linear(log_points)
+    return ExponentialFit(scale=math.exp(line.intercept), rate=line.slope)
+
+
+@dataclass(frozen=True)
+class LogLinearInterpolator:
+    """Piecewise log-linear curve through positive anchors.
+
+    Between anchors the curve is exponential (linear in log space); beyond
+    the ends it extrapolates with the slope of the nearest segment. This is
+    the "exponential spline" used by the default technology database: it is
+    exact at the calibration anchors recovered from the paper (Table 3/4
+    tapeout times) while remaining exponential in character everywhere.
+    """
+
+    xs: Tuple[float, ...]
+    log_ys: Tuple[float, ...]
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Tuple[float, float]]
+    ) -> "LogLinearInterpolator":
+        if len(points) < 2:
+            raise CalibrationError("interpolator needs at least two points")
+        ordered = sorted((float(x), float(y)) for x, y in points)
+        xs = tuple(x for x, _ in ordered)
+        if len(set(xs)) != len(xs):
+            raise CalibrationError("anchor x values must be distinct")
+        for x, y in ordered:
+            if y <= 0.0:
+                raise CalibrationError(
+                    f"anchors must have positive y, got {y!r} at x={x!r}"
+                )
+        log_ys = tuple(math.log(y) for _, y in ordered)
+        return cls(xs=xs, log_ys=log_ys)
+
+    def predict(self, x: float) -> float:
+        """Evaluate the interpolated/extrapolated curve at ``x``."""
+        xs, log_ys = self.xs, self.log_ys
+        if x <= xs[0]:
+            segment = (0, 1)
+        elif x >= xs[-1]:
+            segment = (len(xs) - 2, len(xs) - 1)
+        else:
+            hi = next(i for i, xv in enumerate(xs) if xv >= x)
+            segment = (hi - 1, hi)
+        i, j = segment
+        slope = (log_ys[j] - log_ys[i]) / (xs[j] - xs[i])
+        return math.exp(log_ys[i] + slope * (x - xs[i]))
+
+    def __call__(self, x: float) -> float:
+        return self.predict(x)
+
+
+def engineering_weeks_to_calendar_weeks(
+    engineer_weeks: float, engineers: int
+) -> float:
+    """Calendar time for a team of ``engineers`` to burn ``engineer_weeks``.
+
+    The paper converts total engineering-weeks to calendar weeks by assuming
+    a fixed team size (100 tapeout engineers in the A11 study, Sec. 6.2).
+    """
+    if engineers <= 0:
+        raise InvalidParameterError(f"team size must be positive, got {engineers}")
+    if engineer_weeks < 0.0:
+        raise InvalidParameterError(
+            f"engineering effort must be >= 0, got {engineer_weeks}"
+        )
+    return engineer_weeks / float(engineers)

@@ -1,0 +1,131 @@
+"""Yield learning curves: defect density falls as a process matures.
+
+The paper's background (Sec. 2.2, citing Cutress [27]) notes that "wafer
+yield is expected to increase the longer the process node is in
+production" — its evaluation freezes D0 at a current-conditions snapshot.
+This module adds the time axis with the standard exponential learning
+model used in yield engineering:
+
+    D0(t) = D0_mature + (D0_initial - D0_mature) * exp(-t / tau)
+
+with ``t`` in months since the node entered production. Combined with
+the TTM model it answers ramp-timing questions: a design that orders
+early pays low yield (more wafers, longer fabrication); one that waits
+pays the wait. :func:`optimal_entry_month` finds the delivery-optimal
+order time — typically *not* day one for large dies on young processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import math
+
+from ..errors import InvalidParameterError
+from .database import TechnologyDatabase
+
+
+@dataclass(frozen=True)
+class YieldLearningCurve:
+    """Exponential defect-density learning for one node.
+
+    Attributes
+    ----------
+    initial_d0:
+        Defect density (defects/cm^2) at production start (t = 0).
+    mature_d0:
+        Asymptotic defect density of the fully ramped process.
+    time_constant_months:
+        Learning time constant tau; ~63% of the gap closes per tau.
+    """
+
+    initial_d0: float
+    mature_d0: float
+    time_constant_months: float
+
+    def __post_init__(self) -> None:
+        if self.mature_d0 < 0.0:
+            raise InvalidParameterError(
+                f"mature D0 must be >= 0, got {self.mature_d0}"
+            )
+        if self.initial_d0 < self.mature_d0:
+            raise InvalidParameterError(
+                "initial D0 must be >= mature D0 (processes improve), got "
+                f"{self.initial_d0} < {self.mature_d0}"
+            )
+        if self.time_constant_months <= 0.0:
+            raise InvalidParameterError(
+                f"time constant must be positive, got {self.time_constant_months}"
+            )
+
+    def defect_density_at(self, months: float) -> float:
+        """D0 after ``months`` in production."""
+        if months < 0.0:
+            raise InvalidParameterError(f"months must be >= 0, got {months}")
+        gap = self.initial_d0 - self.mature_d0
+        return self.mature_d0 + gap * math.exp(
+            -months / self.time_constant_months
+        )
+
+    def months_to_reach(self, target_d0: float) -> float:
+        """Months until D0 first falls to ``target_d0``."""
+        if not self.mature_d0 < target_d0 <= self.initial_d0:
+            raise InvalidParameterError(
+                f"target D0 must be in ({self.mature_d0}, "
+                f"{self.initial_d0}], got {target_d0}"
+            )
+        gap = self.initial_d0 - self.mature_d0
+        return -self.time_constant_months * math.log(
+            (target_d0 - self.mature_d0) / gap
+        )
+
+
+def technology_at_maturity(
+    technology: TechnologyDatabase,
+    process: str,
+    curve: YieldLearningCurve,
+    months: float,
+) -> TechnologyDatabase:
+    """A database copy with one node's D0 set to its t-month value."""
+    return technology.override(
+        {process: {"defect_density_per_cm2": curve.defect_density_at(months)}}
+    )
+
+
+#: Weeks per month for the wait-vs-yield trade-off.
+_WEEKS_PER_MONTH = 365.25 / 7.0 / 12.0
+
+
+def delivery_week(
+    entry_month: float,
+    ttm_weeks_at: Callable[[float], float],
+) -> float:
+    """Calendar week the order completes if placed at ``entry_month``."""
+    if entry_month < 0.0:
+        raise InvalidParameterError(
+            f"entry month must be >= 0, got {entry_month}"
+        )
+    return entry_month * _WEEKS_PER_MONTH + ttm_weeks_at(entry_month)
+
+
+def optimal_entry_month(
+    ttm_weeks_at: Callable[[float], float],
+    candidate_months: Sequence[float],
+) -> Tuple[float, float]:
+    """(best entry month, its delivery week) over a candidate grid.
+
+    ``ttm_weeks_at`` maps an entry month to the TTM evaluated with the
+    process's D0 at that maturity; the optimum trades waiting against
+    the shrinking wafer overhead.
+    """
+    if not candidate_months:
+        raise InvalidParameterError("need at least one candidate month")
+    best_month = None
+    best_week = None
+    for month in candidate_months:
+        week = delivery_week(month, ttm_weeks_at)
+        if best_week is None or week < best_week:
+            best_month, best_week = month, week
+    assert best_month is not None and best_week is not None
+    return best_month, best_week

@@ -1,0 +1,145 @@
+"""Consistency linting for user-supplied technology databases.
+
+The paper's framework is explicitly meant for users to "plug in their
+values" (Sec. 5). Hand-entered node tables fail in predictable ways —
+densities that go *down* toward advanced nodes, efforts pasted in the
+wrong unit, a latency in days instead of weeks. :func:`lint_database`
+checks a :class:`~repro.technology.database.TechnologyDatabase` against
+the structural expectations the models rely on and returns human-readable
+findings, each tagged as an ``error`` (the models will mislead) or a
+``warning`` (unusual, but possibly intended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .database import TechnologyDatabase
+
+#: Finding severities.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: str
+    node: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.node}: {self.message}"
+
+
+def lint_database(technology: TechnologyDatabase) -> List[Finding]:
+    """Check a database for the invariants the models assume.
+
+    Checks, in roadmap order (older -> newer node):
+
+    * density must strictly increase (errors — area math inverts);
+    * tapeout effort should not decrease (error — Eq. 2's premise);
+    * fab latency should not decrease (warning);
+    * defect density should not *decrease* toward older nodes
+      (warning — mature processes are cleaner);
+    * wafer and mask costs should not decrease (warnings);
+    * per-node sanity ranges: latency 1-60 weeks, D0 below 5/cm^2,
+      density below 1000 MTr/mm^2, wafer diameter 100-450 mm (errors).
+    """
+    findings: List[Finding] = []
+    nodes = technology.nodes
+    for older, newer in zip(nodes, nodes[1:]):
+        if newer.density_mtr_per_mm2 <= older.density_mtr_per_mm2:
+            findings.append(
+                Finding(
+                    ERROR,
+                    newer.name,
+                    "transistor density does not increase over "
+                    f"{older.name} ({newer.density_mtr_per_mm2} <= "
+                    f"{older.density_mtr_per_mm2} MTr/mm^2)",
+                )
+            )
+        if newer.tapeout_effort < older.tapeout_effort:
+            findings.append(
+                Finding(
+                    ERROR,
+                    newer.name,
+                    "tapeout effort decreases toward the advanced node, "
+                    "contradicting the design-rule-complexity premise",
+                )
+            )
+        if newer.fab_latency_weeks < older.fab_latency_weeks:
+            findings.append(
+                Finding(
+                    WARNING,
+                    newer.name,
+                    f"fab latency shrinks vs {older.name}; advanced flows "
+                    "usually have more steps",
+                )
+            )
+        if newer.defect_density_per_cm2 < older.defect_density_per_cm2:
+            findings.append(
+                Finding(
+                    WARNING,
+                    older.name,
+                    "defect density is higher than on the newer "
+                    f"{newer.name}; mature nodes are usually cleaner",
+                )
+            )
+        if newer.wafer_cost_usd < older.wafer_cost_usd:
+            findings.append(
+                Finding(
+                    WARNING,
+                    newer.name,
+                    f"wafer cost drops below {older.name}'s",
+                )
+            )
+        if newer.mask_set_cost_usd < older.mask_set_cost_usd:
+            findings.append(
+                Finding(
+                    WARNING,
+                    newer.name,
+                    f"mask-set cost drops below {older.name}'s",
+                )
+            )
+    for node in nodes:
+        checks: Tuple[Tuple[bool, str], ...] = (
+            (
+                not 1.0 <= node.fab_latency_weeks <= 60.0,
+                f"fab latency {node.fab_latency_weeks} weeks is outside "
+                "1-60; is it in days?",
+            ),
+            (
+                node.defect_density_per_cm2 > 5.0,
+                f"defect density {node.defect_density_per_cm2}/cm^2 exceeds "
+                "5; is it per wafer?",
+            ),
+            (
+                node.density_mtr_per_mm2 > 1000.0,
+                f"density {node.density_mtr_per_mm2} MTr/mm^2 exceeds any "
+                "announced process; is it transistors/mm^2?",
+            ),
+            (
+                not 100.0 <= node.wafer_diameter_mm <= 450.0,
+                f"wafer diameter {node.wafer_diameter_mm} mm is outside "
+                "100-450; is it in inches?",
+            ),
+        )
+        for failed, message in checks:
+            if failed:
+                findings.append(Finding(ERROR, node.name, message))
+    return findings
+
+
+def assert_clean(technology: TechnologyDatabase) -> None:
+    """Raise ``ValueError`` if the database has any error-level finding."""
+    problems = [
+        finding
+        for finding in lint_database(technology)
+        if finding.severity == ERROR
+    ]
+    if problems:
+        details = "; ".join(str(finding) for finding in problems)
+        raise ValueError(f"technology database failed linting: {details}")

@@ -1,0 +1,131 @@
+"""Wafer geometry: gross dies per wafer and wafer demand.
+
+The paper computes the number of wafers as "the final number of chips
+multiplied by the die area divided by the wafer area", with partial edge
+dies accounted for (Sec. 5). Two standard gross-die estimators are
+provided:
+
+* ``dies_per_wafer_simple`` — plain area ratio. Reproduces the paper's
+  "43 dies per 300 mm wafer" example for a ~1650 mm^2 die.
+* ``dies_per_wafer`` — area ratio minus the circumference correction
+  ``pi * d / sqrt(2 * A)``, the widely used first-order edge-die model.
+
+The default model is the *simple* estimator, matching the paper's quoted
+example; the corrected estimator is available for ablation studies and is
+always less or equally optimistic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+from ..units import WAFER_AREA_MM2, WAFER_DIAMETER_MM
+
+
+def dies_per_wafer_simple(
+    die_area_mm2: float,
+    wafer_diameter_mm: float = WAFER_DIAMETER_MM,
+) -> float:
+    """Gross dies per wafer as the plain wafer-to-die area ratio.
+
+    Partial edge dies are "accounted for" by truncating the fractional die
+    (the returned value is continuous; callers floor it when they need an
+    integer count). Matches the paper's 250 nm example: a ~1650 mm^2 die on
+    a 300 mm wafer gives ~43 gross dies.
+    """
+    _validate(die_area_mm2, wafer_diameter_mm)
+    wafer_area = math.pi * (wafer_diameter_mm / 2.0) ** 2
+    return wafer_area / die_area_mm2
+
+
+def dies_per_wafer(
+    die_area_mm2: float,
+    wafer_diameter_mm: float = WAFER_DIAMETER_MM,
+) -> float:
+    """Gross dies per wafer with the first-order edge-die correction.
+
+        DPW = pi * (d/2)^2 / A  -  pi * d / sqrt(2 * A)
+
+    The subtracted term estimates dies lost on the circular edge. For dies
+    so large that the estimate goes non-positive the function returns 1.0 if
+    the die still physically fits on the wafer, else 0.0.
+    """
+    _validate(die_area_mm2, wafer_diameter_mm)
+    wafer_area = math.pi * (wafer_diameter_mm / 2.0) ** 2
+    estimate = wafer_area / die_area_mm2 - (
+        math.pi * wafer_diameter_mm / math.sqrt(2.0 * die_area_mm2)
+    )
+    if estimate >= 1.0:
+        return estimate
+    return 1.0 if die_area_mm2 <= wafer_area else 0.0
+
+
+def good_dies_per_wafer(
+    die_area_mm2: float,
+    die_yield: float,
+    wafer_diameter_mm: float = WAFER_DIAMETER_MM,
+    edge_corrected: bool = False,
+) -> float:
+    """Expected functional dies per wafer: gross dies times die yield."""
+    if not 0.0 <= die_yield <= 1.0:
+        raise InvalidParameterError(f"die yield must be in [0, 1], got {die_yield}")
+    gross = (
+        dies_per_wafer(die_area_mm2, wafer_diameter_mm)
+        if edge_corrected
+        else dies_per_wafer_simple(die_area_mm2, wafer_diameter_mm)
+    )
+    return gross * die_yield
+
+
+def wafers_required(
+    dies_needed: float,
+    die_area_mm2: float,
+    die_yield: float,
+    wafer_diameter_mm: float = WAFER_DIAMETER_MM,
+    edge_corrected: bool = False,
+) -> float:
+    """Wafers to order so that ``dies_needed`` good dies are expected.
+
+    Returns a continuous wafer count (the models treat wafer demand as a
+    rate; integer rounding is irrelevant at the paper's volumes and would
+    add spurious steps to the CAS derivative). Raises if the die cannot be
+    produced at all (die larger than the wafer, or zero yield).
+    """
+    if dies_needed < 0.0:
+        raise InvalidParameterError(f"dies needed must be >= 0, got {dies_needed}")
+    if dies_needed == 0.0:
+        return 0.0
+    good = good_dies_per_wafer(
+        die_area_mm2, die_yield, wafer_diameter_mm, edge_corrected
+    )
+    if good <= 0.0:
+        raise InvalidParameterError(
+            f"a {die_area_mm2:.0f} mm^2 die with yield {die_yield:.3f} "
+            "produces no good dies per wafer"
+        )
+    return dies_needed / good
+
+
+def wafer_area_mm2(wafer_diameter_mm: float = WAFER_DIAMETER_MM) -> float:
+    """Area of a circular wafer in mm^2."""
+    if wafer_diameter_mm <= 0.0:
+        raise InvalidParameterError(
+            f"wafer diameter must be positive, got {wafer_diameter_mm}"
+        )
+    return math.pi * (wafer_diameter_mm / 2.0) ** 2
+
+
+def _validate(die_area_mm2: float, wafer_diameter_mm: float) -> None:
+    if die_area_mm2 <= 0.0:
+        raise InvalidParameterError(
+            f"die area must be positive, got {die_area_mm2}"
+        )
+    if wafer_diameter_mm <= 0.0:
+        raise InvalidParameterError(
+            f"wafer diameter must be positive, got {wafer_diameter_mm}"
+        )
+
+
+#: Convenience constant mirroring :data:`repro.units.WAFER_AREA_MM2`.
+STANDARD_WAFER_AREA_MM2 = WAFER_AREA_MM2

@@ -1,0 +1,103 @@
+"""Negative-binomial die yield model (paper Eq. 6).
+
+    Y(A, p) = (1 + A * D0(p) / alpha) ** (-alpha)
+
+with die area ``A`` in cm^2, defect density ``D0`` in defects/cm^2 and
+cluster parameter ``alpha`` (the paper fixes alpha = 3 to model average
+defect clustering, citing Cunningham [26] and Stow et al. [111]).
+
+The limiting cases are well known and tested:
+
+* ``alpha -> inf`` recovers the Poisson model ``exp(-A * D0)``;
+* ``alpha = 1`` is the Seeds model ``1 / (1 + A * D0)``;
+* ``D0 = 0`` or ``A = 0`` gives perfect yield.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import InvalidParameterError
+from ..units import mm2_to_cm2
+
+#: Cluster parameter used throughout the paper's evaluation (Sec. 5).
+DEFAULT_ALPHA = 3.0
+
+
+def negative_binomial_yield(
+    area_mm2: float,
+    defect_density_per_cm2: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Expected fraction of functional dies, per Eq. 6.
+
+    Parameters
+    ----------
+    area_mm2:
+        Die area in mm^2 (converted to cm^2 internally, matching the units
+        of ``defect_density_per_cm2``).
+    defect_density_per_cm2:
+        D0 for the process node.
+    alpha:
+        Defect clustering parameter; the paper uses 3.
+
+    Returns
+    -------
+    float
+        Yield in (0, 1].
+    """
+    if area_mm2 < 0.0:
+        raise InvalidParameterError(f"die area must be >= 0, got {area_mm2}")
+    if defect_density_per_cm2 < 0.0:
+        raise InvalidParameterError(
+            f"defect density must be >= 0, got {defect_density_per_cm2}"
+        )
+    if alpha <= 0.0:
+        raise InvalidParameterError(f"alpha must be positive, got {alpha}")
+    mean_defects = mm2_to_cm2(area_mm2) * defect_density_per_cm2
+    return (1.0 + mean_defects / alpha) ** (-alpha)
+
+
+def poisson_yield(area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Poisson yield model, the alpha -> infinity limit of Eq. 6.
+
+    Provided for ablation: the negative-binomial model with finite alpha is
+    always more optimistic because clustered defects waste fewer dies.
+    """
+    if area_mm2 < 0.0:
+        raise InvalidParameterError(f"die area must be >= 0, got {area_mm2}")
+    if defect_density_per_cm2 < 0.0:
+        raise InvalidParameterError(
+            f"defect density must be >= 0, got {defect_density_per_cm2}"
+        )
+    return math.exp(-mm2_to_cm2(area_mm2) * defect_density_per_cm2)
+
+
+def seeds_yield(area_mm2: float, defect_density_per_cm2: float) -> float:
+    """Seeds yield model, the alpha = 1 special case of Eq. 6."""
+    return negative_binomial_yield(area_mm2, defect_density_per_cm2, alpha=1.0)
+
+
+def area_for_target_yield(
+    target_yield: float,
+    defect_density_per_cm2: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Invert Eq. 6: the die area (mm^2) that achieves ``target_yield``.
+
+    Useful for calibration (the paper quotes "48% die yield" for a 4.3 B
+    transistor chip at 250 nm, which pins down that node's implied area).
+    Raises for degenerate inputs (D0 = 0 means any area yields 100%).
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise InvalidParameterError(
+            f"target yield must be in (0, 1], got {target_yield}"
+        )
+    if defect_density_per_cm2 <= 0.0:
+        raise InvalidParameterError(
+            "defect density must be positive to invert the yield model"
+        )
+    if alpha <= 0.0:
+        raise InvalidParameterError(f"alpha must be positive, got {alpha}")
+    mean_defects = alpha * (target_yield ** (-1.0 / alpha) - 1.0)
+    return mean_defects / defect_density_per_cm2 * 100.0  # cm^2 -> mm^2

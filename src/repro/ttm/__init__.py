@@ -1,0 +1,39 @@
+"""Time-to-market model (paper Sec. 3): tapeout, fabrication, packaging."""
+
+from .fabrication import (
+    NodeFabrication,
+    die_wafer_demand,
+    fabrication_weeks,
+    node_fabrication,
+    wafer_demand_by_node,
+)
+from .model import DEFAULT_ENGINEERS, TTMModel
+from .packaging import PackagingBreakdown, packaging_breakdown, packaging_weeks
+from .result import NodeSchedule, TTMResult
+from .tapeout import (
+    design_tapeout_engineer_weeks,
+    die_tapeout_calendar_weeks,
+    die_tapeout_engineer_weeks,
+    node_tapeout_calendar_weeks,
+    sequential_tapeout_calendar_weeks,
+)
+
+__all__ = [
+    "DEFAULT_ENGINEERS",
+    "NodeFabrication",
+    "NodeSchedule",
+    "PackagingBreakdown",
+    "TTMModel",
+    "TTMResult",
+    "design_tapeout_engineer_weeks",
+    "die_tapeout_calendar_weeks",
+    "die_tapeout_engineer_weeks",
+    "die_wafer_demand",
+    "fabrication_weeks",
+    "node_fabrication",
+    "node_tapeout_calendar_weeks",
+    "packaging_breakdown",
+    "packaging_weeks",
+    "sequential_tapeout_calendar_weeks",
+    "wafer_demand_by_node",
+]

@@ -1,0 +1,124 @@
+"""Fabrication phase model (paper Sec. 3.3, Eqs. 3–5).
+
+The phase splits into a queuing stage (Eq. 4, from the foundry's quoted
+lead time) and a production stage (Eq. 5): wafer count over production
+rate, plus the node's pipeline latency L_fab. Wafer counts include the
+yield overhead — enough wafers are ordered that the *expected* number of
+good dies covers the order (Sec. 3.3).
+
+Die types sharing a node share that node's production rate: their wafer
+demands add before dividing by mu_W. Across nodes, fabrication proceeds in
+parallel and packaging waits for the slowest node (the max in Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..design.chip import ChipDesign
+from ..design.die import Die
+from ..errors import InvalidParameterError
+from ..market.foundry import Foundry
+from ..technology.node import ProcessNode
+from ..technology.wafer import wafers_required
+from ..technology.yield_model import DEFAULT_ALPHA
+
+
+@dataclass(frozen=True)
+class NodeFabrication:
+    """Fabrication-stage summary for one process node."""
+
+    process: str
+    wafers: float
+    queue_weeks: float
+    production_weeks: float
+    latency_weeks: float
+
+    @property
+    def total_weeks(self) -> float:
+        """Queue + production + latency (the per-node term in Eq. 3)."""
+        return self.queue_weeks + self.production_weeks + self.latency_weeks
+
+
+def die_wafer_demand(
+    die: Die,
+    node: ProcessNode,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+) -> float:
+    """Wafers to order for one die type: N_W(d, n, p) in Eq. 5."""
+    if n_chips < 0.0:
+        raise InvalidParameterError(f"chip count must be >= 0, got {n_chips}")
+    dies_needed = n_chips * die.count
+    return wafers_required(
+        dies_needed,
+        die.area_on(node),
+        die.yield_on(node, alpha=alpha),
+        wafer_diameter_mm=node.wafer_diameter_mm,
+        edge_corrected=edge_corrected,
+    )
+
+
+def wafer_demand_by_node(
+    design: ChipDesign,
+    foundry: Foundry,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+) -> Dict[str, float]:
+    """Total wafers ordered per node, across all die types on that node."""
+    demand: Dict[str, float] = {}
+    for die in design.dies:
+        node = foundry.node(die.process)
+        wafers = die_wafer_demand(
+            die, node, n_chips, alpha=alpha, edge_corrected=edge_corrected
+        )
+        demand[die.process] = demand.get(die.process, 0.0) + wafers
+    return demand
+
+
+def node_fabrication(
+    design: ChipDesign,
+    foundry: Foundry,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+) -> Tuple[NodeFabrication, ...]:
+    """Per-node fabrication stages (queue, production, latency).
+
+    Each node used by the design must currently be in production; the
+    foundry raises :class:`NodeUnavailableError` otherwise.
+    """
+    demand = wafer_demand_by_node(
+        design, foundry, n_chips, alpha=alpha, edge_corrected=edge_corrected
+    )
+    stages = []
+    for process, wafers in demand.items():
+        rate = foundry.wafer_rate_per_week(process)
+        node = foundry.node(process)
+        stages.append(
+            NodeFabrication(
+                process=process,
+                wafers=wafers,
+                queue_weeks=foundry.queue_weeks(process),
+                production_weeks=wafers / rate,
+                latency_weeks=node.fab_latency_weeks,
+            )
+        )
+    return tuple(stages)
+
+
+def fabrication_weeks(
+    design: ChipDesign,
+    foundry: Foundry,
+    n_chips: float,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+) -> float:
+    """T_fab (Eq. 3): the slowest node's queue + production + latency."""
+    stages = node_fabrication(
+        design, foundry, n_chips, alpha=alpha, edge_corrected=edge_corrected
+    )
+    return max(stage.total_weeks for stage in stages)

@@ -1,0 +1,191 @@
+"""The top-level time-to-market model (paper Eq. 1).
+
+:class:`TTMModel` composes the phase models into a single evaluation:
+
+    TTM = T_design+impl + T_tapeout + T_fabrication + T_package
+
+Two scheduling semantics are supported (see DESIGN.md):
+
+* ``"pipelined"`` (default): each node's dies move to fabrication as soon
+  as their tapeout finishes; packaging starts when the slowest node's dies
+  arrive. This matches the case-study narrative ("once the 12 nm I/O
+  design finishes its tapeout, it can move forward to the fabrication
+  phase independent of the 7 nm compute die", Sec. 6.5) and reduces to the
+  strict Eq. 1 sum for single-node designs.
+* ``"sequential"``: the strict Eq. 1 sum — tapeout effort across all nodes
+  is serialized on one team, then fabrication (Eq. 3 max), then packaging.
+  Provided for ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..market.foundry import Foundry
+from ..technology.database import TechnologyDatabase, TAP_LATENCY_WEEKS
+from ..technology.yield_model import DEFAULT_ALPHA
+from .fabrication import node_fabrication, wafer_demand_by_node
+from .packaging import packaging_breakdown
+from .result import NodeSchedule, TTMResult
+from .tapeout import node_tapeout_calendar_weeks, sequential_tapeout_calendar_weeks
+
+#: Team size used by the paper's A11 conversion (Sec. 6.2).
+DEFAULT_ENGINEERS = 100
+
+_SCHEDULES = ("pipelined", "sequential")
+
+
+@dataclass(frozen=True)
+class TTMModel:
+    """Evaluates TTM(c, d, n) for chip designs under market conditions.
+
+    Attributes
+    ----------
+    foundry:
+        Technology database + market conditions.
+    engineers:
+        Tapeout team size for the engineering-effort -> calendar-weeks
+        conversion (default 100, per the paper).
+    tap_latency_weeks:
+        L_TAP baseline (default 6 weeks for all nodes, per Sec. 5).
+    alpha:
+        Yield-model cluster parameter (default 3).
+    edge_corrected:
+        Use the edge-corrected dies-per-wafer estimator instead of the
+        paper's plain area ratio.
+    schedule:
+        ``"pipelined"`` or ``"sequential"`` (see module docstring).
+    block_parallel:
+        Tape out each die's blocks on independent teams (Sec. 6.2's
+        parallel reading) instead of serially on one team.
+    """
+
+    foundry: Foundry
+    engineers: int = DEFAULT_ENGINEERS
+    tap_latency_weeks: float = TAP_LATENCY_WEEKS
+    alpha: float = DEFAULT_ALPHA
+    edge_corrected: bool = False
+    schedule: str = "pipelined"
+    block_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        if self.engineers <= 0:
+            raise InvalidParameterError(
+                f"engineers must be positive, got {self.engineers}"
+            )
+        if self.schedule not in _SCHEDULES:
+            raise InvalidParameterError(
+                f"schedule must be one of {_SCHEDULES}, got {self.schedule!r}"
+            )
+
+    # -- Construction helpers ----------------------------------------------------
+
+    @classmethod
+    def nominal(
+        cls,
+        technology: Optional[TechnologyDatabase] = None,
+        **overrides: object,
+    ) -> "TTMModel":
+        """A model at full capacity with empty queues."""
+        return cls(foundry=Foundry.nominal(technology), **overrides)  # type: ignore[arg-type]
+
+    def with_foundry(self, foundry: Foundry) -> "TTMModel":
+        """This model pointed at a different foundry state."""
+        return TTMModel(
+            foundry=foundry,
+            engineers=self.engineers,
+            tap_latency_weeks=self.tap_latency_weeks,
+            alpha=self.alpha,
+            edge_corrected=self.edge_corrected,
+            schedule=self.schedule,
+            block_parallel=self.block_parallel,
+        )
+
+    def at_capacity(self, fraction: float) -> "TTMModel":
+        """This model with every node at ``fraction`` of max capacity."""
+        return self.with_foundry(self.foundry.at_capacity(fraction))
+
+    # -- Evaluation -----------------------------------------------------------------
+
+    def time_to_market(self, design: ChipDesign, n_chips: float) -> TTMResult:
+        """Full TTM breakdown for producing ``n_chips`` final chips."""
+        if n_chips <= 0.0:
+            raise InvalidParameterError(
+                f"number of final chips must be positive, got {n_chips}"
+            )
+        tapeout_by_node = node_tapeout_calendar_weeks(
+            design,
+            self.foundry.technology,
+            self.engineers,
+            block_parallel=self.block_parallel,
+        )
+        fabrication = {
+            stage.process: stage
+            for stage in node_fabrication(
+                design,
+                self.foundry,
+                n_chips,
+                alpha=self.alpha,
+                edge_corrected=self.edge_corrected,
+            )
+        }
+        packaging = packaging_breakdown(
+            design,
+            self.foundry.technology,
+            n_chips,
+            tap_latency_weeks=self.tap_latency_weeks,
+            alpha=self.alpha,
+        )
+
+        nodes: Dict[str, NodeSchedule] = {}
+        for process, stage in fabrication.items():
+            tapeout_weeks = tapeout_by_node.get(process, 0.0)
+            nodes[process] = NodeSchedule(
+                process=process,
+                tapeout_weeks=tapeout_weeks,
+                queue_weeks=stage.queue_weeks,
+                production_weeks=stage.production_weeks,
+                latency_weeks=stage.latency_weeks,
+                wafers=stage.wafers,
+                ready_weeks=tapeout_weeks + stage.total_weeks,
+            )
+
+        if self.schedule == "pipelined":
+            ready = max(node.ready_weeks for node in nodes.values())
+            tapeout_weeks = max(node.tapeout_weeks for node in nodes.values())
+            fabrication_weeks = ready - tapeout_weeks
+        else:
+            tapeout_weeks = sequential_tapeout_calendar_weeks(
+                design, self.foundry.technology, self.engineers
+            )
+            fabrication_weeks = max(
+                node.fabrication_weeks for node in nodes.values()
+            )
+
+        return TTMResult(
+            design=design.name,
+            n_chips=n_chips,
+            schedule=self.schedule,
+            design_weeks=design.design_weeks,
+            tapeout_weeks=tapeout_weeks,
+            fabrication_weeks=fabrication_weeks,
+            packaging_weeks=packaging.total_weeks,
+            nodes=nodes,
+        )
+
+    def total_weeks(self, design: ChipDesign, n_chips: float) -> float:
+        """Shorthand for ``time_to_market(...).total_weeks``."""
+        return self.time_to_market(design, n_chips).total_weeks
+
+    def wafer_demand(self, design: ChipDesign, n_chips: float) -> Dict[str, float]:
+        """Wafers ordered per node (inputs to the cost model and CAS)."""
+        return wafer_demand_by_node(
+            design,
+            self.foundry,
+            n_chips,
+            alpha=self.alpha,
+            edge_corrected=self.edge_corrected,
+        )

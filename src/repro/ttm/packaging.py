@@ -1,0 +1,102 @@
+"""Packaging phase model (paper Sec. 3.4, Eq. 7).
+
+    T_package = L_TAP
+              + sum_die (n * count / Y_die) * NTT_die * E_testing(p_die)
+              + n * sum_die count * A_die * E_package(p_die)
+
+The first term is the TAP line's baseline latency; the second is testing
+time — every fabricated die is tested and die-yield loss means more than
+``n`` dies flow through the testers; the third is assembly time, growing
+with die area (pin count) and with the number of dies per package
+(chiplet alignment effort, Sec. 3.4).
+
+The paper's Eq. 7 is written for a single die type; the sums generalize it
+to chiplets exactly as the Zen-2 case study requires. Passive interposers
+have NTT = 0, so they skip testing but still pay assembly area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase, TAP_LATENCY_WEEKS
+from ..technology.yield_model import DEFAULT_ALPHA
+
+
+@dataclass(frozen=True)
+class PackagingBreakdown:
+    """The three Eq. 7 terms, in weeks."""
+
+    latency_weeks: float
+    testing_weeks: float
+    assembly_weeks: float
+
+    @property
+    def total_weeks(self) -> float:
+        """T_package."""
+        return self.latency_weeks + self.testing_weeks + self.assembly_weeks
+
+
+def packaging_breakdown(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    n_chips: float,
+    tap_latency_weeks: float = TAP_LATENCY_WEEKS,
+    alpha: float = DEFAULT_ALPHA,
+) -> PackagingBreakdown:
+    """Evaluate Eq. 7 for a (possibly multi-die) design."""
+    if n_chips < 0.0:
+        raise InvalidParameterError(f"chip count must be >= 0, got {n_chips}")
+    if tap_latency_weeks < 0.0:
+        raise InvalidParameterError(
+            f"TAP latency must be >= 0, got {tap_latency_weeks}"
+        )
+    testing = 0.0
+    assembly = 0.0
+    for die in design.dies:
+        node = technology[die.process]
+        die_yield = die.yield_on(node, alpha=alpha)
+        dies_tested = n_chips * die.count / die_yield
+        testing += dies_tested * die.ntt * node.testing_effort
+        assembly += (
+            n_chips * die.count * die.area_on(node) * node.packaging_effort
+        )
+    return PackagingBreakdown(
+        latency_weeks=tap_latency_weeks,
+        testing_weeks=testing,
+        assembly_weeks=assembly,
+    )
+
+
+def packaging_weeks(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    n_chips: float,
+    tap_latency_weeks: float = TAP_LATENCY_WEEKS,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """T_package (Eq. 7) as a single number."""
+    return packaging_breakdown(
+        design, technology, n_chips, tap_latency_weeks, alpha
+    ).total_weeks
+
+
+def packaging_terms(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    n_chips: float,
+    tap_latency_weeks: float = TAP_LATENCY_WEEKS,
+    alpha: float = DEFAULT_ALPHA,
+) -> Tuple[float, float, float]:
+    """(latency, testing, assembly) weeks — convenience for tables."""
+    breakdown = packaging_breakdown(
+        design, technology, n_chips, tap_latency_weeks, alpha
+    )
+    return (
+        breakdown.latency_weeks,
+        breakdown.testing_weeks,
+        breakdown.assembly_weeks,
+    )

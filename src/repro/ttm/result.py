@@ -1,0 +1,119 @@
+"""Result types returned by the TTM model.
+
+These are plain frozen dataclasses so experiments can serialize, tabulate,
+and compare them without touching the model. All times are calendar weeks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class NodeSchedule:
+    """Per-process-node timeline of a design's creation.
+
+    Attributes
+    ----------
+    process:
+        Node name.
+    tapeout_weeks:
+        Calendar weeks the node's dies spend in the tapeout phase
+        (blocks in parallel, synchronized at the top level).
+    queue_weeks:
+        T_fab,queue (Eq. 4) under current conditions.
+    production_weeks:
+        Wafer production time N_W / mu_W (first term of Eq. 5).
+    latency_weeks:
+        Foundry assembly-line latency L_fab (second term of Eq. 5).
+    wafers:
+        Total wafers ordered on this node (all die types combined).
+    ready_weeks:
+        When this node's dies reach the packaging house, measured from
+        the start of tapeout (pipelined schedule).
+    """
+
+    process: str
+    tapeout_weeks: float
+    queue_weeks: float
+    production_weeks: float
+    latency_weeks: float
+    wafers: float
+    ready_weeks: float
+
+    @property
+    def fabrication_weeks(self) -> float:
+        """Queue + production + latency on this node."""
+        return self.queue_weeks + self.production_weeks + self.latency_weeks
+
+
+@dataclass(frozen=True)
+class TTMResult:
+    """Complete time-to-market breakdown for one (design, n) evaluation.
+
+    ``total_weeks`` is the headline TTM (Eq. 1). The phase fields are the
+    stacked components plotted in Fig. 7; per-node details live in
+    ``nodes`` keyed by process name.
+    """
+
+    design: str
+    n_chips: float
+    schedule: str
+    design_weeks: float
+    tapeout_weeks: float
+    fabrication_weeks: float
+    packaging_weeks: float
+    nodes: Mapping[str, NodeSchedule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "nodes", dict(self.nodes))
+
+    @property
+    def total_weeks(self) -> float:
+        """Time-to-market (Eq. 1)."""
+        return (
+            self.design_weeks
+            + self.tapeout_weeks
+            + self.fabrication_weeks
+            + self.packaging_weeks
+        )
+
+    @property
+    def supply_dependent_weeks(self) -> float:
+        """Fabrication + packaging: the phases downstream of tapeout.
+
+        CAS only differentiates these (Sec. 4): design and tapeout are
+        upstream of the production rate.
+        """
+        return self.fabrication_weeks + self.packaging_weeks
+
+    @property
+    def total_wafers(self) -> float:
+        """Wafers ordered across all nodes."""
+        return sum(node.wafers for node in self.nodes.values())
+
+    @property
+    def bottleneck_process(self) -> str:
+        """The node whose dies arrive at packaging last."""
+        return max(self.nodes.values(), key=lambda node: node.ready_weeks).process
+
+    def phase_breakdown(self) -> Tuple[Tuple[str, float], ...]:
+        """(phase, weeks) pairs in pipeline order, for tables and plots."""
+        return (
+            ("design", self.design_weeks),
+            ("tapeout", self.tapeout_weeks),
+            ("fabrication", self.fabrication_weeks),
+            ("packaging", self.packaging_weeks),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the headline numbers (for CSV-ish output)."""
+        return {
+            "design_weeks": self.design_weeks,
+            "tapeout_weeks": self.tapeout_weeks,
+            "fabrication_weeks": self.fabrication_weeks,
+            "packaging_weeks": self.packaging_weeks,
+            "total_weeks": self.total_weeks,
+            "total_wafers": self.total_wafers,
+        }

@@ -1,0 +1,109 @@
+"""Tapeout phase model (paper Sec. 3.2, Eq. 2).
+
+Engineering effort is ``NUT(d, p) * E_tapeout(p)`` engineer-weeks per node
+(Eq. 2). Calendar conversion divides by a fixed team size (100 engineers
+in the A11 study, Sec. 6.2). Two block-scheduling policies are supported:
+
+* **serial** (default): the team works through the die's unique blocks one
+  after another — calendar weeks = NUT_die * E / engineers. This is the
+  literal Eq. 2 reading and reproduces Table 4's tapeout columns.
+* **block-parallel**: every block gets its own full-size team and the
+  top-level integration runs after the slowest block —
+  calendar weeks = (max_block NUT + NUT_top) * E / engineers. This is the
+  Sec. 6.2 "each individual block can be done in parallel and then
+  synchronized for the top-level tapeout" reading.
+
+Pre-verified blocks (NUT = 0) contribute nothing under either policy —
+reuse is free, exactly the incentive the paper highlights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..design.chip import ChipDesign
+from ..design.die import Die
+from ..errors import InvalidParameterError
+from ..technology.database import TechnologyDatabase
+from ..technology.effort import engineering_weeks_to_calendar_weeks
+from ..technology.node import ProcessNode
+
+
+def die_tapeout_engineer_weeks(die: Die, node: ProcessNode) -> float:
+    """Total engineering effort for one die type, in engineer-weeks."""
+    _check(die, node)
+    return die.nut * node.tapeout_effort
+
+
+def die_tapeout_calendar_weeks(
+    die: Die,
+    node: ProcessNode,
+    engineers: int,
+    block_parallel: bool = False,
+) -> float:
+    """Calendar weeks for one die's tapeout.
+
+    Serial policy (default) burns the die's whole NUT on one team; the
+    block-parallel policy staffs each block independently and serializes
+    only the top-level integration after the slowest block.
+    """
+    _check(die, node)
+    if engineers <= 0:
+        raise InvalidParameterError(f"team size must be positive, got {engineers}")
+    if not die.blocks and die.top_level_transistors == 0.0:
+        return 0.0
+    if block_parallel:
+        slowest_block = max((block.nut for block in die.blocks), default=0.0)
+        nut = slowest_block + die.top_level_transistors
+    else:
+        nut = die.nut
+    return engineering_weeks_to_calendar_weeks(nut * node.tapeout_effort, engineers)
+
+
+def design_tapeout_engineer_weeks(
+    design: ChipDesign, technology: TechnologyDatabase
+) -> float:
+    """T_tapeout in engineer-weeks, exactly Eq. 2: sum over nodes."""
+    return sum(
+        nut * technology[process].tapeout_effort
+        for process, nut in design.nut_by_process().items()
+    )
+
+
+def node_tapeout_calendar_weeks(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineers: int,
+    block_parallel: bool = False,
+) -> Dict[str, float]:
+    """Per-node calendar tapeout time: slowest die on each node.
+
+    Dies on the same node are assumed to tape out in parallel (separate
+    teams per die type, as in the Zen-2 study where compute and I/O dies
+    proceed independently), so the node is ready when its slowest die is.
+    """
+    per_node: Dict[str, float] = {}
+    for die in design.dies:
+        node = technology[die.process]
+        weeks = die_tapeout_calendar_weeks(
+            die, node, engineers, block_parallel=block_parallel
+        )
+        per_node[die.process] = max(per_node.get(die.process, 0.0), weeks)
+    return per_node
+
+
+def sequential_tapeout_calendar_weeks(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineers: int,
+) -> float:
+    """Strict Eq. 1/2 reading: all tapeout effort serialized on one team."""
+    effort = design_tapeout_engineer_weeks(design, technology)
+    return engineering_weeks_to_calendar_weeks(effort, engineers)
+
+
+def _check(die: Die, node: ProcessNode) -> None:
+    if die.process != node.name:
+        raise InvalidParameterError(
+            f"die {die.name!r} targets {die.process!r}, got node {node.name!r}"
+        )

@@ -1,0 +1,81 @@
+"""Unit conventions and conversion helpers.
+
+The model quotes quantities in the same units as the paper:
+
+* time in **calendar weeks** (all TTM results, latencies),
+* engineering effort in **engineer-weeks**,
+* wafer production rates in **kilo-wafers per month** (Table 2) internally
+  converted to wafers/week,
+* areas in **mm^2** (die) and **cm^2** (defect densities, Eq. 6),
+* transistor counts in absolute transistors, densities in
+  **million transistors per mm^2** (MTr/mm^2),
+* money in **USD**.
+
+Keeping every conversion in one module prevents the classic
+kilo-wafers-vs-wafers and mm^2-vs-cm^2 mistakes from leaking into the model
+equations.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Average number of weeks per month (365.25 days / 7 days / 12 months).
+WEEKS_PER_MONTH = 365.25 / 7.0 / 12.0
+
+#: Working hours in one engineer-week (used only for reporting).
+HOURS_PER_ENGINEER_WEEK = 40.0
+
+#: Diameter of the standard wafer used throughout the evaluation (Sec. 5).
+WAFER_DIAMETER_MM = 300.0
+
+#: Usable area of a 300 mm wafer in mm^2.
+WAFER_AREA_MM2 = math.pi * (WAFER_DIAMETER_MM / 2.0) ** 2
+
+#: mm^2 in one cm^2 (defect densities are quoted per cm^2).
+MM2_PER_CM2 = 100.0
+
+#: Transistors represented by one "MTr" density unit.
+TRANSISTORS_PER_MTR = 1.0e6
+
+
+def kwpm_to_wafers_per_week(kilo_wafers_per_month: float) -> float:
+    """Convert a Table-2 style rate (kWafers/month) to wafers/week."""
+    return kilo_wafers_per_month * 1000.0 / WEEKS_PER_MONTH
+
+
+def wafers_per_week_to_kwpm(wafers_per_week: float) -> float:
+    """Convert wafers/week back to kilo-wafers/month (for reporting)."""
+    return wafers_per_week * WEEKS_PER_MONTH / 1000.0
+
+
+def mm2_to_cm2(area_mm2: float) -> float:
+    """Convert mm^2 to cm^2 (Eq. 6 evaluates die area in cm^2)."""
+    return area_mm2 / MM2_PER_CM2
+
+
+def transistors_to_area_mm2(transistors: float, density_mtr_per_mm2: float) -> float:
+    """Die area implied by a transistor count at a given density."""
+    if density_mtr_per_mm2 <= 0.0:
+        raise ValueError("transistor density must be positive")
+    return transistors / (density_mtr_per_mm2 * TRANSISTORS_PER_MTR)
+
+
+def weeks_to_engineer_hours(weeks: float, engineers: int) -> float:
+    """Calendar weeks of an `engineers`-strong team, in engineer-hours."""
+    return weeks * engineers * HOURS_PER_ENGINEER_WEEK
+
+
+def format_weeks(weeks: float) -> str:
+    """Human-readable week count, e.g. ``'24.8 weeks'``."""
+    return f"{weeks:.1f} weeks"
+
+
+def format_usd(amount: float) -> str:
+    """Human-readable USD amount with automatic K/M/B scaling."""
+    sign = "-" if amount < 0 else ""
+    value = abs(amount)
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if value >= threshold:
+            return f"{sign}${value / threshold:.2f}{suffix}"
+    return f"{sign}${value:.2f}"

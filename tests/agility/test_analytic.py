@@ -1,0 +1,92 @@
+"""Tests for the closed-form CAS cross-check."""
+
+import pytest
+
+from repro.agility.analytic import (
+    analytic_cas,
+    queue_cas_penalty,
+    single_node_cas,
+)
+from repro.agility.cas import chip_agility_score
+from repro.design.library.a11 import a11
+from repro.design.library.zen2 import zen2
+from repro.errors import InvalidParameterError
+from repro.market.conditions import MarketConditions
+
+
+class TestClosedForm:
+    def test_formula(self):
+        assert single_node_cas(100.0, 500.0) == pytest.approx(20.0)
+
+    def test_backlog_in_denominator(self):
+        assert single_node_cas(100.0, 500.0, wafers_ahead=500.0) == (
+            pytest.approx(10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            single_node_cas(0.0, 100.0)
+        with pytest.raises(InvalidParameterError):
+            single_node_cas(100.0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            single_node_cas(100.0, 0.0, 0.0)
+
+
+class TestNumericAgreement:
+    @pytest.mark.parametrize("process", ["40nm", "28nm", "14nm", "7nm", "5nm"])
+    def test_matches_numeric_cas(self, model, process):
+        design = a11(process)
+        numeric = chip_agility_score(model, design, 10e6).cas
+        closed = analytic_cas(model, design, 10e6)
+        assert closed == pytest.approx(numeric, rel=2e-3)
+
+    def test_matches_numeric_under_reduced_capacity(self, model):
+        design = a11("7nm")
+        swept = model.at_capacity(0.4)
+        numeric = chip_agility_score(swept, design, 10e6).cas
+        closed = analytic_cas(swept, design, 10e6)
+        assert closed == pytest.approx(numeric, rel=2e-3)
+
+    def test_matches_numeric_with_queue(self, model):
+        design = a11("7nm")
+        conditions = MarketConditions.nominal().with_queue("7nm", 1.0)
+        queued = model.with_foundry(model.foundry.with_conditions(conditions))
+        numeric = chip_agility_score(queued, design, 10e6).cas
+        closed = analytic_cas(queued, design, 10e6)
+        assert closed == pytest.approx(numeric, rel=2e-3)
+
+    def test_rejects_multi_node_designs(self, model):
+        with pytest.raises(InvalidParameterError):
+            analytic_cas(model, zen2(), 10e6)
+
+    def test_explicit_capacity_fraction(self, model):
+        design = a11("7nm")
+        assert analytic_cas(model, design, 10e6, capacity_fraction=0.5) == (
+            pytest.approx(analytic_cas(model.at_capacity(0.5), design, 10e6))
+        )
+
+
+class TestQueuePenalty:
+    def test_formula(self):
+        assert queue_cas_penalty(1000.0, 1000.0) == pytest.approx(0.5)
+        assert queue_cas_penalty(1000.0, 0.0) == 0.0
+
+    def test_explains_fig12_severity(self, model):
+        """The measured Fig. 12 one-week drop equals the closed form."""
+        design = a11("7nm")
+        wafers = model.wafer_demand(design, 10e6)["7nm"]
+        rate = model.foundry.technology["7nm"].max_wafer_rate_per_week
+        predicted = queue_cas_penalty(wafers, 1.0 * rate)
+        base = chip_agility_score(model, design, 10e6).cas
+        conditions = MarketConditions.nominal().with_queue("7nm", 1.0)
+        queued_model = model.with_foundry(
+            model.foundry.with_conditions(conditions)
+        )
+        measured = 1.0 - chip_agility_score(queued_model, design, 10e6).cas / base
+        assert measured == pytest.approx(predicted, rel=1e-2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            queue_cas_penalty(0.0, 10.0)
+        with pytest.raises(InvalidParameterError):
+            queue_cas_penalty(10.0, -1.0)

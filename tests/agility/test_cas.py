@@ -1,0 +1,116 @@
+"""Tests for the Chip Agility Score (Eq. 8)."""
+
+import pytest
+
+from repro.agility.cas import cas_curve, chip_agility_score, ttm_curve
+from repro.design.library.a11 import a11
+from repro.design.library.generic import monolithic_design
+from repro.design.library.zen2 import zen2, zen2_monolithic
+from repro.errors import InvalidParameterError
+from repro.market.conditions import MarketConditions
+from repro.ttm.model import TTMModel
+
+
+class TestAnalyticAgreement:
+    def test_single_node_matches_closed_form(self, model):
+        """For one node with no queue, |dTTM/dmu| = N_W / mu^2 exactly."""
+        design = a11("7nm")
+        n_chips = 10e6
+        result = chip_agility_score(model, design, n_chips)
+        wafers = model.wafer_demand(design, n_chips)["7nm"]
+        rate = model.foundry.wafer_rate_per_week("7nm")
+        assert result.cas == pytest.approx(rate**2 / wafers, rel=1e-3)
+
+    def test_queue_adds_backlog_sensitivity(self, model, db):
+        """With a quote, |dTTM/dmu| = (N_ahead + N_W) / mu^2."""
+        design = a11("7nm")
+        n_chips = 10e6
+        conditions = MarketConditions.nominal().with_queue("7nm", 1.0)
+        queued = model.with_foundry(model.foundry.with_conditions(conditions))
+        result = chip_agility_score(queued, design, n_chips)
+        rate = db["7nm"].max_wafer_rate_per_week
+        wafers = model.wafer_demand(design, n_chips)["7nm"]
+        expected = rate**2 / (wafers + 1.0 * rate)
+        assert result.cas == pytest.approx(expected, rel=1e-3)
+
+    def test_queue_strictly_reduces_cas(self, model):
+        design = a11("7nm")
+        base = chip_agility_score(model, design, 10e6).cas
+        conditions = MarketConditions.nominal().with_queue("7nm", 1.0)
+        queued = model.with_foundry(model.foundry.with_conditions(conditions))
+        assert chip_agility_score(queued, design, 10e6).cas < base
+
+
+class TestPaperOrdering:
+    def test_fig9_ranking_at_full_capacity(self, model):
+        """7nm highest; 14nm above 5nm; 40nm lowest (Sec. 6.2)."""
+        scores = {
+            p: chip_agility_score(model, a11(p), 10e6).cas
+            for p in ("40nm", "28nm", "14nm", "7nm", "5nm")
+        }
+        assert scores["7nm"] == max(scores.values())
+        assert scores["14nm"] > scores["5nm"]
+        assert scores["40nm"] == min(scores.values())
+
+    def test_chiplets_more_agile_than_monolithic(self, model):
+        """Sec. 6.5 / abstract: chiplets beat monolithic equivalents."""
+        chiplet = chip_agility_score(model, zen2("7nm", "7nm"), 50e6).cas
+        mono = chip_agility_score(model, zen2_monolithic("7nm"), 50e6).cas
+        assert chiplet > mono
+
+    def test_mixed_process_most_agile_at_full_capacity(self, model):
+        mixed = chip_agility_score(model, zen2(), 50e6).cas
+        single = chip_agility_score(model, zen2("7nm", "7nm"), 50e6).cas
+        assert mixed > single
+
+    def test_mixed_gain_in_paper_band(self, model):
+        """Abstract: mixed-process chiplets 24%-51% more agile."""
+        mixed = chip_agility_score(model, zen2(), 50e6).cas
+        chiplet = chip_agility_score(model, zen2("7nm", "7nm"), 50e6).cas
+        mono = chip_agility_score(model, zen2_monolithic("7nm"), 50e6).cas
+        assert 1.1 < mixed / chiplet < 1.6
+        assert 1.2 < mixed / mono < 1.8
+
+
+class TestCurves:
+    def test_cas_falls_as_capacity_drops(self, model):
+        fractions = (0.25, 0.5, 0.75, 1.0)
+        curve = cas_curve(model, a11("7nm"), 10e6, fractions)
+        values = [result.cas for _, result in curve]
+        assert values == sorted(values)
+
+    def test_ttm_rises_as_capacity_drops(self, model):
+        fractions = (0.25, 0.5, 0.75, 1.0)
+        curve = ttm_curve(model, a11("7nm"), 10e6, fractions)
+        values = [weeks for _, weeks in curve]
+        assert values == sorted(values, reverse=True)
+
+    def test_quadratic_capacity_scaling(self, model):
+        """CAS ~ (f * mu)^2 / N_W for a single unqueued node."""
+        curve = dict(
+            (f, r.cas) for f, r in cas_curve(model, a11("7nm"), 10e6, (0.5, 1.0))
+        )
+        assert curve[1.0] / curve[0.5] == pytest.approx(4.0, rel=0.01)
+
+    def test_zero_fraction_rejected(self, model):
+        with pytest.raises(InvalidParameterError):
+            cas_curve(model, a11("7nm"), 10e6, (0.0, 1.0))
+        with pytest.raises(InvalidParameterError):
+            ttm_curve(model, a11("7nm"), 10e6, (0.0, 1.0))
+
+
+class TestResultType:
+    def test_sensitivity_per_node(self, model):
+        result = chip_agility_score(model, zen2(), 50e6)
+        assert set(result.sensitivity) == {"7nm", "14nm"}
+        assert result.dominant_process in {"7nm", "14nm"}
+
+    def test_normalized_unit_scale(self, model):
+        result = chip_agility_score(model, a11("7nm"), 10e6)
+        assert result.normalized == pytest.approx(result.cas / 1000.0)
+
+    def test_volume_matters(self, model):
+        """CAS must be evaluated at a volume: more chips -> less agile."""
+        small = chip_agility_score(model, a11("7nm"), 1e6).cas
+        large = chip_agility_score(model, a11("7nm"), 100e6).cas
+        assert large < small

@@ -1,0 +1,59 @@
+"""Tests for the numeric differentiation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.agility.derivative import central_difference, ttm_rate_sensitivity
+from repro.errors import InvalidParameterError
+
+
+class TestCentralDifference:
+    def test_exact_on_linear(self):
+        assert central_difference(lambda x: 3.0 * x + 1.0, 5.0, 0.1) == (
+            pytest.approx(3.0)
+        )
+
+    def test_exact_on_quadratic(self):
+        """Central differences are exact for quadratics."""
+        assert central_difference(lambda x: x * x, 4.0, 0.5) == pytest.approx(8.0)
+
+    def test_blends_slopes_at_a_kink(self):
+        """At a max() kink the estimate is the average of the sides."""
+        kinked = lambda x: max(2.0 * x, 10.0)  # noqa: E731
+        assert central_difference(kinked, 5.0, 1.0) == pytest.approx(1.0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            central_difference(lambda x: x, 1.0, 0.0)
+
+    @given(
+        slope=st.floats(min_value=-100.0, max_value=100.0),
+        at=st.floats(min_value=-10.0, max_value=10.0),
+    )
+    def test_recovers_arbitrary_slopes(self, slope, at):
+        estimate = central_difference(lambda x: slope * x, at, 0.01)
+        assert estimate == pytest.approx(slope, abs=1e-6)
+
+
+class TestRateSensitivity:
+    def test_inverse_rate_model(self):
+        """TTM = W/mu has |dTTM/dmu| = W/mu^2."""
+        wafers = 5000.0
+        rate = 100.0
+        sensitivity = ttm_rate_sensitivity(lambda mu: wafers / mu, rate)
+        assert sensitivity == pytest.approx(wafers / rate**2, rel=1e-4)
+
+    def test_absolute_value_taken(self):
+        sensitivity = ttm_rate_sensitivity(lambda mu: -2.0 * mu, 10.0)
+        assert sensitivity == pytest.approx(2.0, rel=1e-6)
+
+    def test_flat_function_has_zero_sensitivity(self):
+        assert ttm_rate_sensitivity(lambda mu: 42.0, 10.0) == 0.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ttm_rate_sensitivity(lambda mu: mu, 0.0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ttm_rate_sensitivity(lambda mu: mu, 1.0, relative_step=1.5)

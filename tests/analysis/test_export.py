@@ -1,0 +1,84 @@
+"""Tests for JSON export of experiment results."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.export import to_json, to_jsonable
+from repro.errors import InvalidParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class _Inner:
+    value: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _Outer:
+    name: str
+    inner: _Inner
+    series: tuple
+    mapping: dict
+
+
+class TestToJsonable:
+    def test_nested_dataclasses(self):
+        outer = _Outer(
+            name="x",
+            inner=_Inner(1.5),
+            series=(1, 2),
+            mapping={"a": _Inner(2.0)},
+        )
+        data = to_jsonable(outer)
+        assert data == {
+            "name": "x",
+            "inner": {"value": 1.5},
+            "series": [1, 2],
+            "mapping": {"a": {"value": 2.0}},
+        }
+
+    def test_tuple_keys_flattened(self):
+        assert to_jsonable({("28nm", 1e6): 3.0}) == {"28nm|1000000.0": 3.0}
+
+    def test_numeric_keys_stringified(self):
+        assert to_jsonable({0.1: "a"}) == {"0.1": "a"}
+
+    def test_unknown_objects_stringified(self):
+        class Weird:
+            def __repr__(self):
+                return "weird!"
+
+        assert to_jsonable(Weird()) == "weird!"
+
+    def test_primitives_pass_through(self):
+        assert to_jsonable(None) is None
+        assert to_jsonable(True) is True
+
+
+class TestToJson:
+    def test_valid_json(self):
+        text = to_json(_Outer("x", _Inner(1.0), (1,), {}))
+        assert json.loads(text)["name"] == "x"
+
+    def test_indent_validation(self):
+        with pytest.raises(InvalidParameterError):
+            to_json({"a": 1}, indent=-1)
+
+
+class TestExperimentExport:
+    def test_real_result_exports(self):
+        """A full experiment result survives the JSON round trip."""
+        from repro.experiments import table4_zen2_dies
+
+        result = table4_zen2_dies.run()
+        data = json.loads(to_json(result))
+        assert len(data["rows"]) == 4
+        assert data["rows"][0]["die"] == "compute"
+
+    def test_cli_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "table4", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "rows" in data

@@ -1,0 +1,59 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+
+from repro.analysis.pareto import dominates, knee_point, pareto_front
+from repro.errors import InvalidParameterError
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((2.0, 2.0), (1.0, 1.0), (True, True))
+
+    def test_better_on_one_axis_equal_elsewhere(self):
+        assert dominates((2.0, 1.0), (1.0, 1.0), (True, True))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0), (True, True))
+
+    def test_tradeoffs_do_not_dominate(self):
+        assert not dominates((2.0, 0.0), (1.0, 1.0), (True, True))
+
+    def test_minimize_direction(self):
+        assert dominates((1.0,), (2.0,), (False,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dominates((1.0,), (1.0, 2.0), (True, True))
+
+
+class TestParetoFront:
+    POINTS = [(1.0, 5.0), (2.0, 4.0), (3.0, 1.0), (2.0, 2.0), (0.5, 0.5)]
+
+    def test_non_dominated_subset(self):
+        front = pareto_front(
+            self.POINTS, objectives=lambda p: p, maximize=(True, True)
+        )
+        assert set(front) == {(1.0, 5.0), (2.0, 4.0), (3.0, 1.0)}
+
+    def test_empty_input(self):
+        assert pareto_front([], objectives=lambda p: p, maximize=(True,)) == []
+
+    def test_single_point_is_its_own_front(self):
+        assert pareto_front(
+            [(1.0, 1.0)], objectives=lambda p: p, maximize=(True, True)
+        ) == [(1.0, 1.0)]
+
+
+class TestKneePoint:
+    def test_balanced_point_wins(self):
+        points = [(1.0, 0.1), (0.7, 0.7), (0.1, 1.0)]
+        assert knee_point(points, objectives=lambda p: p) == (0.7, 0.7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            knee_point([], objectives=lambda p: p)
+
+    def test_non_positive_objectives_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            knee_point([(0.0, 0.0)], objectives=lambda p: p)

@@ -1,0 +1,48 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, format_table
+from repro.errors import InvalidParameterError
+
+
+class TestFormatCell:
+    def test_strings_pass_through(self):
+        assert format_cell("28nm") == "28nm"
+
+    def test_integers_unchanged(self):
+        assert format_cell(42) == "42"
+
+    def test_small_floats_rounded(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_large_floats_compact(self):
+        assert format_cell(1234567.0) == "1.23e+06"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_bools_render_as_words(self):
+        assert format_cell(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        table = format_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        # All lines share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            format_table([], [])
+
+    def test_empty_body_allowed(self):
+        table = format_table(["a"], [])
+        assert "a" in table

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite.
+
+Session-scoped fixtures hold the (immutable) default database and models
+so hundreds of tests don't rebuild them; all of these objects are frozen
+dataclasses, so sharing is safe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CostModel, TTMModel
+from repro.market.foundry import Foundry
+from repro.technology.database import TechnologyDatabase
+
+
+@pytest.fixture(scope="session")
+def db() -> TechnologyDatabase:
+    """The default twelve-node technology database."""
+    return TechnologyDatabase.default()
+
+
+@pytest.fixture(scope="session")
+def foundry(db: TechnologyDatabase) -> Foundry:
+    """A nominal foundry (full capacity, empty queues)."""
+    return Foundry.nominal(db)
+
+
+@pytest.fixture(scope="session")
+def model(foundry: Foundry) -> TTMModel:
+    """The default TTM model under nominal conditions."""
+    return TTMModel(foundry=foundry)
+
+
+@pytest.fixture(scope="session")
+def cost_model(db: TechnologyDatabase) -> CostModel:
+    """The default cost model."""
+    return CostModel(technology=db)

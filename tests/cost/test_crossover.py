@@ -1,0 +1,89 @@
+"""Tests for cost/TTM crossover volumes."""
+
+import pytest
+
+from repro.cost.crossover import cost_crossover_volume, ttm_crossover_volume
+from repro.design.library.a11 import a11
+from repro.errors import InvalidParameterError
+
+
+class TestCostCrossover:
+    def test_a11_legacy_vs_advanced_crossover_exists(self, cost_model):
+        """180 nm's tiny NRE wins small runs; 7 nm's dense silicon wins
+        at volume — the curves must cross in between."""
+        crossover = cost_crossover_volume(a11, "180nm", "7nm", cost_model)
+        assert crossover is not None
+        assert 1e3 < crossover < 1e8
+
+    def test_sides_of_the_crossover(self, cost_model):
+        crossover = cost_crossover_volume(a11, "180nm", "7nm", cost_model)
+        low = crossover / 10
+        high = crossover * 10
+        assert cost_model.total_usd(a11("180nm"), low) < cost_model.total_usd(
+            a11("7nm"), low
+        )
+        assert cost_model.total_usd(a11("180nm"), high) > cost_model.total_usd(
+            a11("7nm"), high
+        )
+
+    def test_costs_equal_at_the_crossover(self, cost_model):
+        crossover = cost_crossover_volume(a11, "180nm", "7nm", cost_model)
+        entry = cost_model.total_usd(a11("180nm"), crossover)
+        silicon = cost_model.total_usd(a11("7nm"), crossover)
+        assert entry == pytest.approx(silicon, rel=1e-3)
+
+    def test_dominated_range_returns_none(self, cost_model):
+        """Above a few million units, 14 nm dominates 90 nm on cost —
+        no crossover exists inside a mass-production-only range."""
+        assert cost_crossover_volume(
+            a11, "90nm", "14nm", cost_model, min_chips=5e6, max_chips=1e9
+        ) is None
+
+    def test_every_legacy_advanced_pair_crosses_somewhere(self, cost_model):
+        """NRE-vs-silicon economics guarantee a crossover for any
+        legacy/advanced pairing over the full volume span."""
+        for legacy, advanced in (("250nm", "28nm"), ("90nm", "14nm")):
+            assert cost_crossover_volume(
+                a11, legacy, advanced, cost_model
+            ) is not None
+
+    def test_validation(self, cost_model):
+        with pytest.raises(InvalidParameterError):
+            cost_crossover_volume(
+                a11, "180nm", "7nm", cost_model, min_chips=10.0, max_chips=1.0
+            )
+
+
+class TestTTMCrossover:
+    def test_fig10_style_walk(self, model):
+        """180 nm is faster for small A11 runs, 28 nm for mass production;
+        the crossover sits where Fig. 10's blue outline jumps."""
+        crossover = ttm_crossover_volume(a11, "180nm", "28nm", model)
+        assert crossover is not None
+        assert model.total_weeks(a11("180nm"), crossover / 10) < (
+            model.total_weeks(a11("28nm"), crossover / 10)
+        )
+        assert model.total_weeks(a11("180nm"), crossover * 10) > (
+            model.total_weeks(a11("28nm"), crossover * 10)
+        )
+
+    def test_crossover_consistent_with_fig10_rows(self, model):
+        """Fig. 10: 40 nm is fastest at 1 M, 28 nm by 10 M — so the
+        40/28 crossover lies between those volumes."""
+        crossover = ttm_crossover_volume(a11, "40nm", "28nm", model)
+        assert crossover is not None
+        assert 1e5 < crossover < 1e7
+
+    def test_dominated_range_returns_none(self, model):
+        """28 nm beats 5 nm on A11 TTM everywhere below 10 M units —
+        no crossover exists inside that range."""
+        assert ttm_crossover_volume(
+            a11, "5nm", "28nm", model, max_chips=1e7
+        ) is None
+
+    def test_even_5nm_wins_at_extreme_volume(self, model):
+        """Fig. 10's trend taken further: by ~10^9 units 5 nm's density
+        out-runs 28 nm's wafer rate, so the full range does cross."""
+        crossover = ttm_crossover_volume(a11, "28nm", "5nm", model)
+        assert crossover is not None
+        assert crossover > 1e7

@@ -1,0 +1,71 @@
+"""Tests for recurring manufacturing costs."""
+
+import pytest
+
+from repro.cost.manufacturing import manufacturing_cost, wafer_demand
+from repro.design.library.a11 import a11
+from repro.design.library.zen2 import interposer_die, zen2
+from repro.errors import InvalidParameterError
+from repro.ttm.fabrication import wafer_demand_by_node
+
+
+class TestWaferDemand:
+    def test_matches_ttm_model_demand(self, db, foundry):
+        """Cost and TTM must bill/schedule the same wafer counts."""
+        design = a11("28nm")
+        cost_side = wafer_demand(design, db, 10e6)
+        ttm_side = wafer_demand_by_node(design, foundry, 10e6)
+        assert cost_side.keys() == ttm_side.keys()
+        for process in cost_side:
+            assert cost_side[process] == pytest.approx(ttm_side[process])
+
+    def test_zero_volume_zero_wafers(self, db):
+        demand = wafer_demand(a11("28nm"), db, 0.0)
+        assert demand["28nm"] == 0.0
+
+    def test_negative_volume_rejected(self, db):
+        with pytest.raises(InvalidParameterError):
+            wafer_demand(a11("28nm"), db, -1.0)
+
+
+class TestManufacturingCost:
+    def test_wafer_spend_prices_demand(self, db):
+        design = a11("28nm")
+        breakdown = manufacturing_cost(design, db, 10e6)
+        demand = wafer_demand(design, db, 10e6)
+        assert breakdown.wafer_usd == pytest.approx(
+            demand["28nm"] * db["28nm"].wafer_cost_usd
+        )
+
+    def test_total_is_sum(self, db):
+        breakdown = manufacturing_cost(a11("28nm"), db, 10e6)
+        assert breakdown.total_usd == pytest.approx(
+            breakdown.wafer_usd + breakdown.testing_usd + breakdown.packaging_usd
+        )
+
+    def test_packaging_counts_every_die(self, db):
+        base = zen2()  # 3 dies per package
+        with_interposer = base.with_die(interposer_die(273.0))
+        plain = manufacturing_cost(base, db, 1e6)
+        loaded = manufacturing_cost(with_interposer, db, 1e6)
+        assert loaded.packaging_usd > plain.packaging_usd
+
+    def test_passive_die_free_to_test(self, db):
+        base = zen2()
+        with_interposer = base.with_die(interposer_die(273.0))
+        plain = manufacturing_cost(base, db, 1e6)
+        loaded = manufacturing_cost(with_interposer, db, 1e6)
+        assert loaded.testing_usd == pytest.approx(plain.testing_usd)
+
+    def test_legacy_wafer_spend_dominates(self, db):
+        """Fig. 7's cost story: legacy re-release buys far more wafers."""
+        legacy = manufacturing_cost(a11("250nm"), db, 10e6)
+        advanced = manufacturing_cost(a11("7nm"), db, 10e6)
+        assert legacy.wafer_usd > 4 * advanced.wafer_usd
+
+    def test_custom_coefficients(self, db):
+        base = manufacturing_cost(a11("28nm"), db, 1e6)
+        doubled = manufacturing_cost(
+            a11("28nm"), db, 1e6, package_base_usd=12.0
+        )
+        assert doubled.packaging_usd > base.packaging_usd

@@ -1,0 +1,88 @@
+"""Tests for the top-level cost model."""
+
+import pytest
+
+from repro.cost.manufacturing import manufacturing_cost
+from repro.cost.model import CostModel
+from repro.cost.nre import design_nre
+from repro.design.library.a11 import a11
+from repro.design.library.zen2 import zen2, zen2_monolithic
+from repro.errors import InvalidParameterError
+
+
+class TestComposition:
+    def test_total_is_nre_plus_manufacturing(self, cost_model, db):
+        design = a11("28nm")
+        result = cost_model.chip_creation_cost(design, 10e6)
+        assert result.nre_usd == pytest.approx(design_nre(design, db).total_usd)
+        assert result.manufacturing_usd == pytest.approx(
+            manufacturing_cost(design, db, 10e6).total_usd
+        )
+        assert result.total_usd == pytest.approx(
+            result.nre_usd + result.manufacturing_usd
+        )
+
+    def test_per_chip_amortization(self, cost_model):
+        result = cost_model.chip_creation_cost(a11("28nm"), 10e6)
+        assert result.usd_per_chip == pytest.approx(result.total_usd / 10e6)
+
+    def test_wafers_by_process_exposed(self, cost_model):
+        result = cost_model.chip_creation_cost(zen2(), 10e6)
+        assert set(result.wafers_by_process) == {"7nm", "14nm"}
+
+    def test_as_dict_consistent(self, cost_model):
+        result = cost_model.chip_creation_cost(a11("28nm"), 10e6)
+        flat = result.as_dict()
+        assert flat["total_usd"] == pytest.approx(result.total_usd)
+        assert flat["nre_usd"] == pytest.approx(result.nre_usd)
+
+    def test_invalid_volume_rejected(self, cost_model):
+        with pytest.raises(InvalidParameterError):
+            cost_model.chip_creation_cost(a11("28nm"), 0.0)
+
+    def test_nominal_constructor(self):
+        assert CostModel.nominal().total_usd(a11("28nm"), 1e6) > 0.0
+
+
+class TestPaperFindings:
+    def test_legacy_rerelease_costs_more_than_midrange(self, cost_model):
+        """Fig. 7: 250 nm is the most expensive way to make 10 M A11s."""
+        costs = {
+            p: cost_model.total_usd(a11(p), 10e6)
+            for p in ("250nm", "65nm", "28nm", "14nm", "7nm")
+        }
+        assert costs["250nm"] == max(costs.values())
+
+    def test_mask_costs_bite_at_small_volumes(self, cost_model):
+        """For tiny runs the advanced-node NRE dominates total cost."""
+        legacy = cost_model.total_usd(a11("180nm"), 1e3)
+        advanced = cost_model.total_usd(a11("5nm"), 1e3)
+        assert advanced > legacy
+
+    def test_mixed_process_costs_more_than_single(self, cost_model):
+        """Sec. 6.5: two processes pay masks twice and 12nm-class wafers
+        cost more good silicon than 7nm ones."""
+        mixed = cost_model.total_usd(zen2(), 50e6)
+        single = cost_model.total_usd(zen2("7nm", "7nm"), 50e6)
+        assert mixed > single
+
+        mixed_masks = cost_model.chip_creation_cost(zen2(), 50e6).mask_usd
+        single_masks = cost_model.chip_creation_cost(
+            zen2("7nm", "7nm"), 50e6
+        ).mask_usd
+        assert mixed_masks > single_masks
+
+    def test_monolithic_14nm_most_expensive_variant(self, cost_model):
+        """Low yield on the giant merged die buys many extra wafers."""
+        variants = {
+            "mixed": cost_model.total_usd(zen2(), 100e6),
+            "chiplet7": cost_model.total_usd(zen2("7nm", "7nm"), 100e6),
+            "mono14": cost_model.total_usd(zen2_monolithic("14nm"), 100e6),
+        }
+        assert variants["mono14"] == max(variants.values())
+
+    def test_cost_independent_of_market_conditions(self, cost_model):
+        """A slow supply chain delays chips; it does not change the bill."""
+        assert cost_model.total_usd(a11("28nm"), 10e6) == pytest.approx(
+            CostModel.nominal().total_usd(a11("28nm"), 10e6)
+        )

@@ -1,0 +1,81 @@
+"""Tests for NRE cost modeling, anchored on Table 3."""
+
+import pytest
+
+from repro.cost.nre import (
+    ENGINEER_WEEK_COST_USD,
+    block_tapeout_cost_usd,
+    design_nre,
+    nre_by_process,
+)
+from repro.design.library.accelerators import accelerator_by_key
+from repro.design.library.zen2 import zen2
+from repro.errors import InvalidParameterError
+
+
+class TestTable3Anchors:
+    """Table 3's C_tapeout column at 5 nm, reproduced within ~3%."""
+
+    @pytest.mark.parametrize(
+        "key,expected_musd",
+        [
+            ("sorting-stream", 6.8),
+            ("sorting-iterative", 4.6),
+            ("dft-stream", 6.1),
+            ("dft-iterative", 4.6),
+        ],
+    )
+    def test_block_costs(self, db, key, expected_musd):
+        spec = accelerator_by_key(key)
+        cost = block_tapeout_cost_usd(spec.transistors, db["5nm"])
+        assert cost == pytest.approx(expected_musd * 1e6, rel=0.03)
+
+    def test_cost_is_affine_in_nut(self, db):
+        node = db["5nm"]
+        base = block_tapeout_cost_usd(0.0, node)
+        assert base == pytest.approx(node.tapeout_fixed_cost_usd)
+        slope = block_tapeout_cost_usd(1e6, node) - base
+        assert slope == pytest.approx(
+            1e6 * node.tapeout_effort * ENGINEER_WEEK_COST_USD
+        )
+
+    def test_negative_nut_rejected(self, db):
+        with pytest.raises(InvalidParameterError):
+            block_tapeout_cost_usd(-1.0, db["5nm"])
+
+
+class TestDesignNRE:
+    def test_one_mask_set_per_node(self, db):
+        design = zen2()  # 7nm compute + 14nm I/O
+        nre = design_nre(design, db)
+        assert nre.mask_usd == pytest.approx(
+            db["7nm"].mask_set_cost_usd + db["14nm"].mask_set_cost_usd
+        )
+
+    def test_engineering_prices_eq2_effort(self, db):
+        design = zen2()
+        nre = design_nre(design, db)
+        expected = (
+            4.75e8 * db["7nm"].tapeout_effort
+            + 5.23e8 * db["14nm"].tapeout_effort
+        ) * ENGINEER_WEEK_COST_USD
+        assert nre.engineering_usd == pytest.approx(expected)
+
+    def test_total_is_sum(self, db):
+        nre = design_nre(zen2(), db)
+        assert nre.total_usd == pytest.approx(
+            nre.engineering_usd + nre.fixed_usd + nre.mask_usd
+        )
+
+    def test_per_process_attribution_sums_to_total(self, db):
+        design = zen2()
+        per_node = nre_by_process(design, db)
+        assert set(per_node) == {"7nm", "14nm"}
+        assert sum(per_node.values()) == pytest.approx(
+            design_nre(design, db).total_usd
+        )
+
+    def test_advanced_nodes_cost_more_nre(self, db):
+        cheap = nre_by_process(zen2("14nm", "14nm"), db)["14nm"]
+        pricey = nre_by_process(zen2("7nm", "7nm"), db)["7nm"]
+        assert pricey > cheap

@@ -1,0 +1,57 @@
+"""Tests for design blocks (NTT/NUT accounting)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.design.block import Block, ip_block
+from repro.errors import InvalidDesignError
+
+
+class TestBlock:
+    def test_default_block_is_fully_unique(self):
+        block = Block(name="core", transistors=1e6)
+        assert block.nut == 1e6
+        assert not block.is_verified
+
+    def test_instances_multiply_ntt_not_nut(self):
+        """Tapeout is paid once per block, not per instance (Sec. 3.2)."""
+        block = Block(name="core", transistors=1e6, instances=16)
+        assert block.total_transistors == 16e6
+        assert block.nut == 1e6
+
+    def test_explicit_unique_count(self):
+        block = Block(name="io", transistors=2e9, unique_transistors=5e8)
+        assert block.nut == 5e8
+        assert block.total_transistors == 2e9
+
+    def test_ip_block_is_verified(self):
+        block = ip_block("sram", 1e7, instances=4)
+        assert block.is_verified
+        assert block.nut == 0.0
+        assert block.total_transistors == 4e7
+
+    def test_nut_cannot_exceed_ntt(self):
+        with pytest.raises(InvalidDesignError):
+            Block(name="bad", transistors=100.0, unique_transistors=200.0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            Block(name="bad", transistors=-1.0)
+        with pytest.raises(InvalidDesignError):
+            Block(name="bad", transistors=1.0, unique_transistors=-1.0)
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            Block(name="bad", transistors=1.0, instances=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            Block(name="", transistors=1.0)
+
+    @given(
+        transistors=st.floats(min_value=0.0, max_value=1e10),
+        instances=st.integers(min_value=1, max_value=64),
+    )
+    def test_nut_never_exceeds_total(self, transistors, instances):
+        block = Block(name="x", transistors=transistors, instances=instances)
+        assert block.nut <= block.total_transistors

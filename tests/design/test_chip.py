@@ -1,0 +1,112 @@
+"""Tests for ChipDesign aggregation."""
+
+import pytest
+
+from repro.design.block import Block
+from repro.design.chip import ChipDesign
+from repro.design.die import Die
+from repro.errors import InvalidDesignError
+
+
+def _die(name, process, ntt=1e9, nut=1e8, count=1):
+    return Die(
+        name=name,
+        process=process,
+        blocks=(Block(name="logic", transistors=ntt, unique_transistors=nut),),
+        count=count,
+    )
+
+
+class TestStructure:
+    def test_processes_in_first_appearance_order(self):
+        design = ChipDesign(
+            name="chip",
+            dies=(_die("c", "7nm", count=2), _die("io", "14nm")),
+        )
+        assert design.processes == ("7nm", "14nm")
+        assert design.is_multi_process
+
+    def test_single_process_design(self):
+        design = ChipDesign(name="chip", dies=(_die("a", "7nm"),))
+        assert not design.is_multi_process
+        assert not design.is_chiplet
+
+    def test_dies_per_package(self):
+        design = ChipDesign(
+            name="chip",
+            dies=(_die("c", "7nm", count=2), _die("io", "14nm")),
+        )
+        assert design.dies_per_package == 3
+        assert design.is_chiplet
+
+    def test_ntt_per_chip_counts_die_multiplicity(self):
+        design = ChipDesign(
+            name="chip",
+            dies=(_die("c", "7nm", ntt=3.8e9, count=2), _die("io", "14nm", ntt=2.1e9)),
+        )
+        assert design.ntt_per_chip == pytest.approx(2 * 3.8e9 + 2.1e9)
+
+    def test_nut_by_process_sums_within_node(self):
+        design = ChipDesign(
+            name="chip",
+            dies=(
+                _die("a", "7nm", nut=1e8),
+                _die("b", "7nm", nut=2e8),
+                _die("io", "14nm", nut=5e8),
+            ),
+        )
+        assert design.nut_by_process() == {"7nm": 3e8, "14nm": 5e8}
+
+    def test_dies_on_filters_by_process(self):
+        design = ChipDesign(
+            name="chip", dies=(_die("a", "7nm"), _die("io", "14nm"))
+        )
+        assert [d.name for d in design.dies_on("7nm")] == ["a"]
+
+    def test_die_lookup(self):
+        design = ChipDesign(name="chip", dies=(_die("a", "7nm"),))
+        assert design.die("a").name == "a"
+        with pytest.raises(InvalidDesignError):
+            design.die("missing")
+
+
+class TestDerivation:
+    def test_retarget_moves_every_die(self):
+        design = ChipDesign(
+            name="chip", dies=(_die("a", "7nm"), _die("io", "14nm"))
+        )
+        ported = design.retarget("28nm")
+        assert ported.processes == ("28nm",)
+        assert ported.name == "chip @ 28nm"
+
+    def test_retarget_with_explicit_name(self):
+        design = ChipDesign(name="chip", dies=(_die("a", "7nm"),))
+        assert design.retarget("28nm", name="legacy").name == "legacy"
+
+    def test_with_die_appends(self):
+        design = ChipDesign(name="chip", dies=(_die("a", "7nm"),))
+        extended = design.with_die(_die("b", "65nm"))
+        assert extended.dies_per_package == 2
+        assert design.dies_per_package == 1
+
+    def test_renamed(self):
+        design = ChipDesign(name="chip", dies=(_die("a", "7nm"),))
+        assert design.renamed("other").name == "other"
+
+
+class TestValidation:
+    def test_needs_at_least_one_die(self):
+        with pytest.raises(InvalidDesignError):
+            ChipDesign(name="empty", dies=())
+
+    def test_duplicate_die_names_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            ChipDesign(name="dup", dies=(_die("a", "7nm"), _die("a", "14nm")))
+
+    def test_negative_design_weeks_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            ChipDesign(name="x", dies=(_die("a", "7nm"),), design_weeks=-1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            ChipDesign(name="", dies=(_die("a", "7nm"),))

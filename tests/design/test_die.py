@@ -1,0 +1,136 @@
+"""Tests for dies: geometry, yield, retargeting."""
+
+import pytest
+
+from repro.design.block import Block, ip_block
+from repro.design.die import Die
+from repro.errors import InvalidDesignError
+from repro.technology.yield_model import negative_binomial_yield
+
+
+def _die(**overrides):
+    base = dict(
+        name="test-die",
+        process="7nm",
+        blocks=(Block(name="logic", transistors=1e9),),
+    )
+    base.update(overrides)
+    return Die(**base)
+
+
+class TestAccounting:
+    def test_ntt_sums_blocks_and_top_level(self):
+        die = _die(
+            blocks=(
+                Block(name="core", transistors=1e6, instances=4),
+                ip_block("sram", 2e6),
+            ),
+            top_level_transistors=5e5,
+        )
+        assert die.ntt == 4e6 + 2e6 + 5e5
+
+    def test_nut_counts_unique_once_plus_top_level(self):
+        die = _die(
+            blocks=(
+                Block(name="core", transistors=1e6, instances=4),
+                ip_block("sram", 2e6),
+            ),
+            top_level_transistors=5e5,
+        )
+        assert die.nut == 1e6 + 5e5
+
+    def test_passive_die(self):
+        die = Die(name="interposer", process="65nm", area_mm2=300.0)
+        assert die.is_passive
+        assert die.nut == 0.0
+
+
+class TestGeometry:
+    def test_area_derived_from_density(self, db):
+        die = _die()
+        expected = 1e9 / db["7nm"].density_transistors_per_mm2
+        assert die.area_on(db["7nm"]) == pytest.approx(expected)
+
+    def test_explicit_area_override(self, db):
+        die = _die(area_mm2=74.0)
+        assert die.area_on(db["7nm"]) == 74.0
+
+    def test_min_area_floor(self, db):
+        die = _die(
+            blocks=(Block(name="tiny", transistors=1e5),), min_area_mm2=1.0
+        )
+        assert die.area_on(db["7nm"]) == 1.0
+
+    def test_wrong_node_rejected(self, db):
+        with pytest.raises(InvalidDesignError):
+            _die().area_on(db["5nm"])
+
+
+class TestYield:
+    def test_matches_eq6(self, db):
+        die = _die(area_mm2=100.0)
+        node = db["7nm"]
+        assert die.yield_on(node) == pytest.approx(
+            negative_binomial_yield(100.0, node.defect_density_per_cm2)
+        )
+
+    def test_override_wins(self, db):
+        die = Die(
+            name="interposer",
+            process="65nm",
+            area_mm2=400.0,
+            yield_override=0.9999,
+        )
+        assert die.yield_on(db["65nm"]) == 0.9999
+
+    def test_bad_override_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            Die(name="x", process="7nm", area_mm2=1.0, yield_override=1.5)
+
+
+class TestRetarget:
+    def test_retarget_changes_process_and_drops_area(self, db):
+        die = _die(area_mm2=74.0)
+        ported = die.retarget("28nm")
+        assert ported.process == "28nm"
+        # Area now derives from 28 nm density, not the 7 nm override.
+        expected = 1e9 / db["28nm"].density_transistors_per_mm2
+        assert ported.area_on(db["28nm"]) == pytest.approx(expected)
+
+    def test_retarget_preserves_counts(self):
+        die = _die(top_level_transistors=1e6)
+        ported = die.retarget("28nm")
+        assert ported.ntt == die.ntt
+        assert ported.nut == die.nut
+
+    def test_with_count(self):
+        assert _die().with_count(3).count == 3
+
+
+class TestValidation:
+    def test_empty_die_needs_area(self):
+        with pytest.raises(InvalidDesignError):
+            Die(name="empty", process="7nm")
+
+    def test_duplicate_block_names_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            Die(
+                name="dup",
+                process="7nm",
+                blocks=(
+                    Block(name="a", transistors=1.0),
+                    Block(name="a", transistors=2.0),
+                ),
+            )
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            _die(count=0)
+
+    def test_negative_top_level_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            _die(top_level_transistors=-1.0)
+
+    def test_non_positive_explicit_area_rejected(self):
+        with pytest.raises(InvalidDesignError):
+            _die(area_mm2=0.0)

@@ -1,0 +1,199 @@
+"""Tests for the prebuilt case-study designs."""
+
+import pytest
+
+from repro.design.library import (
+    ACCELERATORS,
+    A11_TOTAL_TRANSISTORS,
+    A11_UNIQUE_TRANSISTORS,
+    a11,
+    accelerator_by_key,
+    ariane_core_transistors,
+    ariane_manycore,
+    ariane_with_accelerator,
+    cache_transistors,
+    fig13_variants,
+    raven_multicore,
+    zen2,
+    zen2_monolithic,
+)
+from repro.design.library.generic import demo_chip_a, demo_chip_b, monolithic_design
+from repro.design.library.zen2 import interposer_die
+from repro.errors import InvalidDesignError
+
+
+class TestAriane:
+    def test_reference_core_matches_table3_ratio(self):
+        """Table 3: sorting stream is 18.18x the Ariane reference core."""
+        reference = ariane_core_transistors()
+        assert 45.62e6 / reference == pytest.approx(18.18, abs=0.05)
+
+    def test_cache_transistors_6t(self):
+        assert cache_transistors(1) == 1024 * 8 * 6
+
+    def test_manycore_structure(self):
+        design = ariane_manycore("14nm", cores=16)
+        die = design.dies[0]
+        assert die.process == "14nm"
+        core = next(b for b in die.blocks if b.name == "ariane-core")
+        assert core.instances == 16
+
+    def test_nut_independent_of_core_count(self):
+        """Homogeneous cores tape out once."""
+        one = ariane_manycore("14nm", cores=1).dies[0].nut
+        sixteen = ariane_manycore("14nm", cores=16).dies[0].nut
+        assert one == sixteen
+
+    def test_ntt_scales_with_core_count(self):
+        one = ariane_manycore("14nm", cores=1).dies[0]
+        sixteen = ariane_manycore("14nm", cores=16).dies[0]
+        # 15 extra core instances on top of the shared uncore/top-level.
+        assert sixteen.ntt - one.ntt == pytest.approx(
+            15 * ariane_core_transistors()
+        )
+
+    def test_bigger_caches_bigger_core(self):
+        small = ariane_core_transistors(1, 1)
+        large = ariane_core_transistors(1024, 1024)
+        assert large > small
+
+    def test_invalid_core_count(self):
+        with pytest.raises(InvalidDesignError):
+            ariane_manycore("14nm", cores=0)
+
+    def test_accelerator_attachment(self):
+        spec = accelerator_by_key("sorting-stream")
+        design = ariane_with_accelerator("5nm", spec.block())
+        die = design.dies[0]
+        assert any(b.name == "sorting-stream" for b in die.blocks)
+        base = ariane_manycore("5nm", cores=1).dies[0]
+        assert die.nut == pytest.approx(base.nut + spec.transistors)
+
+
+class TestA11:
+    def test_total_and_unique_counts_exact(self):
+        design = a11()
+        die = design.dies[0]
+        assert die.ntt == pytest.approx(A11_TOTAL_TRANSISTORS)
+        assert die.nut == pytest.approx(A11_UNIQUE_TRANSISTORS)
+
+    def test_original_process_is_10nm(self):
+        assert a11().processes == ("10nm",)
+
+    def test_retargeting_preserves_counts(self):
+        for process in ("250nm", "28nm", "5nm"):
+            die = a11(process).dies[0]
+            assert die.ntt == pytest.approx(A11_TOTAL_TRANSISTORS)
+            assert die.nut == pytest.approx(A11_UNIQUE_TRANSISTORS)
+
+    def test_block_mix_matches_known_architecture(self):
+        names = {block.name for block in a11().dies[0].blocks}
+        assert {"big-cpu", "little-cpu", "gpu-core", "npu"} <= names
+
+    def test_soft_ip_is_preverified(self):
+        ip = next(
+            b for b in a11().dies[0].blocks if b.name == "memory-and-soft-ip"
+        )
+        assert ip.is_verified
+
+
+class TestZen2:
+    def test_table4_compute_die(self, db):
+        die = zen2().die("compute")
+        assert die.ntt == pytest.approx(3.8e9)
+        assert die.nut == pytest.approx(4.75e8)
+        assert die.count == 2
+        assert die.area_on(db["7nm"]) == 74.0
+
+    def test_table4_io_die(self, db):
+        die = zen2().die("io")
+        assert die.ntt == pytest.approx(2.1e9)
+        assert die.nut == pytest.approx(5.23e8)
+        assert die.area_on(db["14nm"]) == 125.0
+
+    def test_mixed_design_uses_two_nodes(self):
+        assert set(zen2().processes) == {"7nm", "14nm"}
+
+    def test_single_process_variant(self):
+        assert zen2("7nm", "7nm").processes == ("7nm",)
+
+    def test_interposer_area_is_120_percent(self, db):
+        design = zen2(interposer=True)
+        interposer = design.die("interposer")
+        carried = 2 * 74.0 + 125.0
+        assert interposer.area_on(db["65nm"]) == pytest.approx(1.2 * carried)
+        assert interposer.yield_override == 0.9999
+
+    def test_monolithic_merges_everything(self, db):
+        mono = zen2_monolithic("7nm")
+        assert mono.dies_per_package == 1
+        die = mono.dies[0]
+        assert die.ntt == pytest.approx(2 * 3.8e9 + 2.1e9)
+        assert die.area_on(db["7nm"]) == pytest.approx(2 * 74.0 + 38.0)
+
+    def test_monolithic_needs_published_area(self):
+        with pytest.raises(InvalidDesignError):
+            zen2_monolithic("65nm")
+
+    def test_fig13_has_eight_variants(self):
+        variants = fig13_variants()
+        assert len(variants) == 8
+        assert len({v.name for v in variants}) == 8
+
+    def test_interposer_requires_positive_area(self):
+        with pytest.raises(InvalidDesignError):
+            interposer_die(0.0)
+
+
+class TestRaven:
+    def test_min_area_floor(self, db):
+        design = raven_multicore("5nm")
+        assert design.dies[0].area_on(db["5nm"]) == 1.0
+
+    def test_legacy_area_above_floor(self, db):
+        design = raven_multicore("250nm")
+        assert design.dies[0].area_on(db["250nm"]) > 1.0
+
+    def test_default_process_is_180nm(self):
+        assert raven_multicore().processes == ("180nm",)
+
+    def test_sram_is_preverified(self):
+        die = raven_multicore().dies[0]
+        sram = next(b for b in die.blocks if b.name == "sram-macro")
+        assert sram.is_verified
+
+
+class TestAccelerators:
+    def test_table3_transistor_counts(self):
+        expected = {
+            "sorting-stream": 45.62e6,
+            "sorting-iterative": 18.90e6,
+            "dft-stream": 37.31e6,
+            "dft-iterative": 18.18e6,
+        }
+        for spec in ACCELERATORS:
+            assert spec.transistors == expected[spec.key]
+
+    def test_blocks_fully_unique(self):
+        """The paper counts non-memory transistors as unique (Sec. 6.4)."""
+        for spec in ACCELERATORS:
+            block = spec.block()
+            assert block.nut == spec.transistors
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            accelerator_by_key("tpu")
+
+
+class TestGenericDesigns:
+    def test_monolithic_design_counts(self):
+        design = monolithic_design("x", "7nm", ntt=1e9, nut=1e8)
+        assert design.dies[0].ntt == 1e9
+        assert design.dies[0].nut == 1e8
+
+    def test_nut_cannot_exceed_ntt(self):
+        with pytest.raises(InvalidDesignError):
+            monolithic_design("x", "7nm", ntt=1e8, nut=1e9)
+
+    def test_demo_chips_use_different_nodes(self):
+        assert demo_chip_a().processes != demo_chip_b().processes

@@ -1,0 +1,105 @@
+"""Tests for the market-window revenue model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.economics.market_window import (
+    MarketWindow,
+    mckinsey_loss_fraction,
+    triangle_loss_fraction,
+)
+from repro.errors import InvalidParameterError
+
+
+def _window(weeks=104.0, peak=10e6):
+    return MarketWindow(window_weeks=weeks, peak_weekly_revenue_usd=peak)
+
+
+class TestLossFractions:
+    def test_boundary_values(self):
+        for loss in (triangle_loss_fraction, mckinsey_loss_fraction):
+            assert loss(0.0, 100.0) == 0.0
+            assert loss(100.0, 100.0) == 1.0
+            assert loss(150.0, 100.0) == 1.0
+
+    def test_mckinsey_halfway_value(self):
+        """The textbook number: d = W/2 loses 62.5%."""
+        assert mckinsey_loss_fraction(50.0, 100.0) == pytest.approx(0.625)
+
+    def test_triangle_halfway_value(self):
+        assert triangle_loss_fraction(50.0, 100.0) == pytest.approx(0.75)
+
+    def test_triangle_harsher_than_mckinsey(self):
+        for delay in (10.0, 30.0, 60.0, 90.0):
+            assert triangle_loss_fraction(delay, 100.0) >= (
+                mckinsey_loss_fraction(delay, 100.0)
+            )
+
+    @given(delay=st.floats(min_value=0.0, max_value=200.0))
+    def test_losses_are_fractions(self, delay):
+        for loss in (triangle_loss_fraction, mckinsey_loss_fraction):
+            assert 0.0 <= loss(delay, 100.0) <= 1.0
+
+    @given(
+        d1=st.floats(min_value=0.0, max_value=100.0),
+        d2=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_monotone_in_delay(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert triangle_loss_fraction(lo, 100.0) <= triangle_loss_fraction(
+            hi, 100.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            triangle_loss_fraction(-1.0, 100.0)
+        with pytest.raises(InvalidParameterError):
+            triangle_loss_fraction(1.0, 0.0)
+
+
+class TestMarketWindow:
+    def test_on_time_revenue_is_triangle_area(self):
+        window = _window(weeks=100.0, peak=2e6)
+        assert window.on_time_revenue_usd == pytest.approx(1e8)
+
+    def test_revenue_consistent_with_loss(self):
+        window = _window()
+        assert window.revenue_usd(0.0) == window.on_time_revenue_usd
+        assert window.revenue_usd(window.window_weeks) == 0.0
+
+    def test_weekly_curve_peaks_at_midpoint(self):
+        window = _window(weeks=100.0, peak=2e6)
+        assert window.weekly_revenue_usd(50.0) == pytest.approx(2e6)
+        assert window.weekly_revenue_usd(0.0) == 0.0
+        assert window.weekly_revenue_usd(100.0) == 0.0
+
+    def test_weekly_curve_integrates_to_lifetime_revenue(self):
+        """The delayed weekly curve and the loss formula agree."""
+        window = _window(weeks=100.0, peak=2e6)
+        delay = 30.0
+        step = 0.01
+        integral = sum(
+            window.weekly_revenue_usd(week * step, delay) * step
+            for week in range(int(100.0 / step))
+        )
+        assert integral == pytest.approx(window.revenue_usd(delay), rel=1e-3)
+
+    def test_delayed_entry_zero_before_launch(self):
+        window = _window()
+        assert window.weekly_revenue_usd(10.0, delay_weeks=20.0) == 0.0
+
+    def test_marginal_loss_grows_with_slip(self):
+        window = _window()
+        early = window.marginal_loss_usd_per_week(5.0)
+        late = window.marginal_loss_usd_per_week(50.0)
+        assert 0.0 < late < early  # decreasing remaining triangle
+
+    def test_marginal_loss_zero_after_window(self):
+        window = _window(weeks=10.0)
+        assert window.marginal_loss_usd_per_week(10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MarketWindow(window_weeks=0.0, peak_weekly_revenue_usd=1.0)
+        with pytest.raises(InvalidParameterError):
+            MarketWindow(window_weeks=10.0, peak_weekly_revenue_usd=0.0)

@@ -1,0 +1,86 @@
+"""Tests for profit-optimal node selection."""
+
+import pytest
+
+from repro.design.library.a11 import a11
+from repro.economics.market_window import MarketWindow
+from repro.economics.profit import profit_study
+from repro.errors import InvalidParameterError
+
+NODES = ("180nm", "65nm", "28nm", "14nm", "7nm", "5nm")
+
+
+def _study(model, cost_model, window_weeks=104.0, peak=60e6, n_chips=10e6):
+    window = MarketWindow(
+        window_weeks=window_weeks, peak_weekly_revenue_usd=peak
+    )
+    return profit_study(
+        a11, NODES, window, n_chips, model=model, cost_model=cost_model
+    )
+
+
+class TestProfitStudy:
+    def test_covers_all_nodes(self, model, cost_model):
+        study = _study(model, cost_model)
+        assert tuple(p.process for p in study.points) == NODES
+
+    def test_profit_is_revenue_minus_cost(self, model, cost_model):
+        study = _study(model, cost_model)
+        point = study.point("28nm")
+        assert point.profit_usd == pytest.approx(
+            point.revenue_usd - point.cost_usd
+        )
+
+    def test_fastest_is_28nm(self, model, cost_model):
+        assert _study(model, cost_model).fastest.process == "28nm"
+
+    def test_wide_window_rewards_cheap_nodes(self, model, cost_model):
+        """A long-lived, modest-revenue product (the MCU/embedded case):
+        delay barely dents revenue, so the profit optimum tracks the
+        cost optimum instead of the TTM optimum."""
+        relaxed = _study(
+            model, cost_model, window_weeks=1000.0, peak=2e5
+        )
+        assert relaxed.most_profitable.process == relaxed.cheapest.process
+        assert relaxed.cheapest.process != relaxed.fastest.process
+
+    def test_tight_window_rewards_fast_nodes(self, model, cost_model):
+        """In a race, the profit optimum tracks the TTM optimum."""
+        race = _study(model, cost_model, window_weeks=60.0)
+        assert race.most_profitable.process == race.fastest.process
+
+    def test_head_start_discounts_delay(self, model, cost_model):
+        window = MarketWindow(
+            window_weeks=104.0, peak_weekly_revenue_usd=60e6
+        )
+        without = profit_study(a11, ("28nm",), window, 10e6, model, cost_model)
+        with_start = profit_study(
+            a11, ("28nm",), window, 10e6, model, cost_model,
+            head_start_weeks=10.0,
+        )
+        assert (
+            with_start.point("28nm").revenue_usd
+            > without.point("28nm").revenue_usd
+        )
+
+    def test_missed_window_zero_revenue(self, model, cost_model):
+        tiny = _study(model, cost_model, window_weeks=10.0)
+        assert tiny.point("5nm").revenue_usd == 0.0
+        assert tiny.point("5nm").profit_usd < 0.0
+
+    def test_validation(self, model, cost_model):
+        window = MarketWindow(window_weeks=10.0, peak_weekly_revenue_usd=1.0)
+        with pytest.raises(InvalidParameterError):
+            profit_study(a11, (), window, 1e6, model, cost_model)
+        with pytest.raises(InvalidParameterError):
+            profit_study(
+                a11, ("28nm",), window, 1e6, model, cost_model,
+                head_start_weeks=-1.0,
+            )
+
+    def test_unknown_point(self, model, cost_model):
+        with pytest.raises(KeyError):
+            _study(model, cost_model).point("3nm")
+
+    def test_table_renders(self, model, cost_model):
+        assert "profit $B" in _study(model, cost_model).table()

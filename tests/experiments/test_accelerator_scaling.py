@@ -1,0 +1,66 @@
+"""Tests for the accelerator block-size scaling extension."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.experiments import accelerator_scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return accelerator_scaling.run()
+
+
+class TestScaling:
+    def test_all_accelerators_covered(self, result):
+        assert set(result.series) == {
+            "sorting-stream",
+            "sorting-iterative",
+            "dft-stream",
+            "dft-iterative",
+        }
+
+    def test_table3_column_recovered_at_2048(self, result):
+        """The sweep passes through Table 3's operating point."""
+        assert result.speedup("sorting-stream", 2048) == pytest.approx(
+            15.95, abs=0.05
+        )
+        assert result.speedup("dft-iterative", 2048) == pytest.approx(
+            20.36, abs=0.05
+        )
+
+    def test_streaming_speedups_grow_with_size(self, result):
+        assert result.trend("dft-stream") == "growing"
+
+    def test_iterative_sorter_degrades_with_size(self, result):
+        """Its pass count grows as log^2(n) against the core's n log n."""
+        assert result.trend("sorting-iterative") == "shrinking"
+        values = result.series["sorting-iterative"]
+        assert list(values) == sorted(values, reverse=True)
+
+    def test_iterative_sorter_matches_closed_form(self, result):
+        """speedup = 2 * cycles_per_op / (log2(n) + 1)."""
+        for size in result.block_sizes:
+            expected = 2.0 * 16.0 / (math.log2(size) + 1.0)
+            assert result.speedup("sorting-iterative", size) == pytest.approx(
+                expected
+            )
+
+    def test_iterative_dft_is_flat(self, result):
+        assert result.trend("dft-iterative") == "flat"
+
+    def test_dft_stream_saturates_toward_asymptote(self, result):
+        """As n grows the pipeline fill amortizes: limit = 2 * 28 = 56x."""
+        largest = result.series["dft-stream"][-1]
+        assert largest == pytest.approx(56.0, rel=0.01)
+        assert largest < 56.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            accelerator_scaling.run(block_sizes=())
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "trend" in text and "2048" in text

@@ -1,0 +1,32 @@
+"""End-to-end gate: every registered experiment runs with defaults.
+
+This is the test-suite twin of ``ttm-cas run all``: each registry entry
+must execute with its default parameters and produce a non-trivial
+printable table. Individual experiment tests check the science; this one
+catches wiring regressions (a renamed kwarg, a registry entry pointing at
+a stale runner) across the whole harness at once.
+"""
+
+import pytest
+
+from repro.experiments import registry
+
+# The two heaviest artifacts get dedicated benchmarks; everything else
+# must stay cheap enough to run here with full defaults.
+HEAVY = {"fig8", "fig14"}
+
+
+@pytest.mark.parametrize(
+    "key", [k for k in registry.experiment_keys() if k not in HEAVY]
+)
+def test_experiment_runs_with_defaults(key):
+    experiment = registry.get(key)
+    result = experiment.runner()
+    table = result.table()
+    assert isinstance(table, str)
+    assert len(table.splitlines()) >= 2
+
+
+def test_heavy_experiments_registered():
+    for key in HEAVY:
+        assert key in registry.experiment_keys()

@@ -1,0 +1,62 @@
+"""Tests for the interposer-node exploration extension."""
+
+import pytest
+
+from repro.experiments import interposer_study
+
+NODES = ("250nm", "65nm", "40nm")
+
+
+@pytest.fixture(scope="module")
+def result(model, cost_model):
+    return interposer_study.run(
+        model, cost_model, interposer_nodes=NODES
+    )
+
+
+class TestInterposerStudy:
+    def test_covers_requested_nodes(self, result):
+        assert tuple(o.process for o in result.options) == NODES
+
+    def test_40nm_beats_65nm_under_crunch(self, result):
+        """The paper's what-if: the higher-rate 40 nm interposer ships
+        sooner when capacity is scarce."""
+        assert (
+            result.option("40nm").crunch_ttm_weeks
+            < result.option("65nm").crunch_ttm_weeks
+        )
+
+    def test_40nm_more_agile_under_crunch(self, result):
+        """Paper: +126% max CAS moving the interposer 65 nm -> 40 nm."""
+        gain = (
+            result.option("40nm").crunch_cas
+            / result.option("65nm").crunch_cas
+        )
+        assert gain > 1.5
+
+    def test_40nm_costs_more(self, result):
+        """The faster interposer node bills pricier wafers."""
+        assert result.option("40nm").cost_usd > result.option("65nm").cost_usd
+
+    def test_250nm_interposer_is_a_disaster(self, result):
+        """41 kW/month cannot feed 100 M interposers."""
+        slowest = max(result.options, key=lambda o: o.crunch_ttm_weeks)
+        assert slowest.process == "250nm"
+        assert slowest.ttm_weeks > result.option("65nm").ttm_weeks
+
+    def test_crunch_always_slower_than_nominal(self, result):
+        for option in result.options:
+            assert option.crunch_ttm_weeks >= option.ttm_weeks
+
+    def test_best_under_crunch(self, result):
+        best = result.best_under_crunch()
+        assert best.crunch_ttm_weeks == min(
+            o.crunch_ttm_weeks for o in result.options
+        )
+
+    def test_unknown_node(self, result):
+        with pytest.raises(KeyError):
+            result.option("3nm")
+
+    def test_table_renders(self, result):
+        assert "interposer node" in result.table()

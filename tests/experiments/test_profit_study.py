@@ -1,0 +1,45 @@
+"""Tests for the profit-study extension experiment."""
+
+import pytest
+
+from repro.experiments import profit_study_a11
+
+
+@pytest.fixture(scope="module")
+def result(model, cost_model):
+    return profit_study_a11.run(model, cost_model)
+
+
+class TestProfitExperiment:
+    def test_race_profit_optimum_is_ttm_optimum(self, result):
+        """In a smartphone-class race, time beats wafer savings."""
+        assert (
+            result.race.most_profitable.process
+            == result.race.fastest.process
+            == "28nm"
+        )
+
+    def test_race_optimum_is_not_the_cheapest(self, result):
+        assert (
+            result.race.most_profitable.process
+            != result.race.cheapest.process
+        )
+
+    def test_embedded_optimum_drifts_toward_cheap(self, result):
+        """With a long window the optimum leaves the TTM-optimal node."""
+        embedded_best = result.embedded.most_profitable
+        race_best = result.race.most_profitable
+        assert embedded_best.cost_usd <= race_best.cost_usd
+
+    def test_all_race_profits_positive(self, result):
+        for point in result.race.points:
+            assert point.profit_usd > 0.0
+
+    def test_5nm_race_revenue_suffers_most(self, result):
+        revenues = {p.process: p.revenue_usd for p in result.race.points}
+        assert revenues["5nm"] == min(revenues.values())
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "profit-optimal" in text
+        assert "race detail" in text

@@ -1,0 +1,82 @@
+"""Tests for the experiment registry and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import registry
+
+
+class TestRegistry:
+    PAPER_ARTIFACTS = {
+        "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "table3", "table4", "fig13", "fig14",
+    }
+    EXTENSIONS = {
+        "interposer",
+        "profit",
+        "ramp",
+        "codesign",
+        "accel-scaling",
+        "robustness",
+    }
+
+    def test_every_paper_artifact_registered(self):
+        assert set(registry.experiment_keys()) == (
+            self.PAPER_ARTIFACTS | self.EXTENSIONS
+        )
+
+    def test_extensions_labelled(self):
+        for key in self.EXTENSIONS:
+            assert "[extension]" in registry.get(key).title
+
+    def test_lookup(self):
+        experiment = registry.get("table3")
+        assert experiment.key == "table3"
+        assert callable(experiment.runner)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            registry.get("fig99")
+
+    def test_runners_produce_table_method(self):
+        """Quick experiments run end-to-end through the registry."""
+        for key in ("fig3", "table3", "table4"):
+            result = registry.get(key).runner()
+            assert isinstance(result.table(), str)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_nodes_command(self, capsys):
+        assert main(["nodes"]) == 0
+        out = capsys.readouterr().out
+        assert "250nm" in out and "5nm" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "compute" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_lint_command_clean_database(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "evaluation.md"
+        assert main(["report", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "# ttm-cas evaluation report" in text
+        assert "## table4" in text
+        assert "## fig14" in text

@@ -1,0 +1,78 @@
+"""Tests for MarketConditions."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.market.conditions import MarketConditions
+
+
+class TestDefaults:
+    def test_nominal_is_full_capacity_no_queue(self):
+        conditions = MarketConditions.nominal()
+        assert conditions.capacity_for("7nm") == 1.0
+        assert conditions.queue_weeks_for("7nm") == 0.0
+
+    def test_unlisted_nodes_use_defaults(self):
+        conditions = MarketConditions(
+            capacity_fraction={"7nm": 0.5}, default_capacity=0.8
+        )
+        assert conditions.capacity_for("7nm") == 0.5
+        assert conditions.capacity_for("28nm") == 0.8
+
+
+class TestValidation:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MarketConditions(capacity_fraction={"7nm": -0.1})
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MarketConditions(queue_weeks={"7nm": -1.0})
+
+    def test_negative_defaults_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MarketConditions(default_capacity=-0.5)
+        with pytest.raises(InvalidParameterError):
+            MarketConditions(default_queue_weeks=-1.0)
+
+
+class TestDerivation:
+    def test_with_capacity_is_a_copy(self):
+        base = MarketConditions.nominal()
+        derived = base.with_capacity("7nm", 0.3)
+        assert derived.capacity_for("7nm") == 0.3
+        assert base.capacity_for("7nm") == 1.0
+
+    def test_with_global_capacity_overrides_everything(self):
+        base = MarketConditions(capacity_fraction={"7nm": 0.9})
+        derived = base.with_global_capacity(0.4)
+        assert derived.capacity_for("7nm") == 0.4
+        assert derived.capacity_for("28nm") == 0.4
+
+    def test_with_global_capacity_preserves_queues(self):
+        base = MarketConditions(queue_weeks={"7nm": 2.0})
+        derived = base.with_global_capacity(0.5)
+        assert derived.queue_weeks_for("7nm") == 2.0
+
+    def test_with_queue(self):
+        derived = MarketConditions.nominal().with_queue("7nm", 4.0)
+        assert derived.queue_weeks_for("7nm") == 4.0
+        assert derived.queue_weeks_for("28nm") == 0.0
+
+    def test_with_global_queue(self):
+        derived = MarketConditions.nominal().with_global_queue(3.0)
+        assert derived.queue_weeks_for("7nm") == 3.0
+        assert derived.queue_weeks_for("250nm") == 3.0
+
+    def test_with_global_queue_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            MarketConditions.nominal().with_global_queue(-1.0)
+
+    def test_describe_round_trips_fields(self):
+        conditions = MarketConditions(
+            capacity_fraction={"7nm": 0.5}, queue_weeks={"7nm": 1.0}
+        )
+        summary = conditions.describe()
+        assert summary["capacity_fraction"] == {"7nm": 0.5}
+        assert summary["queue_weeks"] == {"7nm": 1.0}
+        assert summary["default_capacity"] == 1.0

@@ -1,0 +1,88 @@
+"""Tests for the Foundry supply-side view."""
+
+import pytest
+
+from repro.errors import InvalidParameterError, NodeUnavailableError
+from repro.market.conditions import MarketConditions
+from repro.market.foundry import Foundry
+
+
+class TestRates:
+    def test_full_capacity_rate_matches_node(self, foundry, db):
+        assert foundry.wafer_rate_per_week("7nm") == pytest.approx(
+            db["7nm"].max_wafer_rate_per_week
+        )
+
+    def test_capacity_fraction_scales_rate(self, db):
+        throttled = Foundry(
+            technology=db,
+            conditions=MarketConditions(capacity_fraction={"7nm": 0.5}),
+        )
+        assert throttled.wafer_rate_per_week("7nm") == pytest.approx(
+            0.5 * db["7nm"].max_wafer_rate_per_week
+        )
+
+    def test_out_of_production_node_rejected(self, foundry):
+        with pytest.raises(NodeUnavailableError):
+            foundry.wafer_rate_per_week("20nm")
+
+    def test_zero_capacity_rejected(self, db):
+        halted = Foundry(
+            technology=db,
+            conditions=MarketConditions(capacity_fraction={"7nm": 0.0}),
+        )
+        with pytest.raises(InvalidParameterError):
+            halted.wafer_rate_per_week("7nm")
+
+
+class TestQueues:
+    def test_no_queue_by_default(self, foundry):
+        assert foundry.wafers_ahead("7nm") == 0.0
+        assert foundry.queue_weeks("7nm") == 0.0
+
+    def test_backlog_pinned_at_full_rate(self, db):
+        """A 2-week quote means 2 weeks' worth of wafers at *max* rate."""
+        queued = Foundry(
+            technology=db,
+            conditions=MarketConditions(queue_weeks={"7nm": 2.0}),
+        )
+        assert queued.wafers_ahead("7nm") == pytest.approx(
+            2.0 * db["7nm"].max_wafer_rate_per_week
+        )
+        assert queued.queue_weeks("7nm") == pytest.approx(2.0)
+
+    def test_queue_time_inflates_when_capacity_drops(self, db):
+        """The pinned backlog drains slower at reduced capacity."""
+        conditions = MarketConditions(
+            queue_weeks={"7nm": 2.0}, capacity_fraction={"7nm": 0.5}
+        )
+        queued = Foundry(technology=db, conditions=conditions)
+        assert queued.queue_weeks("7nm") == pytest.approx(4.0)
+
+
+class TestDerivation:
+    def test_at_capacity_scales_all_nodes(self, foundry, db):
+        half = foundry.at_capacity(0.5)
+        for name in ("250nm", "28nm", "7nm"):
+            assert half.wafer_rate_per_week(name) == pytest.approx(
+                0.5 * db[name].max_wafer_rate_per_week
+            )
+
+    def test_with_conditions_replaces_state(self, foundry):
+        replaced = foundry.with_conditions(
+            MarketConditions(capacity_fraction={"7nm": 0.25})
+        )
+        assert replaced.conditions.capacity_for("7nm") == 0.25
+        assert foundry.conditions.capacity_for("7nm") == 1.0
+
+    def test_available_nodes_excludes_idle_and_halted(self, db):
+        conditions = MarketConditions(capacity_fraction={"7nm": 0.0})
+        foundry = Foundry(technology=db, conditions=conditions)
+        available = foundry.available_nodes()
+        assert "7nm" not in available
+        assert "20nm" not in available
+        assert "28nm" in available
+
+    def test_nominal_constructor_default_db(self):
+        foundry = Foundry.nominal()
+        assert len(foundry.technology) == 12

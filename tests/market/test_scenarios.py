@@ -1,0 +1,61 @@
+"""Tests for the preset market scenarios."""
+
+import pytest
+
+from repro.market import scenarios
+from repro.market.scenarios import ADVANCED_NODES, LEGACY_NODES, SCENARIOS
+
+
+class TestNodeGroups:
+    def test_groups_are_disjoint(self):
+        assert not set(ADVANCED_NODES) & set(LEGACY_NODES)
+
+    def test_advanced_contains_the_sub14nm_club(self):
+        assert {"14nm", "10nm", "7nm", "5nm"} <= set(ADVANCED_NODES)
+
+    def test_legacy_contains_the_mature_nodes(self):
+        assert {"250nm", "180nm", "130nm", "90nm", "65nm"} <= set(LEGACY_NODES)
+
+
+class TestScenarios:
+    def test_registry_contains_all_factories(self):
+        assert set(SCENARIOS) == {
+            "nominal",
+            "shortage_2021",
+            "advanced_drought",
+            "legacy_crunch",
+            "fab_fire_28nm",
+        }
+
+    def test_nominal(self):
+        conditions = scenarios.nominal()
+        assert conditions.capacity_for("7nm") == 1.0
+        assert conditions.queue_weeks_for("7nm") == 0.0
+
+    def test_shortage_queues_every_node(self):
+        conditions = scenarios.shortage_2021(queue_weeks=3.0)
+        for node in ("250nm", "28nm", "5nm"):
+            assert conditions.queue_weeks_for(node) == 3.0
+        assert conditions.capacity_for("7nm") == 1.0
+
+    def test_advanced_drought_throttles_only_advanced(self):
+        conditions = scenarios.advanced_drought(capacity=0.6)
+        assert conditions.capacity_for("7nm") == 0.6
+        assert conditions.capacity_for("65nm") == 1.0
+
+    def test_legacy_crunch_throttles_only_legacy(self):
+        conditions = scenarios.legacy_crunch(capacity=0.5)
+        assert conditions.capacity_for("180nm") == 0.5
+        assert conditions.capacity_for("7nm") == 1.0
+
+    def test_fab_fire_targets_one_node(self):
+        conditions = scenarios.fab_fire("28nm", capacity=0.3)
+        assert conditions.capacity_for("28nm") == 0.3
+        assert conditions.capacity_for("40nm") == 1.0
+
+    def test_by_name_dispatch(self):
+        assert scenarios.by_name("nominal").capacity_for("7nm") == 1.0
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenarios.by_name("zombie-apocalypse")

@@ -1,0 +1,103 @@
+"""Tests for the Fig. 14 split-study optimizer."""
+
+import pytest
+
+from repro.design.library.raven import raven_multicore
+from repro.errors import InvalidParameterError
+from repro.multiprocess.optimizer import (
+    best_split_for_pair,
+    headline_comparison,
+    run_split_study,
+)
+
+NODES = ("65nm", "40nm", "28nm")
+GRID = tuple(s / 10 for s in range(1, 11))
+
+
+@pytest.fixture(scope="module")
+def study(model, cost_model):
+    return run_split_study(
+        raven_multicore, NODES, model, cost_model, 1e9, split_grid=GRID
+    )
+
+
+class TestStudyStructure:
+    def test_all_pairs_plus_diagonal(self, study):
+        # 3 singles + 3 unordered pairs.
+        assert len(study.pairs) == 6
+        assert ("28nm", "28nm") in study.pairs
+        assert ("28nm", "40nm") in study.pairs
+        assert ("40nm", "28nm") not in study.pairs
+
+    def test_diagonal_is_single_process(self, study):
+        singles = study.single_process_results()
+        assert set(singles) == set(NODES)
+        for result in singles.values():
+            assert result.is_single_process
+
+    def test_best_split_maximizes_cas_on_grid(self, model, cost_model):
+        from repro.multiprocess.split import evaluate_split, make_plan
+
+        result = best_split_for_pair(
+            raven_multicore, "28nm", "40nm", model, cost_model, 1e9, GRID
+        )
+        for split in GRID[:-1]:
+            manual = evaluate_split(
+                make_plan(raven_multicore, "28nm", "40nm", split),
+                model,
+                cost_model,
+                1e9,
+            )
+            assert result.best.cas >= manual.cas - 1e-12
+
+    def test_picks_have_expected_metrics(self, study):
+        fastest = study.fastest()
+        assert fastest.best.ttm_weeks == min(
+            r.best.ttm_weeks for r in study.pairs.values()
+        )
+        cheapest = study.cheapest()
+        assert cheapest.best.cost_usd == min(
+            r.best.cost_usd for r in study.pairs.values()
+        )
+        assert study.most_agile().best.cas == max(
+            r.best.cas for r in study.pairs.values()
+        )
+
+
+class TestPaperFindings:
+    def test_fastest_combo_is_28_40(self, study):
+        """Sec. 7: the 28 nm + 40 nm combination is fastest to market."""
+        fastest = study.fastest()
+        assert {fastest.primary, fastest.secondary} == {"28nm", "40nm"}
+
+    def test_multi_process_beats_singles_on_ttm(self, study):
+        singles_best = min(
+            r.best.ttm_weeks for r in study.single_process_results().values()
+        )
+        assert study.fastest().best.ttm_weeks < singles_best
+
+    def test_headline_directions(self, study):
+        headline = headline_comparison(study)
+        assert headline["agility_gain"] > 0.0
+        assert headline["ttm_gain_vs_cheapest"] > 0.0
+        assert headline["cost_increase"] > 0.0
+        assert headline["cost_increase"] < headline["agility_gain"]
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self, model, cost_model):
+        with pytest.raises(InvalidParameterError):
+            best_split_for_pair(
+                raven_multicore, "28nm", "40nm", model, cost_model, 1e9, ()
+            )
+
+    def test_duplicate_nodes_rejected(self, model, cost_model):
+        with pytest.raises(InvalidParameterError):
+            run_split_study(
+                raven_multicore,
+                ("28nm", "28nm"),
+                model,
+                cost_model,
+                1e9,
+                split_grid=GRID,
+            )

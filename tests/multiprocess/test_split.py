@@ -1,0 +1,114 @@
+"""Tests for two-process production splits (Sec. 7)."""
+
+import pytest
+
+from repro.design.library.raven import raven_multicore
+from repro.errors import InvalidParameterError
+from repro.multiprocess.split import (
+    ProductionSplit,
+    evaluate_split,
+    make_plan,
+    single_process_plan,
+    split_cas,
+    split_cost_usd,
+    split_ttm_weeks,
+)
+
+
+def _plan(split=0.5, primary="28nm", secondary="40nm"):
+    return make_plan(raven_multicore, primary, secondary, split)
+
+
+class TestPlanStructure:
+    def test_allocations(self):
+        plan = _plan(split=0.7)
+        assert plan.allocations == {"28nm": 0.7, "40nm": pytest.approx(0.3)}
+
+    def test_single_process_degenerate(self):
+        plan = single_process_plan(raven_multicore, "28nm")
+        assert plan.is_single_process
+        assert plan.allocations == {"28nm": 1.0}
+
+    def test_full_split_drops_secondary(self):
+        plan = _plan(split=1.0)
+        assert plan.allocations == {"28nm": 1.0}
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            _plan(split=0.0)
+        with pytest.raises(InvalidParameterError):
+            _plan(split=1.5)
+        with pytest.raises(InvalidParameterError):
+            make_plan(raven_multicore, "28nm", "28nm", 0.5)
+
+
+class TestTTM:
+    def test_split_is_max_of_lines(self, model):
+        plan = _plan(split=0.5)
+        evaluation = evaluate_split(
+            plan, model, _cost(model), 1e9, with_cas=False
+        )
+        assert evaluation.ttm_weeks == pytest.approx(
+            max(evaluation.line_weeks.values())
+        )
+        assert set(evaluation.line_weeks) == {"28nm", "40nm"}
+
+    def test_single_process_matches_plain_model(self, model):
+        plan = single_process_plan(raven_multicore, "28nm")
+        assert split_ttm_weeks(plan, model, 1e9) == pytest.approx(
+            model.total_weeks(raven_multicore("28nm"), 1e9)
+        )
+
+    def test_splitting_high_volume_reduces_ttm(self, model):
+        """Sec. 7: parallel manufacturing shortens mass production."""
+        single = split_ttm_weeks(
+            single_process_plan(raven_multicore, "28nm"), model, 1e9
+        )
+        split = split_ttm_weeks(_plan(split=0.6), model, 1e9)
+        assert split < single
+
+    def test_invalid_volume_rejected(self, model):
+        with pytest.raises(InvalidParameterError):
+            split_ttm_weeks(_plan(), model, 0.0)
+
+
+class TestCost:
+    def test_cost_sums_both_lines(self, model, cost_model):
+        plan = _plan(split=0.5)
+        total = split_cost_usd(plan, cost_model, 1e9)
+        manual = cost_model.total_usd(
+            raven_multicore("28nm"), 5e8
+        ) + cost_model.total_usd(raven_multicore("40nm"), 5e8)
+        assert total == pytest.approx(manual)
+
+    def test_two_nodes_pay_two_mask_sets(self, model, cost_model):
+        single = split_cost_usd(
+            single_process_plan(raven_multicore, "28nm"), cost_model, 1e9
+        )
+        split = split_cost_usd(_plan(split=0.999), cost_model, 1e9)
+        # A token second line still pays its full NRE.
+        assert split > single
+
+
+class TestCAS:
+    def test_split_cas_positive(self, model):
+        assert split_cas(_plan(), model, 1e9) > 0.0
+
+    def test_balanced_split_more_agile_than_single(self, model):
+        single = split_cas(
+            single_process_plan(raven_multicore, "28nm"), model, 1e9
+        )
+        balanced = split_cas(_plan(split=0.6), model, 1e9)
+        assert balanced > single
+
+    def test_evaluation_bundles_everything(self, model, cost_model):
+        evaluation = evaluate_split(_plan(), model, cost_model, 1e9)
+        assert evaluation.cas > 0.0
+        assert evaluation.cas_normalized == pytest.approx(evaluation.cas / 1000)
+        assert evaluation.bottleneck_process in {"28nm", "40nm"}
+
+
+def _cost(model):
+    from repro.cost.model import CostModel
+
+    return CostModel(technology=model.foundry.technology)

@@ -1,0 +1,103 @@
+"""Tests for the radix-2 FFT models."""
+
+import cmath
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.perf.accel.fft import (
+    ITERATIVE_II,
+    bit_reverse_permutation,
+    butterfly_count,
+    dft_direct,
+    fft,
+    iterative_fft_cycles,
+    streaming_fft_cycles,
+)
+
+
+class TestBitReverse:
+    def test_known_order_n8(self):
+        assert bit_reverse_permutation(8) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_is_an_involution(self):
+        perm = bit_reverse_permutation(64)
+        assert [perm[perm[i]] for i in range(64)] == list(range(64))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bit_reverse_permutation(6)
+
+
+class TestFunctionalCorrectness:
+    def test_impulse_gives_flat_spectrum(self):
+        result = fft([1.0] + [0.0] * 7)
+        assert all(abs(v - 1.0) < 1e-12 for v in result)
+
+    def test_constant_gives_dc_only(self):
+        result = fft([1.0] * 8)
+        assert abs(result[0] - 8.0) < 1e-12
+        assert all(abs(v) < 1e-12 for v in result[1:])
+
+    def test_matches_direct_dft(self):
+        values = [complex(i % 3, (i * 7) % 5) for i in range(32)]
+        fast = fft(values)
+        slow = dft_direct(values)
+        assert max(abs(a - b) for a, b in zip(fast, slow)) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0),
+            min_size=16,
+            max_size=16,
+        )
+    )
+    def test_parseval(self, values):
+        """Energy is conserved up to the 1/N convention."""
+        spectrum = fft(values)
+        time_energy = sum(abs(v) ** 2 for v in values)
+        freq_energy = sum(abs(v) ** 2 for v in spectrum) / 16
+        assert freq_energy == pytest.approx(time_energy, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=10.0),
+            min_size=8,
+            max_size=8,
+        )
+    )
+    def test_linearity(self, values):
+        doubled = fft([2.0 * v for v in values])
+        single = fft(values)
+        assert max(abs(a - 2.0 * b) for a, b in zip(doubled, single)) < 1e-9
+
+    def test_single_tone_lands_in_one_bin(self):
+        n = 32
+        tone = [cmath.exp(2j * cmath.pi * 5 * t / n) for t in range(n)]
+        spectrum = fft(tone)
+        assert abs(spectrum[5] - n) < 1e-9
+        assert all(abs(v) < 1e-9 for i, v in enumerate(spectrum) if i != 5)
+
+    def test_empty_dft_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dft_direct([])
+
+
+class TestCycleModels:
+    def test_butterfly_count(self):
+        assert butterfly_count(2048) == 1024 * 11
+
+    def test_streaming_formula(self):
+        assert streaming_fft_cycles(2048) == 1024 * 11 + 96
+
+    def test_iterative_formula(self):
+        assert iterative_fft_cycles(2048) == pytest.approx(
+            1024 * 11 * ITERATIVE_II
+        )
+
+    def test_streaming_faster_than_iterative(self):
+        for n in (64, 512, 2048):
+            assert streaming_fft_cycles(n) < iterative_fft_cycles(n)

@@ -1,0 +1,82 @@
+"""Tests for the bitonic sorting network models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.perf.accel.sorting import (
+    bitonic_compare_exchange_pairs,
+    bitonic_sort,
+    bitonic_stage_count,
+    iterative_sort_cycles,
+    streaming_sort_cycles,
+)
+
+
+class TestNetworkStructure:
+    def test_stage_count_formula(self):
+        # log2(8) = 3 -> 3*4/2 = 6 stages.
+        assert bitonic_stage_count(8) == 6
+        assert bitonic_stage_count(2048) == 66
+
+    def test_pairs_within_a_stage_are_disjoint(self):
+        """Parallelism within a stage is what the cycle models charge for."""
+        for stage in bitonic_compare_exchange_pairs(64):
+            touched = [i for pair in stage for i in pair]
+            assert len(touched) == len(set(touched))
+
+    def test_every_stage_covers_all_lanes(self):
+        for stage in bitonic_compare_exchange_pairs(16):
+            touched = {i for pair in stage for i in pair}
+            assert touched == set(range(16))
+
+    def test_stage_list_length_matches_count(self):
+        assert len(bitonic_compare_exchange_pairs(32)) == bitonic_stage_count(32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bitonic_stage_count(12)
+        with pytest.raises(InvalidParameterError):
+            bitonic_sort([1.0, 2.0, 3.0])
+
+
+class TestFunctionalCorrectness:
+    def test_sorts_known_input(self):
+        data = [5.0, 1.0, 4.0, 2.0, 8.0, 7.0, 3.0, 6.0]
+        assert bitonic_sort(data) == sorted(data)
+
+    def test_input_not_mutated(self):
+        data = [3.0, 1.0]
+        bitonic_sort(data)
+        assert data == [3.0, 1.0]
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=2,
+            max_size=128,
+        ).filter(lambda xs: (len(xs) & (len(xs) - 1)) == 0)
+    )
+    def test_sorts_arbitrary_power_of_two_lists(self, values):
+        assert bitonic_sort(values) == sorted(values)
+
+    @given(st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_zero_one_principle(self, bits):
+        """A network sorting all 0/1 inputs sorts everything."""
+        assert bitonic_sort([float(b) for b in bits]) == sorted(float(b) for b in bits)
+
+
+class TestCycleModels:
+    def test_streaming_formula(self):
+        assert streaming_sort_cycles(2048) == 2048 * 11 + 66
+
+    def test_iterative_formula(self):
+        assert iterative_sort_cycles(2048) == 66 * 2048
+
+    def test_streaming_faster_than_iterative(self):
+        for n in (64, 512, 2048):
+            assert streaming_sort_cycles(n) < iterative_sort_cycles(n)
+
+    def test_cycles_grow_with_problem_size(self):
+        assert streaming_sort_cycles(4096) > streaming_sort_cycles(2048)
+        assert iterative_sort_cycles(4096) > iterative_sort_cycles(2048)

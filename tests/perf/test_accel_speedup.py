@@ -1,0 +1,80 @@
+"""Tests for accelerator speed-up evaluation (Table 3's shape)."""
+
+import pytest
+
+from repro.design.library.accelerators import ACCELERATORS, AcceleratorSpec
+from repro.errors import InvalidParameterError
+from repro.perf.accel.scalar import ScalarCoreModel, merge_sort
+from repro.perf.accel.speedup import (
+    accelerator_cycles,
+    evaluate_speedup,
+    scalar_cycles,
+)
+
+
+class TestScalarBaseline:
+    def test_merge_sort_is_correct(self):
+        data = [5.0, 3.0, 9.0, 1.0, 1.0, -2.0]
+        assert merge_sort(data) == sorted(data)
+
+    def test_cycle_models_scale_nlogn(self):
+        core = ScalarCoreModel()
+        assert core.sort_cycles(2048) == pytest.approx(16.0 * 2048 * 11)
+        assert core.fft_cycles(2048) == pytest.approx(28.0 * 2048 * 11)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            ScalarCoreModel(sort_cycles_per_op=0.0)
+        with pytest.raises(InvalidParameterError):
+            ScalarCoreModel().sort_cycles(100)  # not a power of two
+
+
+class TestTable3Shape:
+    """Paper values: 16.71x / 3.07x / 56.36x / 20.81x."""
+
+    @pytest.fixture(scope="class")
+    def speedups(self):
+        return {
+            spec.key: evaluate_speedup(spec).speedup for spec in ACCELERATORS
+        }
+
+    def test_all_accelerators_beat_the_core(self, speedups):
+        assert all(value > 1.0 for value in speedups.values())
+
+    def test_streaming_beats_iterative(self, speedups):
+        assert speedups["sorting-stream"] > speedups["sorting-iterative"]
+        assert speedups["dft-stream"] > speedups["dft-iterative"]
+
+    def test_dft_gains_exceed_sorting_gains(self, speedups):
+        assert speedups["dft-stream"] > speedups["sorting-stream"]
+        assert speedups["dft-iterative"] > speedups["sorting-iterative"]
+
+    def test_within_paper_bands(self, speedups):
+        assert speedups["sorting-stream"] == pytest.approx(16.71, rel=0.10)
+        assert speedups["sorting-iterative"] == pytest.approx(3.07, rel=0.15)
+        assert speedups["dft-stream"] == pytest.approx(56.36, rel=0.05)
+        assert speedups["dft-iterative"] == pytest.approx(20.81, rel=0.05)
+
+
+class TestDispatch:
+    def test_cycles_positive_for_all_specs(self):
+        for spec in ACCELERATORS:
+            assert accelerator_cycles(spec, 2048) > 0
+            assert scalar_cycles(spec, 2048, ScalarCoreModel()) > 0
+
+    def test_unknown_kind_rejected(self):
+        bogus = AcceleratorSpec(
+            key="x", display_name="X", kind="crypto", style="stream",
+            transistors=1e6,
+        )
+        with pytest.raises(InvalidParameterError):
+            accelerator_cycles(bogus, 2048)
+        with pytest.raises(InvalidParameterError):
+            scalar_cycles(bogus, 2048, ScalarCoreModel())
+
+    def test_result_fields(self):
+        result = evaluate_speedup(ACCELERATORS[0])
+        assert result.block_size == 2048
+        assert result.speedup == pytest.approx(
+            result.scalar_cycles / result.accelerator_cycles
+        )

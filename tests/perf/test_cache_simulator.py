@@ -1,0 +1,147 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.perf.cache.simulator import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    simulate_miss_ratio,
+)
+
+
+def _cache(size=1024, line=64, ways=2):
+    return Cache(CacheConfig(size_bytes=size, line_bytes=line, associativity=ways))
+
+
+class TestConfig:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=8192, line_bytes=64, associativity=4)
+        assert config.num_sets == 32
+        assert config.size_kb == 8.0
+
+    def test_set_index_and_tag_partition_the_address(self):
+        config = CacheConfig(size_bytes=8192, line_bytes=64, associativity=4)
+        address = 0x12345678
+        line = address // 64
+        assert config.set_index(address) == line % 32
+        assert config.tag(address) == line // 32
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)
+        with pytest.raises(InvalidParameterError):
+            CacheConfig(size_bytes=1024, line_bytes=48, associativity=4)
+
+    def test_too_small_for_one_set_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CacheConfig(size_bytes=128, line_bytes=64, associativity=4)
+
+
+class TestAccessSemantics:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_same_line_is_one_entry(self):
+        cache = _cache(line=64)
+        cache.access(0)
+        assert cache.access(63) is True
+        assert cache.access(64) is False
+
+    def test_lru_eviction_order(self):
+        # Direct construction of a conflict set: 2-way, addresses that
+        # collide map to the same set every `num_sets * line` bytes.
+        cache = _cache(size=256, line=64, ways=2)  # 2 sets
+        stride = 2 * 64  # same-set stride
+        a, b, c = 0, stride, 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a is now MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_full_associativity_holds_working_set(self):
+        cache = _cache(size=512, line=64, ways=8)  # 1 set, 8 ways
+        for i in range(8):
+            cache.access(i * 64)
+        for i in range(8):
+            assert cache.access(i * 64) is True
+
+    def test_resident_lines_never_exceed_capacity(self):
+        cache = _cache(size=1024, line=64, ways=2)
+        for i in range(1000):
+            cache.access(i * 64 * 7)
+        assert cache.resident_lines <= 1024 // 64
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            _cache().access(-1)
+
+    def test_reset(self):
+        cache = _cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.resident_lines == 0
+
+
+class TestStats:
+    def test_miss_ratio(self):
+        stats = CacheStats(accesses=10, misses=4)
+        assert stats.miss_ratio == pytest.approx(0.4)
+
+    def test_empty_cache_zero_ratio(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_mpki(self):
+        stats = CacheStats(accesses=10, misses=4)
+        assert stats.mpki(instructions=1000) == pytest.approx(4.0)
+
+    def test_mpki_requires_instructions(self):
+        with pytest.raises(InvalidParameterError):
+            CacheStats().mpki(0)
+
+
+class TestMissRatioHelper:
+    def test_looping_fit_vs_thrash(self):
+        """A working set that fits hits; one that doesn't, thrashes.
+
+        Line-sized strides remove spatial locality, so the cyclic sweep
+        over a too-large set misses on every access under LRU.
+        """
+        from repro.perf.cache.traces import looping_trace
+
+        fits = simulate_miss_ratio(
+            looping_trace(20000, working_set_bytes=2048, stride_bytes=64),
+            size_kb=4,
+        )
+        thrashes = simulate_miss_ratio(
+            looping_trace(20000, working_set_bytes=65536, stride_bytes=64),
+            size_kb=4,
+        )
+        assert fits < 0.02
+        assert thrashes > 0.9
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            simulate_miss_ratio(iter(()), size_kb=4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(size_kb=st.sampled_from([2, 4, 8, 16, 32]))
+    def test_bigger_cache_never_worse_on_loops(self, size_kb):
+        from repro.perf.cache.traces import looping_trace
+
+        small = simulate_miss_ratio(
+            looping_trace(8000, working_set_bytes=16384), size_kb=size_kb
+        )
+        big = simulate_miss_ratio(
+            looping_trace(8000, working_set_bytes=16384), size_kb=size_kb * 4
+        )
+        assert big <= small + 1e-9

@@ -1,0 +1,107 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.perf.cache.hierarchy import CacheHierarchy, HierarchyIPCModel
+from repro.perf.cache.traces import data_trace, instruction_trace
+
+INSTRUCTIONS = 20_000
+
+
+def _run(l1i=8, l1d=8, l2=512, seed=21, data_refs=30_000):
+    """A cache-friendly kernel: the hot data set (~192 KB, touched ~10x)
+    exceeds any L1 but fits a healthy L2 — the regime an L2 exists for."""
+    hierarchy = CacheHierarchy.build(l1i_kb=l1i, l1d_kb=l1d, l2_kb=l2)
+    return hierarchy.run(
+        instruction_trace(INSTRUCTIONS, n_functions=2000, seed=seed),
+        data_trace(
+            data_refs,
+            hot_objects=3000,
+            stream_fraction=0.03,
+            cold_fraction=0.02,
+            seed=seed + 1,
+        ),
+    )
+
+
+class TestConstruction:
+    def test_l2_must_cover_l1(self):
+        with pytest.raises(InvalidParameterError):
+            CacheHierarchy.build(l1i_kb=64, l1d_kb=64, l2_kb=32)
+
+    def test_empty_instruction_stream_rejected(self):
+        hierarchy = CacheHierarchy.build(8, 8, 64)
+        with pytest.raises(InvalidParameterError):
+            hierarchy.run([], [1, 2, 3])
+
+
+class TestFilteringBehaviour:
+    def test_l2_accessed_only_on_l1_misses(self):
+        stats = _run()
+        assert stats.l2.accesses == stats.l1_misses
+
+    def test_l2_filters_most_l1_misses(self):
+        """A big shared L2 catches the bulk of L1 capacity misses."""
+        stats = _run(l1i=4, l1d=4, l2=1024)
+        assert stats.l2_hit_ratio > 0.5
+        assert stats.memory_accesses < stats.l1_misses
+
+    def test_bigger_l2_fewer_memory_accesses(self):
+        small = _run(l2=64)
+        large = _run(l2=1024)
+        assert large.memory_accesses <= small.memory_accesses
+
+    def test_mpki_accounting(self):
+        stats = _run()
+        l1i_mpki, l1d_mpki, memory_mpki = stats.mpki()
+        assert l1i_mpki == pytest.approx(
+            1000.0 * stats.l1i.misses / INSTRUCTIONS
+        )
+        assert memory_mpki <= l1i_mpki + l1d_mpki
+
+    def test_all_data_references_issued(self):
+        stats = _run(data_refs=12_345)
+        assert stats.l1d.accesses == 12_345
+
+
+class TestHierarchyIPC:
+    def test_l2_improves_ipc_over_flat_memory_penalty(self):
+        """Every L1 miss at memory cost is strictly worse than the
+        hierarchy that catches some in L2."""
+        stats = _run(l1i=4, l1d=4, l2=512)
+        model = HierarchyIPCModel()
+        flat = HierarchyIPCModel(
+            l2_hit_cycles=model.memory_cycles,
+            memory_cycles=model.memory_cycles,
+        )
+        assert model.ipc(stats) > flat.ipc(stats)
+
+    def test_ipc_in_plausible_range(self):
+        """The kernel issues ~1.5 data refs per instruction, so it is
+        firmly memory-bound; IPC lands low but must stay physical."""
+        assert 0.02 < HierarchyIPCModel().ipc(_run()) < 0.35
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            HierarchyIPCModel(base_cpi=0.0)
+        with pytest.raises(InvalidParameterError):
+            HierarchyIPCModel(l2_hit_cycles=50.0, memory_cycles=10.0)
+
+
+class TestWaferDiameterIntegration:
+    def test_200mm_legacy_needs_more_wafers(self, db, model):
+        """The 200 mm ablation: same die, smaller wafers, more of them."""
+        from repro.design.library.raven import raven_multicore
+        from repro.market.foundry import Foundry
+        from repro.ttm.model import TTMModel
+
+        legacy_200 = db.override({"180nm": {"wafer_diameter_mm": 200.0}})
+        model_200 = TTMModel(foundry=Foundry.nominal(legacy_200))
+        design = raven_multicore("180nm")
+        wafers_300 = sum(model.wafer_demand(design, 1e9).values())
+        wafers_200 = sum(model_200.wafer_demand(design, 1e9).values())
+        assert wafers_200 == pytest.approx(wafers_300 * (300.0 / 200.0) ** 2)
+        assert model_200.total_weeks(design, 1e9) > model.total_weeks(
+            design, 1e9
+        )

@@ -1,0 +1,54 @@
+"""Tests for the CPI-stack IPC model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.perf.ipc import IPCModel, ipc_bounds
+
+
+class TestIPCModel:
+    def test_perfect_caches_hit_base_cpi(self):
+        model = IPCModel(base_cpi=2.0, miss_penalty_cycles=0.0)
+        assert model.ipc(1, 1) == pytest.approx(0.5)
+
+    def test_monotone_in_both_caches(self):
+        model = IPCModel()
+        assert model.ipc(2, 32) > model.ipc(1, 32)
+        assert model.ipc(16, 64) > model.ipc(16, 32)
+
+    def test_paper_range(self):
+        """Fig. 4's IPC spans roughly 0.10 .. 0.27."""
+        worst, best = ipc_bounds(IPCModel())
+        assert 0.08 < worst < 0.13
+        assert 0.24 < best < 0.30
+
+    def test_original_ariane_config_in_range(self):
+        ipc = IPCModel().ipc(16, 32)
+        assert 0.20 < ipc < 0.26
+
+    def test_cpi_formula(self):
+        model = IPCModel(base_cpi=3.0, miss_penalty_cycles=100.0)
+        from repro.perf.cache.spec_data import dcache_mpki, icache_mpki
+
+        expected = 3.0 + (icache_mpki(8) + dcache_mpki(8)) * 0.1
+        assert model.cpi(8, 8) == pytest.approx(expected)
+
+    def test_ipc_from_mpki(self):
+        model = IPCModel(base_cpi=2.0, miss_penalty_cycles=100.0)
+        assert model.ipc_from_mpki(5.0, 5.0) == pytest.approx(1.0 / 3.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            IPCModel(base_cpi=0.0)
+        with pytest.raises(InvalidParameterError):
+            IPCModel(miss_penalty_cycles=-1.0)
+        with pytest.raises(InvalidParameterError):
+            IPCModel().ipc_from_mpki(-1.0, 0.0)
+
+    @given(
+        icache=st.sampled_from([1, 4, 16, 64, 256, 1024]),
+        dcache=st.sampled_from([1, 4, 16, 64, 256, 1024]),
+    )
+    def test_ipc_always_below_one_for_inorder(self, icache, dcache):
+        assert 0.0 < IPCModel().ipc(icache, dcache) < 1.0

@@ -1,0 +1,75 @@
+"""Tests for the SPEC2000-shaped MPKI curves, incl. simulator agreement."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.perf.cache.simulator import simulate_miss_ratio
+from repro.perf.cache.spec_data import (
+    CACHE_SIZES_KB,
+    dcache_mpki,
+    icache_mpki,
+    mpki_table,
+)
+from repro.perf.cache.traces import data_trace, instruction_trace
+
+
+class TestCurveShape:
+    def test_monotone_decreasing_in_capacity(self):
+        i_values = [icache_mpki(s) for s in CACHE_SIZES_KB]
+        d_values = [dcache_mpki(s) for s in CACHE_SIZES_KB]
+        assert i_values == sorted(i_values, reverse=True)
+        assert d_values == sorted(d_values, reverse=True)
+
+    def test_compulsory_floors(self):
+        assert icache_mpki(1 << 20) > 0.25 * 0.99
+        assert dcache_mpki(1 << 20) > 0.90 * 0.99
+
+    def test_instruction_curve_falls_faster(self):
+        """I-side working sets fit sooner than D-side (classic SPEC)."""
+        i_drop = icache_mpki(1) / icache_mpki(64)
+        d_drop = dcache_mpki(1) / dcache_mpki(64)
+        assert i_drop > d_drop
+
+    def test_data_misses_dominate_at_large_sizes(self):
+        assert dcache_mpki(1024) > icache_mpki(1024)
+
+    def test_table_covers_sweep(self):
+        table = mpki_table()
+        assert set(table) == set(CACHE_SIZES_KB)
+        for size, (i_mpki, d_mpki) in table.items():
+            assert i_mpki == pytest.approx(icache_mpki(size))
+            assert d_mpki == pytest.approx(dcache_mpki(size))
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            icache_mpki(0.0)
+        with pytest.raises(InvalidParameterError):
+            dcache_mpki(-1.0)
+
+
+class TestSimulatorAgreement:
+    """The trace-driven simulator regenerates the same curve *shape*."""
+
+    def test_instruction_misses_fall_with_capacity(self):
+        trace = list(instruction_trace(80000, seed=11))
+        ratios = [
+            simulate_miss_ratio(iter(trace), size_kb=s) for s in (1, 4, 16, 64)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[0] > 2 * ratios[-1]
+
+    def test_data_misses_fall_with_capacity_but_keep_a_tail(self):
+        trace = list(data_trace(80000, seed=12))
+        ratios = [
+            simulate_miss_ratio(iter(trace), size_kb=s) for s in (1, 4, 16, 64)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+        # Streaming + cold accesses keep a compulsory floor.
+        assert ratios[-1] > 0.05
+
+    def test_data_tail_heavier_than_instruction_tail(self):
+        i_trace = list(instruction_trace(60000, seed=13))
+        d_trace = list(data_trace(60000, seed=14))
+        i_tail = simulate_miss_ratio(iter(i_trace), size_kb=256)
+        d_tail = simulate_miss_ratio(iter(d_trace), size_kb=256)
+        assert d_tail > i_tail

@@ -1,0 +1,86 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.perf.cache.traces import (
+    data_trace,
+    instruction_trace,
+    looping_trace,
+    materialize,
+    sequential_trace,
+)
+
+
+class TestSequential:
+    def test_stride(self):
+        assert list(sequential_trace(4, stride_bytes=8)) == [0, 8, 16, 24]
+
+    def test_base_offset(self):
+        assert list(sequential_trace(2, stride_bytes=4, base=100)) == [100, 104]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(sequential_trace(0))
+
+
+class TestLooping:
+    def test_period(self):
+        trace = list(looping_trace(8, working_set_bytes=16, stride_bytes=4))
+        assert trace == [0, 4, 8, 12, 0, 4, 8, 12]
+
+
+class TestInstructionTrace:
+    def test_exact_length(self):
+        assert len(list(instruction_trace(1000))) == 1000
+
+    def test_deterministic_by_seed(self):
+        a = list(instruction_trace(500, seed=9))
+        b = list(instruction_trace(500, seed=9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = list(instruction_trace(500, seed=1))
+        b = list(instruction_trace(500, seed=2))
+        assert a != b
+
+    def test_sequential_runs_within_blocks(self):
+        trace = list(instruction_trace(100, block_instructions=10, seed=4))
+        # Within a block, consecutive fetches advance by 4 bytes.
+        deltas = [b - a for a, b in zip(trace, trace[1:])]
+        assert deltas.count(4) >= 80
+
+    def test_addresses_non_negative(self):
+        assert all(a >= 0 for a in instruction_trace(1000, seed=3))
+
+
+class TestDataTrace:
+    def test_exact_length(self):
+        assert len(list(data_trace(1000))) == 1000
+
+    def test_deterministic_by_seed(self):
+        assert list(data_trace(500, seed=9)) == list(data_trace(500, seed=9))
+
+    def test_regions_are_disjoint(self):
+        trace = list(data_trace(5000, seed=5))
+        heap = [a for a in trace if 1 << 28 <= a < 1 << 29]
+        stream = [a for a in trace if 1 << 29 <= a < 1 << 30]
+        cold = [a for a in trace if a >= 1 << 30]
+        assert len(heap) + len(stream) + len(cold) == len(trace)
+        # All three behaviours present at default mixture weights.
+        assert heap and stream and cold
+
+    def test_fraction_validation(self):
+        with pytest.raises(InvalidParameterError):
+            list(data_trace(10, stream_fraction=0.9, cold_fraction=0.2))
+        with pytest.raises(InvalidParameterError):
+            list(data_trace(10, stream_fraction=-0.1))
+
+
+class TestMaterialize:
+    def test_truncates(self):
+        assert materialize(sequential_trace(100), limit=3) == [0, 4, 8]
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            materialize(sequential_trace(10), limit=0)

@@ -1,0 +1,66 @@
+"""Tests for sensitivity input factors and sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensitivity.distributions import Factor, factor_names, sample_matrix
+
+
+class TestFactor:
+    def test_bounds(self):
+        factor = Factor("D0", nominal=0.1, variation=0.10)
+        assert factor.low == pytest.approx(0.09)
+        assert factor.high == pytest.approx(0.11)
+
+    def test_scale_maps_unit_interval(self):
+        factor = Factor("x", nominal=10.0, variation=0.5)
+        assert factor.scale(0.0) == pytest.approx(5.0)
+        assert factor.scale(1.0) == pytest.approx(15.0)
+        assert factor.scale(0.5) == pytest.approx(10.0)
+
+    def test_with_variation(self):
+        factor = Factor("x", nominal=10.0, variation=0.1)
+        widened = factor.with_variation(0.25)
+        assert widened.low == pytest.approx(7.5)
+        assert factor.low == pytest.approx(9.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            Factor("", 1.0)
+        with pytest.raises(InvalidParameterError):
+            Factor("x", -1.0)
+        with pytest.raises(InvalidParameterError):
+            Factor("x", 1.0, variation=1.0)
+
+
+class TestSampling:
+    def test_matrix_shape_and_ranges(self):
+        factors = [Factor("a", 10.0, 0.1), Factor("b", 100.0, 0.25)]
+        rng = np.random.default_rng(7)
+        matrix = sample_matrix(factors, 500, rng)
+        assert matrix.shape == (500, 2)
+        assert matrix[:, 0].min() >= 9.0 and matrix[:, 0].max() <= 11.0
+        assert matrix[:, 1].min() >= 75.0 and matrix[:, 1].max() <= 125.0
+
+    def test_deterministic_given_seeded_rng(self):
+        factors = [Factor("a", 10.0, 0.1)]
+        first = sample_matrix(factors, 10, np.random.default_rng(3))
+        second = sample_matrix(factors, 10, np.random.default_rng(3))
+        assert np.array_equal(first, second)
+
+    def test_zero_variation_is_constant(self):
+        factors = [Factor("a", 10.0, 0.0)]
+        matrix = sample_matrix(factors, 20, np.random.default_rng(1))
+        assert np.allclose(matrix, 10.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            sample_matrix([], 10, np.random.default_rng(1))
+        with pytest.raises(InvalidParameterError):
+            sample_matrix([Factor("a", 1.0)], 0, np.random.default_rng(1))
+
+    def test_factor_names_unique(self):
+        assert factor_names([Factor("a", 1.0), Factor("b", 1.0)]) == ("a", "b")
+        with pytest.raises(InvalidParameterError):
+            factor_names([Factor("a", 1.0), Factor("a", 2.0)])

@@ -1,0 +1,98 @@
+"""Tests for Sobol index estimation against analytic ground truth."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensitivity.distributions import Factor
+from repro.sensitivity.sobol import sobol_indices
+
+
+class TestAdditiveModel:
+    """Y = a*X1 + b*X2 with independent uniforms has closed-form indices:
+    S_i = ST_i = a_i^2 Var(X_i) / sum_j a_j^2 Var(X_j)."""
+
+    def _run(self, a=1.0, b=1.0, samples=4096):
+        factors = [Factor("x1", 10.0, 0.10), Factor("x2", 10.0, 0.10)]
+        function = lambda v: a * v["x1"] + b * v["x2"]  # noqa: E731
+        return sobol_indices(function, factors, base_samples=samples)
+
+    def test_symmetric_coefficients_split_evenly(self):
+        result = self._run()
+        assert result.total_effect["x1"] == pytest.approx(0.5, abs=0.06)
+        assert result.total_effect["x2"] == pytest.approx(0.5, abs=0.06)
+
+    def test_additive_first_equals_total(self):
+        result = self._run(a=2.0, b=1.0)
+        for name in ("x1", "x2"):
+            assert result.first_order[name] == pytest.approx(
+                result.total_effect[name], abs=0.08
+            )
+
+    def test_variance_weighting(self):
+        """With a=3, b=1: ST(x1) = 9/10."""
+        result = self._run(a=3.0, b=1.0)
+        assert result.total_effect["x1"] == pytest.approx(0.9, abs=0.06)
+        assert result.total_effect["x2"] == pytest.approx(0.1, abs=0.06)
+
+
+class TestNonInfluentialFactor:
+    def test_dummy_factor_scores_zero(self):
+        factors = [Factor("live", 10.0, 0.10), Factor("dummy", 10.0, 0.10)]
+        function = lambda v: v["live"] ** 2  # noqa: E731
+        result = sobol_indices(function, factors, base_samples=512)
+        assert result.total_effect["dummy"] == pytest.approx(0.0, abs=0.02)
+        assert result.total_effect["live"] == pytest.approx(1.0, abs=0.05)
+        assert result.dominant_factor == "live"
+
+
+class TestInteractions:
+    def test_product_model_total_exceeds_first_order(self):
+        """Y = X1 * X2 has interaction variance: ST_i > S_i."""
+        factors = [Factor("x1", 1.0, 0.9), Factor("x2", 1.0, 0.9)]
+        function = lambda v: v["x1"] * v["x2"]  # noqa: E731
+        result = sobol_indices(function, factors, base_samples=2048)
+        for name in ("x1", "x2"):
+            assert (
+                result.raw_total_effect[name]
+                > result.raw_first_order[name] + 0.01
+            )
+
+
+class TestMechanics:
+    def test_constant_function_all_zero(self):
+        factors = [Factor("x", 1.0, 0.1)]
+        result = sobol_indices(lambda v: 42.0, factors, base_samples=64)
+        assert result.total_effect["x"] == 0.0
+        assert result.variance == 0.0
+
+    def test_evaluation_count(self):
+        factors = [Factor("a", 1.0, 0.1), Factor("b", 1.0, 0.1)]
+        result = sobol_indices(lambda v: v["a"], factors, base_samples=64)
+        assert result.evaluations == 64 * (2 + 2)
+
+    def test_reproducible_by_seed(self):
+        factors = [Factor("a", 1.0, 0.1)]
+        function = lambda v: v["a"] ** 2  # noqa: E731
+        first = sobol_indices(function, factors, seed=11)
+        second = sobol_indices(function, factors, seed=11)
+        assert first.total_effect == second.total_effect
+
+    def test_indices_clipped_to_unit_interval(self):
+        factors = [Factor("a", 1.0, 0.1), Factor("b", 1.0, 0.1)]
+        result = sobol_indices(
+            lambda v: v["a"] + 0.001 * v["b"], factors, base_samples=16
+        )
+        for value in result.total_effect.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_ranked_total_effects(self):
+        factors = [Factor("a", 1.0, 0.1), Factor("b", 1.0, 0.01)]
+        result = sobol_indices(
+            lambda v: v["a"] + v["b"], factors, base_samples=256
+        )
+        ranked = result.ranked_total_effects()
+        assert ranked[0][0] == "a"
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sobol_indices(lambda v: 0.0, [Factor("a", 1.0)], base_samples=1)

@@ -1,0 +1,81 @@
+"""Tests for the TTM factor binding used by Fig. 8."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensitivity.ttm_factors import (
+    FACTOR_NAMES,
+    ttm_factor_function,
+    ttm_factors,
+)
+
+
+class TestFactors:
+    def test_six_paper_factors(self, db):
+        factors = ttm_factors("28nm", 4.3e9, 5.14e8, db)
+        assert tuple(f.name for f in factors) == FACTOR_NAMES
+
+    def test_nominals_match_node(self, db):
+        factors = {f.name: f for f in ttm_factors("7nm", 4.3e9, 5.14e8, db)}
+        assert factors["D0"].nominal == db["7nm"].defect_density_per_cm2
+        assert factors["muW"].nominal == db["7nm"].wafer_rate_kwpm
+        assert factors["Lfab"].nominal == db["7nm"].fab_latency_weeks
+        assert factors["LOSAT"].nominal == 6.0
+        assert factors["NTT"].nominal == 4.3e9
+
+    def test_default_variation_is_ten_percent(self, db):
+        for factor in ttm_factors("7nm", 4.3e9, 5.14e8, db):
+            assert factor.variation == 0.10
+
+
+class TestFactorFunction:
+    def _nominal_values(self, db, process):
+        node = db[process]
+        return {
+            "NTT": 4.3e9,
+            "NUT": 5.14e8,
+            "D0": node.defect_density_per_cm2,
+            "muW": node.wafer_rate_kwpm,
+            "Lfab": node.fab_latency_weeks,
+            "LOSAT": 6.0,
+        }
+
+    def test_nominal_inputs_match_direct_model(self, db, model):
+        from repro.design.library.generic import monolithic_design
+
+        function = ttm_factor_function("28nm", 10e6, db)
+        direct = model.total_weeks(
+            monolithic_design("sensitivity-design", "28nm", 4.3e9, 5.14e8), 10e6
+        )
+        assert function(self._nominal_values(db, "28nm")) == pytest.approx(direct)
+
+    def test_missing_factor_rejected(self, db):
+        function = ttm_factor_function("28nm", 10e6, db)
+        with pytest.raises(InvalidParameterError, match="missing"):
+            function({"NTT": 1e9})
+
+    def test_nut_clamped_to_ntt(self, db):
+        """Independent sampling can draw NUT > NTT; the binding clamps."""
+        function = ttm_factor_function("28nm", 10e6, db)
+        values = self._nominal_values(db, "28nm")
+        values["NTT"] = 1e8
+        values["NUT"] = 5e8  # would violate NUT <= NTT unclamped
+        assert function(values) > 0.0
+
+    def test_slower_rate_longer_ttm(self, db):
+        function = ttm_factor_function("28nm", 10e6, db)
+        nominal = self._nominal_values(db, "28nm")
+        slowed = dict(nominal, muW=nominal["muW"] * 0.5)
+        assert function(slowed) > function(nominal)
+
+    def test_latency_passthrough(self, db):
+        function = ttm_factor_function("28nm", 10e6, db)
+        nominal = self._nominal_values(db, "28nm")
+        longer = dict(nominal, LOSAT=8.0)
+        assert function(longer) == pytest.approx(function(nominal) + 2.0)
+
+    def test_unavailable_node_rejected_eagerly(self, db):
+        from repro.errors import NodeUnavailableError
+
+        with pytest.raises(NodeUnavailableError):
+            ttm_factor_function("20nm", 10e6, db)

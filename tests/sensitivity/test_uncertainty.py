@@ -1,0 +1,54 @@
+"""Tests for Monte Carlo uncertainty bands."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.sensitivity.distributions import Factor
+from repro.sensitivity.uncertainty import output_uncertainty, uncertainty_bands
+
+
+class TestOutputUncertainty:
+    def test_identity_recovers_uniform_statistics(self):
+        factors = [Factor("x", 100.0, 0.10)]
+        result = output_uncertainty(lambda v: v["x"], factors, samples=4096)
+        assert result.mean == pytest.approx(100.0, rel=0.01)
+        # 95% central interval of U(90, 110) is [90.5, 109.5].
+        assert result.lower == pytest.approx(90.5, abs=0.5)
+        assert result.upper == pytest.approx(109.5, abs=0.5)
+
+    def test_interval_contains_mean(self):
+        factors = [Factor("x", 10.0, 0.25)]
+        result = output_uncertainty(lambda v: v["x"] ** 2, factors)
+        assert result.lower <= result.mean <= result.upper
+
+    def test_constant_function_zero_width(self):
+        factors = [Factor("x", 10.0, 0.25)]
+        result = output_uncertainty(lambda v: 7.0, factors)
+        assert result.interval_width == pytest.approx(0.0)
+        assert result.relative_halfwidth == pytest.approx(0.0)
+
+    def test_reproducible_by_seed(self):
+        factors = [Factor("x", 10.0, 0.1)]
+        a = output_uncertainty(lambda v: v["x"], factors, seed=5)
+        b = output_uncertainty(lambda v: v["x"], factors, seed=5)
+        assert a == b
+
+    def test_validation(self):
+        factors = [Factor("x", 10.0, 0.1)]
+        with pytest.raises(InvalidParameterError):
+            output_uncertainty(lambda v: 0.0, factors, samples=1)
+        with pytest.raises(InvalidParameterError):
+            output_uncertainty(lambda v: 0.0, factors, confidence=1.0)
+
+
+class TestBands:
+    def test_wider_variation_wider_interval(self):
+        factors = [Factor("x", 100.0, 0.10)]
+        bands = uncertainty_bands(lambda v: v["x"], factors)
+        assert set(bands) == {0.10, 0.25}
+        assert bands[0.25].interval_width > bands[0.10].interval_width
+
+    def test_bands_share_the_nominal_center(self):
+        factors = [Factor("x", 100.0, 0.10)]
+        bands = uncertainty_bands(lambda v: v["x"], factors, samples=4096)
+        assert bands[0.10].mean == pytest.approx(bands[0.25].mean, rel=0.02)

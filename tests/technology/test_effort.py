@@ -1,0 +1,127 @@
+"""Tests for the regression fits behind the effort curves."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CalibrationError, InvalidParameterError
+from repro.technology.effort import (
+    LogLinearInterpolator,
+    engineering_weeks_to_calendar_weeks,
+    fit_exponential,
+    fit_linear,
+)
+
+
+class TestLinearFit:
+    def test_recovers_exact_line(self):
+        points = [(x, 2.0 + 3.0 * x) for x in (0.0, 1.0, 4.0, 10.0)]
+        fit = fit_linear(points)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.slope == pytest.approx(3.0)
+
+    def test_two_points_are_interpolated_exactly(self):
+        fit = fit_linear([(1.0, 5.0), (3.0, 9.0)])
+        assert fit.predict(2.0) == pytest.approx(7.0)
+
+    def test_least_squares_behaviour(self):
+        # Symmetric noise around y = x leaves the fit on y = x.
+        fit = fit_linear([(0.0, 0.5), (0.0, -0.5), (2.0, 2.5), (2.0, 1.5)])
+        assert fit.slope == pytest.approx(1.0)
+        assert fit.intercept == pytest.approx(0.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([(1.0, 1.0)])
+
+    def test_needs_distinct_x(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([(1.0, 1.0), (1.0, 2.0)])
+
+    def test_callable_alias(self):
+        fit = fit_linear([(0.0, 1.0), (1.0, 2.0)])
+        assert fit(0.5) == fit.predict(0.5)
+
+
+class TestExponentialFit:
+    def test_recovers_exact_exponential(self):
+        fit = fit_exponential(
+            [(x, 0.5 * math.exp(0.3 * x)) for x in (0.0, 1.0, 2.0, 5.0)]
+        )
+        assert fit.scale == pytest.approx(0.5, rel=1e-9)
+        assert fit.rate == pytest.approx(0.3, rel=1e-9)
+
+    def test_doubling_interval(self):
+        fit = fit_exponential([(0.0, 1.0), (1.0, 2.0)])
+        assert fit.doubling_interval == pytest.approx(1.0)
+
+    def test_flat_fit_never_doubles(self):
+        fit = fit_exponential([(0.0, 2.0), (1.0, 2.0)])
+        assert fit.doubling_interval == math.inf
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(CalibrationError):
+            fit_exponential([(0.0, 1.0), (1.0, 0.0)])
+
+    @given(
+        scale=st.floats(min_value=1e-9, max_value=1e3),
+        rate=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    def test_round_trip_arbitrary_parameters(self, scale, rate):
+        fit = fit_exponential(
+            [(x, scale * math.exp(rate * x)) for x in (0.0, 2.0, 5.0)]
+        )
+        assert fit.predict(3.0) == pytest.approx(
+            scale * math.exp(rate * 3.0), rel=1e-6
+        )
+
+
+class TestLogLinearInterpolator:
+    def test_exact_at_anchors(self):
+        points = [(0.0, 1e-8), (4.0, 5e-8), (11.0, 4e-6)]
+        curve = LogLinearInterpolator.from_points(points)
+        for x, y in points:
+            assert curve.predict(x) == pytest.approx(y, rel=1e-12)
+
+    def test_exponential_between_anchors(self):
+        curve = LogLinearInterpolator.from_points([(0.0, 1.0), (2.0, 4.0)])
+        assert curve.predict(1.0) == pytest.approx(2.0)
+
+    def test_extrapolates_with_end_slopes(self):
+        curve = LogLinearInterpolator.from_points([(0.0, 1.0), (1.0, 2.0)])
+        assert curve.predict(2.0) == pytest.approx(4.0)
+        assert curve.predict(-1.0) == pytest.approx(0.5)
+
+    def test_monotone_anchors_give_monotone_curve(self):
+        curve = LogLinearInterpolator.from_points(
+            [(0.0, 1.0), (1.0, 3.0), (2.0, 10.0), (3.0, 40.0)]
+        )
+        samples = [curve.predict(x / 4.0) for x in range(13)]
+        assert samples == sorted(samples)
+
+    def test_rejects_duplicate_anchor_x(self):
+        with pytest.raises(CalibrationError):
+            LogLinearInterpolator.from_points([(0.0, 1.0), (0.0, 2.0)])
+
+    def test_rejects_non_positive_y(self):
+        with pytest.raises(CalibrationError):
+            LogLinearInterpolator.from_points([(0.0, 1.0), (1.0, -2.0)])
+
+    def test_unsorted_input_accepted(self):
+        curve = LogLinearInterpolator.from_points([(2.0, 4.0), (0.0, 1.0)])
+        assert curve.predict(1.0) == pytest.approx(2.0)
+
+
+class TestCalendarConversion:
+    def test_division_by_team_size(self):
+        assert engineering_weeks_to_calendar_weeks(400.0, 100) == 4.0
+
+    def test_zero_effort(self):
+        assert engineering_weeks_to_calendar_weeks(0.0, 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidParameterError):
+            engineering_weeks_to_calendar_weeks(10.0, 0)
+        with pytest.raises(InvalidParameterError):
+            engineering_weeks_to_calendar_weeks(-1.0, 10)

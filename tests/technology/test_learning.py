@@ -1,0 +1,130 @@
+"""Tests for yield learning curves and the ramp-timing experiment."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.technology.learning import (
+    YieldLearningCurve,
+    delivery_week,
+    optimal_entry_month,
+    technology_at_maturity,
+)
+
+
+def _curve(initial=0.4, mature=0.07, tau=6.0):
+    return YieldLearningCurve(
+        initial_d0=initial, mature_d0=mature, time_constant_months=tau
+    )
+
+
+class TestCurve:
+    def test_boundary_values(self):
+        curve = _curve()
+        assert curve.defect_density_at(0.0) == pytest.approx(0.4)
+        assert curve.defect_density_at(1e6) == pytest.approx(0.07)
+
+    def test_monotone_decreasing(self):
+        curve = _curve()
+        samples = [curve.defect_density_at(m) for m in range(0, 48, 3)]
+        assert samples == sorted(samples, reverse=True)
+
+    def test_time_constant_semantics(self):
+        """One tau closes ~63% of the gap."""
+        curve = _curve()
+        expected = 0.07 + (0.4 - 0.07) * 0.36788
+        assert curve.defect_density_at(6.0) == pytest.approx(expected, rel=1e-3)
+
+    def test_months_to_reach_round_trip(self):
+        curve = _curve()
+        months = curve.months_to_reach(0.15)
+        assert curve.defect_density_at(months) == pytest.approx(0.15)
+
+    def test_months_to_reach_validation(self):
+        curve = _curve()
+        with pytest.raises(InvalidParameterError):
+            curve.months_to_reach(0.05)  # below mature
+        with pytest.raises(InvalidParameterError):
+            curve.months_to_reach(0.5)  # above initial
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            YieldLearningCurve(0.05, 0.1, 6.0)  # improves backwards
+        with pytest.raises(InvalidParameterError):
+            YieldLearningCurve(0.4, -0.1, 6.0)
+        with pytest.raises(InvalidParameterError):
+            YieldLearningCurve(0.4, 0.07, 0.0)
+        with pytest.raises(InvalidParameterError):
+            _curve().defect_density_at(-1.0)
+
+
+class TestTechnologyAtMaturity:
+    def test_overrides_only_target_node(self, db):
+        derived = technology_at_maturity(db, "5nm", _curve(), 0.0)
+        assert derived["5nm"].defect_density_per_cm2 == pytest.approx(0.4)
+        assert derived["7nm"] == db["7nm"]
+
+    def test_converges_to_mature(self, db):
+        derived = technology_at_maturity(db, "5nm", _curve(), 240.0)
+        assert derived["5nm"].defect_density_per_cm2 == pytest.approx(
+            0.07, rel=1e-3
+        )
+
+
+class TestEntryOptimization:
+    def test_delivery_week_composition(self):
+        """delivery = wait (in weeks) + TTM at that maturity."""
+        weeks_per_month = 365.25 / 7.0 / 12.0
+        assert delivery_week(12.0, lambda m: 20.0) == pytest.approx(
+            12.0 * weeks_per_month + 20.0
+        )
+
+    def test_optimal_entry_prefers_interior_point(self):
+        """A steep TTM improvement beats waiting only up to a point."""
+        ttm = lambda month: 100.0 * (0.5 + 0.5 * 2.718 ** (-month / 3.0))  # noqa: E731
+        month, week = optimal_entry_month(ttm, [0, 2, 4, 6, 12, 24])
+        assert 0 < month < 24
+        assert week < delivery_week(0.0, ttm)
+
+    def test_flat_ttm_means_order_now(self):
+        month, _ = optimal_entry_month(lambda m: 30.0, [0, 3, 6])
+        assert month == 0
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            optimal_entry_month(lambda m: 1.0, [])
+        with pytest.raises(InvalidParameterError):
+            delivery_week(-1.0, lambda m: 1.0)
+
+
+class TestRampExperiment:
+    @pytest.fixture(scope="class")
+    def result(self, model, cost_model):
+        from repro.experiments import ramp_timing
+
+        return ramp_timing.run(model, cost_model)
+
+    def test_yield_improves_with_waiting(self, result):
+        yields = [p.die_yield for p in result.points]
+        assert yields == sorted(yields)
+
+    def test_ttm_shrinks_with_waiting(self, result):
+        ttms = [p.ttm_weeks for p in result.points]
+        assert ttms == sorted(ttms, reverse=True)
+
+    def test_cost_shrinks_with_waiting(self, result):
+        costs = [p.cost_usd for p in result.points]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_optimum_is_interior(self, result):
+        """Neither day-one ordering nor indefinite waiting wins."""
+        best = result.best
+        months = [p.entry_month for p in result.points]
+        assert min(months) < best.entry_month < max(months)
+
+    def test_point_lookup(self, result):
+        assert result.point(0.0).entry_month == 0.0
+        with pytest.raises(KeyError):
+            result.point(999.0)
+
+    def test_table_renders(self, result):
+        assert "entry month" in result.table()

@@ -1,0 +1,166 @@
+"""Tests for the core-salvage (binning) yield extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.technology.salvage import (
+    SalvageSpec,
+    binomial_tail,
+    expected_good_units,
+    salvage_gain,
+    salvage_yield,
+)
+from repro.technology.yield_model import negative_binomial_yield
+
+
+def _spec(n=16, k=14, fraction=0.8):
+    return SalvageSpec(
+        n_units=n, required_units=k, unit_area_fraction=fraction
+    )
+
+
+class TestBinomialTail:
+    def test_certain_events(self):
+        assert binomial_tail(10, 0, 0.3) == pytest.approx(1.0)
+        assert binomial_tail(10, 10, 1.0) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        # P(X >= 1) for Bin(2, 0.5) = 0.75.
+        assert binomial_tail(2, 1, 0.5) == pytest.approx(0.75)
+
+    def test_monotone_in_threshold(self):
+        values = [binomial_tail(16, k, 0.9) for k in range(17)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            binomial_tail(4, 5, 0.5)
+        with pytest.raises(InvalidParameterError):
+            binomial_tail(4, 2, 1.5)
+
+    @given(
+        n=st.integers(1, 24),
+        k=st.integers(0, 24),
+        p=st.floats(0.0, 1.0),
+    )
+    def test_always_a_probability(self, n, k, p):
+        if k > n:
+            return
+        assert 0.0 <= binomial_tail(n, k, p) <= 1.0
+
+
+class TestSalvageSpec:
+    def test_redundancy(self):
+        assert _spec(16, 14).redundancy == 2
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SalvageSpec(n_units=0, required_units=1, unit_area_fraction=0.5)
+        with pytest.raises(InvalidParameterError):
+            SalvageSpec(n_units=4, required_units=5, unit_area_fraction=0.5)
+        with pytest.raises(InvalidParameterError):
+            SalvageSpec(n_units=4, required_units=2, unit_area_fraction=0.0)
+
+
+class TestSalvageYield:
+    def test_requiring_all_units_close_to_eq6(self):
+        """Zero redundancy approximates Eq. 6 from below: the
+        independent-sub-area partition ignores defect clustering, which
+        costs a few percent at most (see module docstring)."""
+        spec = _spec(16, 16, 1.0)
+        for area in (50.0, 200.0, 800.0):
+            baseline = negative_binomial_yield(area, 0.09)
+            approximated = salvage_yield(area, 0.09, spec)
+            assert approximated <= baseline + 1e-12
+            assert approximated >= 0.90 * baseline
+
+    def test_salvage_never_hurts(self):
+        base = negative_binomial_yield(400.0, 0.09)
+        assert salvage_yield(400.0, 0.09, _spec(16, 14)) >= base
+
+    def test_more_redundancy_more_yield(self):
+        yields = [
+            salvage_yield(600.0, 0.09, _spec(16, k)) for k in range(16, 8, -1)
+        ]
+        assert yields == sorted(yields)
+
+    def test_big_dies_gain_most(self):
+        """Salvage matters when whole-die yield is poor."""
+        small_gain = salvage_gain(50.0, 0.09, _spec())
+        big_gain = salvage_gain(800.0, 0.09, _spec())
+        assert big_gain > small_gain >= 1.0
+
+    def test_uncore_defects_still_fatal(self):
+        """With a tiny salvageable fraction, salvage barely helps."""
+        barely = salvage_yield(600.0, 0.09, _spec(16, 14, fraction=0.05))
+        base = negative_binomial_yield(600.0, 0.09)
+        assert barely == pytest.approx(base, rel=0.05)
+
+    def test_perfect_process_perfect_yield(self):
+        assert salvage_yield(600.0, 0.0, _spec()) == pytest.approx(1.0)
+
+    @given(
+        area=st.floats(min_value=1.0, max_value=1500.0),
+        d0=st.floats(min_value=0.0, max_value=0.5),
+        redundancy=st.integers(0, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_salvage_bounded_and_ordered(self, area, d0, redundancy):
+        spec = _spec(16, 16 - redundancy, 0.8)
+        value = salvage_yield(area, d0, spec)
+        assert 0.0 < value <= 1.0
+        stricter = _spec(16, min(16 - redundancy + 1, 16), 0.8)
+        assert value >= salvage_yield(area, d0, stricter) - 1e-12
+
+
+class TestExpectedGoodUnits:
+    def test_perfect_process(self):
+        assert expected_good_units(600.0, 0.0, _spec()) == pytest.approx(16.0)
+
+    def test_degrades_with_defects(self):
+        good = expected_good_units(600.0, 0.05, _spec())
+        worse = expected_good_units(600.0, 0.5, _spec())
+        assert 0.0 < worse < good < 16.0
+
+
+class TestDieIntegration:
+    def test_salvage_raises_die_yield(self, db):
+        from repro.design.library.ariane import ariane_manycore
+        from repro.design.library import ariane_manycore_salvage
+
+        base = ariane_manycore("7nm", cores=16, icache_kb=512, dcache_kb=1024)
+        salvaged = ariane_manycore_salvage(
+            "7nm", cores=16, required_cores=14, icache_kb=512, dcache_kb=1024
+        )
+        node = db["7nm"]
+        assert salvaged.dies[0].yield_on(node) > base.dies[0].yield_on(node)
+
+    def test_salvage_cuts_wafer_demand_and_ttm(self, model):
+        from repro.design.library.ariane import ariane_manycore
+        from repro.design.library import ariane_manycore_salvage
+
+        base = ariane_manycore("7nm", cores=16, icache_kb=512, dcache_kb=1024)
+        salvaged = ariane_manycore_salvage(
+            "7nm", cores=16, required_cores=14, icache_kb=512, dcache_kb=1024
+        )
+        assert sum(model.wafer_demand(salvaged, 1e8).values()) < sum(
+            model.wafer_demand(base, 1e8).values()
+        )
+        assert model.total_weeks(salvaged, 1e8) < model.total_weeks(base, 1e8)
+
+    def test_salvage_and_override_mutually_exclusive(self):
+        from repro.design.die import Die
+        from repro.errors import InvalidDesignError
+        from repro.technology.salvage import SalvageSpec
+
+        with pytest.raises(InvalidDesignError):
+            Die(
+                name="bad",
+                process="7nm",
+                area_mm2=100.0,
+                yield_override=0.9,
+                salvage=SalvageSpec(
+                    n_units=4, required_units=3, unit_area_fraction=0.5
+                ),
+            )

@@ -1,0 +1,83 @@
+"""Tests for technology-database linting."""
+
+import pytest
+
+from repro.technology.validate import ERROR, WARNING, assert_clean, lint_database
+
+
+class TestDefaultDatabase:
+    def test_default_database_has_no_errors(self, db):
+        errors = [f for f in lint_database(db) if f.severity == ERROR]
+        assert errors == []
+
+    def test_assert_clean_passes_default(self, db):
+        assert_clean(db)
+
+
+class TestDetections:
+    def test_inverted_density_is_an_error(self, db):
+        broken = db.override({"5nm": {"density_mtr_per_mm2": 1.0}})
+        findings = lint_database(broken)
+        assert any(
+            f.severity == ERROR and "density" in f.message and f.node == "5nm"
+            for f in findings
+        )
+        with pytest.raises(ValueError, match="density"):
+            assert_clean(broken)
+
+    def test_decreasing_tapeout_effort_is_an_error(self, db):
+        broken = db.override({"5nm": {"tapeout_effort": 1e-9}})
+        findings = lint_database(broken)
+        assert any(
+            f.severity == ERROR and "tapeout effort" in f.message
+            for f in findings
+        )
+
+    def test_latency_in_days_caught(self, db):
+        broken = db.override({"7nm": {"fab_latency_weeks": 126.0}})
+        findings = lint_database(broken)
+        assert any(
+            f.severity == ERROR and "days" in f.message and f.node == "7nm"
+            for f in findings
+        )
+
+    def test_absurd_defect_density_caught(self, db):
+        broken = db.override({"7nm": {"defect_density_per_cm2": 50.0}})
+        assert any(
+            f.severity == ERROR and "defect density" in f.message
+            for f in lint_database(broken)
+        )
+
+    def test_wafer_diameter_in_inches_caught(self, db):
+        broken = db.override({"7nm": {"wafer_diameter_mm": 12.0}})
+        assert any(
+            f.severity == ERROR and "diameter" in f.message
+            for f in lint_database(broken)
+        )
+
+    def test_shrinking_latency_is_a_warning(self, db):
+        odd = db.override({"5nm": {"fab_latency_weeks": 10.0}})
+        findings = lint_database(odd)
+        assert any(
+            f.severity == WARNING and "latency" in f.message for f in findings
+        )
+        assert_clean(odd)  # warnings do not raise
+
+    def test_dirty_mature_node_is_a_warning(self, db):
+        odd = db.override({"250nm": {"defect_density_per_cm2": 0.3}})
+        assert any(
+            f.severity == WARNING and f.node == "250nm"
+            for f in lint_database(odd)
+        )
+
+    def test_cheaper_advanced_wafers_is_a_warning(self, db):
+        odd = db.override({"5nm": {"wafer_cost_usd": 100.0}})
+        assert any(
+            f.severity == WARNING and "wafer cost" in f.message
+            for f in lint_database(odd)
+        )
+
+    def test_finding_str_is_readable(self, db):
+        broken = db.override({"5nm": {"density_mtr_per_mm2": 1.0}})
+        text = str(lint_database(broken)[0])
+        assert "[error]" in text or "[warning]" in text

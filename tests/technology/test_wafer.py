@@ -1,0 +1,106 @@
+"""Tests for wafer geometry and wafer-demand accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.technology.wafer import (
+    dies_per_wafer,
+    dies_per_wafer_simple,
+    good_dies_per_wafer,
+    wafer_area_mm2,
+    wafers_required,
+)
+
+
+class TestDiesPerWafer:
+    def test_paper_250nm_example(self):
+        """Sec. 6.2: a ~1650 mm^2 die fits ~43 gross dies on 300 mm."""
+        assert dies_per_wafer_simple(1654.0) == pytest.approx(42.7, abs=0.5)
+
+    def test_simple_is_area_ratio(self):
+        assert dies_per_wafer_simple(100.0) == pytest.approx(
+            wafer_area_mm2() / 100.0
+        )
+
+    def test_edge_correction_is_pessimistic(self):
+        for area in (10.0, 50.0, 100.0, 500.0, 1500.0):
+            assert dies_per_wafer(area) < dies_per_wafer_simple(area)
+
+    def test_known_edge_corrected_value(self):
+        # 100 mm^2 on 300 mm: 706.86 - pi*300/sqrt(200) = 640.2.
+        assert dies_per_wafer(100.0) == pytest.approx(640.2, abs=0.5)
+
+    def test_giant_die_still_fits_once(self):
+        area = wafer_area_mm2() * 0.9
+        assert dies_per_wafer(area) == 1.0
+
+    def test_die_larger_than_wafer_yields_zero(self):
+        assert dies_per_wafer(wafer_area_mm2() * 1.1) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            dies_per_wafer_simple(0.0)
+        with pytest.raises(InvalidParameterError):
+            dies_per_wafer(100.0, wafer_diameter_mm=0.0)
+
+    @given(area=st.floats(min_value=1.0, max_value=5000.0))
+    def test_monotone_in_area(self, area):
+        assert dies_per_wafer_simple(area) >= dies_per_wafer_simple(area * 2) * 2 * 0.999
+
+
+class TestGoodDiesPerWafer:
+    def test_scales_with_yield(self):
+        full = good_dies_per_wafer(100.0, 1.0)
+        half = good_dies_per_wafer(100.0, 0.5)
+        assert half == pytest.approx(full / 2.0)
+
+    def test_yield_bounds_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            good_dies_per_wafer(100.0, 1.5)
+        with pytest.raises(InvalidParameterError):
+            good_dies_per_wafer(100.0, -0.1)
+
+    def test_edge_corrected_option(self):
+        assert good_dies_per_wafer(100.0, 1.0, edge_corrected=True) < (
+            good_dies_per_wafer(100.0, 1.0)
+        )
+
+
+class TestWafersRequired:
+    def test_zero_demand_needs_no_wafers(self):
+        assert wafers_required(0.0, 100.0, 0.9) == 0.0
+
+    def test_paper_250nm_wafer_count(self):
+        """10 M chips at 43 gross dies and 48% yield -> ~487 K wafers."""
+        wafers = wafers_required(10e6, 1654.0, 0.48)
+        assert wafers == pytest.approx(487_000, rel=0.02)
+
+    def test_linear_in_demand(self):
+        one = wafers_required(1e6, 100.0, 0.9)
+        ten = wafers_required(10e6, 100.0, 0.9)
+        assert ten == pytest.approx(10 * one)
+
+    def test_inverse_in_yield(self):
+        high = wafers_required(1e6, 100.0, 0.9)
+        low = wafers_required(1e6, 100.0, 0.45)
+        assert low == pytest.approx(2 * high)
+
+    def test_zero_yield_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            wafers_required(1e6, 100.0, 0.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            wafers_required(-1.0, 100.0, 0.9)
+
+    @given(
+        dies=st.floats(min_value=1.0, max_value=1e9),
+        area=st.floats(min_value=1.0, max_value=2000.0),
+        die_yield=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_round_trip_against_good_dies(self, dies, area, die_yield):
+        """wafers * good-dies-per-wafer recovers the demand exactly."""
+        wafers = wafers_required(dies, area, die_yield)
+        produced = wafers * good_dies_per_wafer(area, die_yield)
+        assert produced == pytest.approx(dies, rel=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the negative-binomial yield model (Eq. 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.technology.yield_model import (
+    area_for_target_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    seeds_yield,
+)
+
+
+class TestNegativeBinomialYield:
+    def test_zero_area_is_perfect(self):
+        assert negative_binomial_yield(0.0, 0.1) == 1.0
+
+    def test_zero_defects_is_perfect(self):
+        assert negative_binomial_yield(500.0, 0.0) == 1.0
+
+    def test_paper_250nm_example(self):
+        """Sec. 6.2: ~1650 mm^2 at D0 = 0.05 yields ~48%."""
+        result = negative_binomial_yield(1654.0, 0.05, alpha=3.0)
+        assert result == pytest.approx(0.48, abs=0.02)
+
+    def test_textbook_value(self):
+        # A = 1 cm^2, D0 = 0.3, alpha = 3 -> (1.1)^-3.
+        assert negative_binomial_yield(100.0, 0.3, alpha=3.0) == pytest.approx(
+            1.1 ** -3
+        )
+
+    def test_monotone_decreasing_in_area(self):
+        areas = [10.0, 50.0, 100.0, 400.0, 1000.0]
+        yields = [negative_binomial_yield(a, 0.09) for a in areas]
+        assert yields == sorted(yields, reverse=True)
+
+    def test_monotone_decreasing_in_defects(self):
+        densities = [0.01, 0.05, 0.1, 0.5]
+        yields = [negative_binomial_yield(100.0, d) for d in densities]
+        assert yields == sorted(yields, reverse=True)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            negative_binomial_yield(-1.0, 0.1)
+
+    def test_negative_defect_density_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            negative_binomial_yield(1.0, -0.1)
+
+    def test_non_positive_alpha_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            negative_binomial_yield(1.0, 0.1, alpha=0.0)
+
+    @given(
+        area=st.floats(min_value=0.0, max_value=5000.0),
+        d0=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_always_a_probability(self, area, d0):
+        value = negative_binomial_yield(area, d0)
+        assert 0.0 < value <= 1.0
+
+    @given(
+        area=st.floats(min_value=1.0, max_value=2000.0),
+        d0=st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_clustering_more_optimistic_than_poisson(self, area, d0):
+        """Finite alpha (clustered defects) always beats Poisson."""
+        assert negative_binomial_yield(area, d0) >= poisson_yield(area, d0)
+
+    @given(
+        area=st.floats(min_value=1.0, max_value=2000.0),
+        d0=st.floats(min_value=0.001, max_value=0.5),
+    )
+    def test_seeds_most_pessimistic_clustered(self, area, d0):
+        """alpha = 1 (Seeds) is the most optimistic of the family."""
+        assert seeds_yield(area, d0) >= negative_binomial_yield(area, d0)
+
+
+class TestPoissonYield:
+    def test_matches_exponential(self):
+        assert poisson_yield(100.0, 0.3) == pytest.approx(math.exp(-0.3))
+
+    def test_large_alpha_converges_to_poisson(self):
+        nb = negative_binomial_yield(100.0, 0.3, alpha=1e7)
+        assert nb == pytest.approx(poisson_yield(100.0, 0.3), rel=1e-5)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            poisson_yield(-1.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            poisson_yield(1.0, -0.1)
+
+
+class TestAreaInversion:
+    @given(
+        target=st.floats(min_value=0.05, max_value=0.999),
+        d0=st.floats(min_value=0.01, max_value=0.5),
+    )
+    def test_round_trip(self, target, d0):
+        area = area_for_target_yield(target, d0)
+        assert negative_binomial_yield(area, d0) == pytest.approx(target, rel=1e-9)
+
+    def test_full_yield_needs_zero_area(self):
+        assert area_for_target_yield(1.0, 0.1) == pytest.approx(0.0)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            area_for_target_yield(0.0, 0.1)
+        with pytest.raises(InvalidParameterError):
+            area_for_target_yield(1.5, 0.1)
+
+    def test_zero_defects_not_invertible(self):
+        with pytest.raises(InvalidParameterError):
+            area_for_target_yield(0.5, 0.0)

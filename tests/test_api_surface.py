@@ -1,0 +1,53 @@
+"""API-surface integrity: every exported name resolves, everywhere.
+
+Walks the whole package tree and asserts each module's ``__all__`` is
+consistent with its attributes — the kind of drift (renamed function,
+forgotten export) that otherwise only surfaces for downstream users.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        names.append(module_info.name)
+    return names
+
+
+MODULES = _all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_dunder_all_resolves(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        return
+    assert len(set(exported)) == len(exported), "duplicate names in __all__"
+    assert list(exported) == sorted(exported), "__all__ should be sorted"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_every_module_has_a_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_package_count_sanity():
+    """The tree should stay many-small-modules shaped."""
+    assert len(MODULES) > 50

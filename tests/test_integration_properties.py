@@ -1,0 +1,155 @@
+"""Cross-stack property tests: invariants of the whole pipeline.
+
+These tests run hypothesis-generated designs through the full
+TTM / CAS / cost stack and assert the model-level invariants DESIGN.md
+promises, independent of any particular calibration:
+
+* more chips never ship faster, and never cost less in total;
+* less capacity never ships faster;
+* adding transistors (NTT) never shrinks TTM or cost;
+* adding unverified transistors (NUT) never shrinks tapeout;
+* CAS is positive, finite, and falls when a queue appears;
+* retargeting preserves transistor accounting;
+* the pipelined schedule never loses to the sequential one.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import TTMModel
+from repro.cost.model import CostModel
+from repro.agility.cas import chip_agility_score
+from repro.design.library.generic import monolithic_design
+from repro.market.conditions import MarketConditions
+
+PRODUCTION_NODES = (
+    "250nm", "180nm", "130nm", "90nm", "65nm",
+    "40nm", "28nm", "14nm", "7nm", "5nm",
+)
+
+nodes = st.sampled_from(PRODUCTION_NODES)
+ntts = st.floats(min_value=1e6, max_value=2e10)
+volumes = st.floats(min_value=1e3, max_value=5e8)
+fractions = st.floats(min_value=0.1, max_value=1.0)
+
+
+def _design(process: str, ntt: float, nut_fraction: float = 0.1):
+    return monolithic_design(
+        "prop", process, ntt=ntt, nut=ntt * nut_fraction, min_area_mm2=1.0
+    )
+
+
+@pytest.fixture(scope="module")
+def cost_model(db):
+    return CostModel(technology=db)
+
+
+class TestVolumeMonotonicity:
+    @settings(max_examples=40, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_more_chips_never_faster(self, model, process, ntt, n):
+        design = _design(process, ntt)
+        assert model.total_weeks(design, 2 * n) >= model.total_weeks(
+            design, n
+        ) - 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_more_chips_never_cheaper_in_total(
+        self, model, cost_model, process, ntt, n
+    ):
+        design = _design(process, ntt)
+        assert cost_model.total_usd(design, 2 * n) > cost_model.total_usd(
+            design, n
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_amortization_never_raises_per_chip_cost(
+        self, model, cost_model, process, ntt, n
+    ):
+        design = _design(process, ntt)
+        small = cost_model.chip_creation_cost(design, n).usd_per_chip
+        large = cost_model.chip_creation_cost(design, 10 * n).usd_per_chip
+        assert large <= small + 1e-9
+
+
+class TestCapacityMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(process=nodes, ntt=ntts, fraction=fractions)
+    def test_less_capacity_never_faster(self, model, process, ntt, fraction):
+        design = _design(process, ntt)
+        full = model.total_weeks(design, 1e7)
+        reduced = model.at_capacity(fraction).total_weeks(design, 1e7)
+        assert reduced >= full - 1e-9
+
+
+class TestSizeMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_more_transistors_never_faster(self, model, process, ntt, n):
+        small = _design(process, ntt)
+        big = _design(process, ntt * 2)
+        assert model.total_weeks(big, n) >= model.total_weeks(small, n) - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(process=nodes, ntt=ntts)
+    def test_more_unique_transistors_never_less_tapeout(
+        self, model, process, ntt
+    ):
+        lean = monolithic_design("lean", process, ntt=ntt, nut=ntt * 0.05)
+        heavy = monolithic_design("heavy", process, ntt=ntt, nut=ntt * 0.5)
+        lean_result = model.time_to_market(lean, 1e6)
+        heavy_result = model.time_to_market(heavy, 1e6)
+        assert heavy_result.tapeout_weeks >= lean_result.tapeout_weeks
+
+
+class TestCASInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_cas_positive_and_finite(self, model, process, ntt, n):
+        result = chip_agility_score(model, _design(process, ntt), n)
+        assert 0.0 < result.cas < float("inf")
+
+    @settings(max_examples=25, deadline=None)
+    @given(process=nodes, ntt=ntts, queue=st.floats(0.25, 4.0))
+    def test_any_queue_reduces_cas(self, model, process, ntt, queue):
+        design = _design(process, ntt)
+        base = chip_agility_score(model, design, 1e7).cas
+        conditions = MarketConditions.nominal().with_queue(process, queue)
+        queued = model.with_foundry(model.foundry.with_conditions(conditions))
+        assert chip_agility_score(queued, design, 1e7).cas < base
+
+
+class TestStructuralConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(source=nodes, target=nodes, ntt=ntts)
+    def test_retarget_preserves_accounting(self, source, target, ntt):
+        design = _design(source, ntt)
+        ported = design.retarget(target)
+        assert ported.ntt_per_chip == design.ntt_per_chip
+        assert sum(ported.nut_by_process().values()) == pytest.approx(
+            sum(design.nut_by_process().values())
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_pipelined_never_loses_to_sequential(
+        self, foundry, process, ntt, n
+    ):
+        design = _design(process, ntt)
+        pipelined = TTMModel(foundry=foundry, schedule="pipelined")
+        sequential = TTMModel(foundry=foundry, schedule="sequential")
+        assert pipelined.total_weeks(design, n) <= sequential.total_weeks(
+            design, n
+        ) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(process=nodes, ntt=ntts, n=volumes)
+    def test_phase_sum_equals_total(self, model, process, ntt, n):
+        result = model.time_to_market(_design(process, ntt), n)
+        assert result.total_weeks == pytest.approx(
+            sum(weeks for _, weeks in result.phase_breakdown())
+        )

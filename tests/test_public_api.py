@@ -1,0 +1,42 @@
+"""Smoke tests for the public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        """The README/`__init__` quickstart must work verbatim."""
+        from repro import TTMModel, chip_agility_score
+        from repro.design.library import a11
+
+        model = TTMModel.nominal()
+        design = a11("28nm")
+        result = model.time_to_market(design, n_chips=10e6)
+        assert 15.0 < result.total_weeks < 40.0
+        assert chip_agility_score(model, design, 10e6).normalized > 0.0
+
+    def test_exception_hierarchy(self):
+        assert issubclass(repro.UnknownNodeError, repro.ReproError)
+        assert issubclass(repro.NodeUnavailableError, repro.ReproError)
+        assert issubclass(repro.InvalidDesignError, repro.ReproError)
+        assert issubclass(repro.InvalidParameterError, repro.ReproError)
+        assert issubclass(repro.CalibrationError, repro.ReproError)
+
+    def test_errors_catchable_as_builtins(self):
+        """KeyError/ValueError mixins keep duck-typed callers working."""
+        assert issubclass(repro.UnknownNodeError, KeyError)
+        assert issubclass(repro.InvalidDesignError, ValueError)
+
+    def test_models_are_immutable(self):
+        model = repro.TTMModel.nominal()
+        with pytest.raises(AttributeError):
+            model.engineers = 50  # type: ignore[misc]

@@ -1,0 +1,64 @@
+"""Integration: preset scenarios drive the models end to end."""
+
+import pytest
+
+from repro import TTMModel, chip_agility_score
+from repro.design.library import a11, raven_multicore
+from repro.market import scenarios
+
+
+def _under(model, conditions):
+    return model.with_foundry(model.foundry.with_conditions(conditions))
+
+
+class TestScenarioEffects:
+    def test_shortage_adds_exactly_the_quote_at_full_rate(self, model):
+        stressed = _under(model, scenarios.shortage_2021(queue_weeks=4.0))
+        base = model.total_weeks(a11("28nm"), 10e6)
+        assert stressed.total_weeks(a11("28nm"), 10e6) == pytest.approx(
+            base + 4.0, abs=0.01
+        )
+
+    def test_shortage_erodes_agility_everywhere(self, model):
+        stressed = _under(model, scenarios.shortage_2021())
+        for process in ("40nm", "28nm", "7nm"):
+            base = chip_agility_score(model, a11(process), 10e6).cas
+            queued = chip_agility_score(stressed, a11(process), 10e6).cas
+            assert queued < base
+
+    def test_advanced_drought_spares_legacy_designs(self, model):
+        stressed = _under(model, scenarios.advanced_drought(0.5))
+        design = raven_multicore("180nm")
+        assert stressed.total_weeks(design, 1e8) == pytest.approx(
+            model.total_weeks(design, 1e8)
+        )
+
+    def test_advanced_drought_slows_advanced_designs(self, model):
+        stressed = _under(model, scenarios.advanced_drought(0.3))
+        assert stressed.total_weeks(a11("7nm"), 10e6) > model.total_weeks(
+            a11("7nm"), 10e6
+        )
+
+    def test_fab_fire_is_surgical(self, model):
+        stressed = _under(model, scenarios.fab_fire("28nm", 0.3))
+        assert stressed.total_weeks(a11("28nm"), 10e6) > model.total_weeks(
+            a11("28nm"), 10e6
+        )
+        assert stressed.total_weeks(a11("40nm"), 10e6) == pytest.approx(
+            model.total_weeks(a11("40nm"), 10e6)
+        )
+
+    def test_legacy_crunch_can_flip_the_fastest_node(self, model):
+        """At small volume the fastest A11 node is a legacy one; a deep
+        legacy crunch hands the win to an unthrottled mature node — the
+        re-release decision is scenario-dependent."""
+        stressed = _under(model, scenarios.legacy_crunch(0.1))
+        candidates = ("180nm", "130nm", "28nm", "7nm")
+        base_best = min(
+            candidates, key=lambda p: model.total_weeks(a11(p), 1e5)
+        )
+        crunch_best = min(
+            candidates, key=lambda p: stressed.total_weeks(a11(p), 1e5)
+        )
+        assert base_best == "180nm"
+        assert crunch_best == "28nm"

@@ -1,0 +1,62 @@
+"""Tests for unit conversions and formatting helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_weeks_per_month(self):
+        assert units.WEEKS_PER_MONTH == pytest.approx(4.348, abs=0.001)
+
+    def test_kwpm_round_trip(self):
+        rate = units.kwpm_to_wafers_per_week(252.0)
+        assert units.wafers_per_week_to_kwpm(rate) == pytest.approx(252.0)
+
+    def test_kwpm_magnitude(self):
+        # 100 kW/month ~= 23 k wafers/week.
+        assert units.kwpm_to_wafers_per_week(100.0) == pytest.approx(
+            22_996, rel=0.01
+        )
+
+    def test_wafer_area(self):
+        assert units.WAFER_AREA_MM2 == pytest.approx(
+            math.pi * 150.0**2
+        )
+
+    def test_mm2_to_cm2(self):
+        assert units.mm2_to_cm2(100.0) == 1.0
+
+    def test_transistors_to_area(self):
+        # 4.3 B transistors at 48.9 MTr/mm^2 -> ~88 mm^2 (the A11).
+        assert units.transistors_to_area_mm2(4.3e9, 48.9) == pytest.approx(
+            87.9, abs=0.1
+        )
+
+    def test_transistors_to_area_rejects_zero_density(self):
+        with pytest.raises(ValueError):
+            units.transistors_to_area_mm2(1e9, 0.0)
+
+    def test_weeks_to_engineer_hours(self):
+        assert units.weeks_to_engineer_hours(2.0, 100) == 8000.0
+
+
+class TestFormatting:
+    def test_format_weeks(self):
+        assert units.format_weeks(24.83) == "24.8 weeks"
+
+    @pytest.mark.parametrize(
+        "amount,expected",
+        [
+            (12.3456, "$12.35"),
+            (4_560.0, "$4.56K"),
+            (7_700_000.0, "$7.70M"),
+            (2.5e9, "$2.50B"),
+            (-4_560.0, "-$4.56K"),
+            (0.0, "$0.00"),
+        ],
+    )
+    def test_format_usd(self, amount, expected):
+        assert units.format_usd(amount) == expected

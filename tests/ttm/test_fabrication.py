@@ -1,0 +1,107 @@
+"""Tests for the fabrication phase (Eqs. 3-5)."""
+
+import pytest
+
+from repro.design.chip import ChipDesign
+from repro.design.library.generic import monolithic_design
+from repro.design.library.zen2 import compute_die, io_die
+from repro.errors import InvalidParameterError, NodeUnavailableError
+from repro.market.conditions import MarketConditions
+from repro.market.foundry import Foundry
+from repro.technology.wafer import wafers_required
+from repro.ttm.fabrication import (
+    die_wafer_demand,
+    fabrication_weeks,
+    node_fabrication,
+    wafer_demand_by_node,
+)
+
+
+@pytest.fixture(scope="module")
+def design_7nm():
+    return monolithic_design("single", "7nm", ntt=4.3e9, nut=5e8)
+
+
+class TestWaferDemand:
+    def test_matches_wafers_required(self, foundry, design_7nm, db):
+        die = design_7nm.dies[0]
+        node = db["7nm"]
+        expected = wafers_required(
+            1e7, die.area_on(node), die.yield_on(node)
+        )
+        assert die_wafer_demand(die, node, 1e7) == pytest.approx(expected)
+
+    def test_counts_dies_per_package(self, foundry, db):
+        design = ChipDesign(name="zen", dies=(compute_die("7nm"),))
+        demand = wafer_demand_by_node(design, foundry, 1e6)
+        single = ChipDesign(
+            name="one", dies=(compute_die("7nm", count=1),)
+        )
+        demand_single = wafer_demand_by_node(single, foundry, 1e6)
+        assert demand["7nm"] == pytest.approx(2 * demand_single["7nm"])
+
+    def test_same_node_dies_share_demand(self, foundry):
+        design = ChipDesign(
+            name="all7", dies=(compute_die("7nm"), io_die("7nm"))
+        )
+        demand = wafer_demand_by_node(design, foundry, 1e6)
+        assert set(demand) == {"7nm"}
+        individual = sum(
+            die_wafer_demand(die, foundry.node("7nm"), 1e6)
+            for die in design.dies
+        )
+        assert demand["7nm"] == pytest.approx(individual)
+
+    def test_negative_chips_rejected(self, foundry, design_7nm, db):
+        with pytest.raises(InvalidParameterError):
+            die_wafer_demand(design_7nm.dies[0], db["7nm"], -1.0)
+
+
+class TestNodeFabrication:
+    def test_eq5_production_time(self, foundry, design_7nm):
+        stages = node_fabrication(design_7nm, foundry, 1e7)
+        assert len(stages) == 1
+        stage = stages[0]
+        assert stage.production_weeks == pytest.approx(
+            stage.wafers / foundry.wafer_rate_per_week("7nm")
+        )
+        assert stage.latency_weeks == 18.0
+        assert stage.queue_weeks == 0.0
+
+    def test_queue_included(self, db, design_7nm):
+        queued = Foundry(
+            technology=db,
+            conditions=MarketConditions(queue_weeks={"7nm": 2.0}),
+        )
+        stages = node_fabrication(design_7nm, queued, 1e7)
+        assert stages[0].queue_weeks == pytest.approx(2.0)
+        assert stages[0].total_weeks == pytest.approx(
+            2.0 + stages[0].production_weeks + 18.0
+        )
+
+    def test_eq3_takes_the_slowest_node(self, foundry):
+        mixed = ChipDesign(
+            name="mixed", dies=(compute_die("7nm"), io_die("14nm"))
+        )
+        stages = {s.process: s for s in node_fabrication(mixed, foundry, 1e7)}
+        assert fabrication_weeks(mixed, foundry, 1e7) == pytest.approx(
+            max(stage.total_weeks for stage in stages.values())
+        )
+        # 7 nm is the slower line for this design (longer latency).
+        assert stages["7nm"].total_weeks > stages["14nm"].total_weeks
+
+    def test_out_of_production_node_rejected(self, foundry):
+        design = monolithic_design("dead", "20nm", ntt=1e9, nut=1e8)
+        with pytest.raises(NodeUnavailableError):
+            fabrication_weeks(design, foundry, 1e6)
+
+    def test_capacity_drop_slows_production_only(self, foundry, design_7nm):
+        full = node_fabrication(design_7nm, foundry, 1e7)[0]
+        half = node_fabrication(
+            design_7nm, foundry.at_capacity(0.5), 1e7
+        )[0]
+        assert half.production_weeks == pytest.approx(
+            2 * full.production_weeks
+        )
+        assert half.latency_weeks == full.latency_weeks
+        assert half.wafers == pytest.approx(full.wafers)

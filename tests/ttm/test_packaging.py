@@ -1,0 +1,106 @@
+"""Tests for the packaging phase (Eq. 7)."""
+
+import pytest
+
+from repro.design.chip import ChipDesign
+from repro.design.library.generic import monolithic_design
+from repro.design.library.zen2 import interposer_die, zen2
+from repro.errors import InvalidParameterError
+from repro.ttm.packaging import (
+    packaging_breakdown,
+    packaging_terms,
+    packaging_weeks,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return monolithic_design("chip", "28nm", ntt=4.3e9, nut=5e8)
+
+
+class TestEq7Terms:
+    def test_latency_is_the_constant_term(self, db, design):
+        breakdown = packaging_breakdown(design, db, 1e6)
+        assert breakdown.latency_weeks == 6.0
+
+    def test_explicit_term_formulas(self, db, design):
+        n = 1e6
+        die = design.dies[0]
+        node = db["28nm"]
+        breakdown = packaging_breakdown(design, db, n)
+        expected_testing = (
+            n / die.yield_on(node) * die.ntt * node.testing_effort
+        )
+        expected_assembly = n * die.area_on(node) * node.packaging_effort
+        assert breakdown.testing_weeks == pytest.approx(expected_testing)
+        assert breakdown.assembly_weeks == pytest.approx(expected_assembly)
+
+    def test_total_is_sum_of_terms(self, db, design):
+        latency, testing, assembly = packaging_terms(design, db, 1e6)
+        assert packaging_weeks(design, db, 1e6) == pytest.approx(
+            latency + testing + assembly
+        )
+
+    def test_scales_linearly_with_volume(self, db, design):
+        one = packaging_breakdown(design, db, 1e6)
+        ten = packaging_breakdown(design, db, 1e7)
+        assert ten.testing_weeks == pytest.approx(10 * one.testing_weeks)
+        assert ten.assembly_weeks == pytest.approx(10 * one.assembly_weeks)
+        assert ten.latency_weeks == one.latency_weeks
+
+    def test_yield_loss_inflates_testing(self, db):
+        """More dies flow through the testers than chips ship (Sec. 3.4)."""
+        big = monolithic_design("big", "28nm", ntt=8e9, nut=1e8)
+        node = db["28nm"]
+        die = big.dies[0]
+        breakdown = packaging_breakdown(big, db, 1e6)
+        without_loss = 1e6 * die.ntt * node.testing_effort
+        assert breakdown.testing_weeks > without_loss
+
+
+class TestChiplets:
+    def test_multi_die_sums_per_die(self, db):
+        design = zen2()
+        breakdown = packaging_breakdown(design, db, 1e6)
+        manual_testing = 0.0
+        manual_assembly = 0.0
+        for die in design.dies:
+            node = db[die.process]
+            manual_testing += (
+                1e6 * die.count / die.yield_on(node) * die.ntt * node.testing_effort
+            )
+            manual_assembly += (
+                1e6 * die.count * die.area_on(node) * node.packaging_effort
+            )
+        assert breakdown.testing_weeks == pytest.approx(manual_testing)
+        assert breakdown.assembly_weeks == pytest.approx(manual_assembly)
+
+    def test_passive_interposer_skips_testing_but_pays_assembly(self, db):
+        base = zen2()
+        with_interposer = base.with_die(interposer_die(273.0))
+        plain = packaging_breakdown(base, db, 1e6)
+        loaded = packaging_breakdown(with_interposer, db, 1e6)
+        assert loaded.testing_weeks == pytest.approx(plain.testing_weeks)
+        assert loaded.assembly_weeks > plain.assembly_weeks
+
+    def test_more_dies_per_package_cost_more_assembly(self, db):
+        one_die = ChipDesign(name="one", dies=(zen2().die("compute").with_count(1),))
+        two_die = ChipDesign(name="two", dies=(zen2().die("compute"),))
+        one = packaging_breakdown(one_die, db, 1e6)
+        two = packaging_breakdown(two_die, db, 1e6)
+        assert two.assembly_weeks == pytest.approx(2 * one.assembly_weeks)
+
+
+class TestValidation:
+    def test_negative_volume_rejected(self, db, design):
+        with pytest.raises(InvalidParameterError):
+            packaging_breakdown(design, db, -1.0)
+
+    def test_negative_latency_rejected(self, db, design):
+        with pytest.raises(InvalidParameterError):
+            packaging_breakdown(design, db, 1e6, tap_latency_weeks=-1.0)
+
+    def test_custom_latency_honored(self, db, design):
+        assert packaging_breakdown(
+            design, db, 1e6, tap_latency_weeks=2.0
+        ).latency_weeks == 2.0

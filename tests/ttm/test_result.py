@@ -1,0 +1,63 @@
+"""Tests for the TTM result types."""
+
+import pytest
+
+from repro.ttm.result import NodeSchedule, TTMResult
+
+
+def _schedule(process="7nm", tapeout=2.0, queue=1.0, production=3.0,
+              latency=18.0, wafers=1000.0):
+    return NodeSchedule(
+        process=process,
+        tapeout_weeks=tapeout,
+        queue_weeks=queue,
+        production_weeks=production,
+        latency_weeks=latency,
+        wafers=wafers,
+        ready_weeks=tapeout + queue + production + latency,
+    )
+
+
+class TestNodeSchedule:
+    def test_fabrication_weeks(self):
+        schedule = _schedule()
+        assert schedule.fabrication_weeks == pytest.approx(22.0)
+
+
+class TestTTMResult:
+    def _result(self):
+        nodes = {
+            "7nm": _schedule("7nm", production=5.0),
+            "14nm": _schedule("14nm", production=1.0, latency=15.0),
+        }
+        return TTMResult(
+            design="test",
+            n_chips=1e6,
+            schedule="pipelined",
+            design_weeks=1.0,
+            tapeout_weeks=2.0,
+            fabrication_weeks=24.0,
+            packaging_weeks=8.0,
+            nodes=nodes,
+        )
+
+    def test_total_weeks(self):
+        assert self._result().total_weeks == pytest.approx(35.0)
+
+    def test_supply_dependent_weeks_excludes_upstream(self):
+        assert self._result().supply_dependent_weeks == pytest.approx(32.0)
+
+    def test_total_wafers(self):
+        assert self._result().total_wafers == pytest.approx(2000.0)
+
+    def test_bottleneck_process(self):
+        assert self._result().bottleneck_process == "7nm"
+
+    def test_phase_breakdown_order(self):
+        phases = [name for name, _ in self._result().phase_breakdown()]
+        assert phases == ["design", "tapeout", "fabrication", "packaging"]
+
+    def test_as_dict_contains_headline_numbers(self):
+        flat = self._result().as_dict()
+        assert flat["total_weeks"] == pytest.approx(35.0)
+        assert flat["total_wafers"] == pytest.approx(2000.0)

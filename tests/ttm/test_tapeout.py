@@ -1,0 +1,149 @@
+"""Tests for the tapeout phase model (Eq. 2)."""
+
+import pytest
+
+from repro.design.block import Block, ip_block
+from repro.design.chip import ChipDesign
+from repro.design.die import Die
+from repro.design.library.zen2 import compute_die, io_die
+from repro.errors import InvalidParameterError
+from repro.ttm.tapeout import (
+    design_tapeout_engineer_weeks,
+    die_tapeout_calendar_weeks,
+    die_tapeout_engineer_weeks,
+    node_tapeout_calendar_weeks,
+    sequential_tapeout_calendar_weeks,
+)
+
+
+class TestTable4Anchors:
+    """The published Zen-2 tapeout times are exact calibration anchors."""
+
+    @pytest.mark.parametrize(
+        "factory,process,expected",
+        [
+            (compute_die, "14nm", 3.6),
+            (compute_die, "7nm", 10.4),
+            (io_die, "14nm", 4.0),
+            (io_die, "7nm", 11.5),
+        ],
+    )
+    def test_paper_values(self, db, factory, process, expected):
+        die = factory(process)
+        weeks = die_tapeout_calendar_weeks(die, db[process], engineers=100)
+        assert weeks == pytest.approx(expected, abs=0.1)
+
+
+class TestDieTapeout:
+    def test_effort_is_nut_times_coefficient(self, db):
+        die = Die(
+            name="x",
+            process="7nm",
+            blocks=(Block(name="a", transistors=1e8),),
+        )
+        expected = 1e8 * db["7nm"].tapeout_effort
+        assert die_tapeout_engineer_weeks(die, db["7nm"]) == pytest.approx(expected)
+
+    def test_verified_ip_is_free(self, db):
+        die = Die(name="x", process="7nm", blocks=(ip_block("sram", 1e9),))
+        assert die_tapeout_calendar_weeks(die, db["7nm"], 100) == 0.0
+
+    def test_passive_die_is_free(self, db):
+        die = Die(name="interposer", process="65nm", area_mm2=300.0)
+        assert die_tapeout_calendar_weeks(die, db["65nm"], 100) == 0.0
+
+    def test_serial_sums_blocks(self, db):
+        die = Die(
+            name="x",
+            process="7nm",
+            blocks=(
+                Block(name="a", transistors=1e8),
+                Block(name="b", transistors=2e8),
+            ),
+        )
+        expected = 3e8 * db["7nm"].tapeout_effort / 100
+        assert die_tapeout_calendar_weeks(die, db["7nm"], 100) == pytest.approx(
+            expected
+        )
+
+    def test_block_parallel_takes_slowest_plus_top(self, db):
+        die = Die(
+            name="x",
+            process="7nm",
+            blocks=(
+                Block(name="a", transistors=1e8),
+                Block(name="b", transistors=2e8),
+            ),
+            top_level_transistors=5e7,
+        )
+        expected = (2e8 + 5e7) * db["7nm"].tapeout_effort / 100
+        weeks = die_tapeout_calendar_weeks(
+            die, db["7nm"], 100, block_parallel=True
+        )
+        assert weeks == pytest.approx(expected)
+
+    def test_parallel_never_slower_than_serial(self, db):
+        die = Die(
+            name="x",
+            process="7nm",
+            blocks=(
+                Block(name="a", transistors=1e8),
+                Block(name="b", transistors=2e8),
+            ),
+        )
+        serial = die_tapeout_calendar_weeks(die, db["7nm"], 100)
+        parallel = die_tapeout_calendar_weeks(
+            die, db["7nm"], 100, block_parallel=True
+        )
+        assert parallel <= serial
+
+    def test_bigger_team_is_faster(self, db):
+        die = Die(
+            name="x", process="7nm", blocks=(Block(name="a", transistors=1e8),)
+        )
+        assert die_tapeout_calendar_weeks(
+            die, db["7nm"], 200
+        ) == pytest.approx(die_tapeout_calendar_weeks(die, db["7nm"], 100) / 2)
+
+    def test_invalid_team_size(self, db):
+        die = Die(
+            name="x", process="7nm", blocks=(Block(name="a", transistors=1e8),)
+        )
+        with pytest.raises(InvalidParameterError):
+            die_tapeout_calendar_weeks(die, db["7nm"], 0)
+
+    def test_wrong_node_rejected(self, db):
+        die = Die(
+            name="x", process="7nm", blocks=(Block(name="a", transistors=1e8),)
+        )
+        with pytest.raises(InvalidParameterError):
+            die_tapeout_engineer_weeks(die, db["5nm"])
+
+
+class TestDesignTapeout:
+    def _mixed_design(self):
+        return ChipDesign(
+            name="mixed", dies=(compute_die("7nm"), io_die("14nm"))
+        )
+
+    def test_eq2_sums_across_nodes(self, db):
+        design = self._mixed_design()
+        expected = (
+            4.75e8 * db["7nm"].tapeout_effort
+            + 5.23e8 * db["14nm"].tapeout_effort
+        )
+        assert design_tapeout_engineer_weeks(design, db) == pytest.approx(expected)
+
+    def test_per_node_calendar_is_slowest_die(self, db):
+        design = ChipDesign(
+            name="two-on-7nm", dies=(compute_die("7nm"), io_die("7nm"))
+        )
+        per_node = node_tapeout_calendar_weeks(design, db, 100)
+        # The I/O die (523 M NUT) is slower than the compute die (475 M).
+        assert per_node["7nm"] == pytest.approx(11.5, abs=0.1)
+
+    def test_sequential_serializes_everything(self, db):
+        design = self._mixed_design()
+        total = sequential_tapeout_calendar_weeks(design, db, 100)
+        per_node = node_tapeout_calendar_weeks(design, db, 100)
+        assert total == pytest.approx(sum(per_node.values()))
