@@ -1,0 +1,107 @@
+"""Benchmark: batched engine kernels vs the scalar evaluation paths.
+
+Each benchmark times the batched hot path and asserts (a) numerical
+equivalence with the scalar path and (b) a modest speedup floor (the
+headline numbers live in ``scripts/bench_engine.py`` -> BENCH_engine.json;
+the floors here are deliberately loose so CI machines don't flake).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.agility.cas import chip_agility_score
+from repro.analysis.sweep import capacity_fractions, chip_quantities
+from repro.design.library.a11 import (
+    A11_TOTAL_TRANSISTORS,
+    A11_UNIQUE_TRANSISTORS,
+    a11,
+)
+from repro.engine.batch import batch_ttm, cas_over_capacity
+from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.sensitivity.sobol import sobol_indices
+from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
+
+N_CHIPS = 1e7
+SMOKE_SPEEDUP_FLOOR = 3.0
+
+
+def _best_of(repeats, call):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_batch_cas_sweep(benchmark, model):
+    design = a11("7nm")
+    fractions = capacity_fractions(0.05, 1.0, 20)
+    quantities = np.asarray(chip_quantities()).reshape(-1, 1)
+
+    batched = benchmark(
+        cas_over_capacity, model, design, quantities, fractions
+    )
+    assert batched.shape == (len(chip_quantities()), len(fractions))
+    for i, n in enumerate(chip_quantities()):
+        for j, fraction in enumerate(fractions):
+            scalar = chip_agility_score(
+                model.at_capacity(fraction), design, n
+            ).normalized
+            assert batched[i, j] == pytest.approx(scalar, rel=1e-9)
+
+
+def test_bench_vectorized_sobol(benchmark, model):
+    factors = ttm_factors(
+        "7nm", A11_TOTAL_TRANSISTORS, A11_UNIQUE_TRANSISTORS
+    )
+    function = ttm_factor_batch_function("7nm", N_CHIPS)
+
+    result = benchmark(
+        sobol_indices, function, factors, 128, vectorized=True
+    )
+    assert result.evaluations == 128 * (len(factors) + 2)
+    scalar = sobol_indices(
+        ttm_factor_function("7nm", N_CHIPS), factors, base_samples=128
+    )
+    for name, value in scalar.total_effect.items():
+        assert result.total_effect[name] == pytest.approx(
+            value, rel=1e-9, abs=1e-12
+        )
+
+
+def test_engine_speedup_smoke(model):
+    """Batched sweeps must beat scalar loops by a comfortable margin."""
+    design = a11("7nm")
+    fractions = capacity_fractions(0.05, 1.0, 20)
+    quantities = np.asarray(chip_quantities()).reshape(-1, 1)
+
+    def scalar_sweep():
+        return [
+            chip_agility_score(
+                model.at_capacity(fraction), design, float(n)
+            ).normalized
+            for n in chip_quantities()
+            for fraction in fractions
+        ]
+
+    def batched_sweep():
+        return cas_over_capacity(model, design, quantities, fractions)
+
+    batched_sweep()  # warm the invariant cache before timing
+    scalar_time = _best_of(3, scalar_sweep)
+    batched_time = _best_of(3, batched_sweep)
+    assert scalar_time / batched_time >= SMOKE_SPEEDUP_FLOOR
+
+
+def test_batch_ttm_quantity_row_matches_scalar(model):
+    design = a11("28nm")
+    totals = batch_ttm(model, design, chip_quantities()).total_weeks
+    for n, weeks in zip(chip_quantities(), totals):
+        assert weeks == pytest.approx(
+            model.total_weeks(design, n), rel=1e-9
+        )

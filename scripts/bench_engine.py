@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Measure the batched engine's speedups and write BENCH_engine.json.
+
+Workloads (the ISSUE's acceptance targets):
+
+* ``sobol``   -- the Fig. 8 Sobol workload at 1024 total evaluations
+  (N=128, k=6): scalar per-row objective vs the vectorized
+  ``ttm_factor_batch_function`` fast path. Target: >= 10x.
+* ``sweep``   -- a 20-point capacity sweep x 6 final-chip quantities of
+  A11 @ 7 nm CAS: scalar ``chip_agility_score`` loop vs one
+  ``cas_over_capacity`` call. Target: >= 5x.
+* ``accuracy``-- max relative error of the batched results against the
+  scalar paths over both workloads (must be <= 1e-9).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_engine.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+import numpy as np
+
+from repro.agility.cas import chip_agility_score
+from repro.analysis.sweep import capacity_fractions, chip_quantities
+from repro.design.library.a11 import (
+    A11_TOTAL_TRANSISTORS,
+    A11_UNIQUE_TRANSISTORS,
+    a11,
+)
+from repro.engine.batch import cas_over_capacity
+from repro.engine.invariants import clear_invariant_cache
+from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.sensitivity.sobol import sobol_indices
+from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
+from repro.ttm.model import TTMModel
+
+PROCESS = "7nm"
+N_CHIPS = 1e7
+BASE_SAMPLES = 128  # 128 * (6 + 2) = 1024 evaluations
+REPEATS = 5
+
+
+def best_of(repeats: int, call) -> float:
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        call()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_sobol(model: TTMModel) -> dict:
+    factors = ttm_factors(
+        PROCESS, A11_TOTAL_TRANSISTORS, A11_UNIQUE_TRANSISTORS
+    )
+    scalar_fn = ttm_factor_function(PROCESS, N_CHIPS)
+    batch_fn = ttm_factor_batch_function(PROCESS, N_CHIPS)
+
+    scalar = sobol_indices(scalar_fn, factors, base_samples=BASE_SAMPLES)
+    batched = sobol_indices(
+        batch_fn, factors, base_samples=BASE_SAMPLES, vectorized=True
+    )
+    error = max(
+        abs(batched.raw_total_effect[name] - value)
+        / max(abs(value), 1e-300)
+        for name, value in scalar.raw_total_effect.items()
+    )
+    scalar_time = best_of(
+        REPEATS,
+        lambda: sobol_indices(scalar_fn, factors, base_samples=BASE_SAMPLES),
+    )
+    batch_time = best_of(
+        REPEATS,
+        lambda: sobol_indices(
+            batch_fn, factors, base_samples=BASE_SAMPLES, vectorized=True
+        ),
+    )
+    return {
+        "evaluations": scalar.evaluations,
+        "scalar_seconds": scalar_time,
+        "batched_seconds": batch_time,
+        "speedup": scalar_time / batch_time,
+        "max_relative_error": error,
+        "target_speedup": 10.0,
+    }
+
+
+def bench_sweep(model: TTMModel) -> dict:
+    design = a11(PROCESS)
+    fractions = capacity_fractions(0.05, 1.0, 20)
+    quantities = chip_quantities()
+    grid = np.asarray(quantities).reshape(-1, 1)
+
+    def scalar_sweep():
+        return [
+            [
+                chip_agility_score(
+                    model.at_capacity(fraction), design, n
+                ).normalized
+                for fraction in fractions
+            ]
+            for n in quantities
+        ]
+
+    def batched_sweep():
+        return cas_over_capacity(model, design, grid, fractions)
+
+    scalar = np.asarray(scalar_sweep())
+    batched = np.asarray(batched_sweep())
+    error = float(np.max(np.abs(batched - scalar) / np.abs(scalar)))
+
+    clear_invariant_cache()
+    cold_time = best_of(1, batched_sweep)  # includes invariant derivation
+    scalar_time = best_of(REPEATS, scalar_sweep)
+    batch_time = best_of(REPEATS, batched_sweep)
+    return {
+        "points": int(grid.size * len(fractions)),
+        "scalar_seconds": scalar_time,
+        "batched_seconds": batch_time,
+        "batched_cold_seconds": cold_time,
+        "speedup": scalar_time / batch_time,
+        "max_relative_error": error,
+        "target_speedup": 5.0,
+    }
+
+
+def main(argv) -> int:
+    output_path = argv[1] if len(argv) > 1 else "BENCH_engine.json"
+    model = TTMModel.nominal()
+    report = {
+        "workloads": {
+            "sobol_1024_evals": bench_sobol(model),
+            "cas_sweep_20x6": bench_sweep(model),
+        },
+        "config": {
+            "process": PROCESS,
+            "n_chips": N_CHIPS,
+            "base_samples": BASE_SAMPLES,
+            "repeats": REPEATS,
+        },
+    }
+    with open(output_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    ok = True
+    for name, work in report["workloads"].items():
+        met = (
+            work["speedup"] >= work["target_speedup"]
+            and work["max_relative_error"] <= 1e-9
+        )
+        ok = ok and met
+        print(
+            f"{name}: {work['speedup']:.1f}x "
+            f"(target {work['target_speedup']:.0f}x), "
+            f"max rel err {work['max_relative_error']:.2e} "
+            f"[{'ok' if met else 'MISSED'}]"
+        )
+    print(f"wrote {output_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,6 +11,7 @@ from .sweep import (
     chip_quantities,
     normalized,
     sweep,
+    sweep_pairs,
 )
 from .tables import format_cell, format_table
 
@@ -33,6 +34,7 @@ __all__ = [
     "normalized",
     "pareto_front",
     "sweep",
+    "sweep_pairs",
     "to_json",
     "to_jsonable",
 ]

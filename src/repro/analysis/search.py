@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import InvalidParameterError
 
@@ -86,22 +86,39 @@ def grid_search(
     objective: Callable[[Configuration], float],
     constraints: Sequence[Callable[[Configuration], bool]] = (),
     maximize: bool = True,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> SearchResult:
     """Exhaustively search the space for the best feasible point.
 
     Raises if no point satisfies every constraint, naming the feasible
     count so the caller can tell an over-tight cap from an empty space.
+
+    ``executor``/``max_workers`` fan the per-point evaluations out through
+    :func:`repro.engine.parallel.parallel_map`; the reduction stays serial
+    and keeps grid order, so ties resolve to the same (first) point under
+    every executor.
     """
+    from ..engine.parallel import parallel_map
+
+    def evaluate(configuration: Configuration) -> Optional[float]:
+        if not all(constraint(configuration) for constraint in constraints):
+            return None
+        return objective(configuration)
+
+    points = space.points()
+    scores = parallel_map(
+        evaluate, points, executor=executor, max_workers=max_workers
+    )
+
     best: Configuration = {}
     best_score = float("-inf") if maximize else float("inf")
-    evaluated = 0
+    evaluated = len(points)
     feasible = 0
-    for configuration in space.points():
-        evaluated += 1
-        if not all(constraint(configuration) for constraint in constraints):
+    for configuration, score in zip(points, scores):
+        if score is None:
             continue
         feasible += 1
-        score = objective(configuration)
         better = score > best_score if maximize else score < best_score
         if better:
             best, best_score = configuration, score

@@ -1,0 +1,56 @@
+"""Batched evaluation engine: vectorized TTM/CAS kernels + parallel sweeps.
+
+Every analysis in the reproduction (the Fig. 3/9-13 capacity sweeps, the
+Fig. 8 Sobol heatmap, CAS finite differences, grid search) funnels
+through ``TTMModel.time_to_market``, which re-derives per-(design, node)
+invariants on every scalar call. This package makes the hot paths cheap:
+
+* :mod:`repro.engine.invariants` -- per-(design, technology) quantities
+  that do not vary across a sweep, computed once and LRU-cached;
+* :mod:`repro.engine.batch` -- vectorized NumPy kernels ``batch_ttm`` and
+  ``batch_cas`` plus the ``*_over_capacity`` sweep conveniences;
+* :mod:`repro.engine.sobol_adapter` -- one-shot Saltelli-matrix
+  objectives for ``sobol_indices(..., vectorized=True)``;
+* :mod:`repro.engine.parallel` -- ``parallel_map`` with serial / thread /
+  process executors and a safe serial fallback.
+
+Batched results match the scalar model to floating-point round-off; the
+equivalence suite (``tests/engine``) pins them to <= 1e-9 relative error
+and ``scripts/bench_engine.py`` tracks the speedups in
+``BENCH_engine.json``.
+"""
+
+from .batch import (
+    BatchCASResult,
+    BatchTTMResult,
+    batch_cas,
+    batch_ttm,
+    cas_over_capacity,
+    ttm_over_capacity,
+)
+from .invariants import (
+    DesignInvariants,
+    clear_invariant_cache,
+    compute_invariants,
+    design_invariants,
+    invariant_cache_info,
+)
+from .parallel import EXECUTORS, parallel_map
+from .sobol_adapter import rowwise_batch_function, ttm_factor_batch_function
+
+__all__ = [
+    "BatchCASResult",
+    "BatchTTMResult",
+    "DesignInvariants",
+    "EXECUTORS",
+    "batch_cas",
+    "batch_ttm",
+    "cas_over_capacity",
+    "clear_invariant_cache",
+    "compute_invariants",
+    "design_invariants",
+    "invariant_cache_info",
+    "parallel_map",
+    "rowwise_batch_function",
+    "ttm_factor_batch_function",
+]

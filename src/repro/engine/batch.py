@@ -1,0 +1,373 @@
+"""Vectorized TTM and CAS kernels.
+
+These kernels evaluate the paper's models over whole sweep grids in a
+handful of NumPy array operations instead of one Python call per point.
+They consume the cached :class:`~repro.engine.invariants.DesignInvariants`
+and reproduce the scalar :class:`~repro.ttm.model.TTMModel` /
+:func:`~repro.agility.cas.chip_agility_score` results to floating-point
+round-off (the equivalence suite pins them to <= 1e-9 relative error).
+
+``n_chips`` and ``capacity`` broadcast against each other, so a single
+call evaluates a quantity-by-capacity matrix. ``capacity=None`` evaluates
+under the model's *current* market conditions (per-node fractions intact);
+an explicit ``capacity`` is a *global* fraction applied to every node,
+exactly like :meth:`TTMModel.at_capacity` (queue quotes are kept, per-node
+capacity entries are dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..agility.derivative import DEFAULT_RELATIVE_STEP
+from ..design.chip import ChipDesign
+from ..errors import InvalidParameterError
+from ..ttm.model import TTMModel
+from .invariants import DesignInvariants, design_invariants
+
+ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+#: Raw wafers/week^2 per normalized CAS unit (mirrors ``repro.agility.cas``).
+_WAFERS_PER_NORMALIZED_UNIT = 1000.0
+
+
+@dataclass(frozen=True)
+class BatchTTMResult:
+    """Vectorized TTM breakdown (all arrays share one broadcast shape).
+
+    The fields mirror :class:`~repro.ttm.result.TTMResult`'s phase
+    decomposition; ``per_node_ready_weeks`` maps process name to the
+    node's tapeout + fabrication completion time (pipelined reading).
+    """
+
+    design: str
+    schedule: str
+    design_weeks: float
+    tapeout_weeks: np.ndarray
+    fabrication_weeks: np.ndarray
+    packaging_weeks: np.ndarray
+    total_weeks: np.ndarray
+    total_wafers: np.ndarray
+    per_node_ready_weeks: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "per_node_ready_weeks", dict(self.per_node_ready_weeks)
+        )
+
+
+@dataclass(frozen=True)
+class BatchCASResult:
+    """Vectorized Chip Agility Score (Eq. 8) over a sweep grid.
+
+    ``cas`` is in raw wafers/week^2; ``normalized`` divides by the fixed
+    kilo-wafer unit used in the paper's figures. ``sensitivity`` maps
+    process name -> |dTTM/dmu_W| arrays.
+    """
+
+    design: str
+    cas: np.ndarray
+    sensitivity: Mapping[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sensitivity", dict(self.sensitivity))
+
+    @property
+    def normalized(self) -> np.ndarray:
+        """CAS in the figures' normalized (kilo-wafer) units."""
+        return self.cas / _WAFERS_PER_NORMALIZED_UNIT
+
+
+def _as_positive_array(values: ArrayLike, what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError(f"{what} must be non-empty")
+    flat = array.reshape(-1)
+    if not np.all(flat > 0.0):
+        bad = float(flat[~(flat > 0.0)][0])
+        raise InvalidParameterError(f"{what} must be positive, got {bad}")
+    return array
+
+
+def _fractions_and_backlog(
+    model: TTMModel,
+    invariants: DesignInvariants,
+    capacity: Optional[ArrayLike],
+):
+    """Per-node effective fractions and queue backlogs for the batch.
+
+    Returns ``(fractions, backlog)`` where ``fractions`` is a list of
+    per-process fraction arrays (or scalars) and ``backlog`` the per-node
+    quoted wafer backlog (quote weeks x max rate, Sec. 6.3).
+    """
+    conditions = model.foundry.conditions
+    backlog = np.array(
+        [
+            conditions.queue_weeks_for(process) * max_rate
+            for process, max_rate in zip(
+                invariants.processes, invariants.max_rate
+            )
+        ],
+        dtype=float,
+    )
+    if capacity is None:
+        fractions = []
+        for process in invariants.processes:
+            fraction = conditions.capacity_for(process)
+            if fraction <= 0.0:
+                raise InvalidParameterError(
+                    f"node {process!r} has zero effective capacity "
+                    f"(fraction {fraction}); time-to-market would be unbounded"
+                )
+            fractions.append(fraction)
+        return fractions, backlog
+    shared = _as_positive_array(capacity, "capacity fraction")
+    return [shared for _ in invariants.processes], backlog
+
+
+def batch_ttm(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: ArrayLike,
+    capacity: Optional[ArrayLike] = None,
+) -> BatchTTMResult:
+    """Vectorized ``TTMModel.time_to_market`` over quantity/capacity grids.
+
+    Parameters
+    ----------
+    model:
+        The scalar model whose semantics (schedule, staffing, alpha, queue
+        quotes) the batch evaluation reproduces.
+    design:
+        The chip design to evaluate.
+    n_chips:
+        Final-chip quantities; scalar or array.
+    capacity:
+        ``None`` evaluates the model's current conditions; otherwise a
+        global capacity fraction (scalar or array) applied to every node,
+        as in :meth:`TTMModel.at_capacity`. Broadcasts against
+        ``n_chips``.
+    """
+    invariants = design_invariants(
+        design,
+        model.foundry.technology,
+        model.engineers,
+        alpha=model.alpha,
+        edge_corrected=model.edge_corrected,
+        block_parallel=model.block_parallel,
+    )
+    quantities = _as_positive_array(n_chips, "number of final chips")
+    fractions, backlog = _fractions_and_backlog(model, invariants, capacity)
+
+    ready_by_node: Dict[str, np.ndarray] = {}
+    node_totals = []
+    readies = []
+    for i, process in enumerate(invariants.processes):
+        rate = invariants.max_rate[i] * fractions[i]
+        queue_weeks = backlog[i] / rate
+        production_weeks = quantities * invariants.wafers_per_chip[i] / rate
+        node_total = (
+            queue_weeks + production_weeks + invariants.fab_latency_weeks[i]
+        )
+        ready = invariants.tapeout_weeks[i] + node_total
+        node_totals.append(node_total)
+        readies.append(ready)
+        ready_by_node[process] = np.broadcast_to(
+            ready, np.broadcast_shapes(np.shape(ready), quantities.shape)
+        )
+
+    if model.schedule == "pipelined":
+        tapeout_weeks = float(np.max(invariants.tapeout_weeks))
+        ready = readies[0]
+        for other in readies[1:]:
+            ready = np.maximum(ready, other)
+        fabrication_weeks = ready - tapeout_weeks
+    else:
+        tapeout_weeks = invariants.sequential_tapeout_weeks
+        fabrication_weeks = node_totals[0]
+        for other in node_totals[1:]:
+            fabrication_weeks = np.maximum(fabrication_weeks, other)
+
+    packaging_weeks = (
+        model.tap_latency_weeks
+        + quantities * invariants.testing_weeks_per_chip
+        + quantities * invariants.assembly_weeks_per_chip
+    )
+    total_weeks = (
+        invariants.design_weeks
+        + tapeout_weeks
+        + fabrication_weeks
+        + packaging_weeks
+    )
+    shape = np.broadcast_shapes(
+        quantities.shape, np.shape(fabrication_weeks)
+    )
+    return BatchTTMResult(
+        design=design.name,
+        schedule=model.schedule,
+        design_weeks=invariants.design_weeks,
+        tapeout_weeks=np.broadcast_to(np.asarray(tapeout_weeks, float), shape),
+        fabrication_weeks=np.broadcast_to(
+            np.asarray(fabrication_weeks, float), shape
+        ),
+        packaging_weeks=np.broadcast_to(
+            np.asarray(packaging_weeks, float), shape
+        ),
+        total_weeks=np.broadcast_to(np.asarray(total_weeks, float), shape),
+        total_wafers=np.broadcast_to(
+            quantities * float(np.sum(invariants.wafers_per_chip)), shape
+        ),
+        per_node_ready_weeks=ready_by_node,
+    )
+
+
+def _total_weeks_at_rates(
+    model: TTMModel,
+    invariants: DesignInvariants,
+    quantities: np.ndarray,
+    backlog: np.ndarray,
+    rates: Sequence[np.ndarray],
+) -> np.ndarray:
+    """Total TTM with each node at an explicit effective rate array."""
+    node_totals = []
+    readies = []
+    for i in range(len(invariants.processes)):
+        queue_weeks = backlog[i] / rates[i]
+        production_weeks = quantities * invariants.wafers_per_chip[i] / rates[i]
+        node_total = (
+            queue_weeks + production_weeks + invariants.fab_latency_weeks[i]
+        )
+        node_totals.append(node_total)
+        readies.append(invariants.tapeout_weeks[i] + node_total)
+    if model.schedule == "pipelined":
+        tapeout_weeks = float(np.max(invariants.tapeout_weeks))
+        ready = readies[0]
+        for other in readies[1:]:
+            ready = np.maximum(ready, other)
+        fabrication_weeks = ready - tapeout_weeks
+    else:
+        tapeout_weeks = invariants.sequential_tapeout_weeks
+        fabrication_weeks = node_totals[0]
+        for other in node_totals[1:]:
+            fabrication_weeks = np.maximum(fabrication_weeks, other)
+    packaging_weeks = (
+        model.tap_latency_weeks
+        + quantities * invariants.testing_weeks_per_chip
+        + quantities * invariants.assembly_weeks_per_chip
+    )
+    return (
+        invariants.design_weeks
+        + tapeout_weeks
+        + fabrication_weeks
+        + packaging_weeks
+    )
+
+
+def batch_cas(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: ArrayLike,
+    capacity: Optional[ArrayLike] = None,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+) -> BatchCASResult:
+    """Vectorized Chip Agility Score (Eq. 8) over a capacity grid.
+
+    Mirrors :func:`repro.agility.cas.chip_agility_score` evaluated at
+    ``model.at_capacity(f)`` for every ``f`` in ``capacity`` (or at the
+    model's current conditions when ``capacity is None``): each node's
+    rate is perturbed by ``relative_step`` in both directions and the
+    central-difference TTM slope is accumulated.
+    """
+    if not 0.0 < relative_step < 1.0:
+        raise InvalidParameterError(
+            f"relative step must be in (0, 1), got {relative_step}"
+        )
+    invariants = design_invariants(
+        design,
+        model.foundry.technology,
+        model.engineers,
+        alpha=model.alpha,
+        edge_corrected=model.edge_corrected,
+        block_parallel=model.block_parallel,
+    )
+    quantities = _as_positive_array(n_chips, "number of final chips")
+    fractions, backlog = _fractions_and_backlog(model, invariants, capacity)
+
+    base_rates = [
+        invariants.max_rate[i] * fractions[i]
+        for i in range(len(invariants.processes))
+    ]
+    sensitivities: Dict[str, np.ndarray] = {}
+    total = None
+    for i, process in enumerate(invariants.processes):
+        step = base_rates[i] * relative_step
+        perturbed_ttm = []
+        for sign in (+1.0, -1.0):
+            rate = base_rates[i] + sign * step
+            # Mirror the scalar path's rate -> fraction -> rate round trip
+            # (conditions store fractions, the foundry rescales by max rate).
+            effective = invariants.max_rate[i] * (
+                rate / invariants.max_rate[i]
+            )
+            rates = list(base_rates)
+            rates[i] = effective
+            perturbed_ttm.append(
+                _total_weeks_at_rates(
+                    model, invariants, quantities, backlog, rates
+                )
+            )
+        slope = (perturbed_ttm[0] - perturbed_ttm[1]) / (2.0 * step)
+        sensitivity = np.abs(slope)
+        sensitivities[process] = sensitivity
+        total = sensitivity if total is None else total + sensitivity
+
+    if not np.all(total > 0.0):
+        raise InvalidParameterError(
+            f"design {design.name!r} has zero TTM sensitivity on all nodes; "
+            "CAS is unbounded (check the production volume is non-trivial)"
+        )
+    shape = np.shape(total)
+    return BatchCASResult(
+        design=design.name,
+        cas=1.0 / total,
+        sensitivity={
+            name: np.broadcast_to(np.asarray(value, float), shape)
+            for name, value in sensitivities.items()
+        },
+    )
+
+
+def ttm_over_capacity(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    fractions: Sequence[float],
+) -> np.ndarray:
+    """Total TTM over a global capacity sweep (batched ``ttm_curve``)."""
+    return batch_ttm(model, design, n_chips, capacity=fractions).total_weeks
+
+
+def cas_over_capacity(
+    model: TTMModel,
+    design: ChipDesign,
+    n_chips: float,
+    fractions: Sequence[float],
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+) -> np.ndarray:
+    """Normalized CAS over a global capacity sweep (batched ``cas_curve``)."""
+    return batch_cas(
+        model, design, n_chips, capacity=fractions, relative_step=relative_step
+    ).normalized
+
+
+__all__ = [
+    "BatchCASResult",
+    "BatchTTMResult",
+    "batch_cas",
+    "batch_ttm",
+    "cas_over_capacity",
+    "ttm_over_capacity",
+]

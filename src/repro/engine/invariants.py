@@ -1,0 +1,251 @@
+"""Per-(design, technology) invariants for the batch evaluation engine.
+
+Every point of a capacity sweep, a TTM-vs-quantity matrix, or a Sobol
+sample re-derives the same quantities from the design and the technology
+database: per-node tapeout calendar weeks (Eq. 2), wafers needed per final
+chip (Eqs. 5-6, folding in dies-per-wafer and die yield), and the
+per-chip packaging coefficients (Eq. 7). None of these depend on market
+conditions or on the number of chips, so the engine computes them once per
+(design, technology) pair and caches the result.
+
+Caching contract
+----------------
+Entries are keyed by the *identity* of the ``TechnologyDatabase`` and
+``ChipDesign`` objects plus the scalar model knobs (``engineers``,
+``alpha``, ``edge_corrected``, ``block_parallel``). Both classes are
+immutable by construction, so identity keying is sound: to invalidate,
+build a new database (``TechnologyDatabase.override``) or a new design
+(``dataclasses.replace`` / the library constructors) instead of mutating
+-- which is the only supported workflow anyway. The cache holds strong
+references and is LRU-bounded (:data:`CACHE_MAX_ENTRIES`);
+:func:`clear_invariant_cache` empties it explicitly.
+
+Market-dependent quantities (queue backlogs, capacity fractions) are
+deliberately *not* cached here -- they are cheap per-sweep scalars and the
+whole point of a sweep is that they vary.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..design.chip import ChipDesign
+from ..technology.database import TechnologyDatabase
+from ..technology.yield_model import DEFAULT_ALPHA
+from ..technology.wafer import good_dies_per_wafer
+from ..ttm.tapeout import (
+    die_tapeout_calendar_weeks,
+    sequential_tapeout_calendar_weeks,
+)
+
+#: Upper bound on cached (design, technology) entries.
+CACHE_MAX_ENTRIES = 256
+
+
+@dataclass(frozen=True)
+class DesignInvariants:
+    """Everything about a (design, technology) pair that a sweep reuses.
+
+    Per-process arrays are aligned with ``processes`` (the design's nodes
+    in first-appearance order). All arrays are read-only float64.
+
+    Attributes
+    ----------
+    processes:
+        Node names the design fabricates on.
+    tapeout_weeks:
+        Per-node calendar tapeout weeks (slowest die per node, Eq. 2).
+    sequential_tapeout_weeks:
+        The strict Eq. 1/2 serialized tapeout time (``schedule="sequential"``).
+    max_rate:
+        Per-node maximum wafer rate, wafers/week.
+    fab_latency_weeks:
+        Per-node L_fab.
+    wafers_per_chip:
+        Per-node wafers that must be ordered per final chip (sum over the
+        node's die types of ``count / good_dies_per_wafer``); multiply by
+        ``n_chips`` to get N_W (Eq. 5).
+    testing_weeks_per_chip:
+        Eq. 7 testing term per final chip (sum over dies of
+        ``count / yield * NTT * E_testing``).
+    assembly_weeks_per_chip:
+        Eq. 7 assembly term per final chip (sum over dies of
+        ``count * area * E_package``).
+    design_weeks:
+        The design's supply-independent design+implementation constant.
+    """
+
+    processes: Tuple[str, ...]
+    tapeout_weeks: np.ndarray
+    sequential_tapeout_weeks: float
+    max_rate: np.ndarray
+    fab_latency_weeks: np.ndarray
+    wafers_per_chip: np.ndarray
+    testing_weeks_per_chip: float
+    assembly_weeks_per_chip: float
+    design_weeks: float
+
+
+class _IdKey:
+    """Hash-by-identity wrapper pinning a strong reference.
+
+    Holding the object itself inside the cache key keeps it alive, which
+    guarantees its ``id()`` is never recycled while the entry exists.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: object) -> None:
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _IdKey) and self.obj is other.obj
+
+
+_CACHE: "OrderedDict[tuple, DesignInvariants]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_HITS = 0
+_MISSES = 0
+
+
+def clear_invariant_cache() -> None:
+    """Drop every cached entry (and reset the hit/miss counters)."""
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        _CACHE.clear()
+        _HITS = 0
+        _MISSES = 0
+
+
+def invariant_cache_info() -> Dict[str, int]:
+    """Cache statistics: ``{"hits": ..., "misses": ..., "entries": ...}``."""
+    with _CACHE_LOCK:
+        return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def compute_invariants(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineers: int,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+    block_parallel: bool = False,
+) -> DesignInvariants:
+    """Derive the invariants from scratch (no caching).
+
+    Raises the same errors the scalar model would: unknown nodes raise
+    :class:`~repro.errors.UnknownNodeError`, out-of-production nodes raise
+    :class:`~repro.errors.NodeUnavailableError`.
+    """
+    processes = design.processes
+    for process in processes:
+        technology.require_production(process)
+
+    tapeout: Dict[str, float] = {}
+    wafers_per_chip: Dict[str, float] = {}
+    testing = 0.0
+    assembly = 0.0
+    for die in design.dies:
+        node = technology[die.process]
+        weeks = die_tapeout_calendar_weeks(
+            die, node, engineers, block_parallel=block_parallel
+        )
+        tapeout[die.process] = max(tapeout.get(die.process, 0.0), weeks)
+        good = good_dies_per_wafer(
+            die.area_on(node),
+            die.yield_on(node, alpha=alpha),
+            wafer_diameter_mm=node.wafer_diameter_mm,
+            edge_corrected=edge_corrected,
+        )
+        wafers_per_chip[die.process] = (
+            wafers_per_chip.get(die.process, 0.0) + die.count / good
+        )
+        testing += die.count / die.yield_on(node, alpha=alpha) * die.ntt * (
+            node.testing_effort
+        )
+        assembly += die.count * die.area_on(node) * node.packaging_effort
+
+    def _readonly(values) -> np.ndarray:
+        array = np.array(values, dtype=float)
+        array.flags.writeable = False
+        return array
+
+    return DesignInvariants(
+        processes=processes,
+        tapeout_weeks=_readonly([tapeout.get(p, 0.0) for p in processes]),
+        sequential_tapeout_weeks=sequential_tapeout_calendar_weeks(
+            design, technology, engineers
+        ),
+        max_rate=_readonly(
+            [technology[p].max_wafer_rate_per_week for p in processes]
+        ),
+        fab_latency_weeks=_readonly(
+            [technology[p].fab_latency_weeks for p in processes]
+        ),
+        wafers_per_chip=_readonly([wafers_per_chip[p] for p in processes]),
+        testing_weeks_per_chip=testing,
+        assembly_weeks_per_chip=assembly,
+        design_weeks=design.design_weeks,
+    )
+
+
+def design_invariants(
+    design: ChipDesign,
+    technology: TechnologyDatabase,
+    engineers: int,
+    alpha: float = DEFAULT_ALPHA,
+    edge_corrected: bool = False,
+    block_parallel: bool = False,
+) -> DesignInvariants:
+    """Cached wrapper around :func:`compute_invariants`.
+
+    See the module docstring for the caching-invalidation contract.
+    """
+    global _HITS, _MISSES
+    key = (
+        _IdKey(technology),
+        _IdKey(design),
+        engineers,
+        alpha,
+        edge_corrected,
+        block_parallel,
+    )
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            return cached
+    invariants = compute_invariants(
+        design,
+        technology,
+        engineers,
+        alpha=alpha,
+        edge_corrected=edge_corrected,
+        block_parallel=block_parallel,
+    )
+    with _CACHE_LOCK:
+        _MISSES += 1
+        _CACHE[key] = invariants
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > CACHE_MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+    return invariants
+
+
+__all__ = [
+    "CACHE_MAX_ENTRIES",
+    "DesignInvariants",
+    "clear_invariant_cache",
+    "compute_invariants",
+    "design_invariants",
+    "invariant_cache_info",
+]

@@ -1,0 +1,98 @@
+"""Configurable parallel map for sweep/search workloads.
+
+The analysis layers (``analysis.sweep``, ``analysis.search``, the figure
+experiments) fan out over independent evaluation points. This module
+provides one ordered map primitive with three executors:
+
+* ``"serial"`` (default) -- a plain loop; always available, zero overhead.
+* ``"thread"`` -- ``ThreadPoolExecutor``; useful when evaluations release
+  the GIL (NumPy-heavy batch kernels) or block on I/O.
+* ``"process"`` -- ``ProcessPoolExecutor``; for CPU-bound Python
+  evaluations. Requires picklable functions/items; anything unpicklable
+  (lambdas, closures over models) silently falls back to serial so sweeps
+  never crash over an executor choice.
+
+Results always come back in input order and exceptions raised *by the
+mapped function* propagate unchanged, so ``parallel_map(f, xs)`` is a
+drop-in for ``[f(x) for x in xs]`` under every executor.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
+
+from ..errors import InvalidParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Recognized executor names.
+EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+def _picklable(*objects: object) -> bool:
+    try:
+        for obj in objects:
+            pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def parallel_map(
+    function: Callable[[T], R],
+    items: Iterable[T],
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Apply ``function`` to every item, preserving input order.
+
+    Parameters
+    ----------
+    function:
+        The per-item evaluation. Must be picklable for the ``"process"``
+        executor (module-level functions); otherwise the call degrades to
+        serial execution.
+    items:
+        The evaluation points (consumed eagerly).
+    executor:
+        One of :data:`EXECUTORS`.
+    max_workers:
+        Worker count for the pooled executors; ``None`` uses the
+        executor's default.
+    """
+    if executor not in EXECUTORS:
+        raise InvalidParameterError(
+            f"executor must be one of {EXECUTORS}, got {executor!r}"
+        )
+    if max_workers is not None and max_workers < 1:
+        raise InvalidParameterError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    points = list(items)
+    if executor == "serial" or len(points) <= 1:
+        return [function(item) for item in points]
+
+    if executor == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(function, points))
+
+    # Process executor: verify the payload actually pickles before paying
+    # for a pool, and degrade to serial when the platform can't fork or
+    # the pool breaks -- a sweep should never fail over an executor choice.
+    if not _picklable(function, points):
+        return [function(item) for item in points]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(function, points))
+    except (BrokenProcessPool, OSError, ImportError):
+        return [function(item) for item in points]
+
+
+__all__ = ["EXECUTORS", "parallel_map"]

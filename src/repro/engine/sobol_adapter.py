@@ -1,0 +1,134 @@
+"""Vectorized objective adapters for the Sobol sensitivity machinery.
+
+:func:`repro.sensitivity.sobol.sobol_indices` costs ``N * (k + 2)`` model
+evaluations; the scalar path builds a ``{factor: value}`` dict and a fresh
+design + perturbed technology database *per sample row*. The adapters here
+evaluate whole Saltelli sample matrices in one shot:
+
+* :func:`ttm_factor_batch_function` -- the vectorized twin of
+  :func:`repro.sensitivity.ttm_factors.ttm_factor_function` (the Fig. 8
+  workload): a monolithic single-node design under nominal market
+  conditions with the six guarded inputs (NTT, NUT, D0, muW, Lfab, LOSAT)
+  perturbed per row.
+* :func:`rowwise_batch_function` -- a generic fallback that lifts any
+  scalar ``{factor: value} -> float`` function to the matrix signature, so
+  callers can always pass ``vectorized=True`` objectives.
+
+Columns follow :data:`repro.sensitivity.ttm_factors.FACTOR_NAMES` order
+(the order ``sobol_indices`` samples factors in).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import InvalidParameterError
+from ..sensitivity.ttm_factors import FACTOR_NAMES
+from ..technology.database import TechnologyDatabase
+from ..technology.yield_model import DEFAULT_ALPHA
+from ..ttm.model import DEFAULT_ENGINEERS
+from ..units import mm2_to_cm2, kwpm_to_wafers_per_week
+
+
+def ttm_factor_batch_function(
+    process: str,
+    n_chips: float,
+    technology: Optional[TechnologyDatabase] = None,
+    engineers: int = DEFAULT_ENGINEERS,
+    alpha: float = DEFAULT_ALPHA,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """A ``(m, 6) factor matrix -> (m,) TTM weeks`` function for one node.
+
+    Vectorized twin of :func:`~repro.sensitivity.ttm_factors.ttm_factor_function`:
+    column ``i`` carries factor ``FACTOR_NAMES[i]``. Every row is an
+    independent monolithic design (NTT/NUT) on a perturbed copy of the
+    node (D0, muW, Lfab) with the TAP latency set to LOSAT, evaluated at
+    nominal market conditions.
+    """
+    db = technology or TechnologyDatabase.default()
+    node = db.require_production(process)
+    if n_chips <= 0.0:
+        raise InvalidParameterError(
+            f"number of final chips must be positive, got {n_chips}"
+        )
+    if engineers <= 0:
+        raise InvalidParameterError(
+            f"team size must be positive, got {engineers}"
+        )
+    density = node.density_mtr_per_mm2 * 1.0e6
+    wafer_area = math.pi * (node.wafer_diameter_mm / 2.0) ** 2
+    tapeout_effort = node.tapeout_effort
+    testing_effort = node.testing_effort
+    packaging_effort = node.packaging_effort
+    columns = {name: i for i, name in enumerate(FACTOR_NAMES)}
+
+    def evaluate(matrix: np.ndarray) -> np.ndarray:
+        samples = np.asarray(matrix, dtype=float)
+        if samples.ndim != 2 or samples.shape[1] != len(FACTOR_NAMES):
+            raise InvalidParameterError(
+                f"expected an (m, {len(FACTOR_NAMES)}) factor matrix in "
+                f"{FACTOR_NAMES} order, got shape {samples.shape}"
+            )
+        ntt = samples[:, columns["NTT"]]
+        nut = np.minimum(samples[:, columns["NUT"]], ntt)
+        d0 = samples[:, columns["D0"]]
+        mu_w = samples[:, columns["muW"]]
+        l_fab = samples[:, columns["Lfab"]]
+        l_osat = samples[:, columns["LOSAT"]]
+        if not np.all(mu_w > 0.0):
+            raise InvalidParameterError(
+                "perturbed wafer rate muW must stay positive"
+            )
+        if np.any(d0 < 0.0) or np.any(ntt <= 0.0):
+            raise InvalidParameterError(
+                "perturbed D0 must be >= 0 and NTT positive"
+            )
+
+        # Geometry and yield (Eq. 6, simple dies-per-wafer estimator).
+        area = ntt / density
+        mean_defects = mm2_to_cm2(area) * d0
+        die_yield = (1.0 + mean_defects / alpha) ** (-alpha)
+        good_per_wafer = (wafer_area / area) * die_yield
+        wafers = n_chips / good_per_wafer
+
+        # Tapeout (Eq. 2) and fabrication (Eqs. 3-5, nominal conditions).
+        tapeout_weeks = nut * tapeout_effort / float(engineers)
+        rate = kwpm_to_wafers_per_week(mu_w)
+        fabrication_weeks = wafers / rate + l_fab
+
+        # Packaging (Eq. 7) with the TAP latency carried by LOSAT.
+        packaging_weeks = (
+            l_osat
+            + (n_chips / die_yield) * ntt * testing_effort
+            + n_chips * area * packaging_effort
+        )
+        return 0.0 + tapeout_weeks + fabrication_weeks + packaging_weeks
+
+    return evaluate
+
+
+def rowwise_batch_function(
+    function: Callable[[Mapping[str, float]], float],
+    names: Sequence[str],
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Lift a scalar ``{factor: value} -> float`` objective to matrices.
+
+    The generic fallback adapter: no speedup, but it lets every objective
+    flow through the vectorized ``sobol_indices`` code path.
+    """
+    ordered = tuple(names)
+
+    def evaluate(matrix: np.ndarray) -> np.ndarray:
+        samples = np.asarray(matrix, dtype=float)
+        return np.array(
+            [function(dict(zip(ordered, row))) for row in samples],
+            dtype=float,
+        )
+
+    return evaluate
+
+
+__all__ = ["rowwise_batch_function", "ttm_factor_batch_function"]

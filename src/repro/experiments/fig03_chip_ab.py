@@ -12,10 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Tuple
 
-from ..agility.cas import cas_curve, ttm_curve
 from ..analysis.sweep import capacity_fractions
 from ..analysis.tables import format_table
 from ..design.library.generic import demo_chip_a, demo_chip_b
+from ..engine.batch import cas_over_capacity, ttm_over_capacity
+from ..engine.parallel import parallel_map
 from ..ttm.model import TTMModel
 
 #: Final chips produced by both designs (identical, per the figure).
@@ -53,21 +54,33 @@ def run(
     model: Optional[TTMModel] = None,
     n_chips: float = DEFAULT_N_CHIPS,
     fractions: Optional[Sequence[float]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> Fig03Result:
-    """Regenerate Fig. 3's two TTM curves and two CAS curves."""
+    """Regenerate Fig. 3's two TTM curves and two CAS curves.
+
+    Each curve family is one batched engine call; ``executor`` fans the
+    per-design work out through
+    :func:`repro.engine.parallel.parallel_map`.
+    """
     ttm_model = model or TTMModel.nominal()
     sweep = tuple(fractions) if fractions else capacity_fractions(0.2, 1.0, 17)
     designs = {"Chip A": demo_chip_a(), "Chip B": demo_chip_b()}
+
+    def curves(design):
+        return (
+            tuple(ttm_over_capacity(ttm_model, design, n_chips, sweep)),
+            tuple(cas_over_capacity(ttm_model, design, n_chips, sweep)),
+        )
+
+    results = parallel_map(
+        curves, designs.values(), executor=executor, max_workers=max_workers
+    )
     ttm_series = {}
     cas_series = {}
-    for name, design in designs.items():
-        ttm_series[name] = tuple(
-            weeks for _, weeks in ttm_curve(ttm_model, design, n_chips, sweep)
-        )
-        cas_series[name] = tuple(
-            result.normalized
-            for _, result in cas_curve(ttm_model, design, n_chips, sweep)
-        )
+    for name, (ttm, cas) in zip(designs, results):
+        ttm_series[name] = ttm
+        cas_series[name] = cas
     return Fig03Result(
         n_chips=n_chips, fractions=sweep, ttm=ttm_series, cas=cas_series
     )

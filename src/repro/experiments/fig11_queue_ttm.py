@@ -11,10 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence, Tuple
 
-from ..agility.cas import ttm_curve
 from ..analysis.sweep import capacity_fractions
 from ..analysis.tables import format_table
 from ..design.library.a11 import a11
+from ..engine.batch import ttm_over_capacity
+from ..engine.parallel import parallel_map
 from ..market.conditions import MarketConditions
 from ..ttm.model import TTMModel
 from .fig07_a11_ttm_cost import DEFAULT_N_CHIPS
@@ -65,17 +66,26 @@ def run(
     n_chips: float = DEFAULT_N_CHIPS,
     queues: Sequence[float] = DEFAULT_QUEUES,
     fractions: Optional[Sequence[float]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> Fig11Result:
-    """Regenerate Fig. 11's TTM-vs-capacity curves per queue time."""
+    """Regenerate Fig. 11's TTM-vs-capacity curves per queue time.
+
+    Each queue's curve is one batched TTM call; ``executor`` fans the
+    per-queue work out through :func:`repro.engine.parallel.parallel_map`.
+    """
     base = model or TTMModel.nominal()
     sweep = tuple(fractions) if fractions else capacity_fractions(0.25, 1.0, 16)
     design = a11(process)
-    series = {}
-    for queue_weeks in queues:
+
+    def queue_curve(queue_weeks: float) -> Tuple[float, ...]:
         queued = queue_model(base, process, queue_weeks)
-        series[queue_weeks] = tuple(
-            weeks for _, weeks in ttm_curve(queued, design, n_chips, sweep)
-        )
+        return tuple(ttm_over_capacity(queued, design, n_chips, sweep))
+
+    curves = parallel_map(
+        queue_curve, queues, executor=executor, max_workers=max_workers
+    )
+    series = dict(zip(queues, curves))
     return Fig11Result(
         process=process, n_chips=n_chips, fractions=sweep, series=series
     )

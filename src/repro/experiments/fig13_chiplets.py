@@ -21,12 +21,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
-from ..agility.cas import cas_curve, chip_agility_score
+from ..agility.cas import chip_agility_score
 from ..analysis.sweep import capacity_fractions
 from ..analysis.tables import format_table
 from ..cost.model import CostModel
 from ..design.chip import ChipDesign
 from ..design.library.zen2 import fig13_variants
+from ..engine.batch import batch_ttm, cas_over_capacity
+from ..engine.parallel import parallel_map
 from ..market.conditions import MarketConditions
 from ..ttm.model import TTMModel
 
@@ -89,26 +91,39 @@ def run(
     cas_n_chips: float = DEFAULT_CAS_N_CHIPS,
     fractions: Optional[Sequence[float]] = None,
     designs: Optional[Sequence[ChipDesign]] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
 ) -> Fig13Result:
-    """Regenerate Fig. 13's three panels."""
+    """Regenerate Fig. 13's three panels.
+
+    The TTM and CAS panels use one batched engine call per variant;
+    ``executor`` fans the per-variant work out through
+    :func:`repro.engine.parallel.parallel_map`.
+    """
     ttm_model = model or TTMModel.nominal()
     costs = cost_model or CostModel.nominal()
     sweep = tuple(fractions) if fractions else capacity_fractions(0.15, 1.0, 18)
     variants = tuple(designs) if designs else fig13_variants()
+    volume_grid = tuple(quantities)
+
+    def panels(design: ChipDesign):
+        ttm = batch_ttm(ttm_model, design, volume_grid).total_weeks
+        return (
+            tuple(float(weeks) for weeks in ttm),
+            tuple(costs.total_usd(design, n) for n in volume_grid),
+            tuple(cas_over_capacity(ttm_model, design, cas_n_chips, sweep)),
+        )
+
+    results = parallel_map(
+        panels, variants, executor=executor, max_workers=max_workers
+    )
     ttm_series = {}
     cost_series = {}
     cas_series = {}
-    for design in variants:
-        ttm_series[design.name] = tuple(
-            ttm_model.total_weeks(design, n) for n in quantities
-        )
-        cost_series[design.name] = tuple(
-            costs.total_usd(design, n) for n in quantities
-        )
-        cas_series[design.name] = tuple(
-            result.normalized
-            for _, result in cas_curve(ttm_model, design, cas_n_chips, sweep)
-        )
+    for design, (ttm, cost, cas) in zip(variants, results):
+        ttm_series[design.name] = ttm
+        cost_series[design.name] = cost
+        cas_series[design.name] = cas
     return Fig13Result(
         quantities=tuple(quantities),
         fractions=sweep,

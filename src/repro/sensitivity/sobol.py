@@ -17,7 +17,7 @@ over 1024 samples for six factors, i.e. N = 128 — the default here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -66,12 +66,39 @@ class SobolResult:
         )
 
 
+def _check_finite(
+    outputs: np.ndarray,
+    matrix: np.ndarray,
+    names: Tuple[str, ...],
+    label: str,
+) -> np.ndarray:
+    """Reject NaN/inf model outputs, naming the offending factor row.
+
+    NaN propagates silently through the Jansen estimators and produces
+    NaN indices that *look* like results; failing fast with the factor
+    values that triggered it makes the bad input debuggable.
+    """
+    finite = np.isfinite(outputs)
+    if not np.all(finite):
+        row = int(np.argmin(finite))
+        values = dict(zip(names, (float(v) for v in matrix[row])))
+        raise InvalidParameterError(
+            f"model returned non-finite output {outputs[row]!r} for "
+            f"sample row {row} of matrix {label}: {values}"
+        )
+    return outputs
+
+
 def sobol_indices(
-    function: Callable[[Mapping[str, float]], float],
+    function: Union[
+        Callable[[Mapping[str, float]], float],
+        Callable[[np.ndarray], np.ndarray],
+    ],
     factors: Sequence[Factor],
     base_samples: int = DEFAULT_BASE_SAMPLES,
     seed: int = DEFAULT_SEED,
     rng: Optional[np.random.Generator] = None,
+    vectorized: bool = False,
 ) -> SobolResult:
     """Estimate Sobol indices of ``function`` over the factor ranges.
 
@@ -79,14 +106,24 @@ def sobol_indices(
     ----------
     function:
         Maps a ``{factor name: value}`` dict to a scalar output (e.g. the
-        TTM of a design with six perturbed inputs).
+        TTM of a design with six perturbed inputs). With
+        ``vectorized=True``, maps an ``(m, k)`` sample matrix (columns in
+        factor order) to an ``(m,)`` output array instead, so each
+        Saltelli matrix is evaluated in one shot --
+        :func:`repro.engine.ttm_factor_batch_function` provides the fast
+        TTM objective, :func:`repro.engine.rowwise_batch_function` lifts
+        any scalar objective.
     factors:
         The uncertain inputs with their uniform ranges.
     base_samples:
         N in the Saltelli scheme; total evaluations are N * (k + 2).
     seed / rng:
         Reproducibility controls; pass an explicit generator to chain
-        analyses.
+        analyses. The sample stream is identical for both calling
+        conventions, so scalar and vectorized runs of the same objective
+        agree to round-off.
+    vectorized:
+        Treat ``function`` as the array-in/array-out fast path.
     """
     names = factor_names(factors)
     if base_samples < 2:
@@ -97,13 +134,23 @@ def sobol_indices(
     matrix_a = sample_matrix(factors, base_samples, generator)
     matrix_b = sample_matrix(factors, base_samples, generator)
 
-    def evaluate(matrix: np.ndarray) -> np.ndarray:
-        return np.array(
-            [function(dict(zip(names, row))) for row in matrix], dtype=float
-        )
+    def evaluate(matrix: np.ndarray, label: str) -> np.ndarray:
+        if vectorized:
+            outputs = np.asarray(function(matrix), dtype=float)
+            if outputs.shape != (matrix.shape[0],):
+                raise InvalidParameterError(
+                    f"vectorized objective must return shape "
+                    f"({matrix.shape[0]},), got {outputs.shape}"
+                )
+        else:
+            outputs = np.array(
+                [function(dict(zip(names, row))) for row in matrix],
+                dtype=float,
+            )
+        return _check_finite(outputs, matrix, names, label)
 
-    y_a = evaluate(matrix_a)
-    y_b = evaluate(matrix_b)
+    y_a = evaluate(matrix_a, "A")
+    y_b = evaluate(matrix_b, "B")
     evaluations = 2 * base_samples
 
     combined = np.concatenate([y_a, y_b])
@@ -115,7 +162,7 @@ def sobol_indices(
     for i, name in enumerate(names):
         matrix_ab = matrix_a.copy()
         matrix_ab[:, i] = matrix_b[:, i]
-        y_ab = evaluate(matrix_ab)
+        y_ab = evaluate(matrix_ab, f"AB[{name}]")
         evaluations += base_samples
         if variance == 0.0:
             raw_first[name] = 0.0

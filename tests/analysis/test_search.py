@@ -63,6 +63,25 @@ class TestGridSearch:
                 constraints=[lambda cfg: False],
             )
 
+    @pytest.mark.parametrize("executor", ("thread", "process"))
+    def test_parallel_executors_match_serial(self, executor):
+        objective = lambda cfg: -(cfg["x"] ** 2) - (cfg["y"] - 2) ** 2
+        serial = grid_search(self.SPACE, objective=objective)
+        parallel = grid_search(
+            self.SPACE, objective=objective, executor=executor, max_workers=2
+        )
+        assert parallel.best == serial.best
+        assert parallel.best_score == serial.best_score
+        assert parallel.feasible == serial.feasible
+
+    def test_tie_resolution_is_grid_order_under_every_executor(self):
+        space = SearchSpace({"x": (1, 2, 3)})
+        for executor in ("serial", "thread"):
+            result = grid_search(
+                space, objective=lambda cfg: 0.0, executor=executor
+            )
+            assert result.best == {"x": 1}
+
 
 class TestCodesignExperiment:
     @pytest.fixture(scope="class")

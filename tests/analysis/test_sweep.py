@@ -9,6 +9,7 @@ from repro.analysis.sweep import (
     chip_quantities,
     normalized,
     sweep,
+    sweep_pairs,
 )
 from repro.errors import InvalidParameterError
 
@@ -66,3 +67,31 @@ class TestSweep:
         result = sweep([3, 1, 2], evaluate=lambda x: x * x)
         assert list(result) == [3, 1, 2]
         assert result[2] == 4
+
+
+class TestSweepPairs:
+    def test_pairs_in_order(self):
+        pairs = sweep_pairs([3, 1, 2], evaluate=lambda x: x * x)
+        assert pairs == ((3, 9), (1, 1), (2, 4))
+
+    def test_duplicate_values_keep_separate_results(self):
+        calls = iter(range(10))
+        pairs = sweep_pairs([5, 5, 5], evaluate=lambda _: next(calls))
+        assert pairs == ((5, 0), (5, 1), (5, 2))
+
+    def test_dict_wrapper_collapses_duplicates_last_wins(self):
+        calls = iter(range(10))
+        result = sweep([5, 5], evaluate=lambda _: next(calls))
+        assert result == {5: 1}
+
+    def test_thread_executor_matches_serial(self):
+        values = list(range(8))
+        serial = sweep_pairs(values, evaluate=lambda x: x + 1)
+        threaded = sweep_pairs(
+            values, evaluate=lambda x: x + 1, executor="thread", max_workers=3
+        )
+        assert serial == threaded
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sweep_pairs([1], evaluate=lambda x: x, executor="warp")

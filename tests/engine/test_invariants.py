@@ -1,0 +1,99 @@
+"""Tests for the per-(design, technology) invariant cache."""
+
+import pytest
+
+from repro.design.library.a11 import a11
+from repro.design.library.zen2 import fig13_variants
+from repro.engine.invariants import (
+    CACHE_MAX_ENTRIES,
+    clear_invariant_cache,
+    compute_invariants,
+    design_invariants,
+    invariant_cache_info,
+)
+from repro.technology.database import TechnologyDatabase
+from repro.ttm.model import DEFAULT_ENGINEERS, TTMModel
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_invariant_cache()
+    yield
+    clear_invariant_cache()
+
+
+@pytest.fixture(scope="module")
+def db():
+    return TechnologyDatabase.default()
+
+
+class TestCaching:
+    def test_second_lookup_hits(self, db):
+        design = a11("7nm")
+        first = design_invariants(design, db, DEFAULT_ENGINEERS)
+        second = design_invariants(design, db, DEFAULT_ENGINEERS)
+        assert first is second
+        info = invariant_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 1
+        assert info["entries"] == 1
+
+    def test_identity_keying_distinguishes_equal_designs(self, db):
+        first = design_invariants(a11("7nm"), db, DEFAULT_ENGINEERS)
+        second = design_invariants(a11("7nm"), db, DEFAULT_ENGINEERS)
+        # Two calls to a11() build equal but distinct objects; the cache
+        # keys on identity, so each gets its own entry.
+        assert first is not second
+        assert invariant_cache_info()["entries"] == 2
+
+    def test_model_parameters_partition_the_cache(self, db):
+        design = a11("7nm")
+        base = design_invariants(design, db, DEFAULT_ENGINEERS)
+        bigger_team = design_invariants(design, db, 500)
+        corrected = design_invariants(
+            design, db, DEFAULT_ENGINEERS, edge_corrected=True
+        )
+        assert base is not bigger_team
+        assert base is not corrected
+        assert bigger_team.tapeout_weeks[0] < base.tapeout_weeks[0]
+        assert invariant_cache_info()["entries"] == 3
+
+    def test_clear_resets(self, db):
+        design_invariants(a11("7nm"), db, DEFAULT_ENGINEERS)
+        clear_invariant_cache()
+        info = invariant_cache_info()
+        assert info == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_lru_eviction_is_bounded(self, db):
+        designs = [a11("7nm") for _ in range(CACHE_MAX_ENTRIES + 5)]
+        for design in designs:
+            design_invariants(design, db, DEFAULT_ENGINEERS)
+        assert invariant_cache_info()["entries"] == CACHE_MAX_ENTRIES
+
+
+class TestValues:
+    def test_matches_uncached_computation(self, db):
+        design = fig13_variants()[0]
+        cached = design_invariants(design, db, DEFAULT_ENGINEERS)
+        direct = compute_invariants(design, db, DEFAULT_ENGINEERS)
+        assert cached.processes == direct.processes
+        assert cached.wafers_per_chip == pytest.approx(
+            direct.wafers_per_chip
+        )
+        assert cached.tapeout_weeks == pytest.approx(direct.tapeout_weeks)
+
+    def test_invariants_reflect_model_semantics(self, db):
+        model = TTMModel.nominal()
+        design = a11("7nm")
+        invariants = design_invariants(
+            design,
+            model.foundry.technology,
+            model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
+        assert invariants.processes == ("7nm",)
+        assert invariants.design_weeks == 0.0
+        assert invariants.wafers_per_chip[0] > 0.0
+        assert invariants.max_rate[0] > 0.0

@@ -1,0 +1,48 @@
+"""Tests for the parallel_map executor."""
+
+import pytest
+
+from repro.engine.parallel import EXECUTORS, parallel_map
+from repro.errors import InvalidParameterError
+
+
+def square(value: float) -> float:
+    return value * value
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_preserves_order(self, executor):
+        items = list(range(20))
+        assert parallel_map(
+            square, items, executor=executor, max_workers=2
+        ) == [square(i) for i in items]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(square, [], executor="thread") == []
+        assert parallel_map(square, [3], executor="process") == [9]
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        # A closure can't be pickled; the process executor must degrade
+        # to serial instead of raising.
+        offset = 10
+        results = parallel_map(
+            lambda v: v + offset, [1, 2, 3], executor="process"
+        )
+        assert results == [11, 12, 13]
+
+    @pytest.mark.parametrize("executor", ("serial", "thread"))
+    def test_exceptions_propagate(self, executor):
+        def explode(value):
+            raise ValueError(f"boom {value}")
+
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(explode, [1, 2], executor=executor)
+
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(InvalidParameterError, match="executor"):
+            parallel_map(square, [1], executor="fork-bomb")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(InvalidParameterError, match="max_workers"):
+            parallel_map(square, [1], executor="thread", max_workers=0)
