@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Regenerate the golden-master snapshots under tests/golden/snapshots/.
+
+Equivalent to ``pytest tests/golden --regen-golden``; provided as a
+script so the regeneration path is one obvious command::
+
+    PYTHONPATH=src python scripts/regen_golden.py
+
+Review the resulting JSON diff before committing — the snapshots are the
+repository's numeric contract for every paper artifact.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.export import to_jsonable  # noqa: E402
+from repro.experiments import registry  # noqa: E402
+
+
+def main() -> int:
+    snapshot_dir = (
+        pathlib.Path(__file__).resolve().parents[1]
+        / "tests" / "golden" / "snapshots"
+    )
+    snapshot_dir.mkdir(parents=True, exist_ok=True)
+    sys.path.insert(0, str(snapshot_dir.parents[1]))
+    from golden.test_golden_master import GOLDEN_KEYS
+
+    for key in GOLDEN_KEYS:
+        result = to_jsonable(registry.get(key).runner())
+        path = snapshot_dir / f"{key}.json"
+        path.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path.relative_to(pathlib.Path.cwd())}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ Usage::
     ttm-cas run fig7            # print Fig. 7's rows
     ttm-cas run all             # the whole evaluation section
     ttm-cas nodes               # dump the technology database
+    ttm-cas mc --design a11     # Monte Carlo supply-uncertainty study
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -18,6 +19,7 @@ from typing import List, Optional
 
 from .analysis.export import to_json
 from .analysis.tables import format_table
+from .errors import ReproError
 from .experiments import registry
 from .technology.database import TechnologyDatabase
 
@@ -84,6 +86,55 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+#: Designs addressable from the ``mc`` sub-command.
+MC_DESIGNS = ("a11", "zen2", "zen2-monolithic")
+
+
+def _cmd_mc(args: argparse.Namespace) -> int:
+    from .cost.model import CostModel
+    from .design.library import a11, zen2, zen2_monolithic
+    from .market import scenarios
+    from .montecarlo import default_supply_spec, run_study
+    from .ttm.model import TTMModel
+
+    try:
+        if args.design == "a11":
+            design = a11(args.node)
+        elif args.design == "zen2":
+            design = zen2()
+        else:
+            design = zen2_monolithic(args.node)
+        conditions = scenarios.by_name(args.scenario)
+        nominal = TTMModel.nominal()
+        model = nominal.with_foundry(
+            nominal.foundry.with_conditions(conditions)
+        )
+        result = run_study(
+            model,
+            design,
+            default_supply_spec(n_chips=args.chips),
+            n_samples=args.samples,
+            seed=args.seed,
+            cost_model=CostModel.nominal(),
+            executor=args.executor,
+        )
+    except (KeyError, ReproError) as error:
+        # Node/scenario lookups are lazy, so bad inputs surface here;
+        # report the one-line message instead of a traceback.
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        return 2
+    if args.json:
+        print(to_json(result))
+    else:
+        print(
+            f"== Monte Carlo: {design.name} under {args.scenario!r} "
+            f"({args.samples} samples, seed {args.seed}) =="
+        )
+        print(result.table())
     return 0
 
 
@@ -158,6 +209,45 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "lint", help="lint the technology database for consistency"
     ).set_defaults(handler=_cmd_lint)
+    mc_parser = sub.add_parser(
+        "mc", help="Monte Carlo supply-uncertainty study for one design"
+    )
+    mc_parser.add_argument(
+        "--design", choices=MC_DESIGNS, default="a11", help="design under study"
+    )
+    mc_parser.add_argument(
+        "--node",
+        default="7nm",
+        help="process node for --design a11 / zen2-monolithic",
+    )
+    mc_parser.add_argument(
+        "--scenario",
+        default="nominal",
+        help="market scenario name the uncertainty is centered on",
+    )
+    mc_parser.add_argument(
+        "--chips", type=float, default=1e7, help="nominal final-chip demand"
+    )
+    mc_parser.add_argument(
+        "--samples", type=int, default=4096, help="Monte Carlo sample count"
+    )
+    mc_parser.add_argument(
+        "--seed", type=int, default=0, help="study seed (reproducible)"
+    )
+    from .engine.parallel import EXECUTORS
+
+    mc_parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="serial",
+        help="parallel executor for the sample chunks",
+    )
+    mc_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw result as JSON instead of a table",
+    )
+    mc_parser.set_defaults(handler=_cmd_mc)
     return parser
 
 

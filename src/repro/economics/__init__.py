@@ -3,7 +3,9 @@
 from .market_window import (
     MarketWindow,
     mckinsey_loss_fraction,
+    mckinsey_loss_fractions,
     triangle_loss_fraction,
+    triangle_loss_fractions,
 )
 from .profit import ProfitPoint, ProfitStudy, profit_study
 
@@ -12,6 +14,8 @@ __all__ = [
     "ProfitPoint",
     "ProfitStudy",
     "mckinsey_loss_fraction",
+    "mckinsey_loss_fractions",
     "profit_study",
     "triangle_loss_fraction",
+    "triangle_loss_fractions",
 ]

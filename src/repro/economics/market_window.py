@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 
 
@@ -35,6 +37,38 @@ def triangle_loss_fraction(delay_weeks: float, window_weeks: float) -> float:
         return 1.0
     w = window_weeks
     return delay_weeks * (2.0 * w - delay_weeks) / (w * w)
+
+
+def triangle_loss_fractions(
+    delay_weeks: np.ndarray, window_weeks: float
+) -> np.ndarray:
+    """Vectorized :func:`triangle_loss_fraction` over a delay sample.
+
+    Negative delays (entering *earlier* than the reference) lose nothing;
+    delays at or past the window forfeit everything. Used by the Monte
+    Carlo layer to turn a TTM distribution into a revenue-loss
+    distribution in one array expression.
+    """
+    if window_weeks <= 0.0:
+        raise InvalidParameterError(
+            f"market window must be positive, got {window_weeks}"
+        )
+    d = np.clip(np.asarray(delay_weeks, dtype=float), 0.0, window_weeks)
+    w = window_weeks
+    return d * (2.0 * w - d) / (w * w)
+
+
+def mckinsey_loss_fractions(
+    delay_weeks: np.ndarray, window_weeks: float
+) -> np.ndarray:
+    """Vectorized :func:`mckinsey_loss_fraction` (same clamping rules)."""
+    if window_weeks <= 0.0:
+        raise InvalidParameterError(
+            f"market window must be positive, got {window_weeks}"
+        )
+    d = np.clip(np.asarray(delay_weeks, dtype=float), 0.0, window_weeks)
+    w = window_weeks
+    return d * (3.0 * w - d) / (2.0 * w * w)
 
 
 def mckinsey_loss_fraction(delay_weeks: float, window_weeks: float) -> float:

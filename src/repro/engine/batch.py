@@ -10,25 +10,42 @@ round-off (the equivalence suite pins them to <= 1e-9 relative error).
 ``n_chips`` and ``capacity`` broadcast against each other, so a single
 call evaluates a quantity-by-capacity matrix. ``capacity=None`` evaluates
 under the model's *current* market conditions (per-node fractions intact);
-an explicit ``capacity`` is a *global* fraction applied to every node,
-exactly like :meth:`TTMModel.at_capacity` (queue quotes are kept, per-node
-capacity entries are dropped).
+an explicit scalar/array ``capacity`` is a *global* fraction applied to
+every node, exactly like :meth:`TTMModel.at_capacity` (queue quotes are
+kept, per-node capacity entries are dropped); a ``{node: fractions}``
+mapping overrides only the listed nodes (others keep their conditions'
+fraction), which is how disruption ensembles hit one fab at a time.
+
+Monte Carlo workloads additionally sample supply-side parameters per row:
+``queue_weeks`` (global quoted lead time), ``d0_scale`` (multiplier on
+every node's defect density — yield, wafer demand and tested-die counts
+are re-derived from the cached per-die profiles), and
+``wafer_rate_scale`` (multiplier on every node's *maximum* rate — the
+queue quote's wafer backlog scales with it, Sec. 6.3). Each accepts a
+scalar or an array broadcasting against ``n_chips``/``capacity``, and
+``batch_ttm``/``batch_cas``/``batch_cost`` stay bit-identical to the
+pre-sampling behavior when they are left ``None``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..agility.derivative import DEFAULT_RELATIVE_STEP
+from ..cost.model import CostModel
+from ..cost.nre import design_nre
 from ..design.chip import ChipDesign
 from ..errors import InvalidParameterError
-from ..ttm.model import TTMModel
+from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
 from .invariants import DesignInvariants, design_invariants
 
 ArrayLike = Union[float, Sequence[float], np.ndarray]
+
+#: ``capacity`` argument: global scalar/array or per-node mapping.
+CapacityLike = Union[ArrayLike, Mapping[str, ArrayLike]]
 
 #: Raw wafers/week^2 per normalized CAS unit (mirrors ``repro.agility.cas``).
 _WAFERS_PER_NORMALIZED_UNIT = 1000.0
@@ -92,47 +109,108 @@ def _as_positive_array(values: ArrayLike, what: str) -> np.ndarray:
     return array
 
 
-def _fractions_and_backlog(
+def _as_nonnegative_array(values: ArrayLike, what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError(f"{what} must be non-empty")
+    flat = array.reshape(-1)
+    if not np.all(flat >= 0.0):
+        bad = float(flat[~(flat >= 0.0)][0])
+        raise InvalidParameterError(f"{what} must be >= 0, got {bad}")
+    return array
+
+
+@dataclass(frozen=True)
+class _SupplyArrays:
+    """Per-node supply-side arrays shared by the TTM and CAS kernels.
+
+    ``rates`` are the effective wafer rates (max rate x rate scale x
+    capacity fraction), ``backlog`` the quoted wafer backlog (queue weeks
+    x *scaled* max rate — the quote is issued at the node's true full
+    rate, Sec. 6.3). ``wafers_per_chip`` / ``testing_weeks_per_chip``
+    carry the D0-dependent demand terms (cached scalars when D0 is not
+    sampled). Entries align with ``DesignInvariants.processes``.
+    """
+
+    rates: Tuple[ArrayLike, ...]
+    backlog: Tuple[ArrayLike, ...]
+    wafers_per_chip: Tuple[ArrayLike, ...]
+    testing_weeks_per_chip: ArrayLike
+
+
+def _supply_arrays(
     model: TTMModel,
     invariants: DesignInvariants,
-    capacity: Optional[ArrayLike],
-):
-    """Per-node effective fractions and queue backlogs for the batch.
-
-    Returns ``(fractions, backlog)`` where ``fractions`` is a list of
-    per-process fraction arrays (or scalars) and ``backlog`` the per-node
-    quoted wafer backlog (quote weeks x max rate, Sec. 6.3).
-    """
+    capacity: Optional[CapacityLike],
+    queue_weeks: Optional[ArrayLike] = None,
+    d0_scale: Optional[ArrayLike] = None,
+    wafer_rate_scale: Optional[ArrayLike] = None,
+) -> _SupplyArrays:
+    """Resolve the sampled supply parameters into per-node arrays."""
     conditions = model.foundry.conditions
-    backlog = np.array(
-        [
-            conditions.queue_weeks_for(process) * max_rate
-            for process, max_rate in zip(
-                invariants.processes, invariants.max_rate
-            )
-        ],
-        dtype=float,
-    )
-    if capacity is None:
-        fractions = []
-        for process in invariants.processes:
+    rate_scale: ArrayLike = 1.0
+    if wafer_rate_scale is not None:
+        rate_scale = _as_positive_array(wafer_rate_scale, "wafer rate scale")
+    queue_override = None
+    if queue_weeks is not None:
+        queue_override = _as_nonnegative_array(queue_weeks, "queue weeks")
+
+    shared = None
+    mapping: Optional[Mapping[str, ArrayLike]] = None
+    if isinstance(capacity, Mapping):
+        mapping = {
+            name: _as_positive_array(values, f"capacity fraction for {name!r}")
+            for name, values in capacity.items()
+        }
+    elif capacity is not None:
+        shared = _as_positive_array(capacity, "capacity fraction")
+
+    rates = []
+    backlog = []
+    for i, process in enumerate(invariants.processes):
+        scaled_max_rate = invariants.max_rate[i] * rate_scale
+        if shared is not None:
+            fraction: ArrayLike = shared
+        elif mapping is not None and process in mapping:
+            fraction = mapping[process]
+        else:
             fraction = conditions.capacity_for(process)
             if fraction <= 0.0:
                 raise InvalidParameterError(
                     f"node {process!r} has zero effective capacity "
                     f"(fraction {fraction}); time-to-market would be unbounded"
                 )
-            fractions.append(fraction)
-        return fractions, backlog
-    shared = _as_positive_array(capacity, "capacity fraction")
-    return [shared for _ in invariants.processes], backlog
+        quote = (
+            queue_override
+            if queue_override is not None
+            else conditions.queue_weeks_for(process)
+        )
+        rates.append(scaled_max_rate * fraction)
+        backlog.append(quote * scaled_max_rate)
+
+    if d0_scale is None:
+        wafers = tuple(invariants.wafers_per_chip)
+        testing: ArrayLike = invariants.testing_weeks_per_chip
+    else:
+        scale = _as_positive_array(d0_scale, "defect density scale")
+        wafers = invariants.wafers_per_chip_at(scale)
+        testing = invariants.testing_weeks_per_chip_at(scale)
+    return _SupplyArrays(
+        rates=tuple(rates),
+        backlog=tuple(backlog),
+        wafers_per_chip=wafers,
+        testing_weeks_per_chip=testing,
+    )
 
 
 def batch_ttm(
     model: TTMModel,
     design: ChipDesign,
     n_chips: ArrayLike,
-    capacity: Optional[ArrayLike] = None,
+    capacity: Optional[CapacityLike] = None,
+    queue_weeks: Optional[ArrayLike] = None,
+    d0_scale: Optional[ArrayLike] = None,
+    wafer_rate_scale: Optional[ArrayLike] = None,
 ) -> BatchTTMResult:
     """Vectorized ``TTMModel.time_to_market`` over quantity/capacity grids.
 
@@ -146,10 +224,22 @@ def batch_ttm(
     n_chips:
         Final-chip quantities; scalar or array.
     capacity:
-        ``None`` evaluates the model's current conditions; otherwise a
-        global capacity fraction (scalar or array) applied to every node,
-        as in :meth:`TTMModel.at_capacity`. Broadcasts against
-        ``n_chips``.
+        ``None`` evaluates the model's current conditions; a scalar/array
+        is a global capacity fraction applied to every node, as in
+        :meth:`TTMModel.at_capacity`; a ``{node: fractions}`` mapping
+        overrides only the listed nodes. Broadcasts against ``n_chips``.
+    queue_weeks:
+        Optional global quoted lead time (scalar or per-sample array)
+        replacing the conditions' quotes, as in
+        ``MarketConditions.with_global_queue``.
+    d0_scale:
+        Optional multiplier on every node's defect density D0; die
+        yields, wafer demand and tested-die counts are re-derived per
+        sample (equivalent to ``TechnologyDatabase.override`` on
+        ``defect_density_per_cm2``).
+    wafer_rate_scale:
+        Optional multiplier on every node's *maximum* wafer rate (Table 2
+        uncertainty); the queue quote's wafer backlog scales with it.
     """
     invariants = design_invariants(
         design,
@@ -160,17 +250,24 @@ def batch_ttm(
         block_parallel=model.block_parallel,
     )
     quantities = _as_positive_array(n_chips, "number of final chips")
-    fractions, backlog = _fractions_and_backlog(model, invariants, capacity)
+    supply = _supply_arrays(
+        model,
+        invariants,
+        capacity,
+        queue_weeks=queue_weeks,
+        d0_scale=d0_scale,
+        wafer_rate_scale=wafer_rate_scale,
+    )
 
     ready_by_node: Dict[str, np.ndarray] = {}
     node_totals = []
     readies = []
     for i, process in enumerate(invariants.processes):
-        rate = invariants.max_rate[i] * fractions[i]
-        queue_weeks = backlog[i] / rate
-        production_weeks = quantities * invariants.wafers_per_chip[i] / rate
+        rate = supply.rates[i]
+        queue_drain_weeks = supply.backlog[i] / rate
+        production_weeks = quantities * supply.wafers_per_chip[i] / rate
         node_total = (
-            queue_weeks + production_weeks + invariants.fab_latency_weeks[i]
+            queue_drain_weeks + production_weeks + invariants.fab_latency_weeks[i]
         )
         ready = invariants.tapeout_weeks[i] + node_total
         node_totals.append(node_total)
@@ -193,7 +290,7 @@ def batch_ttm(
 
     packaging_weeks = (
         model.tap_latency_weeks
-        + quantities * invariants.testing_weeks_per_chip
+        + quantities * supply.testing_weeks_per_chip
         + quantities * invariants.assembly_weeks_per_chip
     )
     total_weeks = (
@@ -203,7 +300,7 @@ def batch_ttm(
         + packaging_weeks
     )
     shape = np.broadcast_shapes(
-        quantities.shape, np.shape(fabrication_weeks)
+        quantities.shape, np.shape(fabrication_weeks), np.shape(packaging_weeks)
     )
     return BatchTTMResult(
         design=design.name,
@@ -218,7 +315,7 @@ def batch_ttm(
         ),
         total_weeks=np.broadcast_to(np.asarray(total_weeks, float), shape),
         total_wafers=np.broadcast_to(
-            quantities * float(np.sum(invariants.wafers_per_chip)), shape
+            quantities * sum(supply.wafers_per_chip), shape
         ),
         per_node_ready_weeks=ready_by_node,
     )
@@ -228,15 +325,15 @@ def _total_weeks_at_rates(
     model: TTMModel,
     invariants: DesignInvariants,
     quantities: np.ndarray,
-    backlog: np.ndarray,
+    supply: _SupplyArrays,
     rates: Sequence[np.ndarray],
 ) -> np.ndarray:
     """Total TTM with each node at an explicit effective rate array."""
     node_totals = []
     readies = []
     for i in range(len(invariants.processes)):
-        queue_weeks = backlog[i] / rates[i]
-        production_weeks = quantities * invariants.wafers_per_chip[i] / rates[i]
+        queue_weeks = supply.backlog[i] / rates[i]
+        production_weeks = quantities * supply.wafers_per_chip[i] / rates[i]
         node_total = (
             queue_weeks + production_weeks + invariants.fab_latency_weeks[i]
         )
@@ -255,7 +352,7 @@ def _total_weeks_at_rates(
             fabrication_weeks = np.maximum(fabrication_weeks, other)
     packaging_weeks = (
         model.tap_latency_weeks
-        + quantities * invariants.testing_weeks_per_chip
+        + quantities * supply.testing_weeks_per_chip
         + quantities * invariants.assembly_weeks_per_chip
     )
     return (
@@ -270,8 +367,11 @@ def batch_cas(
     model: TTMModel,
     design: ChipDesign,
     n_chips: ArrayLike,
-    capacity: Optional[ArrayLike] = None,
+    capacity: Optional[CapacityLike] = None,
     relative_step: float = DEFAULT_RELATIVE_STEP,
+    queue_weeks: Optional[ArrayLike] = None,
+    d0_scale: Optional[ArrayLike] = None,
+    wafer_rate_scale: Optional[ArrayLike] = None,
 ) -> BatchCASResult:
     """Vectorized Chip Agility Score (Eq. 8) over a capacity grid.
 
@@ -279,7 +379,11 @@ def batch_cas(
     ``model.at_capacity(f)`` for every ``f`` in ``capacity`` (or at the
     model's current conditions when ``capacity is None``): each node's
     rate is perturbed by ``relative_step`` in both directions and the
-    central-difference TTM slope is accumulated.
+    central-difference TTM slope is accumulated. ``queue_weeks``,
+    ``d0_scale`` and ``wafer_rate_scale`` sample supply-side parameters
+    per row exactly as in :func:`batch_ttm`; the queue quote's wafer
+    backlog stays pinned while each node's rate is perturbed, matching
+    the scalar derivative's semantics.
     """
     if not 0.0 < relative_step < 1.0:
         raise InvalidParameterError(
@@ -294,12 +398,16 @@ def batch_cas(
         block_parallel=model.block_parallel,
     )
     quantities = _as_positive_array(n_chips, "number of final chips")
-    fractions, backlog = _fractions_and_backlog(model, invariants, capacity)
+    supply = _supply_arrays(
+        model,
+        invariants,
+        capacity,
+        queue_weeks=queue_weeks,
+        d0_scale=d0_scale,
+        wafer_rate_scale=wafer_rate_scale,
+    )
 
-    base_rates = [
-        invariants.max_rate[i] * fractions[i]
-        for i in range(len(invariants.processes))
-    ]
+    base_rates = list(supply.rates)
     sensitivities: Dict[str, np.ndarray] = {}
     total = None
     for i, process in enumerate(invariants.processes):
@@ -316,7 +424,7 @@ def batch_cas(
             rates[i] = effective
             perturbed_ttm.append(
                 _total_weeks_at_rates(
-                    model, invariants, quantities, backlog, rates
+                    model, invariants, quantities, supply, rates
                 )
             )
         slope = (perturbed_ttm[0] - perturbed_ttm[1]) / (2.0 * step)
@@ -337,6 +445,110 @@ def batch_cas(
             name: np.broadcast_to(np.asarray(value, float), shape)
             for name, value in sensitivities.items()
         },
+    )
+
+
+@dataclass(frozen=True)
+class BatchCostResult:
+    """Vectorized chip-creation cost breakdown (arrays share one shape).
+
+    NRE terms are supply-independent scalars; the recurring terms vary
+    with the sampled quantity and defect density. All USD, mirroring
+    :class:`~repro.cost.model.CostResult`.
+    """
+
+    design: str
+    engineering_usd: float
+    fixed_usd: float
+    mask_usd: float
+    wafer_usd: np.ndarray
+    testing_usd: np.ndarray
+    packaging_usd: np.ndarray
+    n_chips: np.ndarray
+
+    @property
+    def nre_usd(self) -> float:
+        """One-time costs: engineering + fixed bring-up + masks."""
+        return self.engineering_usd + self.fixed_usd + self.mask_usd
+
+    @property
+    def manufacturing_usd(self) -> np.ndarray:
+        """Recurring costs: wafers + testing + packaging."""
+        return self.wafer_usd + self.testing_usd + self.packaging_usd
+
+    @property
+    def total_usd(self) -> np.ndarray:
+        """Total chip-creation cost per sample."""
+        return self.nre_usd + self.manufacturing_usd
+
+    @property
+    def usd_per_chip(self) -> np.ndarray:
+        """Total cost amortized over each sample's production run."""
+        return self.total_usd / self.n_chips
+
+
+def batch_cost(
+    cost_model: CostModel,
+    design: ChipDesign,
+    n_chips: ArrayLike,
+    d0_scale: Optional[ArrayLike] = None,
+    engineers: int = DEFAULT_ENGINEERS,
+) -> BatchCostResult:
+    """Vectorized ``CostModel.chip_creation_cost`` over sampled inputs.
+
+    Reproduces the scalar cost model over per-sample quantities and an
+    optional per-sample defect-density multiplier. ``engineers`` only
+    selects which cached invariants entry is reused (the cost terms are
+    team-size independent); pass the companion TTM model's team size so a
+    joint TTM+cost study shares one cache entry.
+    """
+    invariants = design_invariants(
+        design,
+        cost_model.technology,
+        engineers,
+        alpha=cost_model.alpha,
+        edge_corrected=cost_model.edge_corrected,
+    )
+    quantities = _as_positive_array(n_chips, "number of final chips")
+    if d0_scale is None:
+        scale: np.ndarray = np.asarray(1.0, dtype=float)
+    else:
+        scale = _as_positive_array(d0_scale, "defect density scale")
+    wafers_per_chip = invariants.wafers_per_chip_at(scale)
+
+    nre = design_nre(
+        design, cost_model.technology, cost_model.engineer_week_cost_usd
+    )
+    wafer_usd: ArrayLike = 0.0
+    for i, process in enumerate(invariants.processes):
+        node_cost = cost_model.technology[process].wafer_cost_usd
+        wafer_usd = wafer_usd + quantities * wafers_per_chip[i] * node_cost
+
+    testing_usd: ArrayLike = 0.0
+    packaging_usd: ArrayLike = quantities * cost_model.package_base_usd
+    for profile in invariants.die_profiles:
+        die_yield = profile.yield_at(scale, invariants.alpha)
+        dies_tested = quantities * profile.count / die_yield
+        testing_usd = testing_usd + (
+            dies_tested * profile.ntt * cost_model.test_usd_per_transistor
+        )
+        packaging_usd = packaging_usd + quantities * profile.count * (
+            cost_model.die_handling_usd
+            + profile.area_mm2 * cost_model.package_area_usd_per_mm2
+        )
+
+    shape = np.broadcast_shapes(
+        quantities.shape, scale.shape, np.shape(wafer_usd)
+    )
+    return BatchCostResult(
+        design=design.name,
+        engineering_usd=nre.engineering_usd,
+        fixed_usd=nre.fixed_usd,
+        mask_usd=nre.mask_usd,
+        wafer_usd=np.broadcast_to(np.asarray(wafer_usd, float), shape),
+        testing_usd=np.broadcast_to(np.asarray(testing_usd, float), shape),
+        packaging_usd=np.broadcast_to(np.asarray(packaging_usd, float), shape),
+        n_chips=np.broadcast_to(quantities, shape),
     )
 
 
@@ -365,8 +577,10 @@ def cas_over_capacity(
 
 __all__ = [
     "BatchCASResult",
+    "BatchCostResult",
     "BatchTTMResult",
     "batch_cas",
+    "batch_cost",
     "batch_ttm",
     "cas_over_capacity",
     "ttm_over_capacity",

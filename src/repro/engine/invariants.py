@@ -27,17 +27,19 @@ whole point of a sweep is that they vary.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..design.chip import ChipDesign
 from ..technology.database import TechnologyDatabase
 from ..technology.yield_model import DEFAULT_ALPHA
-from ..technology.wafer import good_dies_per_wafer
+from ..technology.wafer import dies_per_wafer, dies_per_wafer_simple
+from ..units import mm2_to_cm2
 from ..ttm.tapeout import (
     die_tapeout_calendar_weeks,
     sequential_tapeout_calendar_weeks,
@@ -45,6 +47,84 @@ from ..ttm.tapeout import (
 
 #: Upper bound on cached (design, technology) entries.
 CACHE_MAX_ENTRIES = 256
+
+
+@dataclass(frozen=True)
+class DieYieldProfile:
+    """Everything needed to re-derive one die type's yield-dependent terms.
+
+    The cached :class:`DesignInvariants` scalars fold die yield in at the
+    database's nominal defect densities. Monte Carlo studies perturb D0,
+    so each die also records how its yield responds: ``mean_defects`` is
+    the Eq. 6 ``A * D0`` product at the nominal density — scaling D0 by
+    ``s`` scales it to ``mean_defects * s``. Fixed-yield dies (passive
+    interposers) ignore D0 entirely; salvage dies re-evaluate the
+    uncore/unit split.
+
+    Attributes
+    ----------
+    process_index:
+        Index into ``DesignInvariants.processes`` for this die's node.
+    count:
+        Dies of this type per final chip.
+    ntt:
+        Total transistors on one die (testing flows through the testers).
+    area_mm2:
+        Die area on its node (packaging/assembly cost driver).
+    gross_per_wafer:
+        Gross dies per wafer (D0-independent geometry).
+    testing_effort:
+        The node's E_testing (weeks per transistor tested).
+    mean_defects:
+        ``A_cm2 * D0`` at nominal density (Eq. 6 exponent base).
+    fixed_yield:
+        Yield override (e.g. 0.9999 interposer); ``None`` uses Eq. 6.
+    salvage_uncore_defects / salvage_unit_defects:
+        Nominal ``A * D0`` of the uncore and of one salvage unit, for
+        dies with a core-salvage spec (``None`` otherwise).
+    salvage_n_units / salvage_required_units:
+        The salvage spec's unit counts (0 when salvage is absent).
+    """
+
+    process_index: int
+    count: float
+    ntt: float
+    area_mm2: float
+    gross_per_wafer: float
+    testing_effort: float
+    mean_defects: float
+    fixed_yield: Optional[float] = None
+    salvage_uncore_defects: Optional[float] = None
+    salvage_unit_defects: Optional[float] = None
+    salvage_n_units: int = 0
+    salvage_required_units: int = 0
+
+    def yield_at(self, d0_scale: np.ndarray, alpha: float) -> np.ndarray:
+        """Vectorized sellable-die yield with D0 scaled by ``d0_scale``."""
+        scale = np.asarray(d0_scale, dtype=float)
+        if self.fixed_yield is not None:
+            return np.broadcast_to(
+                np.asarray(self.fixed_yield, dtype=float), scale.shape
+            )
+        if self.salvage_uncore_defects is not None:
+            uncore = (
+                1.0 + self.salvage_uncore_defects * scale / alpha
+            ) ** (-alpha)
+            unit = (
+                1.0 + self.salvage_unit_defects * scale / alpha
+            ) ** (-alpha)
+            # Vectorized twin of ``salvage.binomial_tail`` (that one
+            # validates a scalar p), including its clamp to 1.0.
+            tail = sum(
+                float(math.comb(self.salvage_n_units, k))
+                * unit ** k
+                * (1.0 - unit) ** (self.salvage_n_units - k)
+                for k in range(
+                    self.salvage_required_units, self.salvage_n_units + 1
+                )
+            )
+            return uncore * np.minimum(tail, 1.0)
+        return (1.0 + self.mean_defects * scale / alpha) ** (-alpha)
 
 
 @dataclass(frozen=True)
@@ -78,6 +158,13 @@ class DesignInvariants:
         ``count * area * E_package``).
     design_weeks:
         The design's supply-independent design+implementation constant.
+    alpha:
+        The yield-model cluster parameter the cached terms were derived
+        with (needed to re-derive them under a perturbed D0).
+    die_profiles:
+        Per-die-type :class:`DieYieldProfile` records, for workloads that
+        sample defect density (the cached ``wafers_per_chip`` /
+        ``testing_weeks_per_chip`` terms assume nominal D0).
     """
 
     processes: Tuple[str, ...]
@@ -89,6 +176,35 @@ class DesignInvariants:
     testing_weeks_per_chip: float
     assembly_weeks_per_chip: float
     design_weeks: float
+    alpha: float = DEFAULT_ALPHA
+    die_profiles: Tuple[DieYieldProfile, ...] = ()
+
+    def wafers_per_chip_at(self, d0_scale: np.ndarray) -> Tuple[np.ndarray, ...]:
+        """Per-process wafers per final chip with D0 scaled per sample.
+
+        Returns one array per entry of ``processes``, each broadcast to
+        ``d0_scale``'s shape. ``d0_scale=1`` reproduces the cached
+        ``wafers_per_chip`` scalars to floating-point round-off.
+        """
+        scale = np.asarray(d0_scale, dtype=float)
+        totals = [np.zeros(scale.shape) for _ in self.processes]
+        for profile in self.die_profiles:
+            good = profile.gross_per_wafer * profile.yield_at(scale, self.alpha)
+            totals[profile.process_index] = (
+                totals[profile.process_index] + profile.count / good
+            )
+        return tuple(totals)
+
+    def testing_weeks_per_chip_at(self, d0_scale: np.ndarray) -> np.ndarray:
+        """Eq. 7 testing term per chip with D0 scaled per sample."""
+        scale = np.asarray(d0_scale, dtype=float)
+        total = np.zeros(scale.shape)
+        for profile in self.die_profiles:
+            die_yield = profile.yield_at(scale, self.alpha)
+            total = total + (
+                profile.count / die_yield * profile.ntt * profile.testing_effort
+            )
+        return total
 
 
 class _IdKey:
@@ -149,29 +265,58 @@ def compute_invariants(
     for process in processes:
         technology.require_production(process)
 
+    process_index = {name: i for i, name in enumerate(processes)}
     tapeout: Dict[str, float] = {}
     wafers_per_chip: Dict[str, float] = {}
     testing = 0.0
     assembly = 0.0
+    profiles = []
     for die in design.dies:
         node = technology[die.process]
         weeks = die_tapeout_calendar_weeks(
             die, node, engineers, block_parallel=block_parallel
         )
         tapeout[die.process] = max(tapeout.get(die.process, 0.0), weeks)
-        good = good_dies_per_wafer(
-            die.area_on(node),
-            die.yield_on(node, alpha=alpha),
-            wafer_diameter_mm=node.wafer_diameter_mm,
-            edge_corrected=edge_corrected,
+        area = die.area_on(node)
+        gross = (
+            dies_per_wafer(area, node.wafer_diameter_mm)
+            if edge_corrected
+            else dies_per_wafer_simple(area, node.wafer_diameter_mm)
         )
+        good = gross * die.yield_on(node, alpha=alpha)
         wafers_per_chip[die.process] = (
             wafers_per_chip.get(die.process, 0.0) + die.count / good
         )
         testing += die.count / die.yield_on(node, alpha=alpha) * die.ntt * (
             node.testing_effort
         )
-        assembly += die.count * die.area_on(node) * node.packaging_effort
+        assembly += die.count * area * node.packaging_effort
+        salvage_uncore = salvage_unit = None
+        salvage_n = salvage_required = 0
+        if die.salvage is not None:
+            spec = die.salvage
+            uncore_area = area * (1.0 - spec.unit_area_fraction)
+            unit_area = area * spec.unit_area_fraction / spec.n_units
+            salvage_uncore = mm2_to_cm2(uncore_area) * node.defect_density_per_cm2
+            salvage_unit = mm2_to_cm2(unit_area) * node.defect_density_per_cm2
+            salvage_n = spec.n_units
+            salvage_required = spec.required_units
+        profiles.append(
+            DieYieldProfile(
+                process_index=process_index[die.process],
+                count=float(die.count),
+                ntt=die.ntt,
+                area_mm2=area,
+                gross_per_wafer=gross,
+                testing_effort=node.testing_effort,
+                mean_defects=mm2_to_cm2(area) * node.defect_density_per_cm2,
+                fixed_yield=die.yield_override,
+                salvage_uncore_defects=salvage_uncore,
+                salvage_unit_defects=salvage_unit,
+                salvage_n_units=salvage_n,
+                salvage_required_units=salvage_required,
+            )
+        )
 
     def _readonly(values) -> np.ndarray:
         array = np.array(values, dtype=float)
@@ -194,6 +339,8 @@ def compute_invariants(
         testing_weeks_per_chip=testing,
         assembly_weeks_per_chip=assembly,
         design_weeks=design.design_weeks,
+        alpha=alpha,
+        die_profiles=tuple(profiles),
     )
 
 
@@ -244,6 +391,7 @@ def design_invariants(
 __all__ = [
     "CACHE_MAX_ENTRIES",
     "DesignInvariants",
+    "DieYieldProfile",
     "clear_invariant_cache",
     "compute_invariants",
     "design_invariants",

@@ -15,12 +15,19 @@ provides one ordered map primitive with three executors:
 Results always come back in input order and exceptions raised *by the
 mapped function* propagate unchanged, so ``parallel_map(f, xs)`` is a
 drop-in for ``[f(x) for x in xs]`` under every executor.
+
+Seeded workloads pass ``seed=``: each item then receives its own
+``numpy.random.Generator`` derived from ``SeedSequence(seed).spawn``, and
+``function`` is called as ``function(item, rng)``. Because the child
+sequence for item ``i`` depends only on ``(seed, i)`` -- never on which
+worker ran it or in what order -- results are bit-for-bit identical
+across all three executors.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
+from typing import Any, Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from ..errors import InvalidParameterError
 
@@ -40,11 +47,30 @@ def _picklable(*objects: object) -> bool:
     return True
 
 
+class _SeededCall:
+    """Picklable adapter turning ``f(item, rng)`` into ``g((item, seq))``.
+
+    The ``SeedSequence`` travels with the item so the Generator is
+    constructed inside the worker; Generators themselves need not cross
+    the process boundary.
+    """
+
+    def __init__(self, function: Callable[[T, Any], R]) -> None:
+        self.function = function
+
+    def __call__(self, pair: Tuple[T, Any]) -> R:
+        import numpy as np
+
+        item, seq = pair
+        return self.function(item, np.random.default_rng(seq))
+
+
 def parallel_map(
-    function: Callable[[T], R],
+    function: Callable[..., R],
     items: Iterable[T],
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> List[R]:
     """Apply ``function`` to every item, preserving input order.
 
@@ -61,6 +87,12 @@ def parallel_map(
     max_workers:
         Worker count for the pooled executors; ``None`` uses the
         executor's default.
+    seed:
+        When given, item ``i`` is evaluated as ``function(item, rng_i)``
+        where ``rng_i`` is a ``numpy.random.Generator`` spawned from
+        ``SeedSequence(seed)``. The stream assigned to an item depends
+        only on the seed and the item's position, making seeded sweeps
+        deterministic across executors.
     """
     if executor not in EXECUTORS:
         raise InvalidParameterError(
@@ -70,7 +102,13 @@ def parallel_map(
         raise InvalidParameterError(
             f"max_workers must be >= 1, got {max_workers}"
         )
-    points = list(items)
+    points: List[Any] = list(items)
+    if seed is not None:
+        import numpy as np
+
+        children = np.random.SeedSequence(seed).spawn(len(points))
+        points = list(zip(points, children))
+        function = _SeededCall(function)
     if executor == "serial" or len(points) <= 1:
         return [function(item) for item in points]
 

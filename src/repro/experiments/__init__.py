@@ -20,6 +20,7 @@ from . import (  # noqa: F401  (re-exported for discoverability)
     fig13_chiplets,
     fig14_multiprocess,
     interposer_study,
+    mc_disruption,
     profit_study_a11,
     ramp_timing,
     robustness,
@@ -43,6 +44,7 @@ __all__ = [
     "fig13_chiplets",
     "fig14_multiprocess",
     "interposer_study",
+    "mc_disruption",
     "profit_study_a11",
     "ramp_timing",
     "robustness",

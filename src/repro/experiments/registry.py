@@ -26,6 +26,7 @@ from . import (
     fig13_chiplets,
     fig14_multiprocess,
     interposer_study,
+    mc_disruption,
     profit_study_a11,
     ramp_timing,
     robustness,
@@ -145,6 +146,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "robustness",
             "[extension] Headline-finding survival under calibration noise",
             robustness.run,
+        ),
+        Experiment(
+            "mc-disruption",
+            "[extension] Monte Carlo disruption robustness: A11 vs Zen-2",
+            mc_disruption.run,
         ),
     )
 }

@@ -1,0 +1,69 @@
+"""Monte Carlo uncertainty engine over the batch TTM/CAS/cost kernels.
+
+Turns the paper's point-condition case studies into distribution-aware
+analyses: sample joint supply-chain uncertainty (demand, capacity,
+queues, defect density, wafer rates), optionally compose stochastic
+disruption events over a market scenario, evaluate every sample through
+the vectorized :mod:`repro.engine.batch` kernels, and report percentile
+bands, exceedance curves, and CVaR tails per metric.
+"""
+
+from .disruption import (
+    KINDS,
+    DisruptionDraw,
+    DisruptionEvent,
+    DisruptionModel,
+    DisruptionTimeline,
+    EventEnsemble,
+    SampledEvents,
+)
+from .results import (
+    DEFAULT_TAIL_LEVEL,
+    PERCENTILES,
+    TAILS,
+    ExceedanceCurve,
+    MetricSummary,
+    StudyResult,
+    summarize_metrics,
+)
+from .spec import (
+    TARGETS,
+    ParameterSamples,
+    SampledParameter,
+    SamplingSpec,
+    default_supply_spec,
+)
+from .study import (
+    DEFAULT_CHUNK_SAMPLES,
+    METRIC_TAILS,
+    chunk_sizes,
+    compare_designs,
+    run_study,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SAMPLES",
+    "DEFAULT_TAIL_LEVEL",
+    "DisruptionDraw",
+    "DisruptionEvent",
+    "DisruptionModel",
+    "DisruptionTimeline",
+    "EventEnsemble",
+    "ExceedanceCurve",
+    "KINDS",
+    "METRIC_TAILS",
+    "MetricSummary",
+    "PERCENTILES",
+    "ParameterSamples",
+    "SampledEvents",
+    "SampledParameter",
+    "SamplingSpec",
+    "StudyResult",
+    "TAILS",
+    "TARGETS",
+    "chunk_sizes",
+    "compare_designs",
+    "default_supply_spec",
+    "run_study",
+    "summarize_metrics",
+]

@@ -1,0 +1,255 @@
+"""Distribution summaries for Monte Carlo studies.
+
+Every metric (TTM weeks, CAS, cost per chip, revenue loss) is an array
+of per-sample outcomes; this module reduces those arrays to the three
+artifacts the uncertainty literature reports:
+
+* **percentile bands** — the 5/25/50/75/95 quantiles;
+* **exceedance curves** — ``P(X > t)`` over a threshold grid (survival
+  function), the standard way to read "chance of missing the window";
+* **CVaR tails** — value-at-risk at a confidence level plus the mean of
+  the samples beyond it. For "bigger is worse" metrics (TTM, cost) the
+  tail is the *upper* one; for "bigger is better" metrics (CAS) the
+  *lower* one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..errors import InvalidParameterError
+
+#: Default percentile band.
+PERCENTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+#: Default CVaR confidence level.
+DEFAULT_TAIL_LEVEL = 0.95
+
+#: Recognized tail directions.
+TAILS: Tuple[str, ...] = ("upper", "lower")
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Moments, percentile band, and CVaR tail of one sampled metric."""
+
+    name: str
+    n_samples: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentiles: Mapping[float, float]
+    tail: str
+    tail_level: float
+    var: float
+    cvar: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "percentiles", dict(self.percentiles))
+        if self.tail not in TAILS:
+            raise InvalidParameterError(
+                f"tail must be one of {TAILS}, got {self.tail!r}"
+            )
+
+    @classmethod
+    def from_samples(
+        cls,
+        name: str,
+        samples: np.ndarray,
+        tail: str = "upper",
+        tail_level: float = DEFAULT_TAIL_LEVEL,
+        percentiles: Sequence[float] = PERCENTILES,
+    ) -> "MetricSummary":
+        """Summarize one metric's sample array.
+
+        ``tail="upper"`` reports VaR as the ``tail_level`` quantile and
+        CVaR as the mean of samples at or above it (risk = large
+        values); ``tail="lower"`` mirrors both to the ``1 - tail_level``
+        quantile (risk = small values, e.g. agility collapsing).
+        """
+        values = np.asarray(samples, dtype=float).ravel()
+        if values.size == 0:
+            raise InvalidParameterError(f"metric {name!r}: no samples")
+        if not np.all(np.isfinite(values)):
+            raise InvalidParameterError(
+                f"metric {name!r}: samples contain non-finite values"
+            )
+        if tail not in TAILS:
+            raise InvalidParameterError(
+                f"tail must be one of {TAILS}, got {tail!r}"
+            )
+        if not 0.5 < tail_level < 1.0:
+            raise InvalidParameterError(
+                f"tail level must be in (0.5, 1), got {tail_level}"
+            )
+        if tail == "upper":
+            var = float(np.percentile(values, 100.0 * tail_level))
+            tail_values = values[values >= var]
+        else:
+            var = float(np.percentile(values, 100.0 * (1.0 - tail_level)))
+            tail_values = values[values <= var]
+        return cls(
+            name=name,
+            n_samples=int(values.size),
+            mean=float(np.mean(values)),
+            std=float(np.std(values)),
+            minimum=float(np.min(values)),
+            maximum=float(np.max(values)),
+            percentiles={
+                float(p): float(np.percentile(values, p)) for p in percentiles
+            },
+            tail=tail,
+            tail_level=tail_level,
+            var=var,
+            cvar=float(np.mean(tail_values)),
+        )
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile (if requested in the band)."""
+        try:
+            return self.percentiles[50.0]
+        except KeyError:
+            raise InvalidParameterError(
+                f"metric {self.name!r} was summarized without the median"
+            ) from None
+
+    def band(self, low: float = 5.0, high: float = 95.0) -> Tuple[float, float]:
+        """A (low, high) percentile interval from the stored band."""
+        try:
+            return (self.percentiles[low], self.percentiles[high])
+        except KeyError as missing:
+            raise InvalidParameterError(
+                f"percentile {missing} not in stored band "
+                f"{sorted(self.percentiles)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ExceedanceCurve:
+    """``P(X > t)`` over a threshold grid (empirical survival function)."""
+
+    name: str
+    thresholds: Tuple[float, ...]
+    probabilities: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "thresholds", tuple(self.thresholds))
+        object.__setattr__(self, "probabilities", tuple(self.probabilities))
+        if len(self.thresholds) != len(self.probabilities):
+            raise InvalidParameterError(
+                "thresholds and probabilities must have equal length"
+            )
+
+    @classmethod
+    def from_samples(
+        cls, name: str, samples: np.ndarray, n_points: int = 33
+    ) -> "ExceedanceCurve":
+        """Evaluate the survival function on an even threshold grid."""
+        values = np.sort(np.asarray(samples, dtype=float).ravel())
+        if values.size == 0:
+            raise InvalidParameterError(f"metric {name!r}: no samples")
+        if n_points < 2:
+            raise InvalidParameterError(
+                f"need >= 2 grid points, got {n_points}"
+            )
+        grid = np.linspace(values[0], values[-1], n_points)
+        # P(X > t) = (count of samples strictly above t) / n.
+        above = values.size - np.searchsorted(values, grid, side="right")
+        return cls(
+            name=name,
+            thresholds=tuple(float(t) for t in grid),
+            probabilities=tuple(float(c) / values.size for c in above),
+        )
+
+    def probability_above(self, threshold: float) -> float:
+        """Linear interpolation of ``P(X > threshold)`` on the grid."""
+        return float(
+            np.interp(
+                threshold,
+                self.thresholds,
+                self.probabilities,
+                left=self.probabilities[0],
+                right=self.probabilities[-1],
+            )
+        )
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """All summarized metrics of one Monte Carlo study."""
+
+    design: str
+    processes: Tuple[str, ...]
+    n_samples: int
+    seed: int
+    summaries: Mapping[str, MetricSummary] = field(default_factory=dict)
+    curves: Mapping[str, ExceedanceCurve] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "processes", tuple(self.processes))
+        object.__setattr__(self, "summaries", dict(self.summaries))
+        object.__setattr__(self, "curves", dict(self.curves))
+
+    def __getitem__(self, metric: str) -> MetricSummary:
+        try:
+            return self.summaries[metric]
+        except KeyError:
+            known = ", ".join(sorted(self.summaries))
+            raise KeyError(
+                f"unknown metric {metric!r} (known: {known})"
+            ) from None
+
+    def table(self) -> str:
+        """Percentile band + tail summary, one row per metric."""
+        headers = [
+            "metric", "mean", "p5", "p25", "p50", "p75", "p95",
+            "VaR", "CVaR", "tail",
+        ]
+        rows = []
+        for name, summary in self.summaries.items():
+            rows.append(
+                [
+                    name,
+                    summary.mean,
+                    summary.percentiles.get(5.0, float("nan")),
+                    summary.percentiles.get(25.0, float("nan")),
+                    summary.percentiles.get(50.0, float("nan")),
+                    summary.percentiles.get(75.0, float("nan")),
+                    summary.percentiles.get(95.0, float("nan")),
+                    summary.var,
+                    summary.cvar,
+                    summary.tail,
+                ]
+            )
+        return format_table(headers, rows)
+
+
+def summarize_metrics(
+    samples: Mapping[str, np.ndarray],
+    tails: Mapping[str, str],
+    tail_level: float = DEFAULT_TAIL_LEVEL,
+) -> Dict[str, MetricSummary]:
+    """Build :class:`MetricSummary` objects for a metric->samples map."""
+    return {
+        name: MetricSummary.from_samples(
+            name, values, tail=tails.get(name, "upper"), tail_level=tail_level
+        )
+        for name, values in samples.items()
+    }
+
+
+__all__ = [
+    "DEFAULT_TAIL_LEVEL",
+    "ExceedanceCurve",
+    "MetricSummary",
+    "PERCENTILES",
+    "StudyResult",
+    "TAILS",
+    "summarize_metrics",
+]

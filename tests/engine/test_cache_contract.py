@@ -1,0 +1,120 @@
+"""Executable pin of the invariant cache's invalidation contract.
+
+DESIGN.md / ``engine.invariants`` document the contract as: entries are
+keyed by *object identity*, which is sound because designs and
+technologies are immutable — to change an input you must build a derived
+object, and the derived object misses the cache and recomputes. These
+tests make both halves executable:
+
+* mutating a cached design/technology (or their parts) **raises** — the
+  value objects are frozen;
+* deriving a new design/technology after a cache hit **recomputes** —
+  the result visibly reflects the change instead of serving stale data.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.design.library import a11
+from repro.engine.invariants import (
+    clear_invariant_cache,
+    design_invariants,
+    invariant_cache_info,
+)
+from repro.technology.database import TechnologyDatabase
+from repro.ttm.model import DEFAULT_ENGINEERS
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_invariant_cache()
+    yield
+    clear_invariant_cache()
+
+
+class TestMutationRaises:
+    def test_design_is_frozen(self):
+        design = a11("7nm")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            design.name = "A12"
+
+    def test_die_is_frozen(self):
+        die = a11("7nm").dies[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            die.area_mm2 = 1.0
+
+    def test_process_node_is_frozen(self, db):
+        node = db["7nm"]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            node.defect_density_per_cm2 = 0.0
+
+    def test_database_has_no_public_mutators(self, db):
+        # The Mapping facade is read-only: no __setitem__/__delitem__,
+        # and the only way to "change" a node is override(), which
+        # returns a new database.
+        with pytest.raises(TypeError):
+            db["7nm"] = db["5nm"]
+
+
+class TestDerivationRecomputes:
+    def test_cache_hit_then_override_recomputes(self, db):
+        design = a11("7nm")
+        first = design_invariants(design, db, DEFAULT_ENGINEERS)
+        again = design_invariants(design, db, DEFAULT_ENGINEERS)
+        assert again is first  # identity hit
+        info = invariant_cache_info()
+        assert info["hits"] >= 1
+
+    def test_overridden_technology_misses_and_reflects_change(self, db):
+        design = a11("7nm")
+        before = design_invariants(design, db, DEFAULT_ENGINEERS)
+        doubled = db.override(
+            {"7nm": {
+                "defect_density_per_cm2": db["7nm"].defect_density_per_cm2 * 2
+            }}
+        )
+        after = design_invariants(design, doubled, DEFAULT_ENGINEERS)
+        assert after is not before
+        # Worse yield -> strictly more wafers per chip.
+        assert np.sum(after.wafers_per_chip) > np.sum(before.wafers_per_chip)
+        # The original entry is untouched (no stale overwrite either way).
+        assert design_invariants(design, db, DEFAULT_ENGINEERS) is before
+
+    def test_replaced_design_misses_and_reflects_change(self, db):
+        design = a11("7nm")
+        before = design_invariants(design, db, DEFAULT_ENGINEERS)
+        die = design.dies[0]
+        bigger_die = dataclasses.replace(
+            die, area_mm2=2.0 * die.area_on(db[die.process])
+        )
+        bigger = dataclasses.replace(
+            design, dies=(bigger_die,) + design.dies[1:]
+        )
+        after = design_invariants(bigger, db, DEFAULT_ENGINEERS)
+        assert after is not before
+        assert np.sum(after.wafers_per_chip) > np.sum(before.wafers_per_chip)
+
+    def test_equal_but_distinct_objects_are_distinct_entries(self):
+        # Identity keying: a structurally identical rebuild is a *miss*,
+        # never a false hit on the old entry.
+        db_a = TechnologyDatabase.default()
+        db_b = TechnologyDatabase.default()
+        design = a11("7nm")
+        first = design_invariants(design, db_a, DEFAULT_ENGINEERS)
+        second = design_invariants(design, db_b, DEFAULT_ENGINEERS)
+        assert first is not second
+        assert invariant_cache_info()["misses"] >= 2
+
+    def test_model_knobs_are_part_of_the_key(self, db):
+        design = a11("7nm")
+        default = design_invariants(design, db, DEFAULT_ENGINEERS)
+        more_engineers = design_invariants(design, db, DEFAULT_ENGINEERS * 2)
+        assert more_engineers is not default
+        # Twice the engineers halve the calendar tapeout time (Eq. 2), so
+        # the knob must be part of the key or sweeps would serve stale
+        # schedules.
+        assert more_engineers.sequential_tapeout_weeks != pytest.approx(
+            default.sequential_tapeout_weeks
+        )

@@ -18,6 +18,7 @@ class TestRegistry:
         "codesign",
         "accel-scaling",
         "robustness",
+        "mc-disruption",
     }
 
     def test_every_paper_artifact_registered(self):

@@ -1,0 +1,1 @@
+"""Golden-master regression tests for the experiment suite."""

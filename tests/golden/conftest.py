@@ -1,0 +1,37 @@
+"""Golden-master harness: snapshot directory and the --regen-golden flag.
+
+Regenerate the checked-in snapshots after an *intentional* numeric
+change with::
+
+    PYTHONPATH=src python -m pytest tests/golden --regen-golden
+
+(or ``python scripts/regen_golden.py``), then review the JSON diff and
+commit it alongside the code change. Without the flag the suite fails on
+any relative drift greater than 1e-9 against the stored values.
+"""
+
+from pathlib import Path
+
+import pytest
+
+#: Where the checked-in snapshots live.
+SNAPSHOT_DIR = Path(__file__).parent / "snapshots"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden-master snapshots instead of asserting",
+    )
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    return request.config.getoption("--regen-golden")
+
+
+@pytest.fixture(scope="session")
+def snapshot_dir() -> Path:
+    return SNAPSHOT_DIR

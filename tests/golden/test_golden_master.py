@@ -1,0 +1,78 @@
+"""Golden-master regression tests for every paper artifact.
+
+Each fig03–fig14 experiment (plus Tables 3 and 4) is run through the
+registry and compared, value by value, against a checked-in JSON
+snapshot. Any relative numeric drift beyond 1e-9 fails the suite — so a
+refactor of the engine or experiments is *diffable*, not just "tests
+still pass". See ``conftest.py`` for the documented ``--regen-golden``
+path.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.export import to_jsonable
+from repro.experiments import registry
+
+#: The paper's evaluation artifacts under snapshot (registry keys).
+GOLDEN_KEYS = (
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "table3", "table4", "fig13", "fig14",
+)
+
+#: Maximum tolerated relative drift between run and snapshot.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def assert_matches(actual, expected, path=""):
+    """Recursive structural + numeric comparison with relative tolerance."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected mapping"
+        assert set(actual) == set(expected), (
+            f"{path}: keys changed "
+            f"(added {sorted(set(actual) - set(expected))}, "
+            f"removed {sorted(set(expected) - set(actual))})"
+        )
+        for key in expected:
+            assert_matches(actual[key], expected[key], f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected sequence"
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != snapshot {len(expected)}"
+        )
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, bool) or expected is None:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+    elif isinstance(expected, (int, float)):
+        assert isinstance(actual, (int, float)), f"{path}: expected number"
+        assert actual == pytest.approx(
+            expected, rel=RELATIVE_TOLERANCE, abs=RELATIVE_TOLERANCE
+        ), f"{path}: {actual!r} drifted from snapshot {expected!r}"
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+@pytest.mark.parametrize("key", GOLDEN_KEYS)
+def test_artifact_matches_snapshot(key, snapshot_dir, regen_golden):
+    result = to_jsonable(registry.get(key).runner())
+    snapshot_path = snapshot_dir / f"{key}.json"
+    if regen_golden:
+        snapshot_dir.mkdir(exist_ok=True)
+        snapshot_path.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"regenerated {snapshot_path.name}")
+    assert snapshot_path.exists(), (
+        f"missing snapshot {snapshot_path.name}; run "
+        f"pytest tests/golden --regen-golden and commit the result"
+    )
+    expected = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    assert_matches(result, expected, path=key)
+
+
+def test_every_golden_key_is_registered():
+    for key in GOLDEN_KEYS:
+        assert key in registry.experiment_keys()

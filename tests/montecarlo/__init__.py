@@ -1,0 +1,1 @@
+"""Tests for the Monte Carlo uncertainty engine."""

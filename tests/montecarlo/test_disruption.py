@@ -1,0 +1,168 @@
+"""Tests for scripted and stochastic disruption layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.market import scenarios
+from repro.montecarlo.disruption import (
+    MIN_CAPACITY_FRACTION,
+    DisruptionEvent,
+    DisruptionModel,
+    DisruptionTimeline,
+    EventEnsemble,
+)
+from repro.sensitivity.distributions import Factor
+
+
+def shock(start=4.0, duration=8.0, severity=0.5, nodes=()):
+    return DisruptionEvent(
+        "capacity_shock", start, duration, severity, nodes=nodes
+    )
+
+
+class TestDisruptionEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(InvalidParameterError, match="kind"):
+            DisruptionEvent("alien_invasion", 0.0, 1.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(InvalidParameterError, match="duration"):
+            DisruptionEvent("fab_shutdown", 0.0, 0.0)
+
+    def test_rejects_out_of_range_shock_severity(self):
+        with pytest.raises(InvalidParameterError, match="severity"):
+            DisruptionEvent("capacity_shock", 0.0, 1.0, severity=1.5)
+
+    def test_window_is_half_open(self):
+        event = shock(start=4.0, duration=8.0)
+        assert not event.active_at(3.9)
+        assert event.active_at(4.0)
+        assert event.active_at(11.9)
+        assert not event.active_at(12.0)
+
+    def test_empty_scope_means_every_node(self):
+        assert shock().applies_to("7nm")
+        assert shock(nodes=("7nm",)).applies_to("7nm")
+        assert not shock(nodes=("7nm",)).applies_to("14nm")
+
+
+class TestDisruptionTimeline:
+    def test_composes_over_scenario_base(self):
+        # Base scenario already throttles advanced nodes; the event
+        # multiplies on top of the scenario's fraction.
+        base = scenarios.advanced_drought(capacity=0.6)
+        timeline = DisruptionTimeline(
+            base=base, events=(shock(severity=0.5, nodes=("7nm",)),)
+        )
+        during = timeline.conditions_at(6.0)
+        assert during.capacity_for("7nm") == pytest.approx(0.6 * 0.5)
+        assert during.capacity_for("14nm") == pytest.approx(0.6)
+        after = timeline.conditions_at(20.0)
+        assert after.capacity_for("7nm") == pytest.approx(0.6)
+
+    def test_shutdown_leaves_a_trickle(self):
+        timeline = DisruptionTimeline(
+            base=scenarios.nominal(),
+            events=(DisruptionEvent("fab_shutdown", 0.0, 4.0, nodes=("7nm",)),),
+        )
+        fraction = timeline.conditions_at(1.0).capacity_for("7nm")
+        assert fraction == pytest.approx(MIN_CAPACITY_FRACTION)
+
+    def test_demand_multiplier_stacks(self):
+        timeline = DisruptionTimeline(
+            base=scenarios.nominal(),
+            events=(
+                DisruptionEvent("demand_spike", 0.0, 10.0, severity=0.5),
+                DisruptionEvent("demand_spike", 5.0, 10.0, severity=0.2),
+            ),
+        )
+        assert timeline.demand_multiplier_at(2.0) == pytest.approx(1.5)
+        assert timeline.demand_multiplier_at(7.0) == pytest.approx(1.5 * 1.2)
+        assert timeline.demand_multiplier_at(20.0) == pytest.approx(1.0)
+
+    def test_queue_quotes_inherited_from_base(self):
+        timeline = DisruptionTimeline(
+            base=scenarios.shortage_2021(queue_weeks=4.0), events=()
+        )
+        assert timeline.conditions_at(0.0).queue_weeks_for("7nm") == 4.0
+
+
+def ensemble(kind="capacity_shock", probability=0.5, nodes=()):
+    return EventEnsemble(
+        kind,
+        probability=probability,
+        start_week=Factor("start", 4.0, 0.5),
+        duration_weeks=Factor("duration", 10.0, 0.5),
+        severity=Factor("severity", 0.5, 0.5),
+        nodes=nodes,
+    )
+
+
+class TestEventEnsemble:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(InvalidParameterError, match="probability"):
+            ensemble(probability=1.5)
+
+    def test_occurrence_rate_tracks_probability(self):
+        sampled = ensemble(probability=0.3).sample(
+            4000, np.random.default_rng(0)
+        )
+        assert sampled.occurred.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_multipliers_are_one_where_inactive(self):
+        sampled = ensemble(probability=0.0).sample(
+            50, np.random.default_rng(1)
+        )
+        assert np.all(sampled.capacity_multipliers_at(5.0) == 1.0)
+
+    def test_demand_kind_never_touches_capacity(self):
+        sampled = ensemble(kind="demand_spike", probability=1.0).sample(
+            50, np.random.default_rng(1)
+        )
+        assert np.all(sampled.capacity_multipliers_at(4.0) == 1.0)
+        active = sampled.active_at(4.0)
+        multipliers = sampled.demand_multipliers_at(4.0)
+        assert np.all(multipliers[active] > 1.0)
+        assert np.all(multipliers[~active] == 1.0)
+
+
+class TestDisruptionModel:
+    def model(self, order_week=5.0):
+        return DisruptionModel(
+            base=scenarios.shortage_2021(),
+            ensembles=(
+                ensemble(nodes=scenarios.ADVANCED_NODES, probability=0.6),
+                ensemble(kind="demand_spike", probability=0.4),
+            ),
+            order_week=order_week,
+        )
+
+    def test_rejects_empty_ensembles(self):
+        with pytest.raises(InvalidParameterError, match="ensemble"):
+            DisruptionModel(base=scenarios.nominal(), ensembles=())
+
+    def test_draw_covers_affected_nodes_only(self):
+        draw = self.model().sample(100, np.random.default_rng(2))
+        assert set(draw.capacity) == set(scenarios.ADVANCED_NODES)
+
+    def test_capacity_floored_and_bounded_by_base(self):
+        draw = self.model().sample(500, np.random.default_rng(3))
+        for values in draw.capacity.values():
+            assert np.all(values >= MIN_CAPACITY_FRACTION)
+            assert np.all(values <= 1.0)
+
+    def test_same_seed_reproduces_draw(self):
+        a = self.model().sample(64, np.random.default_rng(9))
+        b = self.model().sample(64, np.random.default_rng(9))
+        for node in a.capacity:
+            assert np.array_equal(a.capacity[node], b.capacity[node])
+
+    def test_demand_scale_none_when_no_spike_active(self):
+        model = DisruptionModel(
+            base=scenarios.nominal(),
+            ensembles=(ensemble(probability=1.0),),
+            order_week=5.0,
+        )
+        draw = model.sample(32, np.random.default_rng(0))
+        assert draw.demand_scale is None

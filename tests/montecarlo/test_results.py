@@ -1,0 +1,124 @@
+"""Tests for Monte Carlo distribution summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.montecarlo.results import (
+    ExceedanceCurve,
+    MetricSummary,
+    StudyResult,
+    summarize_metrics,
+)
+
+
+class TestMetricSummary:
+    def test_matches_numpy_reductions(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 2.0, 5000)
+        summary = MetricSummary.from_samples("ttm", samples)
+        assert summary.mean == pytest.approx(np.mean(samples))
+        assert summary.std == pytest.approx(np.std(samples))
+        assert summary.minimum == np.min(samples)
+        assert summary.maximum == np.max(samples)
+        for p, value in summary.percentiles.items():
+            assert value == pytest.approx(np.percentile(samples, p))
+
+    def test_upper_tail_cvar_exceeds_var(self):
+        rng = np.random.default_rng(1)
+        samples = rng.exponential(5.0, 4000)
+        summary = MetricSummary.from_samples("cost", samples, tail="upper")
+        assert summary.var == pytest.approx(np.percentile(samples, 95))
+        assert summary.cvar > summary.var
+        assert summary.cvar == pytest.approx(
+            samples[samples >= summary.var].mean()
+        )
+
+    def test_lower_tail_cvar_below_var(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(100.0, 10.0, 4000)
+        summary = MetricSummary.from_samples("cas", samples, tail="lower")
+        assert summary.var == pytest.approx(np.percentile(samples, 5))
+        assert summary.cvar < summary.var
+
+    def test_rejects_nonfinite_samples(self):
+        with pytest.raises(InvalidParameterError, match="non-finite"):
+            MetricSummary.from_samples("x", np.array([1.0, np.inf]))
+
+    def test_rejects_empty_and_bad_tail(self):
+        with pytest.raises(InvalidParameterError, match="no samples"):
+            MetricSummary.from_samples("x", np.array([]))
+        with pytest.raises(InvalidParameterError, match="tail"):
+            MetricSummary.from_samples("x", np.ones(4), tail="sideways")
+        with pytest.raises(InvalidParameterError, match="tail level"):
+            MetricSummary.from_samples("x", np.ones(4), tail_level=0.4)
+
+    def test_median_and_band_accessors(self):
+        summary = MetricSummary.from_samples("x", np.arange(101.0))
+        assert summary.median == pytest.approx(50.0)
+        low, high = summary.band()
+        assert low == pytest.approx(5.0)
+        assert high == pytest.approx(95.0)
+        with pytest.raises(InvalidParameterError, match="percentile"):
+            summary.band(low=1.0)
+
+
+class TestExceedanceCurve:
+    def test_probabilities_are_survival_function(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        curve = ExceedanceCurve.from_samples("x", samples, n_points=4)
+        assert curve.thresholds == (1.0, 2.0, 3.0, 4.0)
+        assert curve.probabilities == (0.75, 0.5, 0.25, 0.0)
+
+    def test_monotone_non_increasing(self):
+        rng = np.random.default_rng(3)
+        curve = ExceedanceCurve.from_samples("x", rng.normal(size=2000))
+        assert all(
+            a >= b
+            for a, b in zip(curve.probabilities, curve.probabilities[1:])
+        )
+
+    def test_probability_above_interpolates(self):
+        samples = np.array([0.0, 1.0])
+        curve = ExceedanceCurve.from_samples("x", samples, n_points=2)
+        assert curve.probability_above(-1.0) == 0.5
+        assert curve.probability_above(0.5) == pytest.approx(0.25)
+        assert curve.probability_above(2.0) == 0.0
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(InvalidParameterError, match="grid"):
+            ExceedanceCurve.from_samples("x", np.ones(4), n_points=1)
+
+
+class TestStudyResult:
+    def build(self):
+        rng = np.random.default_rng(4)
+        samples = {
+            "ttm_weeks": rng.normal(40.0, 2.0, 1000),
+            "cas": rng.normal(2e4, 1e3, 1000),
+        }
+        summaries = summarize_metrics(samples, tails={"cas": "lower"})
+        curves = {
+            name: ExceedanceCurve.from_samples(name, values)
+            for name, values in samples.items()
+        }
+        return StudyResult(
+            design="A11 @ 7nm",
+            processes=("7nm",),
+            n_samples=1000,
+            seed=0,
+            summaries=summaries,
+            curves=curves,
+        )
+
+    def test_getitem_and_unknown_metric(self):
+        result = self.build()
+        assert result["ttm_weeks"].tail == "upper"
+        assert result["cas"].tail == "lower"
+        with pytest.raises(KeyError, match="unknown metric"):
+            result["ipc"]
+
+    def test_table_lists_every_metric(self):
+        table = self.build().table()
+        assert "ttm_weeks" in table and "cas" in table
+        assert "CVaR" in table

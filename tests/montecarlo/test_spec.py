@@ -1,0 +1,119 @@
+"""Tests for sampling specifications and their kernel-keyword mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.montecarlo.spec import (
+    TARGETS,
+    SampledParameter,
+    SamplingSpec,
+    default_supply_spec,
+)
+from repro.sensitivity.distributions import Factor
+
+
+def spec_of(*parameters, n_chips=1e6):
+    return SamplingSpec(parameters=tuple(parameters), n_chips=n_chips)
+
+
+class TestSampledParameter:
+    def test_rejects_unknown_target(self):
+        with pytest.raises(InvalidParameterError, match="target"):
+            SampledParameter("warp_factor", Factor("x", 1.0))
+
+    def test_rejects_node_on_non_capacity(self):
+        with pytest.raises(InvalidParameterError, match="node"):
+            SampledParameter("d0_scale", Factor("x", 1.0), node="7nm")
+
+    def test_node_allowed_for_capacity(self):
+        parameter = SampledParameter("capacity", Factor("c", 0.8), node="7nm")
+        assert parameter.key == ("capacity", "7nm")
+
+
+class TestSamplingSpec:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            spec_of()
+
+    def test_rejects_duplicates(self):
+        parameter = SampledParameter("d0_scale", Factor("x", 1.0))
+        with pytest.raises(InvalidParameterError, match="duplicate"):
+            spec_of(parameter, parameter)
+
+    def test_rejects_mixed_global_and_per_node_capacity(self):
+        with pytest.raises(InvalidParameterError, match="mix"):
+            spec_of(
+                SampledParameter("capacity", Factor("cg", 0.9)),
+                SampledParameter("capacity", Factor("c7", 0.8), node="7nm"),
+            )
+
+    def test_rejects_nonpositive_nominal_demand(self):
+        with pytest.raises(InvalidParameterError, match="n_chips"):
+            spec_of(
+                SampledParameter("d0_scale", Factor("x", 1.0)), n_chips=0.0
+            )
+
+    def test_factor_names_in_order(self):
+        spec = spec_of(
+            SampledParameter("d0_scale", Factor("D0", 1.0)),
+            SampledParameter("queue_weeks", Factor("Q", 2.0)),
+        )
+        assert spec.factor_names == ("D0", "Q")
+
+
+class TestParameterSamples:
+    def test_draws_stay_in_factor_ranges(self):
+        spec = default_supply_spec(n_chips=1e7, variation=0.2)
+        draws = spec.sample(500, np.random.default_rng(1))
+        for i, parameter in enumerate(spec.parameters):
+            column = draws.matrix[:, i]
+            assert column.min() >= parameter.factor.low
+            assert column.max() <= parameter.factor.high
+
+    def test_unsampled_demand_uses_nominal(self):
+        spec = spec_of(SampledParameter("d0_scale", Factor("D0", 1.0)))
+        draws = spec.sample(8, np.random.default_rng(0))
+        assert np.all(draws.n_chips == 1e6)
+        assert draws.capacity is None
+        assert draws.queue_weeks is None
+        assert draws.wafer_rate_scale is None
+
+    def test_global_capacity_is_an_array(self):
+        spec = spec_of(SampledParameter("capacity", Factor("c", 0.8)))
+        draws = spec.sample(16, np.random.default_rng(0))
+        assert isinstance(draws.capacity, np.ndarray)
+        assert draws.capacity.shape == (16,)
+
+    def test_per_node_capacity_is_a_mapping(self):
+        spec = spec_of(
+            SampledParameter("capacity", Factor("c7", 0.8), node="7nm"),
+            SampledParameter("capacity", Factor("c14", 0.7), node="14nm"),
+        )
+        draws = spec.sample(4, np.random.default_rng(0))
+        assert set(draws.capacity) == {"7nm", "14nm"}
+        assert all(v.shape == (4,) for v in draws.capacity.values())
+
+    def test_kernel_kwargs_keys(self):
+        spec = default_supply_spec(n_chips=1e7)
+        draws = spec.sample(4, np.random.default_rng(0))
+        assert set(draws.kernel_kwargs()) == {
+            "capacity", "queue_weeks", "d0_scale", "wafer_rate_scale",
+        }
+
+    def test_same_rng_reproduces_matrix(self):
+        spec = default_supply_spec(n_chips=1e7)
+        a = spec.sample(32, np.random.default_rng(3)).matrix
+        b = spec.sample(32, np.random.default_rng(3)).matrix
+        assert np.array_equal(a, b)
+
+
+class TestDefaultSupplySpec:
+    def test_covers_all_targets(self):
+        spec = default_supply_spec(n_chips=1e7)
+        assert {p.target for p in spec.parameters} == set(TARGETS)
+
+    def test_per_node_variant(self):
+        spec = default_supply_spec(n_chips=1e7, nodes=("7nm", "5nm"))
+        nodes = {p.node for p in spec.parameters if p.target == "capacity"}
+        assert nodes == {"7nm", "5nm"}

@@ -1,0 +1,1 @@
+"""Hypothesis property-based tests for core model invariants."""

@@ -1,0 +1,128 @@
+"""Hypothesis property-based tests for core model invariants.
+
+Each property pins a monotonicity or boundedness law the paper's
+equations imply — the kind of contract example-based tests only spot-check:
+
+* Eq. 6 yield lies in (0, 1] and never *increases* with die area or D0;
+* gross dies per wafer are non-negative and never increase with area;
+* TTM never increases when production capacity grows (more wafers per
+  week can only help);
+* CAS is finite and positive for every library design on every node it
+  supports.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agility.cas import chip_agility_score
+from repro.design.library import a11, zen2
+from repro.technology.database import TechnologyDatabase
+from repro.technology.wafer import dies_per_wafer, dies_per_wafer_simple
+from repro.technology.yield_model import negative_binomial_yield
+from repro.ttm.model import TTMModel
+
+#: Die areas from tiny IP blocks to full-reticle monsters (mm^2).
+areas = st.floats(min_value=0.1, max_value=800.0)
+
+#: Defect densities around the roadmap's range (defects/cm^2).
+defect_densities = st.floats(min_value=0.0, max_value=2.0)
+
+#: Clustering parameter near the paper's alpha = 3.
+alphas = st.floats(min_value=0.5, max_value=10.0)
+
+#: Relative bumps used for the monotonicity comparisons.
+bumps = st.floats(min_value=1.001, max_value=4.0)
+
+#: Nodes that can actually fabricate wafers (20 nm is roadmap-listed but
+#: out of production, so TTM/CAS are undefined there by design).
+PRODUCTION_NODES = tuple(
+    node.name
+    for node in TechnologyDatabase.default().nodes
+    if node.in_production
+)
+
+
+class TestYieldProperties:
+    @given(area=areas, d0=defect_densities, alpha=alphas)
+    def test_yield_in_unit_interval(self, area, d0, alpha):
+        y = negative_binomial_yield(area, d0, alpha)
+        assert 0.0 < y <= 1.0
+
+    @given(area=areas, d0=defect_densities, alpha=alphas, bump=bumps)
+    def test_yield_monotone_non_increasing_in_area(self, area, d0, alpha, bump):
+        assert negative_binomial_yield(
+            area * bump, d0, alpha
+        ) <= negative_binomial_yield(area, d0, alpha)
+
+    @given(area=areas, d0=defect_densities, alpha=alphas, bump=bumps)
+    def test_yield_monotone_non_increasing_in_d0(self, area, d0, alpha, bump):
+        assert negative_binomial_yield(
+            area, d0 * bump, alpha
+        ) <= negative_binomial_yield(area, d0, alpha)
+
+    @given(area=areas, alpha=alphas)
+    def test_zero_defects_yield_everything(self, area, alpha):
+        assert negative_binomial_yield(area, 0.0, alpha) == 1.0
+
+
+class TestDiesPerWaferProperties:
+    @given(area=areas)
+    def test_non_negative(self, area):
+        assert dies_per_wafer_simple(area) >= 0.0
+        assert dies_per_wafer(area) >= 0.0
+
+    @given(area=areas, bump=bumps)
+    def test_monotone_non_increasing_in_area(self, area, bump):
+        assert dies_per_wafer_simple(area * bump) <= dies_per_wafer_simple(area)
+        assert dies_per_wafer(area * bump) <= dies_per_wafer(area)
+
+    @given(area=areas)
+    def test_edge_correction_never_gains_dies(self, area):
+        assert dies_per_wafer(area) <= dies_per_wafer_simple(area)
+
+
+@pytest.fixture(scope="module")
+def nominal_model():
+    return TTMModel.nominal(TechnologyDatabase.default())
+
+
+class TestTTMProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.05, max_value=0.99),
+        growth=st.floats(min_value=1.01, max_value=4.0),
+        n_chips=st.floats(min_value=1e4, max_value=5e7),
+    )
+    def test_ttm_non_increasing_as_capacity_grows(
+        self, nominal_model, fraction, growth, n_chips
+    ):
+        design = a11("7nm")
+        slow = nominal_model.at_capacity(fraction)
+        fast = nominal_model.at_capacity(min(1.0, fraction * growth))
+        assert fast.total_weeks(design, n_chips) <= slow.total_weeks(
+            design, n_chips
+        )
+
+
+class TestCASProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        node=st.sampled_from(PRODUCTION_NODES),
+        n_chips=st.floats(min_value=1e4, max_value=5e7),
+    )
+    def test_cas_finite_for_a11_on_every_node(
+        self, nominal_model, node, n_chips
+    ):
+        score = chip_agility_score(nominal_model, a11(node), n_chips)
+        assert math.isfinite(score.cas)
+        assert score.cas > 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(n_chips=st.floats(min_value=1e4, max_value=5e7))
+    def test_cas_finite_for_zen2_chiplets(self, nominal_model, n_chips):
+        score = chip_agility_score(nominal_model, zen2(), n_chips)
+        assert math.isfinite(score.cas)
+        assert score.cas > 0.0
