@@ -20,8 +20,11 @@ from repro.design.library.a11 import (
     A11_UNIQUE_TRANSISTORS,
     a11,
 )
+from repro.design.library.raven import raven_multicore
 from repro.engine.batch import batch_ttm, cas_over_capacity
+from repro.engine.batch_split import batch_split
 from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.multiprocess.optimizer import run_split_study
 from repro.sensitivity.sobol import sobol_indices
 from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
 
@@ -105,3 +108,72 @@ def test_batch_ttm_quantity_row_matches_scalar(model):
         assert weeks == pytest.approx(
             model.total_weeks(design, n), rel=1e-9
         )
+
+
+#: A reduced Fig. 14 study: 4 nodes x a 5% grid keeps the scalar oracle
+#: affordable inside the benchmark suite.
+SPLIT_NODES = ("65nm", "40nm", "28nm", "14nm")
+SPLIT_GRID = tuple(s / 20 for s in range(1, 21))
+SPLIT_PAIRS = tuple(
+    (primary, secondary)
+    for i, secondary in enumerate(SPLIT_NODES)
+    for primary in SPLIT_NODES[i:]
+)
+
+
+def test_bench_batch_split_tensor(benchmark, model, cost_model):
+    result = benchmark(
+        batch_split,
+        raven_multicore,
+        SPLIT_PAIRS,
+        model,
+        cost_model,
+        N_CHIPS,
+        SPLIT_GRID,
+    )
+    assert result.ttm_weeks.shape == (len(SPLIT_PAIRS), len(SPLIT_GRID))
+    oracle = run_split_study(
+        raven_multicore,
+        SPLIT_NODES,
+        model,
+        cost_model,
+        N_CHIPS,
+        split_grid=SPLIT_GRID,
+        engine="scalar",
+    )
+    for index, key in enumerate(SPLIT_PAIRS):
+        best = result.best_evaluation(index)
+        expected = oracle.pairs[key].best
+        assert best.split == expected.split
+        assert best.cas == pytest.approx(expected.cas, rel=1e-9)
+        assert best.ttm_weeks == pytest.approx(expected.ttm_weeks, rel=1e-9)
+
+
+def test_split_engine_speedup_smoke(model, cost_model):
+    """The batched split study must beat the scalar loop comfortably."""
+
+    def scalar_study():
+        return run_split_study(
+            raven_multicore,
+            SPLIT_NODES,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=SPLIT_GRID,
+            engine="scalar",
+        )
+
+    def batched_study():
+        return batch_split(
+            raven_multicore,
+            SPLIT_PAIRS,
+            model,
+            cost_model,
+            N_CHIPS,
+            SPLIT_GRID,
+        )
+
+    batched_study()  # warm the invariant cache before timing
+    scalar_time = _best_of(2, scalar_study)
+    batched_time = _best_of(3, batched_study)
+    assert scalar_time / batched_time >= SMOKE_SPEEDUP_FLOOR

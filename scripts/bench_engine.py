@@ -9,8 +9,11 @@ Workloads (the ISSUE's acceptance targets):
 * ``sweep``   -- a 20-point capacity sweep x 6 final-chip quantities of
   A11 @ 7 nm CAS: scalar ``chip_agility_score`` loop vs one
   ``cas_over_capacity`` call. Target: >= 5x.
+* ``fig14``   -- the full Sec. 7 multi-process study (every production
+  node pair x the 1% split grid): the scalar ``run_split_study`` loop
+  vs one vectorized ``batch_split`` tensor. Target: >= 20x.
 * ``accuracy``-- max relative error of the batched results against the
-  scalar paths over both workloads (must be <= 1e-9).
+  scalar paths over every workload (must be <= 1e-9).
 
 Usage::
 
@@ -32,9 +35,13 @@ from repro.design.library.a11 import (
     A11_UNIQUE_TRANSISTORS,
     a11,
 )
+from repro.cost.model import CostModel
+from repro.design.library.raven import raven_multicore
 from repro.engine.batch import cas_over_capacity
+from repro.engine.batch_split import batch_split
 from repro.engine.invariants import clear_invariant_cache
 from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.multiprocess.optimizer import run_split_study
 from repro.sensitivity.sobol import sobol_indices
 from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
 from repro.ttm.model import TTMModel
@@ -130,6 +137,66 @@ def bench_sweep(model: TTMModel) -> dict:
     }
 
 
+def bench_split_sweep(model: TTMModel) -> dict:
+    cost_model = CostModel.nominal()
+    processes = [
+        node.name for node in model.foundry.technology.production_nodes()
+    ]
+    grid = tuple(s / 100.0 for s in range(1, 101))
+    n_chips = 1e9
+    # Tensor rows in the unordered-pair order run_split_study uses.
+    pairs = [
+        (primary, secondary)
+        for i, secondary in enumerate(processes)
+        for primary in processes[i:]
+    ]
+
+    def scalar_study():
+        return run_split_study(
+            raven_multicore,
+            processes,
+            model,
+            cost_model,
+            n_chips,
+            split_grid=grid,
+            engine="scalar",
+        )
+
+    def batched_study():
+        return batch_split(
+            raven_multicore, pairs, model, cost_model, n_chips, split_grid=grid
+        )
+
+    scalar = scalar_study()
+    batched = batched_study()
+    error = 0.0
+    for index, key in enumerate(pairs):
+        oracle = scalar.pairs[key].best
+        best = batched.best_evaluation(index)
+        for attr in ("split", "ttm_weeks", "cost_usd", "cas"):
+            expected = getattr(oracle, attr)
+            error = max(
+                error,
+                abs(getattr(best, attr) - expected)
+                / max(abs(expected), 1e-300),
+            )
+
+    clear_invariant_cache()
+    cold_time = best_of(1, batched_study)  # includes the design ports
+    scalar_time = best_of(1, scalar_study)  # ~2 s/run; one timing pass
+    batch_time = best_of(REPEATS, batched_study)
+    return {
+        "pairs": len(pairs),
+        "splits": len(grid),
+        "scalar_seconds": scalar_time,
+        "batched_seconds": batch_time,
+        "batched_cold_seconds": cold_time,
+        "speedup": scalar_time / batch_time,
+        "max_relative_error": error,
+        "target_speedup": 20.0,
+    }
+
+
 def main(argv) -> int:
     output_path = argv[1] if len(argv) > 1 else "BENCH_engine.json"
     model = TTMModel.nominal()
@@ -137,6 +204,7 @@ def main(argv) -> int:
         "workloads": {
             "sobol_1024_evals": bench_sobol(model),
             "cas_sweep_20x6": bench_sweep(model),
+            "fig14_split_sweep": bench_split_sweep(model),
         },
         "config": {
             "process": PROCESS,

@@ -9,6 +9,9 @@ invariants on every scalar call. This package makes the hot paths cheap:
   that do not vary across a sweep, computed once and LRU-cached;
 * :mod:`repro.engine.batch` -- vectorized NumPy kernels ``batch_ttm`` and
   ``batch_cas`` plus the ``*_over_capacity`` sweep conveniences;
+* :mod:`repro.engine.batch_split` -- the Sec. 7 multi-process split
+  engine: the full (pair x split-grid) tensor, coarse -> fine grid
+  refinement, and sampled-supply evaluation of a fixed production split;
 * :mod:`repro.engine.sobol_adapter` -- one-shot Saltelli-matrix
   objectives for ``sobol_indices(..., vectorized=True)``;
 * :mod:`repro.engine.parallel` -- ``parallel_map`` with serial / thread /
@@ -28,6 +31,13 @@ from .batch import (
     cas_over_capacity,
     ttm_over_capacity,
 )
+from .batch_split import (
+    SplitGridResult,
+    SplitSampleResult,
+    batch_split,
+    batch_split_samples,
+    refine_split_grid,
+)
 from .invariants import (
     DesignInvariants,
     clear_invariant_cache,
@@ -43,7 +53,11 @@ __all__ = [
     "BatchTTMResult",
     "DesignInvariants",
     "EXECUTORS",
+    "SplitGridResult",
+    "SplitSampleResult",
     "batch_cas",
+    "batch_split",
+    "batch_split_samples",
     "batch_ttm",
     "cas_over_capacity",
     "clear_invariant_cache",
@@ -51,6 +65,7 @@ __all__ = [
     "design_invariants",
     "invariant_cache_info",
     "parallel_map",
+    "refine_split_grid",
     "rowwise_batch_function",
     "ttm_factor_batch_function",
 ]

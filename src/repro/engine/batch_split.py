@@ -1,0 +1,709 @@
+"""Vectorized multi-process split engine (the Fig. 14 pair x split sweep).
+
+The scalar Sec. 7 path (:func:`repro.multiprocess.split.evaluate_split`)
+re-derives each ported design's invariants once per (pair, split) plan:
+a 10-node, 100-point study costs thousands of full scalar model
+evaluations. This module evaluates the whole (pair x split-grid) tensor
+through the cached :mod:`repro.engine.invariants` layer instead:
+
+* each node's ported design is built **once** (`design_factory(node)`)
+  and its line weeks / line cost over every allocated fraction come from
+  one :func:`~repro.engine.batch.batch_ttm` / ``batch_cost`` call;
+* the split TTM is the ``max`` over the two production lines (the order
+  is filled when the slower line finishes);
+* two-node CAS (Eq. 8) perturbs each node's wafer rate by the same
+  relative step the scalar central difference uses — the perturbed line
+  arrays are shared across every pair that touches the node;
+* cost pays NRE on *both* nodes (the methodology's overhead) plus each
+  line's recurring manufacturing.
+
+Results match the scalar oracle to <= 1e-9 relative error (pinned by
+``tests/engine/test_batch_split.py``); ``scripts/bench_engine.py``
+tracks the speedup as the ``fig14_split_sweep`` workload.
+
+Degenerate cells (``split >= 1.0`` or a diagonal ``primary ==
+secondary`` pair) reproduce the scalar
+:func:`~repro.multiprocess.split.single_process_plan` semantics: one
+line, one NRE, CAS over the primary node only.
+
+:func:`batch_split_samples` is the Monte Carlo face of the same kernel:
+a fixed :class:`~repro.multiprocess.split.ProductionSplit` evaluated
+across sampled supply factors (demand, capacity, queue quotes, defect
+density, wafer rates), one batched call per production line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..agility.derivative import DEFAULT_RELATIVE_STEP
+from ..cost.model import CostModel
+from ..errors import InvalidParameterError
+from ..multiprocess.split import DesignFactory, ProductionSplit, SplitEvaluation
+from ..ttm.model import TTMModel
+from .batch import (
+    ArrayLike,
+    CapacityLike,
+    _as_positive_array,
+    batch_cost,
+    batch_ttm,
+)
+
+#: Default split grid: 1% .. 100% of chips on the primary node. Kept in
+#: sync with ``repro.multiprocess.optimizer.DEFAULT_SPLIT_GRID`` (which
+#: cannot be imported here: the optimizer imports this module lazily to
+#: break the package cycle).
+DEFAULT_SPLIT_GRID: Tuple[float, ...] = tuple(s / 100.0 for s in range(1, 101))
+
+#: Points in the second-stage grid around each pair's coarse optimum.
+#: 21 points across one coarse-grid spacing turn a 1% grid into ~0.1%
+#: split resolution.
+DEFAULT_REFINE_POINTS = 21
+
+
+def _ranking_key(evaluation: SplitEvaluation) -> Tuple[float, float]:
+    """The optimizer's ordering: max CAS, ties broken toward lower TTM."""
+    return (evaluation.cas, -evaluation.ttm_weeks)
+
+
+@dataclass(frozen=True)
+class SplitGridResult:
+    """The full (pair x split) evaluation tensor with argmax helpers.
+
+    All arrays share the shape ``(n_pairs, n_splits)``. Cells flagged in
+    ``single_mask`` carry single-process semantics: their effective
+    split is 1.0, ``line_weeks_secondary`` is NaN, cost pays one NRE and
+    CAS senses only the primary node.
+
+    Attributes
+    ----------
+    n_chips:
+        Final chips the whole order fills (shared by every cell).
+    pairs:
+        ``(primary, secondary)`` node names, one per tensor row.
+    splits:
+        Effective primary-node fraction per cell (1.0 on single cells).
+    ttm_weeks / cost_usd / cas:
+        The three Fig. 14 panels; ``cas`` is all zeros when the tensor
+        was evaluated with ``with_cas=False``.
+    line_weeks_primary / line_weeks_secondary:
+        Per-line completion weeks (secondary is NaN on single cells).
+    single_mask:
+        True where the cell degenerates to one production line.
+    """
+
+    n_chips: float
+    pairs: Tuple[Tuple[str, str], ...]
+    splits: np.ndarray
+    ttm_weeks: np.ndarray
+    cost_usd: np.ndarray
+    cas: np.ndarray
+    line_weeks_primary: np.ndarray
+    line_weeks_secondary: np.ndarray
+    single_mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pairs", tuple(tuple(p) for p in self.pairs))
+
+    @property
+    def n_pairs(self) -> int:
+        return self.splits.shape[0]
+
+    @property
+    def n_splits(self) -> int:
+        return self.splits.shape[1]
+
+    def pair_index(self, primary: str, secondary: str) -> int:
+        """Row index of one ``(primary, secondary)`` pair."""
+        try:
+            return self.pairs.index((primary, secondary))
+        except ValueError:
+            raise InvalidParameterError(
+                f"pair ({primary!r}, {secondary!r}) is not in this grid "
+                f"(have {list(self.pairs)})"
+            ) from None
+
+    def evaluation(self, pair_index: int, split_index: int) -> SplitEvaluation:
+        """One tensor cell as a scalar-equivalent :class:`SplitEvaluation`."""
+        primary, secondary = self.pairs[pair_index]
+        cell = (pair_index, split_index)
+        line_weeks: Dict[str, float] = {
+            primary: float(self.line_weeks_primary[cell])
+        }
+        if bool(self.single_mask[cell]):
+            # Mirrors ``single_process_plan``: the degenerate plan names
+            # the primary node on both axes.
+            secondary = primary
+        else:
+            line_weeks[secondary] = float(self.line_weeks_secondary[cell])
+        return SplitEvaluation(
+            primary=primary,
+            secondary=secondary,
+            split=float(self.splits[cell]),
+            n_chips=self.n_chips,
+            ttm_weeks=float(self.ttm_weeks[cell]),
+            cost_usd=float(self.cost_usd[cell]),
+            cas=float(self.cas[cell]),
+            line_weeks=line_weeks,
+        )
+
+    def best_index(self, pair_index: int) -> int:
+        """Grid-point index of the pair's max-CAS split (lower-TTM ties).
+
+        Exactly reproduces the scalar optimizer's ``max(evaluations,
+        key=(cas, -ttm))``, including its first-wins tie behavior.
+        """
+        cas_row = self.cas[pair_index]
+        ttm_row = self.ttm_weeks[pair_index]
+        best = 0
+        for j in range(1, self.n_splits):
+            if (cas_row[j], -ttm_row[j]) > (cas_row[best], -ttm_row[best]):
+                best = j
+        return best
+
+    def best_evaluation(self, pair_index: int) -> SplitEvaluation:
+        """The pair's CAS-optimal cell."""
+        return self.evaluation(pair_index, self.best_index(pair_index))
+
+    def best_evaluations(self) -> Tuple[SplitEvaluation, ...]:
+        """Each pair's CAS-optimal cell, in ``pairs`` order."""
+        return tuple(self.best_evaluation(i) for i in range(self.n_pairs))
+
+    # -- Argmax helpers over the per-pair optima --------------------------------
+
+    def argmax_cas(self) -> Tuple[Tuple[str, str], SplitEvaluation]:
+        """(pair, evaluation) with the highest CAS among per-pair optima."""
+        return self._pick(lambda ev: ev.cas)
+
+    def argmin_ttm(self) -> Tuple[Tuple[str, str], SplitEvaluation]:
+        """(pair, evaluation) with the lowest TTM among per-pair optima."""
+        return self._pick(lambda ev: -ev.ttm_weeks)
+
+    def argmin_cost(self) -> Tuple[Tuple[str, str], SplitEvaluation]:
+        """(pair, evaluation) with the lowest cost among per-pair optima."""
+        return self._pick(lambda ev: -ev.cost_usd)
+
+    def _pick(self, score) -> Tuple[Tuple[str, str], SplitEvaluation]:
+        ranked = [
+            (score(evaluation), -i, self.pairs[i], evaluation)
+            for i, evaluation in enumerate(self.best_evaluations())
+        ]
+        _, _, pair, evaluation = max(ranked)
+        return pair, evaluation
+
+
+class _LineEngine:
+    """Shared per-node line evaluations behind the tensor assembly.
+
+    Every production line is the ported design running some fraction of
+    the order on its own node. Line arrays depend only on (node, the
+    fraction vector, which node's rate is perturbed) — never on the
+    pair — so they are memoized and shared across all pairs of a study.
+    The ported design itself is built once per node, which is what lets
+    :func:`~repro.engine.invariants.design_invariants` cache hit.
+    """
+
+    def __init__(
+        self,
+        design_factory: DesignFactory,
+        model: TTMModel,
+        cost_model: CostModel,
+        n_chips: float,
+        relative_step: float,
+    ) -> None:
+        self.design_factory = design_factory
+        self.model = model
+        self.cost_model = cost_model
+        self.n_chips = n_chips
+        self.relative_step = relative_step
+        self._designs: Dict[str, object] = {}
+        self._perturbations: Dict[str, Tuple[float, float, float]] = {}
+        self._totals: Dict[tuple, np.ndarray] = {}
+        self._costs: Dict[tuple, np.ndarray] = {}
+
+    def design(self, node: str):
+        if node not in self._designs:
+            self._designs[node] = self.design_factory(node)
+        return self._designs[node]
+
+    def perturbation(self, node: str) -> Tuple[float, float, float]:
+        """(absolute step, fraction at +step, fraction at -step).
+
+        Mirrors the scalar :func:`~repro.multiprocess.split.split_cas`:
+        the node's rate is ``capacity_for(node) * max_rate``, the step is
+        ``rate * relative_step``, and the perturbed rate goes back into
+        the model as a capacity *fraction* (the same rate -> fraction ->
+        rate round trip, so kinks land on identical abscissae).
+        """
+        if node not in self._perturbations:
+            conditions = self.model.foundry.conditions
+            fraction = conditions.capacity_for(node)
+            if fraction <= 0.0:
+                raise InvalidParameterError(
+                    f"cannot evaluate CAS with zero capacity on {node!r}"
+                )
+            max_rate = self.model.foundry.technology.require_production(
+                node
+            ).max_wafer_rate_per_week
+            rate = fraction * max_rate
+            step = rate * self.relative_step
+            self._perturbations[node] = (
+                step,
+                (rate + step) / max_rate,
+                (rate - step) / max_rate,
+            )
+        return self._perturbations[node]
+
+    def totals(
+        self,
+        node: str,
+        fractions: np.ndarray,
+        perturb: Optional[str] = None,
+        sign: int = 0,
+    ) -> np.ndarray:
+        """Line completion weeks for ``fractions`` of the order on ``node``.
+
+        ``perturb``/``sign`` evaluate the line with ``perturb``'s wafer
+        rate displaced by one CAS step. Lines whose ported design never
+        fabricates on ``perturb`` are returned unperturbed (and share the
+        base cache entry), which is exactly the scalar behavior: the
+        perturbed market conditions only move lines that use the node.
+        """
+        design = self.design(node)
+        if perturb is not None and perturb not in design.processes:
+            return self.totals(node, fractions)
+        key = (node, fractions.tobytes(), perturb, sign)
+        if key not in self._totals:
+            capacity = None
+            if perturb is not None:
+                _, plus, minus = self.perturbation(perturb)
+                capacity = {perturb: plus if sign > 0 else minus}
+            weeks = batch_ttm(
+                self.model,
+                design,
+                self.n_chips * fractions,
+                capacity=capacity,
+            ).total_weeks
+            self._totals[key] = np.asarray(weeks, dtype=float).reshape(
+                fractions.shape
+            )
+        return self._totals[key]
+
+    def costs(self, node: str, fractions: np.ndarray) -> np.ndarray:
+        """Line chip-creation cost (node NRE + recurring) per fraction."""
+        key = (node, fractions.tobytes())
+        if key not in self._costs:
+            total = batch_cost(
+                self.cost_model,
+                self.design(node),
+                self.n_chips * fractions,
+                engineers=self.model.engineers,
+            ).total_usd
+            self._costs[key] = np.asarray(total, dtype=float).reshape(
+                fractions.shape
+            )
+        return self._costs[key]
+
+
+def _split_matrix(split_grid, n_pairs: int) -> np.ndarray:
+    """Validate and broadcast the split grid to ``(n_pairs, n_splits)``."""
+    array = np.asarray(split_grid, dtype=float)
+    if array.size == 0:
+        raise InvalidParameterError("split grid must be non-empty")
+    if array.ndim == 1:
+        array = np.broadcast_to(array, (n_pairs, array.size))
+    elif array.ndim == 2:
+        if array.shape[0] != n_pairs:
+            raise InvalidParameterError(
+                f"per-pair split grid has {array.shape[0]} rows "
+                f"for {n_pairs} pairs"
+            )
+    else:
+        raise InvalidParameterError(
+            f"split grid must be 1-D or (n_pairs, n_splits), got shape "
+            f"{array.shape}"
+        )
+    valid = (array > 0.0) & (array <= 1.0)
+    if not np.all(valid):
+        bad = float(array[~valid].reshape(-1)[0])
+        raise InvalidParameterError(f"split must be in (0, 1], got {bad}")
+    return np.array(array, dtype=float)  # owned, writable copy
+
+
+def batch_split(
+    design_factory: DesignFactory,
+    pairs: Sequence[Tuple[str, str]],
+    model: TTMModel,
+    cost_model: CostModel,
+    n_chips: float,
+    split_grid: ArrayLike = DEFAULT_SPLIT_GRID,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+    with_cas: bool = True,
+) -> SplitGridResult:
+    """Evaluate the full (pair x split-grid) tensor in one shot.
+
+    Parameters
+    ----------
+    design_factory:
+        Ports the architecture to a node; called once per distinct node.
+    pairs:
+        ``(primary, secondary)`` node names, one tensor row each.
+        Diagonal pairs (``primary == secondary``) evaluate the
+        single-process plan at every grid point.
+    model / cost_model:
+        The scalar models whose semantics the tensor reproduces.
+    n_chips:
+        Final chips the order fills (split across the two lines).
+    split_grid:
+        Primary-node fractions in (0, 1]: one shared 1-D grid, or a
+        per-pair ``(n_pairs, n_splits)`` matrix (the refinement stage).
+    relative_step:
+        CAS central-difference step, relative to each node's rate.
+    with_cas:
+        Skip the CAS differences (leaving zeros) when only TTM/cost
+        panels are needed; matches ``evaluate_split(..., with_cas=False)``.
+    """
+    pair_list: List[Tuple[str, str]] = [(str(p), str(q)) for p, q in pairs]
+    if not pair_list:
+        raise InvalidParameterError("need at least one node pair")
+    if n_chips <= 0.0:
+        raise InvalidParameterError(
+            f"number of final chips must be positive, got {n_chips}"
+        )
+    if not 0.0 < relative_step < 1.0:
+        raise InvalidParameterError(
+            f"relative step must be in (0, 1), got {relative_step}"
+        )
+    splits = _split_matrix(split_grid, len(pair_list))
+    for i, (primary, secondary) in enumerate(pair_list):
+        if primary == secondary:
+            splits[i, :] = 1.0
+    single = splits >= 1.0
+
+    engine = _LineEngine(
+        design_factory, model, cost_model, n_chips, relative_step
+    )
+    n_pairs, n_splits = splits.shape
+    ttm = np.empty((n_pairs, n_splits))
+    cost = np.empty((n_pairs, n_splits))
+    cas = np.zeros((n_pairs, n_splits))
+    line_primary = np.empty((n_pairs, n_splits))
+    line_secondary = np.full((n_pairs, n_splits), np.nan)
+
+    for i, (primary, secondary) in enumerate(pair_list):
+        prim_frac = np.ascontiguousarray(splits[i])
+        two = ~single[i]
+        has_two = bool(two.any())
+        sec_frac = np.ascontiguousarray(1.0 - prim_frac[two])
+
+        lp = engine.totals(primary, prim_frac)
+        line_primary[i] = lp
+        row_ttm = lp.copy()
+        row_cost = engine.costs(primary, prim_frac).copy()
+        if has_two:
+            lq = engine.totals(secondary, sec_frac)
+            line_secondary[i, two] = lq
+            row_ttm[two] = np.maximum(lp[two], lq)
+            row_cost[two] = row_cost[two] + engine.costs(secondary, sec_frac)
+        ttm[i] = row_ttm
+        cost[i] = row_cost
+
+        if not with_cas:
+            continue
+        # Eq. 8: each node's rate perturbation only moves its own
+        # line(s); the max over lines couples them exactly as the
+        # scalar ``split_cas`` central difference does.
+        step_p, _, _ = engine.perturbation(primary)
+        upper = engine.totals(primary, prim_frac, perturb=primary, sign=+1)
+        lower = engine.totals(primary, prim_frac, perturb=primary, sign=-1)
+        if has_two:
+            upper = upper.copy()
+            lower = lower.copy()
+            upper[two] = np.maximum(
+                upper[two],
+                engine.totals(secondary, sec_frac, perturb=primary, sign=+1),
+            )
+            lower[two] = np.maximum(
+                lower[two],
+                engine.totals(secondary, sec_frac, perturb=primary, sign=-1),
+            )
+        total_sensitivity = np.abs((upper - lower) / (2.0 * step_p))
+        if has_two:
+            step_q, _, _ = engine.perturbation(secondary)
+            upper_q = np.maximum(
+                engine.totals(primary, prim_frac, perturb=secondary, sign=+1)[
+                    two
+                ],
+                engine.totals(secondary, sec_frac, perturb=secondary, sign=+1),
+            )
+            lower_q = np.maximum(
+                engine.totals(primary, prim_frac, perturb=secondary, sign=-1)[
+                    two
+                ],
+                engine.totals(secondary, sec_frac, perturb=secondary, sign=-1),
+            )
+            total_sensitivity[two] = total_sensitivity[two] + np.abs(
+                (upper_q - lower_q) / (2.0 * step_q)
+            )
+        if not np.all(total_sensitivity > 0.0):
+            raise InvalidParameterError(
+                "split has zero TTM sensitivity; CAS is unbounded"
+            )
+        cas[i] = 1.0 / total_sensitivity
+
+    return SplitGridResult(
+        n_chips=float(n_chips),
+        pairs=tuple(pair_list),
+        splits=splits,
+        ttm_weeks=ttm,
+        cost_usd=cost,
+        cas=cas,
+        line_weeks_primary=line_primary,
+        line_weeks_secondary=line_secondary,
+        single_mask=single,
+    )
+
+
+def refine_split_grid(
+    result: SplitGridResult, points: int = DEFAULT_REFINE_POINTS
+) -> np.ndarray:
+    """Per-pair fine grids bracketing each coarse optimum.
+
+    For every pair, spans the interval between the CAS-optimal split's
+    two grid neighbors with ``points`` evenly spaced values — a second
+    :func:`batch_split` call over the returned ``(n_pairs, points)``
+    matrix resolves the optimum to roughly ``spacing / (points - 1)``
+    split resolution. Rows that only ever see the single-process plan
+    (diagonal pairs) stay pinned at 1.0.
+    """
+    if points < 2:
+        raise InvalidParameterError(
+            f"refinement needs at least 2 points, got {points}"
+        )
+    fine = np.empty((result.n_pairs, points))
+    for i in range(result.n_pairs):
+        if bool(result.single_mask[i].all()):
+            fine[i] = 1.0
+            continue
+        row = result.splits[i]
+        best = float(row[result.best_index(i)])
+        below = row[row < best]
+        above = row[row > best]
+        lower = float(below.max()) if below.size else best / 2.0
+        upper = float(above.min()) if above.size else min(
+            1.0, best + (best - lower)
+        )
+        fine[i] = np.linspace(lower, upper, points)
+    return fine
+
+
+@dataclass(frozen=True)
+class SplitSampleResult:
+    """A fixed production split evaluated across sampled supply draws.
+
+    All arrays are aligned with the sample axis. ``cost_usd`` is None
+    when no cost model was supplied.
+    """
+
+    primary: str
+    secondary: str
+    split: float
+    n_chips: np.ndarray
+    ttm_weeks: np.ndarray
+    cas: np.ndarray
+    cost_usd: Optional[np.ndarray]
+    line_weeks: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "line_weeks", dict(self.line_weeks))
+
+    @property
+    def usd_per_chip(self) -> Optional[np.ndarray]:
+        """Per-sample cost amortized over that sample's production run."""
+        if self.cost_usd is None:
+            return None
+        return self.cost_usd / self.n_chips
+
+
+def _resolved_fractions(
+    nodes: Sequence[str],
+    capacity: Optional[CapacityLike],
+    model: TTMModel,
+) -> Dict[str, ArrayLike]:
+    """Per-node capacity fractions under the sampled ``capacity`` input."""
+    conditions = model.foundry.conditions
+    resolved: Dict[str, ArrayLike] = {}
+    for node in nodes:
+        if isinstance(capacity, Mapping):
+            fraction: ArrayLike = (
+                capacity[node]
+                if node in capacity
+                else conditions.capacity_for(node)
+            )
+        elif capacity is not None:
+            fraction = capacity
+        else:
+            fraction = conditions.capacity_for(node)
+        resolved[node] = fraction
+    return resolved
+
+
+def batch_split_samples(
+    plan: ProductionSplit,
+    model: TTMModel,
+    n_chips: ArrayLike,
+    cost_model: Optional[CostModel] = None,
+    capacity: Optional[CapacityLike] = None,
+    queue_weeks: Optional[ArrayLike] = None,
+    d0_scale: Optional[ArrayLike] = None,
+    wafer_rate_scale: Optional[ArrayLike] = None,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+    with_cas: bool = True,
+) -> SplitSampleResult:
+    """Push one production split through sampled supply factors.
+
+    The Monte Carlo face of the split engine: ``n_chips`` and the
+    sampled keywords broadcast exactly as in
+    :func:`~repro.engine.batch.batch_ttm`, and each production line is
+    one batched kernel call — a 10k-sample robustness study of a
+    two-node plan costs six array evaluations, not 10k scalar ones.
+
+    CAS is evaluated per sample: each allocation node's *effective*
+    rate (sampled capacity x scaled max rate) is displaced by
+    ``relative_step`` in both directions and the max-coupled line
+    totals are centrally differenced, mirroring
+    :func:`~repro.multiprocess.split.split_cas` under each draw's
+    market conditions.
+    """
+    if not 0.0 < relative_step < 1.0:
+        raise InvalidParameterError(
+            f"relative step must be in (0, 1), got {relative_step}"
+        )
+    quantities = _as_positive_array(n_chips, "number of final chips")
+    allocations = plan.allocations
+    designs = {node: plan.design_factory(node) for node in allocations}
+    involved: List[str] = []
+    for design in designs.values():
+        for process in design.processes:
+            if process not in involved:
+                involved.append(process)
+    fractions = _resolved_fractions(involved, capacity, model)
+    sampled = {
+        "queue_weeks": queue_weeks,
+        "d0_scale": d0_scale,
+        "wafer_rate_scale": wafer_rate_scale,
+    }
+
+    def line_totals(capacity_map: Mapping[str, ArrayLike]) -> Dict[str, np.ndarray]:
+        return {
+            node: np.asarray(
+                batch_ttm(
+                    model,
+                    designs[node],
+                    quantities * fraction,
+                    capacity=dict(capacity_map),
+                    **sampled,
+                ).total_weeks,
+                dtype=float,
+            )
+            for node, fraction in allocations.items()
+        }
+
+    lines = line_totals(fractions)
+    ttm = None
+    for weeks in lines.values():
+        ttm = weeks if ttm is None else np.maximum(ttm, weeks)
+
+    cost_usd = None
+    if cost_model is not None:
+        cost_total: ArrayLike = 0.0
+        for node, fraction in allocations.items():
+            cost_total = cost_total + batch_cost(
+                cost_model,
+                designs[node],
+                quantities * fraction,
+                d0_scale=d0_scale,
+                engineers=model.engineers,
+            ).total_usd
+        cost_usd = np.broadcast_to(
+            np.asarray(cost_total, dtype=float), np.shape(ttm)
+        )
+
+    cas = np.zeros(np.shape(ttm))
+    if with_cas:
+        rate_scale: ArrayLike = 1.0
+        if wafer_rate_scale is not None:
+            rate_scale = _as_positive_array(
+                wafer_rate_scale, "wafer rate scale"
+            )
+        total_sensitivity: Optional[np.ndarray] = None
+        for node in allocations:
+            fraction = np.asarray(fractions[node], dtype=float)
+            if not np.all(fraction > 0.0):
+                raise InvalidParameterError(
+                    f"cannot evaluate CAS with zero capacity on {node!r}"
+                )
+            scaled_max = (
+                model.foundry.technology.require_production(
+                    node
+                ).max_wafer_rate_per_week
+                * rate_scale
+            )
+            rate = fraction * scaled_max
+            step = rate * relative_step
+            perturbed: Dict[int, np.ndarray] = {}
+            for sign in (+1, -1):
+                displaced = dict(fractions)
+                displaced[node] = (rate + sign * step) / scaled_max
+                upper = None
+                for weeks in line_totals(displaced).values():
+                    upper = (
+                        weeks if upper is None else np.maximum(upper, weeks)
+                    )
+                perturbed[sign] = upper
+            sensitivity = np.abs(
+                (perturbed[+1] - perturbed[-1]) / (2.0 * step)
+            )
+            total_sensitivity = (
+                sensitivity
+                if total_sensitivity is None
+                else total_sensitivity + sensitivity
+            )
+        if not np.all(total_sensitivity > 0.0):
+            raise InvalidParameterError(
+                "split has zero TTM sensitivity; CAS is unbounded"
+            )
+        cas = 1.0 / total_sensitivity
+
+    shape = np.broadcast_shapes(np.shape(ttm), quantities.shape)
+    return SplitSampleResult(
+        primary=plan.primary,
+        secondary=plan.secondary,
+        split=plan.split,
+        n_chips=np.broadcast_to(quantities, shape),
+        ttm_weeks=np.broadcast_to(np.asarray(ttm, dtype=float), shape),
+        cas=np.broadcast_to(np.asarray(cas, dtype=float), shape),
+        cost_usd=(
+            None
+            if cost_usd is None
+            else np.broadcast_to(cost_usd, shape)
+        ),
+        line_weeks={
+            node: np.broadcast_to(weeks, shape)
+            for node, weeks in lines.items()
+        },
+    )
+
+
+__all__ = [
+    "DEFAULT_REFINE_POINTS",
+    "DEFAULT_SPLIT_GRID",
+    "SplitGridResult",
+    "SplitSampleResult",
+    "batch_split",
+    "batch_split_samples",
+    "refine_split_grid",
+]

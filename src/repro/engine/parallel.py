@@ -9,8 +9,10 @@ provides one ordered map primitive with three executors:
   the GIL (NumPy-heavy batch kernels) or block on I/O.
 * ``"process"`` -- ``ProcessPoolExecutor``; for CPU-bound Python
   evaluations. Requires picklable functions/items; anything unpicklable
-  (lambdas, closures over models) silently falls back to serial so sweeps
-  never crash over an executor choice.
+  (lambdas, closures over models) falls back to serial so sweeps never
+  crash over an executor choice. Every degradation emits a
+  ``RuntimeWarning`` naming the reason, so a sweep that silently lost
+  its parallelism is observable (and testable with ``pytest.warns``).
 
 Results always come back in input order and exceptions raised *by the
 mapped function* propagate unchanged, so ``parallel_map(f, xs)`` is a
@@ -27,6 +29,7 @@ across all three executors.
 from __future__ import annotations
 
 import pickle
+import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from ..errors import InvalidParameterError
@@ -122,6 +125,9 @@ def parallel_map(
     # for a pool, and degrade to serial when the platform can't fork or
     # the pool breaks -- a sweep should never fail over an executor choice.
     if not _picklable(function, points):
+        _warn_fallback(
+            "the mapped function or its items are not picklable"
+        )
         return [function(item) for item in points]
     try:
         from concurrent.futures import ProcessPoolExecutor
@@ -129,8 +135,19 @@ def parallel_map(
 
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(function, points))
-    except (BrokenProcessPool, OSError, ImportError):
+    except (BrokenProcessPool, OSError, ImportError) as error:
+        _warn_fallback(f"the worker pool failed ({type(error).__name__}: {error})")
         return [function(item) for item in points]
+
+
+def _warn_fallback(reason: str) -> None:
+    """Flag a degraded run: the caller asked for processes, got serial."""
+    warnings.warn(
+        f"parallel_map falling back from the process executor to serial "
+        f"execution: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 __all__ = ["EXECUTORS", "parallel_map"]

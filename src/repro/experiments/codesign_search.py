@@ -6,6 +6,12 @@ experiment searches (process node) x (core count) x (L1 capacities) for
 the configuration maximizing throughput per week of time-to-market —
 cores x IPC / TTM — subject to a chip-creation budget, exercising the
 entire model stack through one optimizer call.
+
+Passing ``split_processes`` appends a Sec. 7 production stage: the
+winning architecture is ported across those nodes and the vectorized
+split engine picks the CAS-optimal two-process manufacturing plan for
+it (``result.production``), answering "how should we actually build the
+chip we just chose?" in one extra batched call.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from ..analysis.search import Configuration, SearchSpace, grid_search
 from ..analysis.tables import format_table
 from ..cost.model import CostModel
 from ..design.library.ariane import ariane_manycore
+from ..multiprocess.optimizer import PairResult, run_split_study
 from ..perf.ipc import IPCModel
 from ..ttm.model import TTMModel
 
@@ -58,11 +65,12 @@ class CodesignResult:
     best: CodesignPoint
     evaluated: int
     feasible: int
+    production: Optional[PairResult] = None
 
     def table(self) -> str:
         """The winning configuration as a one-row table."""
         best = self.best
-        return format_table(
+        text = format_table(
             [
                 "node",
                 "cores",
@@ -87,6 +95,18 @@ class CodesignResult:
             f"\n\nfeasible {self.feasible}/{self.evaluated} points under "
             f"${self.budget_usd / 1e9:.2f}B"
         )
+        if self.production is not None:
+            plan = self.production
+            text += (
+                f"\nproduction: {plan.best.split:.0%} on {plan.primary}"
+                + (
+                    ""
+                    if plan.is_single_process
+                    else f", {1.0 - plan.best.split:.0%} on {plan.secondary}"
+                )
+                + f" (CAS {plan.best.cas_normalized:.3f})"
+            )
+        return text
 
 
 def run(
@@ -99,8 +119,18 @@ def run(
     cores: Sequence[int] = DEFAULT_CORES,
     caches_kb: Sequence[int] = DEFAULT_CACHES_KB,
     capacity_share: float = DEFAULT_CAPACITY_SHARE,
+    split_processes: Optional[Sequence[str]] = None,
+    split_grid: Optional[Sequence[float]] = None,
+    refine_split: bool = False,
 ) -> CodesignResult:
-    """Search the joint space for the best throughput-per-week design."""
+    """Search the joint space for the best throughput-per-week design.
+
+    ``split_processes`` (optional) adds the production stage: the
+    winning architecture is re-ported across those nodes and the batched
+    split engine returns the CAS-optimal manufacturing plan as
+    ``result.production`` (``refine_split=True`` sharpens its split to
+    ~0.1% resolution).
+    """
     ttm_model = (model or TTMModel.nominal()).at_capacity(capacity_share)
     costs = cost_model or CostModel.nominal()
     perf = ipc_model or IPCModel()
@@ -145,10 +175,40 @@ def run(
         objective=lambda cfg: evaluate(cfg).throughput_per_week,
         constraints=[lambda cfg: evaluate(cfg).cost_usd <= budget_usd],
     )
+    best = evaluate(outcome.best)
+    production: Optional[PairResult] = None
+    if split_processes is not None:
+        winner_cores = best.cores
+        winner_icache = best.icache_kb
+        winner_dcache = best.dcache_kb
+
+        def port_winner(process: str):
+            return ariane_manycore(
+                process,
+                cores=winner_cores,
+                icache_kb=winner_icache,
+                dcache_kb=winner_dcache,
+            )
+
+        study = run_split_study(
+            port_winner,
+            split_processes,
+            ttm_model,
+            costs,
+            n_chips,
+            **(
+                {}
+                if split_grid is None
+                else {"split_grid": tuple(split_grid)}
+            ),
+            refine=refine_split,
+        )
+        production = study.most_agile()
     return CodesignResult(
         n_chips=n_chips,
         budget_usd=budget_usd,
-        best=evaluate(outcome.best),
+        best=best,
         evaluated=outcome.evaluated,
         feasible=outcome.feasible,
+        production=production,
     )

@@ -6,6 +6,10 @@ queues, defect density, wafer rates), optionally compose stochastic
 disruption events over a market scenario, evaluate every sample through
 the vectorized :mod:`repro.engine.batch` kernels, and report percentile
 bands, exceedance curves, and CVaR tails per metric.
+:mod:`repro.montecarlo.splits` extends the same machinery to fixed
+multi-process production plans via
+:func:`~repro.engine.batch_split.batch_split_samples` (the Sec. 7
+"agility insurance" claim under sampled supply factors).
 """
 
 from .disruption import (
@@ -33,6 +37,7 @@ from .spec import (
     SamplingSpec,
     default_supply_spec,
 )
+from .splits import compare_plans, plan_label, run_plan_study
 from .study import (
     DEFAULT_CHUNK_SAMPLES,
     METRIC_TAILS,
@@ -63,7 +68,10 @@ __all__ = [
     "TARGETS",
     "chunk_sizes",
     "compare_designs",
+    "compare_plans",
     "default_supply_spec",
+    "plan_label",
+    "run_plan_study",
     "run_study",
     "summarize_metrics",
 ]

@@ -4,12 +4,24 @@ For every (primary, secondary) node pair, sweep the production split and
 keep the split with the highest CAS; report that split's TTM and cost.
 The paper's Fig. 14 runs this for a Raven-inspired multicore at one
 billion final chips and highlights the overall fastest combination.
+
+Two engines drive the sweep:
+
+* ``engine="batch"`` (default) — one vectorized
+  :func:`repro.engine.batch_split.batch_split` call evaluates the whole
+  (pair x split-grid) tensor through cached per-node invariants, with an
+  optional coarse -> fine ``refine`` stage that resolves each pair's
+  optimum to ~0.1% split resolution for the price of the 1% grid;
+* ``engine="scalar"`` — the original per-plan
+  :func:`~repro.multiprocess.split.evaluate_split` loop, kept as the
+  equivalence oracle (the engines match to <= 1e-9 relative error,
+  pinned by ``tests/engine/test_batch_split.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cost.model import CostModel
 from ..errors import InvalidParameterError
@@ -24,6 +36,11 @@ from .split import (
 
 #: Default split grid: 1% .. 100% of chips on the primary node.
 DEFAULT_SPLIT_GRID: Tuple[float, ...] = tuple(s / 100.0 for s in range(1, 101))
+
+#: Points in each pair's second-stage grid when ``refine=True``.
+DEFAULT_REFINE_POINTS = 21
+
+_ENGINES = ("batch", "scalar")
 
 
 @dataclass(frozen=True)
@@ -50,16 +67,26 @@ class SplitStudy:
     def __post_init__(self) -> None:
         object.__setattr__(self, "pairs", dict(self.pairs))
 
+    def _require_results(self, what: str) -> None:
+        if not self.pairs:
+            raise InvalidParameterError(
+                f"cannot pick the {what} combination of an empty study; "
+                "run_split_study produced no pair results"
+            )
+
     def fastest(self) -> PairResult:
         """The combination with the lowest time-to-market."""
+        self._require_results("fastest")
         return min(self.pairs.values(), key=lambda pair: pair.best.ttm_weeks)
 
     def cheapest(self) -> PairResult:
         """The combination with the lowest chip-creation cost."""
+        self._require_results("cheapest")
         return min(self.pairs.values(), key=lambda pair: pair.best.cost_usd)
 
     def most_agile(self) -> PairResult:
         """The combination with the highest CAS."""
+        self._require_results("most agile")
         return max(self.pairs.values(), key=lambda pair: pair.best.cas)
 
     def single_process_results(self) -> Dict[str, PairResult]:
@@ -71,6 +98,61 @@ class SplitStudy:
         }
 
 
+def _require_engine(engine: str) -> None:
+    if engine not in _ENGINES:
+        raise InvalidParameterError(
+            f"unknown split engine {engine!r}; choose from {_ENGINES}"
+        )
+
+
+def _ranking_key(evaluation: SplitEvaluation) -> Tuple[float, float]:
+    """Max CAS, ties broken toward lower TTM (the Fig. 14 objective)."""
+    return (evaluation.cas, -evaluation.ttm_weeks)
+
+
+def _batched_best(
+    design_factory: DesignFactory,
+    pairs: Sequence[Tuple[str, str]],
+    model: TTMModel,
+    cost_model: CostModel,
+    n_chips: float,
+    split_grid: Sequence[float],
+    refine: bool,
+    refine_points: int,
+) -> List[SplitEvaluation]:
+    """Per-pair optima from the vectorized tensor (+ optional refinement)."""
+    # Imported lazily: ``repro.engine.batch_split`` itself imports from
+    # ``repro.multiprocess``, so a module-level import here would close
+    # an import cycle during package initialization.
+    from ..engine.batch_split import batch_split, refine_split_grid
+
+    coarse = batch_split(
+        design_factory,
+        pairs,
+        model,
+        cost_model,
+        n_chips,
+        split_grid=split_grid,
+    )
+    best = list(coarse.best_evaluations())
+    if not refine:
+        return best
+    fine = batch_split(
+        design_factory,
+        pairs,
+        model,
+        cost_model,
+        n_chips,
+        split_grid=refine_split_grid(coarse, points=refine_points),
+    )
+    # The fine grid brackets the coarse optimum but need not contain it,
+    # so refinement keeps whichever stage actually scored higher.
+    return [
+        max(coarse_ev, fine_ev, key=_ranking_key)
+        for coarse_ev, fine_ev in zip(best, fine.best_evaluations())
+    ]
+
+
 def best_split_for_pair(
     design_factory: DesignFactory,
     primary: str,
@@ -79,14 +161,35 @@ def best_split_for_pair(
     cost_model: CostModel,
     n_chips: float,
     split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
+    engine: str = "batch",
+    refine: bool = False,
+    refine_points: int = DEFAULT_REFINE_POINTS,
 ) -> PairResult:
     """Sweep the split grid for one pair, keeping the max-CAS split.
 
     Ties on CAS break toward lower TTM. The diagonal (primary ==
-    secondary) evaluates only the single-process plan.
+    secondary) evaluates only the single-process plan. ``refine`` adds a
+    vectorized second grid around the coarse optimum (batch engine only).
     """
-    if not split_grid:
+    _require_engine(engine)
+    if len(split_grid) == 0:
         raise InvalidParameterError("split grid must be non-empty")
+    if engine == "batch":
+        best = _batched_best(
+            design_factory,
+            [(primary, secondary)],
+            model,
+            cost_model,
+            n_chips,
+            split_grid,
+            refine,
+            refine_points,
+        )[0]
+        return PairResult(primary=primary, secondary=secondary, best=best)
+    if refine:
+        raise InvalidParameterError(
+            "split refinement requires the batch engine"
+        )
     plans: List[ProductionSplit] = []
     if primary == secondary:
         plans.append(single_process_plan(design_factory, primary))
@@ -106,7 +209,7 @@ def best_split_for_pair(
     evaluations = [
         evaluate_split(plan, model, cost_model, n_chips) for plan in plans
     ]
-    best = max(evaluations, key=lambda ev: (ev.cas, -ev.ttm_weeks))
+    best = max(evaluations, key=_ranking_key)
     return PairResult(primary=primary, secondary=secondary, best=best)
 
 
@@ -118,31 +221,63 @@ def run_split_study(
     n_chips: float,
     split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
     include_singles: bool = True,
+    engine: str = "batch",
+    refine: bool = False,
+    refine_points: int = DEFAULT_REFINE_POINTS,
 ) -> SplitStudy:
     """Evaluate every unordered node pair (plus singles on the diagonal).
 
     ``processes`` should contain only nodes currently in production; the
     primary is always the more advanced (later-roadmap) node of the pair,
-    matching the paper's axes.
+    matching the paper's axes. The default batch engine evaluates the
+    whole study as one (pair x split) tensor; ``engine="scalar"`` falls
+    back to the per-plan loop (the equivalence oracle). ``refine=True``
+    adds a vectorized coarse -> fine stage giving each pair roughly
+    ``spacing / (refine_points - 1)`` split resolution.
     """
+    _require_engine(engine)
     if len(processes) < 1:
         raise InvalidParameterError("need at least one process node")
     if len(set(processes)) != len(processes):
         raise InvalidParameterError(f"duplicate nodes in {processes}")
-    pairs: Dict[Tuple[str, str], PairResult] = {}
+    if len(split_grid) == 0:
+        raise InvalidParameterError("split grid must be non-empty")
     ordered = list(processes)
+    keys: List[Tuple[str, str]] = []
     for i, secondary in enumerate(ordered):
         start = i if include_singles else i + 1
         for primary in ordered[start:]:
-            pairs[(primary, secondary)] = best_split_for_pair(
+            keys.append((primary, secondary))
+    pairs: Dict[Tuple[str, str], PairResult] = {}
+    if engine == "batch":
+        if keys:
+            best = _batched_best(
                 design_factory,
-                primary,
-                secondary,
+                keys,
                 model,
                 cost_model,
                 n_chips,
                 split_grid,
+                refine,
+                refine_points,
             )
+            for (primary, secondary), evaluation in zip(keys, best):
+                pairs[(primary, secondary)] = PairResult(
+                    primary=primary, secondary=secondary, best=evaluation
+                )
+        return SplitStudy(n_chips=n_chips, pairs=pairs)
+    for primary, secondary in keys:
+        pairs[(primary, secondary)] = best_split_for_pair(
+            design_factory,
+            primary,
+            secondary,
+            model,
+            cost_model,
+            n_chips,
+            split_grid,
+            engine=engine,
+            refine=refine,
+        )
     return SplitStudy(n_chips=n_chips, pairs=pairs)
 
 

@@ -1,0 +1,353 @@
+"""Equivalence and contract tests for the vectorized split engine.
+
+The batch engine's only job is to reproduce the scalar Sec. 7 oracle
+(:func:`repro.multiprocess.split.evaluate_split`) faster: every (pair,
+split) tensor cell must match the scalar evaluation to 1e-9 relative
+error across the Raven node set, including the degenerate single-process
+cells (split >= 1.0 and the diagonal).
+"""
+
+import numpy as np
+import pytest
+
+from repro.design.library.raven import raven_multicore
+from repro.engine.batch_split import (
+    DEFAULT_REFINE_POINTS,
+    batch_split,
+    batch_split_samples,
+    refine_split_grid,
+)
+from repro.errors import InvalidParameterError
+from repro.multiprocess.split import (
+    evaluate_split,
+    make_plan,
+    single_process_plan,
+)
+
+RELATIVE_TOLERANCE = 1e-9
+
+#: A representative slice of the production roadmap, old and new nodes.
+NODES = ("250nm", "130nm", "65nm", "40nm", "28nm", "14nm", "7nm")
+
+#: Pairs covering both orderings, the diagonal, and far-apart nodes.
+PAIRS = (
+    ("28nm", "40nm"),
+    ("40nm", "28nm"),
+    ("7nm", "250nm"),
+    ("14nm", "65nm"),
+    ("65nm", "130nm"),
+    ("28nm", "28nm"),
+)
+
+#: Grid hitting interior splits, near-degenerate ones, and exactly 1.0.
+GRID = (0.02, 0.25, 0.5, 0.6, 0.75, 0.99, 1.0)
+
+N_CHIPS = 1e7
+
+
+def _scalar_evaluation(primary, secondary, split, model, cost_model):
+    if primary == secondary or split >= 1.0:
+        plan = single_process_plan(raven_multicore, primary)
+    else:
+        plan = make_plan(raven_multicore, primary, secondary, split)
+    return evaluate_split(plan, model, cost_model, N_CHIPS)
+
+
+def _relative(actual, expected):
+    return abs(actual - expected) / max(abs(expected), 1e-30)
+
+
+@pytest.fixture(scope="module")
+def grid_result(model, cost_model):
+    return batch_split(
+        raven_multicore, PAIRS, model, cost_model, N_CHIPS, split_grid=GRID
+    )
+
+
+class TestScalarEquivalence:
+    @pytest.mark.parametrize("pair_index,pair", list(enumerate(PAIRS)))
+    def test_every_cell_matches_the_oracle(
+        self, grid_result, model, cost_model, pair_index, pair
+    ):
+        primary, secondary = pair
+        for split_index, split in enumerate(GRID):
+            scalar = _scalar_evaluation(
+                primary, secondary, split, model, cost_model
+            )
+            batched = grid_result.evaluation(pair_index, split_index)
+            assert batched.primary == scalar.primary
+            assert batched.secondary == scalar.secondary
+            assert batched.split == scalar.split
+            for attr in ("ttm_weeks", "cost_usd", "cas"):
+                assert _relative(
+                    getattr(batched, attr), getattr(scalar, attr)
+                ) <= RELATIVE_TOLERANCE, (pair, split, attr)
+            assert set(batched.line_weeks) == set(scalar.line_weeks)
+            for node, weeks in scalar.line_weeks.items():
+                assert _relative(
+                    batched.line_weeks[node], weeks
+                ) <= RELATIVE_TOLERANCE
+
+    def test_full_node_set_best_splits_match_oracle(self, model, cost_model):
+        # The whole Raven production-pair sweep: batched per-pair optima
+        # must coincide with the scalar argmax (same cell, not merely a
+        # close value) under the exact (cas, -ttm) tie-breaking.
+        grid = tuple(s / 10.0 for s in range(1, 11))
+        pairs = [
+            (NODES[j], NODES[i])
+            for i in range(len(NODES))
+            for j in range(i, len(NODES))
+        ]
+        result = batch_split(
+            raven_multicore, pairs, model, cost_model, N_CHIPS, split_grid=grid
+        )
+        for index, (primary, secondary) in enumerate(pairs):
+            evaluations = [
+                _scalar_evaluation(primary, secondary, s, model, cost_model)
+                for s in (grid if primary != secondary else (1.0,))
+            ]
+            scalar_best = max(
+                evaluations, key=lambda ev: (ev.cas, -ev.ttm_weeks)
+            )
+            batched_best = result.best_evaluation(index)
+            assert batched_best.split == scalar_best.split
+            assert _relative(
+                batched_best.cas, scalar_best.cas
+            ) <= RELATIVE_TOLERANCE
+
+    def test_with_cas_false_skips_cas(self, model, cost_model):
+        result = batch_split(
+            raven_multicore,
+            [("28nm", "40nm")],
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=(0.5,),
+            with_cas=False,
+        )
+        assert result.cas[0, 0] == 0.0
+        scalar = evaluate_split(
+            make_plan(raven_multicore, "28nm", "40nm", 0.5),
+            model,
+            cost_model,
+            N_CHIPS,
+            with_cas=False,
+        )
+        assert _relative(
+            result.ttm_weeks[0, 0], scalar.ttm_weeks
+        ) <= RELATIVE_TOLERANCE
+
+
+class TestGridResultStructure:
+    def test_shapes_and_masks(self, grid_result):
+        shape = (len(PAIRS), len(GRID))
+        for array in (
+            grid_result.ttm_weeks,
+            grid_result.cost_usd,
+            grid_result.cas,
+            grid_result.splits,
+        ):
+            assert array.shape == shape
+        # Diagonal pair: every cell single; off-diagonal: only split=1.0.
+        diagonal = grid_result.pair_index("28nm", "28nm")
+        assert bool(grid_result.single_mask[diagonal].all())
+        first = grid_result.pair_index("28nm", "40nm")
+        assert list(grid_result.single_mask[first]) == [
+            s >= 1.0 for s in GRID
+        ]
+        assert np.all(np.isnan(grid_result.line_weeks_secondary[diagonal]))
+
+    def test_pair_index_rejects_unknown_pair(self, grid_result):
+        with pytest.raises(InvalidParameterError, match="not in this grid"):
+            grid_result.pair_index("5nm", "3nm")
+
+    def test_argmax_helpers_agree_with_per_pair_bests(self, grid_result):
+        bests = grid_result.best_evaluations()
+        _, most_agile = grid_result.argmax_cas()
+        assert most_agile.cas == max(ev.cas for ev in bests)
+        _, fastest = grid_result.argmin_ttm()
+        assert fastest.ttm_weeks == min(ev.ttm_weeks for ev in bests)
+        _, cheapest = grid_result.argmin_cost()
+        assert cheapest.cost_usd == min(ev.cost_usd for ev in bests)
+
+    def test_ttm_is_max_of_line_weeks(self, grid_result):
+        two = ~grid_result.single_mask
+        assert np.allclose(
+            grid_result.ttm_weeks[two],
+            np.maximum(
+                grid_result.line_weeks_primary[two],
+                grid_result.line_weeks_secondary[two],
+            ),
+        )
+
+
+class TestValidation:
+    def test_rejects_empty_pairs(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="at least one"):
+            batch_split(raven_multicore, [], model, cost_model, N_CHIPS)
+
+    def test_rejects_empty_grid(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="non-empty"):
+            batch_split(
+                raven_multicore,
+                [("28nm", "40nm")],
+                model,
+                cost_model,
+                N_CHIPS,
+                split_grid=(),
+            )
+
+    def test_rejects_out_of_range_split(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="split must be in"):
+            batch_split(
+                raven_multicore,
+                [("28nm", "40nm")],
+                model,
+                cost_model,
+                N_CHIPS,
+                split_grid=(0.0, 0.5),
+            )
+
+    def test_rejects_nonpositive_chips(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="positive"):
+            batch_split(
+                raven_multicore, [("28nm", "40nm")], model, cost_model, 0.0
+            )
+
+    def test_rejects_mismatched_per_pair_grid(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="rows"):
+            batch_split(
+                raven_multicore,
+                [("28nm", "40nm")],
+                model,
+                cost_model,
+                N_CHIPS,
+                split_grid=np.full((3, 4), 0.5),
+            )
+
+    def test_rejects_higher_dimensional_grid(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="1-D"):
+            batch_split(
+                raven_multicore,
+                [("28nm", "40nm")],
+                model,
+                cost_model,
+                N_CHIPS,
+                split_grid=np.full((1, 2, 3), 0.5),
+            )
+
+    @pytest.mark.parametrize("step", (0.0, 1.0, -0.1))
+    def test_rejects_bad_relative_step(self, model, cost_model, step):
+        with pytest.raises(InvalidParameterError, match="relative step"):
+            batch_split(
+                raven_multicore,
+                [("28nm", "40nm")],
+                model,
+                cost_model,
+                N_CHIPS,
+                split_grid=(0.5,),
+                relative_step=step,
+            )
+
+    def test_sample_kernel_rejects_bad_relative_step(self, model):
+        plan = make_plan(raven_multicore, "28nm", "40nm", 0.5)
+        with pytest.raises(InvalidParameterError, match="relative step"):
+            batch_split_samples(
+                plan, model, np.array([N_CHIPS]), relative_step=1.5
+            )
+
+
+class TestRefinement:
+    def test_fine_grid_brackets_each_coarse_optimum(
+        self, grid_result, model, cost_model
+    ):
+        fine = refine_split_grid(grid_result)
+        assert fine.shape == (len(PAIRS), DEFAULT_REFINE_POINTS)
+        for i in range(len(PAIRS)):
+            if bool(grid_result.single_mask[i].all()):
+                assert np.all(fine[i] == 1.0)
+                continue
+            best = grid_result.splits[i][grid_result.best_index(i)]
+            assert fine[i].min() <= best <= fine[i].max()
+            assert np.all((fine[i] > 0.0) & (fine[i] <= 1.0))
+
+    def test_refined_optimum_is_no_worse(self, model, cost_model):
+        pairs = [("28nm", "40nm")]
+        coarse = batch_split(
+            raven_multicore,
+            pairs,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=tuple(s / 10.0 for s in range(1, 11)),
+        )
+        fine = batch_split(
+            raven_multicore,
+            pairs,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=refine_split_grid(coarse),
+        )
+        assert fine.best_evaluation(0).cas >= coarse.best_evaluation(0).cas
+
+    def test_rejects_degenerate_point_count(self, grid_result):
+        with pytest.raises(InvalidParameterError, match="at least 2"):
+            refine_split_grid(grid_result, points=1)
+
+
+class TestSampledSplits:
+    def test_constant_samples_match_scalar(self, model, cost_model):
+        plan = make_plan(raven_multicore, "28nm", "40nm", 0.6)
+        outcome = batch_split_samples(
+            plan,
+            model,
+            np.full(4, N_CHIPS),
+            cost_model=cost_model,
+        )
+        scalar = evaluate_split(plan, model, cost_model, N_CHIPS)
+        assert np.all(
+            np.abs(outcome.ttm_weeks - scalar.ttm_weeks)
+            <= RELATIVE_TOLERANCE * scalar.ttm_weeks
+        )
+        assert np.all(
+            np.abs(outcome.cas - scalar.cas)
+            <= RELATIVE_TOLERANCE * scalar.cas
+        )
+        assert np.all(
+            np.abs(outcome.cost_usd - scalar.cost_usd)
+            <= RELATIVE_TOLERANCE * scalar.cost_usd
+        )
+        for node, weeks in scalar.line_weeks.items():
+            assert np.all(
+                np.abs(outcome.line_weeks[node] - weeks)
+                <= RELATIVE_TOLERANCE * weeks
+            )
+
+    def test_sampled_factors_move_the_outcome(self, model, cost_model):
+        plan = make_plan(raven_multicore, "28nm", "40nm", 0.6)
+        base = batch_split_samples(plan, model, np.array([N_CHIPS]))
+        squeezed = batch_split_samples(
+            plan,
+            model,
+            np.array([N_CHIPS]),
+            capacity={"28nm": np.array([0.25])},
+            queue_weeks=np.array([4.0]),
+        )
+        assert squeezed.ttm_weeks[0] > base.ttm_weeks[0]
+
+    def test_no_cost_model_leaves_cost_none(self, model):
+        plan = make_plan(raven_multicore, "28nm", "40nm", 0.5)
+        outcome = batch_split_samples(plan, model, np.array([N_CHIPS]))
+        assert outcome.cost_usd is None
+        assert outcome.usd_per_chip is None
+
+    def test_zero_capacity_raises(self, model):
+        plan = make_plan(raven_multicore, "28nm", "40nm", 0.5)
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            batch_split_samples(
+                plan,
+                model,
+                np.array([N_CHIPS]),
+                capacity={"28nm": np.array([0.0])},
+            )

@@ -26,10 +26,44 @@ class TestParallelMap:
         # A closure can't be pickled; the process executor must degrade
         # to serial instead of raising.
         offset = 10
-        results = parallel_map(
-            lambda v: v + offset, [1, 2, 3], executor="process"
-        )
+        with pytest.warns(RuntimeWarning):
+            results = parallel_map(
+                lambda v: v + offset, [1, 2, 3], executor="process"
+            )
         assert results == [11, 12, 13]
+
+    def test_unpicklable_fallback_warns_with_reason(self):
+        # Satellite: the degraded run must be observable, naming why the
+        # process executor was abandoned.
+        with pytest.warns(
+            RuntimeWarning,
+            match=r"falling back from the process executor.*not picklable",
+        ):
+            parallel_map(lambda v: v, [1, 2], executor="process")
+
+    def test_broken_pool_fallback_warns_with_reason(self, monkeypatch):
+        # Simulate a platform whose process pool cannot start (the
+        # ImportError/OSError path): the sweep still completes serially
+        # and the warning names the pool failure.
+        import concurrent.futures as futures
+
+        def refuse(*args, **kwargs):
+            raise OSError("no process support on this platform")
+
+        monkeypatch.setattr(futures, "ProcessPoolExecutor", refuse)
+        with pytest.warns(
+            RuntimeWarning,
+            match=r"worker pool failed \(OSError: no process support",
+        ):
+            results = parallel_map(square, [1, 2, 3], executor="process")
+        assert results == [1, 4, 9]
+
+    def test_serial_and_thread_do_not_warn(self, recwarn):
+        parallel_map(square, [1, 2, 3], executor="serial")
+        parallel_map(square, [1, 2, 3], executor="thread")
+        assert not [
+            w for w in recwarn if issubclass(w.category, RuntimeWarning)
+        ]
 
     @pytest.mark.parametrize("executor", ("serial", "thread"))
     def test_exceptions_propagate(self, executor):

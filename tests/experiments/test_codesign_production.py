@@ -1,0 +1,65 @@
+"""Tests for the codesign search's optional production-split stage."""
+
+import pytest
+
+from repro.experiments import codesign_search
+
+#: A tiny joint space keeps the grid search fast; the production stage
+#: is the thing under test.
+SMALL = dict(
+    processes=("40nm", "28nm"),
+    cores=(8,),
+    caches_kb=(16, 32),
+)
+
+
+@pytest.fixture(scope="module")
+def result(model, cost_model):
+    return codesign_search.run(model, cost_model, **SMALL)
+
+
+@pytest.fixture(scope="module")
+def with_production(model, cost_model):
+    return codesign_search.run(
+        model,
+        cost_model,
+        **SMALL,
+        split_processes=("65nm", "40nm", "28nm"),
+        split_grid=tuple(s / 10 for s in range(1, 11)),
+    )
+
+
+class TestProductionStage:
+    def test_default_run_has_no_production_plan(self, result):
+        assert result.production is None
+        assert "production:" not in result.table()
+
+    def test_production_plan_covers_requested_nodes(self, with_production):
+        plan = with_production.production
+        assert plan is not None
+        assert plan.primary in ("65nm", "40nm", "28nm")
+        assert plan.secondary in ("65nm", "40nm", "28nm")
+        assert 0.0 < plan.best.split <= 1.0
+        assert plan.best.cas > 0.0
+
+    def test_winning_architecture_is_unchanged(self, result, with_production):
+        # The production stage is appended after the search; it must not
+        # perturb the architectural winner.
+        assert with_production.best == result.best
+        assert with_production.evaluated == result.evaluated
+
+    def test_table_reports_the_plan(self, with_production):
+        assert "production:" in with_production.table()
+
+    def test_refine_split_keeps_a_valid_plan(self, model, cost_model):
+        refined = codesign_search.run(
+            model,
+            cost_model,
+            **SMALL,
+            split_processes=("40nm", "28nm"),
+            split_grid=tuple(s / 10 for s in range(1, 11)),
+            refine_split=True,
+        )
+        plan = refined.production
+        assert plan is not None
+        assert 0.0 < plan.best.split <= 1.0

@@ -63,3 +63,43 @@ class TestFig14:
     def test_table_renders(self, result):
         text = result.table()
         assert "fastest" in text and "agility_gain" in text
+
+
+class TestEngineOptions:
+    # Scoped down to three nodes: these compare whole studies, so a
+    # small grid keeps the scalar oracle affordable.
+    PROCESSES = ("65nm", "40nm", "28nm")
+    GRID = tuple(s / 10 for s in range(1, 11))
+
+    def test_scalar_engine_matches_batched_default(self, model, cost_model):
+        batched = fig14_multiprocess.run(
+            model, cost_model, processes=self.PROCESSES, split_grid=self.GRID
+        )
+        scalar = fig14_multiprocess.run(
+            model,
+            cost_model,
+            processes=self.PROCESSES,
+            split_grid=self.GRID,
+            engine="scalar",
+        )
+        for key, result in batched.study.pairs.items():
+            oracle = scalar.study.pairs[key].best
+            assert result.best.split == oracle.split
+            assert result.best.ttm_weeks == pytest.approx(
+                oracle.ttm_weeks, rel=1e-9
+            )
+            assert result.best.cas == pytest.approx(oracle.cas, rel=1e-9)
+
+    def test_refine_never_loses_agility(self, model, cost_model):
+        coarse = fig14_multiprocess.run(
+            model, cost_model, processes=self.PROCESSES, split_grid=self.GRID
+        )
+        refined = fig14_multiprocess.run(
+            model,
+            cost_model,
+            processes=self.PROCESSES,
+            split_grid=self.GRID,
+            refine=True,
+        )
+        for key, result in refined.study.pairs.items():
+            assert result.best.cas >= coarse.study.pairs[key].best.cas

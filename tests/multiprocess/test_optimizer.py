@@ -5,6 +5,7 @@ import pytest
 from repro.design.library.raven import raven_multicore
 from repro.errors import InvalidParameterError
 from repro.multiprocess.optimizer import (
+    SplitStudy,
     best_split_for_pair,
     headline_comparison,
     run_split_study,
@@ -84,6 +85,98 @@ class TestPaperFindings:
         assert headline["cost_increase"] < headline["agility_gain"]
 
 
+class TestEngines:
+    """The batch engine (default) must replicate the scalar oracle."""
+
+    def test_batch_and_scalar_studies_agree(self, model, cost_model):
+        kwargs = dict(split_grid=GRID)
+        batch = run_split_study(
+            raven_multicore, NODES, model, cost_model, 1e7, **kwargs
+        )
+        scalar = run_split_study(
+            raven_multicore,
+            NODES,
+            model,
+            cost_model,
+            1e7,
+            engine="scalar",
+            **kwargs,
+        )
+        assert set(batch.pairs) == set(scalar.pairs)
+        for key, batched in batch.pairs.items():
+            oracle = scalar.pairs[key].best
+            assert batched.best.split == oracle.split
+            assert batched.best.secondary == oracle.secondary
+            assert batched.best.ttm_weeks == pytest.approx(
+                oracle.ttm_weeks, rel=1e-9
+            )
+            assert batched.best.cas == pytest.approx(oracle.cas, rel=1e-9)
+            assert batched.best.cost_usd == pytest.approx(
+                oracle.cost_usd, rel=1e-9
+            )
+
+    def test_refine_sharpens_the_split(self, model, cost_model):
+        coarse = best_split_for_pair(
+            raven_multicore, "28nm", "40nm", model, cost_model, 1e7, GRID
+        )
+        refined = best_split_for_pair(
+            raven_multicore,
+            "28nm",
+            "40nm",
+            model,
+            cost_model,
+            1e7,
+            GRID,
+            refine=True,
+        )
+        assert refined.best.cas >= coarse.best.cas
+        # The fine stage resolves off-coarse-grid splits.
+        assert refined.best.split not in GRID or (
+            refined.best.cas == coarse.best.cas
+        )
+
+    def test_refined_study_keeps_structure(self, model, cost_model):
+        study = run_split_study(
+            raven_multicore,
+            NODES,
+            model,
+            cost_model,
+            1e7,
+            split_grid=GRID,
+            refine=True,
+        )
+        assert len(study.pairs) == 6
+        for (primary, secondary), result in study.pairs.items():
+            if primary == secondary:
+                assert result.best.split == 1.0
+
+    def test_unknown_engine_rejected(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="engine"):
+            run_split_study(
+                raven_multicore,
+                NODES,
+                model,
+                cost_model,
+                1e7,
+                split_grid=GRID,
+                engine="quantum",
+            )
+
+    def test_scalar_refine_rejected(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="batch engine"):
+            best_split_for_pair(
+                raven_multicore,
+                "28nm",
+                "40nm",
+                model,
+                cost_model,
+                1e7,
+                GRID,
+                engine="scalar",
+                refine=True,
+            )
+
+
 class TestValidation:
     def test_empty_grid_rejected(self, model, cost_model):
         with pytest.raises(InvalidParameterError):
@@ -101,3 +194,11 @@ class TestValidation:
                 1e9,
                 split_grid=GRID,
             )
+
+    @pytest.mark.parametrize("pick", ("fastest", "cheapest", "most_agile"))
+    def test_empty_study_picks_raise_clear_error(self, pick):
+        # Regression: these used to surface as a bare ValueError from
+        # min()/max() on an empty sequence.
+        empty = SplitStudy(n_chips=1e9, pairs={})
+        with pytest.raises(InvalidParameterError, match="empty study"):
+            getattr(empty, pick)()

@@ -1,0 +1,101 @@
+"""Hypothesis properties of the vectorized split engine.
+
+Two Sec. 7 laws that must hold on *every* valid grid, not just the
+example points the equivalence suite checks:
+
+* the split TTM is exactly the max of its two line-weeks (an order is
+  filled when the slower production line finishes);
+* CAS is finite and positive wherever the grid is valid (Eq. 8 is a
+  reciprocal of a positive sensitivity under nominal conditions).
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost.model import CostModel
+from repro.design.library.raven import raven_multicore
+from repro.engine.batch_split import batch_split
+from repro.ttm.model import TTMModel
+
+#: Nodes old and new enough to stress both ends of the roadmap.
+NODES = ("250nm", "130nm", "65nm", "40nm", "28nm", "14nm", "7nm")
+
+MODEL = TTMModel.nominal()
+COST_MODEL = CostModel.nominal()
+
+pairs = st.tuples(
+    st.sampled_from(NODES), st.sampled_from(NODES)
+).filter(lambda pair: pair[0] != pair[1])
+
+splits = st.floats(
+    min_value=0.01,
+    max_value=1.0,
+    allow_nan=False,
+    exclude_min=False,
+)
+
+grids = st.lists(splits, min_size=1, max_size=6, unique=True)
+
+volumes = st.floats(min_value=1e4, max_value=1e9)
+
+
+class TestSplitGridProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(pair=pairs, grid=grids, n_chips=volumes)
+    def test_ttm_is_max_of_line_weeks(self, pair, grid, n_chips):
+        result = batch_split(
+            raven_multicore,
+            [pair],
+            MODEL,
+            COST_MODEL,
+            n_chips,
+            split_grid=grid,
+            with_cas=False,
+        )
+        for j in range(result.n_splits):
+            evaluation = result.evaluation(0, j)
+            assert evaluation.ttm_weeks == max(
+                evaluation.line_weeks.values()
+            )
+            if result.single_mask[0, j]:
+                assert len(evaluation.line_weeks) == 1
+            else:
+                assert len(evaluation.line_weeks) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(pair=pairs, grid=grids, n_chips=volumes)
+    def test_cas_is_finite_and_positive(self, pair, grid, n_chips):
+        result = batch_split(
+            raven_multicore,
+            [pair],
+            MODEL,
+            COST_MODEL,
+            n_chips,
+            split_grid=grid,
+        )
+        assert np.all(np.isfinite(result.cas))
+        assert np.all(result.cas > 0.0)
+        assert np.all(np.isfinite(result.ttm_weeks))
+        assert np.all(result.ttm_weeks > 0.0)
+        assert np.all(result.cost_usd > 0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(pair=pairs, n_chips=volumes)
+    def test_best_evaluation_dominates_its_row(self, pair, n_chips):
+        grid = tuple(s / 8.0 for s in range(1, 9))
+        result = batch_split(
+            raven_multicore,
+            [pair],
+            MODEL,
+            COST_MODEL,
+            n_chips,
+            split_grid=grid,
+        )
+        best = result.best_evaluation(0)
+        assert math.isfinite(best.cas)
+        assert best.cas == max(
+            result.evaluation(0, j).cas for j in range(result.n_splits)
+        )
