@@ -20,10 +20,13 @@ from repro.design.library.a11 import (
     A11_UNIQUE_TRANSISTORS,
     a11,
 )
+from repro.design.library.ariane import ariane_manycore
 from repro.design.library.raven import raven_multicore
 from repro.engine.batch import batch_ttm, cas_over_capacity
 from repro.engine.batch_split import batch_split
+from repro.engine.portfolio import portfolio_ttm
 from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.market.conditions import MarketConditions
 from repro.multiprocess.optimizer import run_split_study
 from repro.sensitivity.sobol import sobol_indices
 from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
@@ -147,6 +150,76 @@ def test_bench_batch_split_tensor(benchmark, model, cost_model):
         assert best.split == expected.split
         assert best.cas == pytest.approx(expected.cas, rel=1e-9)
         assert best.ttm_weeks == pytest.approx(expected.ttm_weeks, rel=1e-9)
+
+
+#: A reduced portfolio_mc workload: 16 designs x 512 shared samples
+#: keeps the per-design oracle (and the scalar smoke loop) affordable.
+def _portfolio_workload(n_designs=16, n_samples=512, seed=20230613):
+    designs = [
+        ariane_manycore(process, cores=cores)
+        for process in ("40nm", "28nm", "14nm", "7nm")
+        for cores in (4, 8, 16, 32)
+    ][:n_designs]
+    rng = np.random.default_rng(seed)
+    capacity = rng.uniform(0.2, 1.0, n_samples)
+    queue_weeks = rng.uniform(0.0, 20.0, n_samples)
+    demand = rng.uniform(1e6, 5e7, n_samples)
+    return designs, capacity, queue_weeks, demand
+
+
+def test_bench_portfolio_ttm_tensor(benchmark, model):
+    designs, capacity, queue_weeks, demand = _portfolio_workload()
+
+    result = benchmark(
+        portfolio_ttm,
+        model,
+        designs,
+        demand,
+        capacity,
+        queue_weeks,
+    )
+    assert result.total_weeks.shape == (len(designs), len(demand))
+    for i, design in enumerate(designs):
+        oracle = batch_ttm(
+            model, design, demand, capacity=capacity, queue_weeks=queue_weeks
+        ).total_weeks
+        assert float(np.max(np.abs(result.total_weeks[i] - oracle))) <= 1e-9
+
+
+def test_portfolio_speedup_smoke(model):
+    """The fused portfolio pass must beat the scalar design loop."""
+    designs, capacity, queue_weeks, demand = _portfolio_workload(
+        n_designs=8, n_samples=64
+    )
+
+    def scalar_loop():
+        stressed = [
+            model.with_foundry(
+                model.foundry.with_conditions(
+                    MarketConditions.nominal()
+                    .with_global_capacity(float(capacity[j]))
+                    .with_global_queue(float(queue_weeks[j]))
+                )
+            )
+            for j in range(len(demand))
+        ]
+        return [
+            [
+                sample_model.total_weeks(design, float(demand[j]))
+                for j, sample_model in enumerate(stressed)
+            ]
+            for design in designs
+        ]
+
+    def fused():
+        return portfolio_ttm(
+            model, designs, demand, capacity=capacity, queue_weeks=queue_weeks
+        )
+
+    fused()  # warm the invariant cache before timing
+    scalar_time = _best_of(3, scalar_loop)
+    fused_time = _best_of(3, fused)
+    assert scalar_time / fused_time >= SMOKE_SPEEDUP_FLOOR
 
 
 def test_split_engine_speedup_smoke(model, cost_model):

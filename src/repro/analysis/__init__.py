@@ -1,12 +1,13 @@
 """Sweep, Pareto, and table helpers shared by experiments and the CLI."""
 
 from .export import to_json, to_jsonable
-from .pareto import dominates, knee_point, pareto_front
+from .pareto import dominates, knee_point, pareto_front, pareto_mask
 from .portfolio import PortfolioAssessment, PortfolioEntry, assess_portfolio
 from .search import Configuration, SearchResult, SearchSpace, grid_search
 from .sweep import (
     argmax,
     argmin,
+    capacity_curves,
     capacity_fractions,
     chip_quantities,
     normalized,
@@ -24,6 +25,7 @@ __all__ = [
     "argmax",
     "argmin",
     "assess_portfolio",
+    "capacity_curves",
     "capacity_fractions",
     "chip_quantities",
     "dominates",
@@ -33,6 +35,7 @@ __all__ = [
     "knee_point",
     "normalized",
     "pareto_front",
+    "pareto_mask",
     "sweep",
     "sweep_pairs",
     "to_json",

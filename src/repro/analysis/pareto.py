@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence, Tuple, TypeVar
 
+import numpy as np
+
 from ..errors import InvalidParameterError
 
 T = TypeVar("T")
@@ -37,6 +39,31 @@ def dominates(
     return at_least_as_good and strictly_better
 
 
+def pareto_mask(
+    vectors: Sequence[Sequence[float]], maximize: Sequence[bool]
+) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an objective matrix.
+
+    Vectorized pairwise domination test (one ``(n, n, k)`` broadcast
+    instead of a Python double loop) with the same semantics as
+    :func:`dominates`: row ``j`` dominates row ``i`` when it is at least
+    as good on every objective and strictly better on one.
+    """
+    matrix = np.asarray(vectors, dtype=float)
+    if matrix.size == 0:
+        return np.zeros(0, dtype=bool)
+    if matrix.ndim != 2 or matrix.shape[1] != len(maximize):
+        raise InvalidParameterError("objective vectors must share a length")
+    # Flip minimize-objectives so "bigger is better" holds everywhere.
+    signs = np.where(np.asarray(maximize, dtype=bool), 1.0, -1.0)
+    oriented = matrix * signs
+    # better[j, i, k]: row j strictly better than row i on objective k.
+    better = oriented[:, None, :] > oriented[None, :, :]
+    as_good = oriented[:, None, :] >= oriented[None, :, :]
+    dominates_pair = np.all(as_good, axis=2) & np.any(better, axis=2)
+    return ~np.any(dominates_pair, axis=0)
+
+
 def pareto_front(
     items: Sequence[T],
     objectives: Callable[[T], Sequence[float]],
@@ -46,16 +73,13 @@ def pareto_front(
     if not items:
         return []
     vectors = [tuple(objectives(item)) for item in items]
-    front = []
-    for i, item in enumerate(items):
-        dominated = any(
-            dominates(vectors[j], vectors[i], maximize)
-            for j in range(len(items))
-            if j != i
-        )
-        if not dominated:
-            front.append(item)
-    return front
+    for vector in vectors:
+        if len(vector) != len(maximize):
+            raise InvalidParameterError(
+                "objective vectors must share a length"
+            )
+    keep = pareto_mask(vectors, maximize)
+    return [item for item, kept in zip(items, keep) if kept]
 
 
 def knee_point(

@@ -13,9 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Tuple
 
+import numpy as np
+
 from ..agility.cas import chip_agility_score
 from ..analysis.tables import format_table
 from ..design.chip import ChipDesign
+from ..engine.portfolio import portfolio_cas, portfolio_ttm
 from ..errors import InvalidParameterError
 from ..market.conditions import MarketConditions
 from ..ttm.model import TTMModel
@@ -98,16 +101,54 @@ def assess_portfolio(
     model: TTMModel,
     portfolio: Mapping[str, PortfolioEntry],
     scenarios: Mapping[str, MarketConditions],
+    engine: str = "portfolio",
 ) -> PortfolioAssessment:
     """Evaluate every product under every scenario.
 
     CAS is evaluated at the model's base conditions; deltas are against
     each product's TTM under those same base conditions.
+    ``engine="portfolio"`` (default) evaluates all products through one
+    fused kernel call per scenario (plus one TTM and one CAS call at
+    base conditions); ``engine="scalar"`` keeps the per-(product,
+    scenario) scalar loop as the equivalence oracle.
     """
     if not portfolio:
         raise InvalidParameterError("portfolio must contain products")
     if not scenarios:
         raise InvalidParameterError("need at least one scenario")
+    if engine == "portfolio":
+        products = tuple(portfolio)
+        designs = tuple(entry.design for entry in portfolio.values())
+        volumes = np.asarray(
+            [entry.n_chips for entry in portfolio.values()]
+        ).reshape(-1, 1)
+        base_ttm = portfolio_ttm(model, designs, volumes).total_weeks[:, 0]
+        base_cas = portfolio_cas(model, designs, volumes).normalized[:, 0]
+        nominal = {
+            product: float(base_ttm[i]) for i, product in enumerate(products)
+        }
+        agility = {
+            product: float(base_cas[i]) for i, product in enumerate(products)
+        }
+        deltas: Dict[Tuple[str, str], float] = {}
+        for scenario_name, conditions in scenarios.items():
+            stressed = model.with_foundry(
+                model.foundry.with_conditions(conditions)
+            )
+            stressed_ttm = portfolio_ttm(
+                stressed, designs, volumes
+            ).total_weeks[:, 0]
+            for i, product in enumerate(products):
+                deltas[(product, scenario_name)] = float(
+                    stressed_ttm[i] - base_ttm[i]
+                )
+        return PortfolioAssessment(
+            nominal_ttm=nominal, cas=agility, delta_weeks=deltas
+        )
+    if engine != "scalar":
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; use 'portfolio' or 'scalar'"
+        )
     nominal: Dict[str, float] = {}
     agility: Dict[str, float] = {}
     deltas: Dict[Tuple[str, str], float] = {}

@@ -2,9 +2,24 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from ..errors import InvalidParameterError
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..design.chip import ChipDesign
+    from ..ttm.model import TTMModel
 
 T = TypeVar("T")
 
@@ -25,6 +40,31 @@ def capacity_fractions(
         )
     step = (stop - start) / (count - 1)
     return tuple(start + i * step for i in range(count))
+
+
+def capacity_curves(
+    model: "TTMModel",
+    designs: "Sequence[ChipDesign]",
+    n_chips: float,
+    fractions: Sequence[float],
+) -> "Tuple[np.ndarray, np.ndarray]":
+    """TTM and normalized-CAS matrices over a shared capacity sweep.
+
+    Both matrices have shape ``(n_designs, n_fractions)`` and come from
+    one compiled portfolio (one fused kernel dispatch per metric, no
+    per-design Python loop); row ``i`` matches the per-design
+    ``ttm_over_capacity`` / ``cas_over_capacity`` curves to round-off.
+    """
+    from ..engine.portfolio import (
+        portfolio_cas_over_capacity,
+        portfolio_ttm_over_capacity,
+    )
+
+    designs = tuple(designs)
+    return (
+        portfolio_ttm_over_capacity(model, designs, n_chips, fractions),
+        portfolio_cas_over_capacity(model, designs, n_chips, fractions),
+    )
 
 
 def chip_quantities() -> Tuple[float, ...]:

@@ -12,6 +12,9 @@ invariants on every scalar call. This package makes the hot paths cheap:
 * :mod:`repro.engine.batch_split` -- the Sec. 7 multi-process split
   engine: the full (pair x split-grid) tensor, coarse -> fine grid
   refinement, and sampled-supply evaluation of a fixed production split;
+* :mod:`repro.engine.portfolio` -- the design-axis stack: one compiled
+  structure-of-arrays portfolio evaluated over ``(designs x samples)``
+  in a single broadcasted pass with common random numbers;
 * :mod:`repro.engine.sobol_adapter` -- one-shot Saltelli-matrix
   objectives for ``sobol_indices(..., vectorized=True)``;
 * :mod:`repro.engine.parallel` -- ``parallel_map`` with serial / thread /
@@ -40,12 +43,26 @@ from .batch_split import (
 )
 from .invariants import (
     DesignInvariants,
+    cached_invariants,
     clear_invariant_cache,
     compute_invariants,
     design_invariants,
     invariant_cache_info,
 )
 from .parallel import EXECUTORS, parallel_map
+from .portfolio import (
+    PortfolioCASResult,
+    PortfolioCostResult,
+    PortfolioInvariants,
+    PortfolioTTMResult,
+    compile_portfolio,
+    portfolio_cas,
+    portfolio_cas_over_capacity,
+    portfolio_cost,
+    portfolio_fingerprint,
+    portfolio_ttm,
+    portfolio_ttm_over_capacity,
+)
 from .sobol_adapter import rowwise_batch_function, ttm_factor_batch_function
 
 __all__ = [
@@ -53,18 +70,30 @@ __all__ = [
     "BatchTTMResult",
     "DesignInvariants",
     "EXECUTORS",
+    "PortfolioCASResult",
+    "PortfolioCostResult",
+    "PortfolioInvariants",
+    "PortfolioTTMResult",
     "SplitGridResult",
     "SplitSampleResult",
     "batch_cas",
     "batch_split",
     "batch_split_samples",
     "batch_ttm",
+    "cached_invariants",
     "cas_over_capacity",
     "clear_invariant_cache",
+    "compile_portfolio",
     "compute_invariants",
     "design_invariants",
     "invariant_cache_info",
     "parallel_map",
+    "portfolio_cas",
+    "portfolio_cas_over_capacity",
+    "portfolio_cost",
+    "portfolio_fingerprint",
+    "portfolio_ttm",
+    "portfolio_ttm_over_capacity",
     "refine_split_grid",
     "rowwise_batch_function",
     "ttm_factor_batch_function",

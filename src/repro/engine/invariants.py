@@ -31,7 +31,7 @@ import math
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, TypeVar
 
 import numpy as np
 
@@ -47,6 +47,8 @@ from ..ttm.tapeout import (
 
 #: Upper bound on cached (design, technology) entries.
 CACHE_MAX_ENTRIES = 256
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -226,7 +228,12 @@ class _IdKey:
         return isinstance(other, _IdKey) and self.obj is other.obj
 
 
-_CACHE: "OrderedDict[tuple, DesignInvariants]" = OrderedDict()
+#: Shared LRU over engine invariants. Holds both per-design
+#: :class:`DesignInvariants` entries and the portfolio-compiler entries
+#: from :mod:`repro.engine.portfolio` (fingerprint-keyed tuples); both go
+#: through :func:`cached_invariants` so eviction, statistics and the
+#: thread-safety lock are one mechanism.
+_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _CACHE_LOCK = threading.Lock()
 _HITS = 0
 _MISSES = 0
@@ -245,6 +252,32 @@ def invariant_cache_info() -> Dict[str, int]:
     """Cache statistics: ``{"hits": ..., "misses": ..., "entries": ...}``."""
     with _CACHE_LOCK:
         return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+
+
+def cached_invariants(key: tuple, compute: "Callable[[], T]") -> "T":
+    """Serve ``key`` from the shared LRU, computing (outside the lock) on miss.
+
+    Both halves of the critical section are guarded by the module lock,
+    so hit/miss counters and eviction stay correct under the thread
+    executor of :func:`~repro.engine.parallel.parallel_map`. Two threads
+    racing on the same cold key may both compute; each call still
+    accounts exactly one hit or one miss, and the last value wins.
+    """
+    global _HITS, _MISSES
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            return cached  # type: ignore[return-value]
+    value = compute()
+    with _CACHE_LOCK:
+        _MISSES += 1
+        _CACHE[key] = value
+        _CACHE.move_to_end(key)
+        while len(_CACHE) > CACHE_MAX_ENTRIES:
+            _CACHE.popitem(last=False)
+    return value
 
 
 def compute_invariants(
@@ -356,7 +389,6 @@ def design_invariants(
 
     See the module docstring for the caching-invalidation contract.
     """
-    global _HITS, _MISSES
     key = (
         _IdKey(technology),
         _IdKey(design),
@@ -365,33 +397,24 @@ def design_invariants(
         edge_corrected,
         block_parallel,
     )
-    with _CACHE_LOCK:
-        cached = _CACHE.get(key)
-        if cached is not None:
-            _CACHE.move_to_end(key)
-            _HITS += 1
-            return cached
-    invariants = compute_invariants(
-        design,
-        technology,
-        engineers,
-        alpha=alpha,
-        edge_corrected=edge_corrected,
-        block_parallel=block_parallel,
+    return cached_invariants(
+        key,
+        lambda: compute_invariants(
+            design,
+            technology,
+            engineers,
+            alpha=alpha,
+            edge_corrected=edge_corrected,
+            block_parallel=block_parallel,
+        ),
     )
-    with _CACHE_LOCK:
-        _MISSES += 1
-        _CACHE[key] = invariants
-        _CACHE.move_to_end(key)
-        while len(_CACHE) > CACHE_MAX_ENTRIES:
-            _CACHE.popitem(last=False)
-    return invariants
 
 
 __all__ = [
     "CACHE_MAX_ENTRIES",
     "DesignInvariants",
     "DieYieldProfile",
+    "cached_invariants",
     "clear_invariant_cache",
     "compute_invariants",
     "design_invariants",

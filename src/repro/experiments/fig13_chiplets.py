@@ -29,6 +29,12 @@ from ..design.chip import ChipDesign
 from ..design.library.zen2 import fig13_variants
 from ..engine.batch import batch_ttm, cas_over_capacity
 from ..engine.parallel import parallel_map
+from ..engine.portfolio import (
+    portfolio_cas_over_capacity,
+    portfolio_cost,
+    portfolio_ttm,
+)
+from ..errors import InvalidParameterError
 from ..market.conditions import MarketConditions
 from ..ttm.model import TTMModel
 
@@ -93,11 +99,14 @@ def run(
     designs: Optional[Sequence[ChipDesign]] = None,
     executor: str = "serial",
     max_workers: Optional[int] = None,
+    engine: str = "portfolio",
 ) -> Fig13Result:
     """Regenerate Fig. 13's three panels.
 
-    The TTM and CAS panels use one batched engine call per variant;
-    ``executor`` fans the per-variant work out through
+    ``engine="portfolio"`` (default) evaluates all eight variants per
+    panel in one fused (designs x grid) pass over a shared compiled
+    portfolio; ``engine="loop"`` keeps one batched engine call per
+    variant as the equivalence oracle, fanned out through
     :func:`repro.engine.parallel.parallel_map`.
     """
     ttm_model = model or TTMModel.nominal()
@@ -105,6 +114,37 @@ def run(
     sweep = tuple(fractions) if fractions else capacity_fractions(0.15, 1.0, 18)
     variants = tuple(designs) if designs else fig13_variants()
     volume_grid = tuple(quantities)
+
+    if engine == "portfolio":
+        ttm_matrix = portfolio_ttm(
+            ttm_model, variants, volume_grid
+        ).total_weeks
+        cost_matrix = portfolio_cost(
+            costs, variants, volume_grid, engineers=ttm_model.engineers
+        ).total_usd
+        cas_matrix = portfolio_cas_over_capacity(
+            ttm_model, variants, cas_n_chips, sweep
+        )
+        return Fig13Result(
+            quantities=volume_grid,
+            fractions=sweep,
+            ttm={
+                design.name: tuple(float(w) for w in ttm_matrix[i])
+                for i, design in enumerate(variants)
+            },
+            cost={
+                design.name: tuple(float(c) for c in cost_matrix[i])
+                for i, design in enumerate(variants)
+            },
+            cas={
+                design.name: tuple(cas_matrix[i])
+                for i, design in enumerate(variants)
+            },
+        )
+    if engine != "loop":
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; use 'portfolio' or 'loop'"
+        )
 
     def panels(design: ChipDesign):
         ttm = batch_ttm(ttm_model, design, volume_grid).total_weeks

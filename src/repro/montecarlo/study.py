@@ -27,6 +27,7 @@ from ..design.chip import ChipDesign
 from ..economics.market_window import MarketWindow, triangle_loss_fractions
 from ..engine.batch import batch_cas, batch_cost, batch_ttm
 from ..engine.parallel import parallel_map
+from ..engine.portfolio import portfolio_cas, portfolio_cost, portfolio_ttm
 from ..errors import InvalidParameterError
 from ..ttm.model import TTMModel
 from .disruption import DisruptionModel
@@ -108,6 +109,61 @@ def _evaluate_chunk(
     return metrics
 
 
+def _check_capacity_source(
+    spec: SamplingSpec, disruptions: Optional[DisruptionModel]
+) -> None:
+    if disruptions is not None and any(
+        p.target == "capacity" for p in spec.parameters
+    ):
+        raise InvalidParameterError(
+            "capacity is sampled by both the spec and the disruption model; "
+            "pick one"
+        )
+
+
+def _summarize_samples(
+    design: ChipDesign,
+    n_samples: int,
+    seed: int,
+    samples: Dict[str, np.ndarray],
+    window: Optional[MarketWindow],
+    reference_weeks: Optional[float],
+    tail_level: float,
+    curve_points: int,
+) -> StudyResult:
+    """Reduce one design's metric samples to a :class:`StudyResult`."""
+    if window is not None:
+        reference = (
+            float(np.median(samples["ttm_weeks"]))
+            if reference_weeks is None
+            else float(reference_weeks)
+        )
+        samples["revenue_loss_fraction"] = triangle_loss_fractions(
+            samples["ttm_weeks"] - reference, window.window_weeks
+        )
+    summaries = {
+        name: MetricSummary.from_samples(
+            name,
+            values,
+            tail=METRIC_TAILS.get(name, "upper"),
+            tail_level=tail_level,
+        )
+        for name, values in samples.items()
+    }
+    curves = {
+        name: ExceedanceCurve.from_samples(name, values, n_points=curve_points)
+        for name, values in samples.items()
+    }
+    return StudyResult(
+        design=design.name,
+        processes=design.processes,
+        n_samples=n_samples,
+        seed=seed,
+        summaries=summaries,
+        curves=curves,
+    )
+
+
 def run_study(
     model: TTMModel,
     design: ChipDesign,
@@ -147,13 +203,7 @@ def run_study(
         Sampling is chunked and seeded per chunk index; results are
         identical across executors for a fixed seed.
     """
-    if disruptions is not None and any(
-        p.target == "capacity" for p in spec.parameters
-    ):
-        raise InvalidParameterError(
-            "capacity is sampled by both the spec and the disruption model; "
-            "pick one"
-        )
+    _check_capacity_source(spec, disruptions)
     sizes = chunk_sizes(n_samples, chunk_samples)
     tasks = [
         _ChunkTask(
@@ -177,36 +227,66 @@ def run_study(
         name: np.concatenate([chunk[name] for chunk in chunks])
         for name in chunks[0]
     }
-    if window is not None:
-        reference = (
-            float(np.median(samples["ttm_weeks"]))
-            if reference_weeks is None
-            else float(reference_weeks)
-        )
-        samples["revenue_loss_fraction"] = triangle_loss_fractions(
-            samples["ttm_weeks"] - reference, window.window_weeks
-        )
-    summaries = {
-        name: MetricSummary.from_samples(
-            name,
-            values,
-            tail=METRIC_TAILS.get(name, "upper"),
-            tail_level=tail_level,
-        )
-        for name, values in samples.items()
-    }
-    curves = {
-        name: ExceedanceCurve.from_samples(name, values, n_points=curve_points)
-        for name, values in samples.items()
-    }
-    return StudyResult(
-        design=design.name,
-        processes=design.processes,
-        n_samples=n_samples,
-        seed=seed,
-        summaries=summaries,
-        curves=curves,
+    return _summarize_samples(
+        design,
+        n_samples,
+        seed,
+        samples,
+        window,
+        reference_weeks,
+        tail_level,
+        curve_points,
     )
+
+
+@dataclass(frozen=True)
+class _PortfolioChunkTask:
+    """Picklable per-chunk work item covering the whole design tuple."""
+
+    model: TTMModel
+    cost_model: Optional[CostModel]
+    designs: Tuple[ChipDesign, ...]
+    spec: SamplingSpec
+    disruptions: Optional[DisruptionModel]
+    n_samples: int
+
+
+def _evaluate_portfolio_chunk(
+    task: _PortfolioChunkTask, rng: np.random.Generator
+) -> Dict[str, np.ndarray]:
+    """Draw once and evaluate every design on the shared chunk.
+
+    The chunk's draws are identical to the per-design path's (same rng
+    spawn, same consumption order), so metric row ``i`` is bit-for-bit
+    the per-design study of design ``i``.
+    """
+    draws = task.spec.sample(task.n_samples, rng)
+    quantities = draws.n_chips
+    kwargs = draws.kernel_kwargs()
+    if task.disruptions is not None:
+        disruption = task.disruptions.sample(task.n_samples, rng)
+        if disruption.capacity:
+            kwargs["capacity"] = dict(disruption.capacity)
+        if disruption.demand_scale is not None:
+            quantities = quantities * disruption.demand_scale
+    ttm = portfolio_ttm(task.model, task.designs, quantities, **kwargs)
+    cas = portfolio_cas(task.model, task.designs, quantities, **kwargs)
+    metrics = {
+        "ttm_weeks": np.asarray(ttm.total_weeks, dtype=float),
+        "cas": np.asarray(cas.cas, dtype=float),
+    }
+    if task.cost_model is not None:
+        cost = portfolio_cost(
+            task.cost_model,
+            task.designs,
+            quantities,
+            d0_scale=kwargs.get("d0_scale"),
+            engineers=task.model.engineers,
+        )
+        metrics["cost_per_chip_usd"] = np.asarray(
+            cost.usd_per_chip, dtype=float
+        )
+    return metrics
 
 
 def compare_designs(
@@ -215,22 +295,98 @@ def compare_designs(
     spec: SamplingSpec,
     n_samples: int,
     seed: int,
-    **kwargs: object,
+    cost_model: Optional[CostModel] = None,
+    disruptions: Optional[DisruptionModel] = None,
+    window: Optional[MarketWindow] = None,
+    reference_weeks: Optional[float] = None,
+    executor: str = "serial",
+    max_workers: Optional[int] = None,
+    chunk_samples: int = DEFAULT_CHUNK_SAMPLES,
+    tail_level: float = DEFAULT_TAIL_LEVEL,
+    curve_points: int = 33,
+    engine: str = "portfolio",
 ) -> Dict[str, StudyResult]:
     """Run the same study over several designs (shared seed).
 
     Every design sees the *same* supply-chain draws (common random
     numbers), so differences between result distributions are due to
-    the designs, not sampling noise.
+    the designs, not sampling noise. ``engine="portfolio"`` (default)
+    draws each chunk once and evaluates the whole design tuple through
+    the fused :func:`~repro.engine.portfolio.portfolio_ttm` kernels;
+    ``engine="per-design"`` keeps the original one-study-per-design loop
+    as the equivalence oracle. Both paths consume the chunk generators
+    identically, so results match to floating-point round-off.
     """
-    results: Dict[str, StudyResult] = {}
-    for design in designs:
-        if design.name in results:
+    design_tuple = tuple(designs)
+    seen: Dict[str, None] = {}
+    for design in design_tuple:
+        if design.name in seen:
             raise InvalidParameterError(
                 f"duplicate design name {design.name!r} in comparison"
             )
-        results[design.name] = run_study(
-            model, design, spec, n_samples, seed, **kwargs  # type: ignore[arg-type]
+        seen[design.name] = None
+    if engine == "per-design":
+        return {
+            design.name: run_study(
+                model,
+                design,
+                spec,
+                n_samples,
+                seed,
+                cost_model=cost_model,
+                disruptions=disruptions,
+                window=window,
+                reference_weeks=reference_weeks,
+                executor=executor,
+                max_workers=max_workers,
+                chunk_samples=chunk_samples,
+                tail_level=tail_level,
+                curve_points=curve_points,
+            )
+            for design in design_tuple
+        }
+    if engine != "portfolio":
+        raise InvalidParameterError(
+            f"unknown comparison engine {engine!r}; "
+            "use 'portfolio' or 'per-design'"
+        )
+    _check_capacity_source(spec, disruptions)
+    sizes = chunk_sizes(n_samples, chunk_samples)
+    tasks = [
+        _PortfolioChunkTask(
+            model=model,
+            cost_model=cost_model,
+            designs=design_tuple,
+            spec=spec,
+            disruptions=disruptions,
+            n_samples=size,
+        )
+        for size in sizes
+    ]
+    chunks: List[Dict[str, np.ndarray]] = parallel_map(
+        _evaluate_portfolio_chunk,
+        tasks,
+        executor=executor,
+        max_workers=max_workers,
+        seed=seed,
+    )
+    results: Dict[str, StudyResult] = {}
+    for i, design in enumerate(design_tuple):
+        samples = {
+            name: np.concatenate(
+                [np.asarray(chunk[name][i], dtype=float).ravel() for chunk in chunks]
+            )
+            for name in chunks[0]
+        }
+        results[design.name] = _summarize_samples(
+            design,
+            n_samples,
+            seed,
+            samples,
+            window,
+            reference_weeks,
+            tail_level,
+            curve_points,
         )
     return results
 

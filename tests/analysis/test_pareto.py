@@ -57,3 +57,39 @@ class TestKneePoint:
     def test_non_positive_objectives_rejected(self):
         with pytest.raises(InvalidParameterError):
             knee_point([(0.0, 0.0)], objectives=lambda p: p)
+
+
+class TestParetoMask:
+    def test_matches_pairwise_dominates(self):
+        import numpy as np
+
+        from repro.analysis.pareto import pareto_mask
+
+        rng = np.random.default_rng(5)
+        vectors = rng.uniform(0.0, 1.0, (40, 3))
+        maximize = (True, False, True)
+        mask = pareto_mask(vectors, maximize)
+        for i, row in enumerate(vectors):
+            dominated = any(
+                dominates(other, row, maximize)
+                for j, other in enumerate(vectors)
+                if j != i
+            )
+            assert mask[i] == (not dominated)
+
+    def test_duplicates_survive_together(self):
+        from repro.analysis.pareto import pareto_mask
+
+        mask = pareto_mask([(1.0, 2.0), (1.0, 2.0)], (True, True))
+        assert list(mask) == [True, True]
+
+    def test_empty_input(self):
+        from repro.analysis.pareto import pareto_mask
+
+        assert pareto_mask([], (True,)).size == 0
+
+    def test_length_mismatch_rejected(self):
+        from repro.analysis.pareto import pareto_mask
+
+        with pytest.raises(InvalidParameterError):
+            pareto_mask([(1.0, 2.0)], (True,))

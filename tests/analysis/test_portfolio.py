@@ -85,3 +85,40 @@ class TestValidation:
     def test_non_positive_volume_rejected(self):
         with pytest.raises(InvalidParameterError):
             PortfolioEntry(design=a11("28nm"), n_chips=0.0)
+
+
+class TestEngines:
+    def test_portfolio_matches_scalar(self, model):
+        portfolio = {
+            "soc": PortfolioEntry(design=a11("28nm"), n_chips=10e6),
+            "chiplet": PortfolioEntry(design=zen2(), n_chips=10e6),
+        }
+        stress = {
+            "shortage": scenarios.shortage_2021(),
+            "fab_fire_28nm": scenarios.fab_fire("28nm", 0.3),
+        }
+        fused = assess_portfolio(model, portfolio, stress, engine="portfolio")
+        oracle = assess_portfolio(model, portfolio, stress, engine="scalar")
+        assert fused.products == oracle.products
+        assert fused.scenarios == oracle.scenarios
+        for product in oracle.products:
+            assert fused.nominal_ttm[product] == pytest.approx(
+                oracle.nominal_ttm[product], rel=1e-9
+            )
+            assert fused.cas[product] == pytest.approx(
+                oracle.cas[product], rel=1e-9
+            )
+            for scenario in oracle.scenarios:
+                assert fused.delta(product, scenario) == pytest.approx(
+                    oracle.delta(product, scenario), rel=1e-9, abs=1e-9
+                )
+
+    def test_unknown_engine_rejected(self, model):
+        entry = PortfolioEntry(design=a11("28nm"), n_chips=1e6)
+        with pytest.raises(InvalidParameterError, match="engine"):
+            assess_portfolio(
+                model,
+                {"soc": entry},
+                {"s": scenarios.nominal()},
+                engine="warp",
+            )

@@ -118,3 +118,135 @@ class TestDerivationRecomputes:
         assert more_engineers.sequential_tapeout_weeks != pytest.approx(
             default.sequential_tapeout_weeks
         )
+
+
+class TestThreadSafety:
+    """Counters and eviction stay exact under concurrent access.
+
+    ``cached_invariants`` accounts exactly one hit or one miss per call
+    and mutates the LRU only under the module lock, so a thread-pool
+    hammering a handful of keys must end with ``hits + misses == calls``
+    and one entry per distinct key — the statistics ``parallel_map``
+    thread-executor runs report are trustworthy.
+    """
+
+    def test_concurrent_counters_are_exact(self, db):
+        import threading
+        from concurrent.futures import ThreadPoolExecutor
+
+        designs = [a11(node) for node in ("65nm", "40nm", "28nm", "7nm")]
+        n_workers = 8
+        iterations = 25
+        barrier = threading.Barrier(n_workers)
+
+        def hammer(worker):
+            barrier.wait()  # maximize contention on the cold keys
+            for i in range(iterations):
+                design = designs[(worker + i) % len(designs)]
+                invariants = design_invariants(
+                    design, db, DEFAULT_ENGINEERS
+                )
+                assert invariants.processes == design.processes
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            list(pool.map(hammer, range(n_workers)))
+
+        info = invariant_cache_info()
+        assert info["hits"] + info["misses"] == n_workers * iterations
+        assert info["entries"] == len(designs)
+        # Racing threads may double-compute a cold key, but never
+        # under-account it.
+        assert info["misses"] >= len(designs)
+
+    def test_concurrent_portfolio_compiles_share_entries(self, db):
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.engine.portfolio import compile_portfolio
+
+        designs = tuple(a11(node) for node in ("40nm", "28nm", "7nm"))
+
+        def compile_once(_):
+            return compile_portfolio(designs, db)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            compiled = list(pool.map(compile_once, range(12)))
+
+        info = invariant_cache_info()
+        # A warm portfolio key is one hit; only cold compiles touch the
+        # per-design entries. Every lookup is still accounted exactly.
+        assert info["hits"] + info["misses"] >= 12
+        assert info["misses"] >= len(designs) + 1
+        # 3 per-design entries + 1 portfolio entry.
+        assert info["entries"] == len(designs) + 1
+        reference = compiled[0]
+        for other in compiled:
+            assert np.array_equal(
+                other.tapeout_weeks, reference.tapeout_weeks
+            )
+            assert np.array_equal(other.max_rate, reference.max_rate)
+
+
+class TestPortfolioEviction:
+    """The LRU bound covers portfolio entries like any other."""
+
+    def test_compiling_past_the_bound_evicts_oldest(self, db, monkeypatch):
+        from repro.engine import invariants as invariants_module
+        from repro.engine.portfolio import compile_portfolio
+
+        monkeypatch.setattr(invariants_module, "CACHE_MAX_ENTRIES", 3)
+        oldest = compile_portfolio((a11("65nm"),), db)
+        # Each compile adds 2 entries (design + portfolio); the third
+        # portfolio pushes the bound, evicting the oldest entries.
+        compile_portfolio((a11("40nm"),), db)
+        compile_portfolio((a11("28nm"),), db)
+        assert invariant_cache_info()["entries"] == 3
+        recompiled = compile_portfolio((a11("65nm"),), db)
+        assert recompiled is not oldest  # the entry was really evicted
+
+    def test_recompilation_after_eviction_is_bit_identical(
+        self, db, monkeypatch
+    ):
+        from repro.engine import invariants as invariants_module
+        from repro.engine.portfolio import compile_portfolio
+
+        designs = tuple(a11(node) for node in ("40nm", "7nm"))
+        first = compile_portfolio(designs, db)
+        monkeypatch.setattr(invariants_module, "CACHE_MAX_ENTRIES", 1)
+        compile_portfolio((a11("180nm"),), db)  # evict everything else
+        second = compile_portfolio(designs, db)
+        assert second is not first
+        for field in (
+            "node_mask",
+            "tapeout_weeks",
+            "max_rate",
+            "fab_latency_weeks",
+            "wafers_per_chip",
+            "wafer_cost_usd",
+            "sequential_tapeout_weeks",
+            "testing_weeks_per_chip",
+            "design_weeks",
+            "profile_mean_defects",
+        ):
+            assert np.array_equal(
+                getattr(second, field), getattr(first, field)
+            )
+        assert second.designs == first.designs
+        assert second.processes == first.processes
+
+    def test_clear_drops_portfolio_entries(self, db):
+        from repro.engine.portfolio import compile_portfolio, portfolio_fingerprint
+
+        designs = (a11("28nm"), a11("7nm"))
+        compiled = compile_portfolio(designs, db)
+        assert invariant_cache_info()["entries"] == len(designs) + 1
+        clear_invariant_cache()
+        assert invariant_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+        }
+        recompiled = compile_portfolio(designs, db)
+        assert recompiled is not compiled
+        assert np.array_equal(
+            recompiled.tapeout_weeks, compiled.tapeout_weeks
+        )

@@ -63,3 +63,31 @@ class TestProductionStage:
         plan = refined.production
         assert plan is not None
         assert 0.0 < plan.best.split <= 1.0
+
+
+class TestEngines:
+    def test_portfolio_matches_scalar(self, model, cost_model):
+        fused = codesign_search.run(
+            model, cost_model, **SMALL, engine="portfolio"
+        )
+        oracle = codesign_search.run(
+            model, cost_model, **SMALL, engine="scalar"
+        )
+        assert fused.best.process == oracle.best.process
+        assert fused.best.cores == oracle.best.cores
+        assert fused.best.icache_kb == oracle.best.icache_kb
+        assert fused.best.dcache_kb == oracle.best.dcache_kb
+        assert fused.best.ttm_weeks == pytest.approx(
+            oracle.best.ttm_weeks, rel=1e-9
+        )
+        assert fused.best.cost_usd == pytest.approx(
+            oracle.best.cost_usd, rel=1e-9
+        )
+        assert fused.feasible == oracle.feasible
+        assert fused.evaluated == oracle.evaluated
+
+    def test_unknown_engine_rejected(self, model, cost_model):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="engine"):
+            codesign_search.run(model, cost_model, **SMALL, engine="warp")

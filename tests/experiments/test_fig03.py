@@ -42,3 +42,24 @@ class TestFig03:
         text = result.table()
         assert "Chip A TTM" in text
         assert "100" in text
+
+
+class TestEngines:
+    def test_portfolio_matches_loop(self, model):
+        fractions = (0.25, 0.5, 0.75, 1.0)
+        fused = fig03_chip_ab.run(
+            model, fractions=fractions, engine="portfolio"
+        )
+        oracle = fig03_chip_ab.run(model, fractions=fractions, engine="loop")
+        assert set(fused.ttm) == set(oracle.ttm)
+        for name in oracle.ttm:
+            for got, expected in zip(fused.ttm[name], oracle.ttm[name]):
+                assert got == pytest.approx(expected, rel=1e-9)
+            for got, expected in zip(fused.cas[name], oracle.cas[name]):
+                assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_unknown_engine_rejected(self, model):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="engine"):
+            fig03_chip_ab.run(model, fractions=(0.5, 1.0), engine="warp")

@@ -96,3 +96,28 @@ class TestNodeDisruption:
 
     def test_table_renders(self, result):
         assert "Zen 2" in result.table()
+
+
+class TestEngines:
+    def test_portfolio_matches_loop(self, model, cost_model):
+        kwargs = dict(
+            quantities=(10e6, 50e6),
+            fractions=(0.3, 0.6, 1.0),
+        )
+        fused = fig13_chiplets.run(
+            model, cost_model, engine="portfolio", **kwargs
+        )
+        oracle = fig13_chiplets.run(model, cost_model, engine="loop", **kwargs)
+        assert fused.variants == oracle.variants
+        for name in oracle.variants:
+            for panel in ("ttm", "cost", "cas"):
+                fused_series = getattr(fused, panel)[name]
+                oracle_series = getattr(oracle, panel)[name]
+                for got, expected in zip(fused_series, oracle_series):
+                    assert got == pytest.approx(expected, rel=1e-9)
+
+    def test_unknown_engine_rejected(self, model, cost_model):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError, match="engine"):
+            fig13_chiplets.run(model, cost_model, engine="warp")

@@ -30,11 +30,20 @@ pairs = st.tuples(
     st.sampled_from(NODES), st.sampled_from(NODES)
 ).filter(lambda pair: pair[0] != pair[1])
 
-splits = st.floats(
-    min_value=0.01,
-    max_value=1.0,
-    allow_nan=False,
-    exclude_min=False,
+# Either the exact single-line split (1.0) or a genuine two-line split
+# bounded away from 1.0: a split one ULP below 1.0 routes ~1e-16 of the
+# volume to the secondary line, whose TTM then moves less than float
+# resolution under rate perturbation — both the scalar and the batch
+# engine correctly reject that degenerate point as "zero TTM
+# sensitivity", so the strategy must not generate it.
+splits = st.one_of(
+    st.just(1.0),
+    st.floats(
+        min_value=0.01,
+        max_value=0.99,
+        allow_nan=False,
+        exclude_min=False,
+    ),
 )
 
 grids = st.lists(splits, min_size=1, max_size=6, unique=True)
