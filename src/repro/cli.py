@@ -7,6 +7,13 @@ Usage::
     ttm-cas run all             # the whole evaluation section
     ttm-cas nodes               # dump the technology database
     ttm-cas mc --design a11     # Monte Carlo supply-uncertainty study
+    ttm-cas obs runs/fig7.manifest.json   # summarize an obs artifact
+
+The ``run``, ``report``, and ``mc`` commands accept ``--trace FILE``
+(Chrome-trace span dump, loadable in ``chrome://tracing``),
+``--metrics FILE`` (Prometheus text exposition), and
+``--manifest-dir DIR`` (one provenance manifest per run); ``obs``
+summarizes any of the three artifacts.
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -14,13 +21,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis.export import to_json
 from .analysis.tables import format_table
 from .errors import ReproError
 from .experiments import registry
+from .obs.session import ObsSession
 from .technology.database import TechnologyDatabase
 
 
@@ -30,24 +39,40 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _run_one_experiment(session: ObsSession, experiment) -> object:
+    """Run one experiment under the session, capturing its manifest."""
+    with session.run_manifest(
+        "experiment",
+        experiment.key,
+        config={"experiment": experiment.key, "title": experiment.title},
+    ) as sink:
+        result = experiment.run()
+        sink.set_result(result)
+        seed = getattr(result, "seed", None)
+        if seed is not None:
+            sink.add_seeds({"seed": int(seed)})
+    return result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     keys = (
         list(registry.experiment_keys()) if args.experiment == "all"
         else [args.experiment]
     )
-    for key in keys:
-        try:
-            experiment = registry.get(key)
-        except KeyError as error:
-            print(error, file=sys.stderr)
-            return 2
-        result = experiment.runner()
-        if args.json:
-            print(to_json(result))
-        else:
-            print(f"== {experiment.key}: {experiment.title} ==")
-            print(result.table())  # type: ignore[attr-defined]
-            print()
+    with ObsSession.from_args(args) as session:
+        for key in keys:
+            try:
+                experiment = registry.get(key)
+            except KeyError as error:
+                print(error, file=sys.stderr)
+                return 2
+            result = _run_one_experiment(session, experiment)
+            if args.json:
+                print(to_json(result))
+            else:
+                print(f"== {experiment.key}: {experiment.title} ==")
+                print(result.table())  # type: ignore[attr-defined]
+                print()
     return 0
 
 
@@ -71,14 +96,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         "Regenerated tables and figures (paper artifacts + extensions).",
         "",
     ]
-    for experiment in registry.EXPERIMENTS.values():
-        result = experiment.runner()
-        lines.append(f"## {experiment.key}: {experiment.title}")
-        lines.append("")
-        lines.append("```")
-        lines.append(result.table())  # type: ignore[attr-defined]
-        lines.append("```")
-        lines.append("")
+    with ObsSession.from_args(args) as session:
+        for experiment in registry.EXPERIMENTS.values():
+            result = _run_one_experiment(session, experiment)
+            lines.append(f"## {experiment.key}: {experiment.title}")
+            lines.append("")
+            lines.append("```")
+            lines.append(result.table())  # type: ignore[attr-defined]
+            lines.append("```")
+            lines.append("")
     text = "\n".join(lines)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -94,6 +120,7 @@ MC_DESIGNS = ("a11", "zen2", "zen2-monolithic")
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
+    from .analysis.export import to_jsonable
     from .cost.model import CostModel
     from .design.library import a11, zen2, zen2_monolithic
     from .market import scenarios
@@ -112,15 +139,32 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         model = nominal.with_foundry(
             nominal.foundry.with_conditions(conditions)
         )
-        result = run_study(
-            model,
-            design,
-            default_supply_spec(n_chips=args.chips),
-            n_samples=args.samples,
-            seed=args.seed,
-            cost_model=CostModel.nominal(),
-            executor=args.executor,
-        )
+        spec = default_supply_spec(n_chips=args.chips)
+        with ObsSession.from_args(args) as session:
+            with session.run_manifest(
+                "mc-study",
+                f"mc-{args.design}",
+                config={
+                    "design": args.design,
+                    "node": args.node,
+                    "scenario": args.scenario,
+                    "chips": args.chips,
+                    "samples": args.samples,
+                    "executor": args.executor,
+                    "spec": to_jsonable(spec),
+                },
+                seeds={"seed": args.seed},
+            ) as sink:
+                result = run_study(
+                    model,
+                    design,
+                    spec,
+                    n_samples=args.samples,
+                    seed=args.seed,
+                    cost_model=CostModel.nominal(),
+                    executor=args.executor,
+                )
+                sink.set_result(result)
     except (KeyError, ReproError) as error:
         # Node/scenario lookups are lazy, so bad inputs surface here;
         # report the one-line message instead of a traceback.
@@ -136,6 +180,121 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         )
         print(result.table())
     return 0
+
+
+def _summarize_manifest(data: Dict[str, Any]) -> None:
+    from .obs.manifest import RunManifest
+
+    manifest = RunManifest.from_jsonable(data)
+    print(f"== run manifest: {manifest.kind} / {manifest.key} ==")
+    info_rows = [
+        ["duration_s", f"{manifest.duration_seconds:.3f}"],
+        ["git_sha", manifest.git_sha or "-"],
+        ["result_digest", (manifest.result_digest or "-")[:16]],
+    ]
+    for name, value in sorted(manifest.seeds.items()):
+        info_rows.append([f"seed:{name}", value])
+    for name, value in sorted(manifest.environment.items()):
+        info_rows.append([f"env:{name}", value])
+    print(format_table(["field", "value"], info_rows))
+    if manifest.metrics:
+        print()
+        print(
+            format_table(
+                ["metric", "delta"],
+                [
+                    [name, _format_number(value)]
+                    for name, value in sorted(manifest.metrics.items())
+                ],
+            )
+        )
+
+
+def _format_number(value: float) -> str:
+    return str(int(value)) if value == int(value) else f"{value:.6g}"
+
+
+def _summarize_spans(rows: List[Dict[str, Any]]) -> None:
+    """Aggregate span dicts (name/wall ns/CPU ns) into a per-name table."""
+    totals: Dict[str, Dict[str, float]] = {}
+    for row in rows:
+        entry = totals.setdefault(
+            row["name"], {"count": 0, "wall": 0.0, "max": 0.0, "cpu": 0.0}
+        )
+        entry["count"] += 1
+        entry["wall"] += row["duration_ns"]
+        entry["max"] = max(entry["max"], row["duration_ns"])
+        entry["cpu"] += row.get("cpu_ns", 0)
+    table = [
+        [
+            name,
+            int(entry["count"]),
+            f"{entry['wall'] / 1e6:.3f}",
+            f"{entry['max'] / 1e6:.3f}",
+            f"{entry['cpu'] / 1e6:.3f}",
+        ]
+        for name, entry in sorted(
+            totals.items(), key=lambda item: -item[1]["wall"]
+        )
+    ]
+    print(
+        format_table(
+            ["span", "count", "wall ms", "max ms", "cpu ms"], table
+        )
+    )
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from .obs.manifest import MANIFEST_SCHEMA
+    from .obs.metrics import iter_prometheus_samples
+    from .obs.trace import TRACE_SCHEMA
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as error:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        data: Any = json.loads(text)
+    except ValueError:
+        data = None
+    if isinstance(data, dict) and data.get("schema") == MANIFEST_SCHEMA:
+        _summarize_manifest(data)
+        return 0
+    if isinstance(data, dict) and data.get("schema") == TRACE_SCHEMA:
+        print(f"== trace: {len(data['spans'])} spans ==")
+        _summarize_spans(data["spans"])
+        return 0
+    if isinstance(data, dict) and "traceEvents" in data:
+        spans = [
+            {
+                "name": event["name"],
+                "duration_ns": float(event.get("dur", 0.0)) * 1000.0,
+                "cpu_ns": 0.0,
+            }
+            for event in data["traceEvents"]
+            if event.get("ph") == "X"
+        ]
+        print(f"== chrome trace: {len(spans)} complete events ==")
+        _summarize_spans(spans)
+        return 0
+    if data is None and "# TYPE" in text:
+        samples = [
+            [series, _format_number(value)]
+            for series, value in iter_prometheus_samples(text)
+            if value != 0.0
+        ]
+        print(f"== metrics: {len(samples)} non-zero series ==")
+        if samples:
+            print(format_table(["series", "value"], samples))
+        return 0
+    print(
+        f"{args.file}: not a recognized obs artifact (expected a run "
+        "manifest, a trace JSON, a Chrome trace, or Prometheus text)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _cmd_nodes(_: argparse.Namespace) -> int:
@@ -172,6 +331,29 @@ def _cmd_nodes(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags (run / report / mc)."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write a Chrome-trace span dump (chrome://tracing loads it)",
+    )
+    group.add_argument(
+        "--metrics",
+        default="",
+        metavar="FILE",
+        help="write engine metrics as Prometheus text",
+    )
+    group.add_argument(
+        "--manifest-dir",
+        default="",
+        metavar="DIR",
+        help="write one provenance manifest per run into DIR",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -195,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the raw result as JSON instead of a table",
     )
+    _add_obs_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
     sub.add_parser("nodes", help="print the technology database").set_defaults(
         handler=_cmd_nodes
@@ -205,6 +388,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "-o", "--output", default="", help="file to write (default: stdout)"
     )
+    _add_obs_arguments(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
     sub.add_parser(
         "lint", help="lint the technology database for consistency"
@@ -247,7 +431,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the raw result as JSON instead of a table",
     )
+    _add_obs_arguments(mc_parser)
     mc_parser.set_defaults(handler=_cmd_mc)
+    obs_parser = sub.add_parser(
+        "obs", help="summarize an obs artifact (manifest/trace/metrics)"
+    )
+    obs_parser.add_argument(
+        "file",
+        help=(
+            "a run manifest, trace JSON, Chrome-trace file, or "
+            "Prometheus-text metrics dump"
+        ),
+    )
+    obs_parser.set_defaults(handler=_cmd_obs)
     return parser
 
 

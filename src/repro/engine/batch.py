@@ -39,6 +39,7 @@ from ..cost.model import CostModel
 from ..cost.nre import design_nre
 from ..design.chip import ChipDesign
 from ..errors import InvalidParameterError
+from ..obs.instrument import observed_kernel
 from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
 from .invariants import DesignInvariants, design_invariants
 
@@ -203,6 +204,7 @@ def _supply_arrays(
     )
 
 
+@observed_kernel("engine.batch_ttm", lambda r: r.total_weeks.size)
 def batch_ttm(
     model: TTMModel,
     design: ChipDesign,
@@ -363,6 +365,7 @@ def _total_weeks_at_rates(
     )
 
 
+@observed_kernel("engine.batch_cas", lambda r: r.cas.size)
 def batch_cas(
     model: TTMModel,
     design: ChipDesign,
@@ -487,6 +490,7 @@ class BatchCostResult:
         return self.total_usd / self.n_chips
 
 
+@observed_kernel("engine.batch_cost", lambda r: r.n_chips.size)
 def batch_cost(
     cost_model: CostModel,
     design: ChipDesign,

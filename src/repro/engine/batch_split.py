@@ -43,6 +43,7 @@ from ..agility.derivative import DEFAULT_RELATIVE_STEP
 from ..cost.model import CostModel
 from ..errors import InvalidParameterError
 from ..multiprocess.split import DesignFactory, ProductionSplit, SplitEvaluation
+from ..obs.instrument import observed_kernel
 from ..ttm.model import TTMModel
 from .batch import (
     ArrayLike,
@@ -333,6 +334,7 @@ def _split_matrix(split_grid, n_pairs: int) -> np.ndarray:
     return np.array(array, dtype=float)  # owned, writable copy
 
 
+@observed_kernel("engine.batch_split", lambda r: r.ttm_weeks.size)
 def batch_split(
     design_factory: DesignFactory,
     pairs: Sequence[Tuple[str, str]],
@@ -551,6 +553,7 @@ def _resolved_fractions(
     return resolved
 
 
+@observed_kernel("engine.batch_split_samples", lambda r: r.ttm_weeks.size)
 def batch_split_samples(
     plan: ProductionSplit,
     model: TTMModel,

@@ -36,6 +36,7 @@ from typing import Callable, Dict, Optional, Tuple, TypeVar
 import numpy as np
 
 from ..design.chip import ChipDesign
+from ..obs.instrument import cache_counters
 from ..technology.database import TechnologyDatabase
 from ..technology.yield_model import DEFAULT_ALPHA
 from ..technology.wafer import dies_per_wafer, dies_per_wafer_simple
@@ -235,48 +236,66 @@ class _IdKey:
 #: thread-safety lock are one mechanism.
 _CACHE: "OrderedDict[tuple, object]" = OrderedDict()
 _CACHE_LOCK = threading.Lock()
-_HITS = 0
-_MISSES = 0
+
+#: The public hit/miss/eviction counters (plus the entries gauge) on the
+#: process-wide :class:`~repro.obs.metrics.MetricsRegistry` — what used
+#: to be private module ints is now readable from any metrics dump.
+_HITS, _MISSES, _EVICTIONS, _ENTRIES = cache_counters()
 
 
 def clear_invariant_cache() -> None:
-    """Drop every cached entry (and reset the hit/miss counters)."""
-    global _HITS, _MISSES
+    """Drop every cached entry and zero *all* statistics.
+
+    Resets hits, misses, **and** evictions — an eviction count that
+    survived a clear would misattribute old churn to the fresh cache.
+    """
     with _CACHE_LOCK:
         _CACHE.clear()
-        _HITS = 0
-        _MISSES = 0
+        _HITS.reset()
+        _MISSES.reset()
+        _EVICTIONS.reset()
+        _ENTRIES.set(0)
 
 
 def invariant_cache_info() -> Dict[str, int]:
-    """Cache statistics: ``{"hits": ..., "misses": ..., "entries": ...}``."""
+    """Cache statistics as ``{"hits", "misses", "evictions", "entries"}``.
+
+    Reads the public :mod:`repro.obs.metrics` counters, so this view and
+    a Prometheus/JSON metrics dump can never disagree.
+    """
     with _CACHE_LOCK:
-        return {"hits": _HITS, "misses": _MISSES, "entries": len(_CACHE)}
+        return {
+            "hits": int(_HITS.value()),
+            "misses": int(_MISSES.value()),
+            "evictions": int(_EVICTIONS.value()),
+            "entries": len(_CACHE),
+        }
 
 
 def cached_invariants(key: tuple, compute: "Callable[[], T]") -> "T":
     """Serve ``key`` from the shared LRU, computing (outside the lock) on miss.
 
     Both halves of the critical section are guarded by the module lock,
-    so hit/miss counters and eviction stay correct under the thread
-    executor of :func:`~repro.engine.parallel.parallel_map`. Two threads
-    racing on the same cold key may both compute; each call still
-    accounts exactly one hit or one miss, and the last value wins.
+    so hit/miss/eviction counters and eviction stay correct under the
+    thread executor of :func:`~repro.engine.parallel.parallel_map`. Two
+    threads racing on the same cold key may both compute; each call
+    still accounts exactly one hit or one miss, and the last value wins.
     """
-    global _HITS, _MISSES
     with _CACHE_LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
             _CACHE.move_to_end(key)
-            _HITS += 1
+            _HITS._inc_key(())
             return cached  # type: ignore[return-value]
     value = compute()
     with _CACHE_LOCK:
-        _MISSES += 1
+        _MISSES._inc_key(())
         _CACHE[key] = value
         _CACHE.move_to_end(key)
         while len(_CACHE) > CACHE_MAX_ENTRIES:
             _CACHE.popitem(last=False)
+            _EVICTIONS._inc_key(())
+        _ENTRIES.set(len(_CACHE))
     return value
 
 

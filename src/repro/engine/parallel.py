@@ -24,6 +24,14 @@ Seeded workloads pass ``seed=``: each item then receives its own
 sequence for item ``i`` depends only on ``(seed, i)`` -- never on which
 worker ran it or in what order -- results are bit-for-bit identical
 across all three executors.
+
+Observability: every degradation additionally increments the
+``executor_fallback_total`` counter (labelled by requested/chosen
+executor), and with a tracer installed (:func:`repro.obs.install_tracer`)
+each call records a ``parallel_map`` span with one ``parallel_map.item``
+child span per evaluation -- including evaluations that ran in process
+workers, whose spans are recorded in the worker and adopted back into
+the parent tracer with the results.
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from ..errors import InvalidParameterError
+from ..obs import trace as _trace
+from ..obs.instrument import record_fallback
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -66,6 +76,37 @@ class _SeededCall:
 
         item, seq = pair
         return self.function(item, np.random.default_rng(seq))
+
+
+class _SpanCapturingCall:
+    """Picklable adapter recording worker-side spans for the parent.
+
+    Process workers cannot share the parent's tracer, so each call runs
+    under a fresh local :class:`~repro.obs.trace.Tracer` (installed for
+    the duration, so nested kernel spans are captured too) and returns
+    ``(result, spans)``; the parent merges the spans via ``adopt`` and
+    unwraps the results.
+    """
+
+    def __init__(
+        self, function: Callable[[Any], R], parent_id: Optional[str]
+    ) -> None:
+        self.function = function
+        self.parent_id = parent_id
+
+    def __call__(self, item: Any) -> Tuple[R, Tuple[Any, ...]]:
+        local = _trace.Tracer()
+        previous = _trace.current_tracer()
+        _trace.install_tracer(local)
+        try:
+            with local.span("parallel_map.item", parent_id=self.parent_id):
+                result = self.function(item)
+        finally:
+            if previous is None:
+                _trace.uninstall_tracer()
+            else:
+                _trace.install_tracer(previous)
+        return result, local.spans()
 
 
 def parallel_map(
@@ -112,14 +153,57 @@ def parallel_map(
         children = np.random.SeedSequence(seed).spawn(len(points))
         points = list(zip(points, children))
         function = _SeededCall(function)
+    tracer = _trace.current_tracer()
+    if tracer is None:
+        return _dispatch(function, points, executor, max_workers)
+    with tracer.span(
+        "parallel_map",
+        executor=executor,
+        n_items=len(points),
+        seeded=seed is not None,
+    ) as root:
+        return _dispatch(
+            function,
+            points,
+            executor,
+            max_workers,
+            tracer=tracer,
+            parent_id=root.span_id,
+        )
+
+
+def _dispatch(
+    function: Callable[[Any], R],
+    points: List[Any],
+    executor: str,
+    max_workers: Optional[int],
+    tracer: Optional[Any] = None,
+    parent_id: Optional[str] = None,
+) -> List[R]:
+    """Run the map on the chosen executor (tracing when ``tracer`` given).
+
+    With a tracer, in-process evaluations (serial/thread, and the serial
+    fallback) each run under a ``parallel_map.item`` span parented -- by
+    explicit id, since worker threads have their own span stacks -- to
+    the enclosing ``parallel_map`` span; process workers record the same
+    shape locally and the spans are adopted with the results.
+    """
+    if tracer is None:
+        item_function = function
+    else:
+
+        def item_function(item: Any) -> R:
+            with tracer.span("parallel_map.item", parent_id=parent_id):
+                return function(item)
+
     if executor == "serial" or len(points) <= 1:
-        return [function(item) for item in points]
+        return [item_function(item) for item in points]
 
     if executor == "thread":
         from concurrent.futures import ThreadPoolExecutor
 
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(function, points))
+            return list(pool.map(item_function, points))
 
     # Process executor: verify the payload actually pickles before paying
     # for a pool, and degrade to serial when the platform can't fork or
@@ -128,25 +212,41 @@ def parallel_map(
         _warn_fallback(
             "the mapped function or its items are not picklable"
         )
-        return [function(item) for item in points]
+        return [item_function(item) for item in points]
+    worker: Callable[[Any], Any] = (
+        function if tracer is None else _SpanCapturingCall(function, parent_id)
+    )
     try:
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(function, points))
+            mapped = list(pool.map(worker, points))
     except (BrokenProcessPool, OSError, ImportError) as error:
         _warn_fallback(f"the worker pool failed ({type(error).__name__}: {error})")
-        return [function(item) for item in points]
+        return [item_function(item) for item in points]
+    if tracer is None:
+        return mapped
+    results: List[R] = []
+    for result, spans in mapped:
+        results.append(result)
+        tracer.adopt(spans)
+    return results
 
 
 def _warn_fallback(reason: str) -> None:
-    """Flag a degraded run: the caller asked for processes, got serial."""
+    """Flag a degraded run: the caller asked for processes, got serial.
+
+    Emits the ``RuntimeWarning`` (naming the chosen executor) and bumps
+    the ``executor_fallback_total{requested="process",chosen="serial"}``
+    counter, so degradations show up in metrics dumps as well as logs.
+    """
+    record_fallback("process", "serial")
     warnings.warn(
         f"parallel_map falling back from the process executor to serial "
-        f"execution: {reason}",
+        f"execution (chosen executor: 'serial'): {reason}",
         RuntimeWarning,
-        stacklevel=3,
+        stacklevel=4,
     )
 
 

@@ -44,6 +44,7 @@ from ..agility.derivative import DEFAULT_RELATIVE_STEP
 from ..cost.model import CostModel
 from ..design.chip import ChipDesign
 from ..errors import InvalidParameterError
+from ..obs.instrument import observed_kernel
 from ..technology.database import TechnologyDatabase
 from ..technology.yield_model import DEFAULT_ALPHA
 from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
@@ -318,6 +319,7 @@ def portfolio_fingerprint(
     )
 
 
+@observed_kernel("engine.compile_portfolio", lambda r: r.node_mask.size)
 def compile_portfolio(
     designs: Sequence[ChipDesign],
     technology: TechnologyDatabase,
@@ -579,6 +581,7 @@ class PortfolioTTMResult:
     total_wafers: np.ndarray
 
 
+@observed_kernel("engine.portfolio_ttm", lambda r: r.total_weeks.size)
 def portfolio_ttm(
     model: TTMModel,
     designs: Sequence[ChipDesign],
@@ -667,6 +670,7 @@ class PortfolioCASResult:
         return self.cas / _WAFERS_PER_NORMALIZED_UNIT
 
 
+@observed_kernel("engine.portfolio_cas", lambda r: r.cas.size)
 def portfolio_cas(
     model: TTMModel,
     designs: Sequence[ChipDesign],
@@ -799,6 +803,7 @@ class PortfolioCostResult:
         return self.total_usd / self.n_chips
 
 
+@observed_kernel("engine.portfolio_cost", lambda r: r.n_chips.size)
 def portfolio_cost(
     cost_model: CostModel,
     designs: Sequence[ChipDesign],

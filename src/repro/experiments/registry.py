@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Tuple
 
+from ..obs.trace import span
 from . import (
     accelerator_scaling,
     codesign_search,
@@ -42,6 +43,16 @@ class Experiment:
     key: str
     title: str
     runner: Callable[[], object]
+
+    def run(self) -> object:
+        """Execute the runner under an ``experiment.<key>`` span.
+
+        With no tracer installed this is exactly ``self.runner()`` plus
+        one no-op context manager; with one, the experiment's engine
+        spans all nest under a single root span for the artifact.
+        """
+        with span(f"experiment.{self.key}", title=self.title):
+            return self.runner()
 
 
 EXPERIMENTS: Dict[str, Experiment] = {

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..analysis.tables import format_table
 from ..errors import InvalidParameterError
+from ..obs.instrument import guard_trip
 
 #: Default percentile band.
 PERCENTILES: Tuple[float, ...] = (5.0, 25.0, 50.0, 75.0, 95.0)
@@ -76,6 +77,7 @@ class MetricSummary:
         if values.size == 0:
             raise InvalidParameterError(f"metric {name!r}: no samples")
         if not np.all(np.isfinite(values)):
+            guard_trip("metric_summary")
             raise InvalidParameterError(
                 f"metric {name!r}: samples contain non-finite values"
             )

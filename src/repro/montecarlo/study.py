@@ -29,6 +29,7 @@ from ..engine.batch import batch_cas, batch_cost, batch_ttm
 from ..engine.parallel import parallel_map
 from ..engine.portfolio import portfolio_cas, portfolio_cost, portfolio_ttm
 from ..errors import InvalidParameterError
+from ..obs.trace import span
 from ..ttm.model import TTMModel
 from .disruption import DisruptionModel
 from .results import (
@@ -204,39 +205,46 @@ def run_study(
         identical across executors for a fixed seed.
     """
     _check_capacity_source(spec, disruptions)
-    sizes = chunk_sizes(n_samples, chunk_samples)
-    tasks = [
-        _ChunkTask(
-            model=model,
-            cost_model=cost_model,
-            design=design,
-            spec=spec,
-            disruptions=disruptions,
-            n_samples=size,
-        )
-        for size in sizes
-    ]
-    chunks: List[Dict[str, np.ndarray]] = parallel_map(
-        _evaluate_chunk,
-        tasks,
-        executor=executor,
-        max_workers=max_workers,
+    with span(
+        "mc.run_study",
+        design=design.name,
+        n_samples=n_samples,
         seed=seed,
-    )
-    samples: Dict[str, np.ndarray] = {
-        name: np.concatenate([chunk[name] for chunk in chunks])
-        for name in chunks[0]
-    }
-    return _summarize_samples(
-        design,
-        n_samples,
-        seed,
-        samples,
-        window,
-        reference_weeks,
-        tail_level,
-        curve_points,
-    )
+        executor=executor,
+    ):
+        sizes = chunk_sizes(n_samples, chunk_samples)
+        tasks = [
+            _ChunkTask(
+                model=model,
+                cost_model=cost_model,
+                design=design,
+                spec=spec,
+                disruptions=disruptions,
+                n_samples=size,
+            )
+            for size in sizes
+        ]
+        chunks: List[Dict[str, np.ndarray]] = parallel_map(
+            _evaluate_chunk,
+            tasks,
+            executor=executor,
+            max_workers=max_workers,
+            seed=seed,
+        )
+        samples: Dict[str, np.ndarray] = {
+            name: np.concatenate([chunk[name] for chunk in chunks])
+            for name in chunks[0]
+        }
+        return _summarize_samples(
+            design,
+            n_samples,
+            seed,
+            samples,
+            window,
+            reference_weeks,
+            tail_level,
+            curve_points,
+        )
 
 
 @dataclass(frozen=True)
@@ -351,44 +359,51 @@ def compare_designs(
             "use 'portfolio' or 'per-design'"
         )
     _check_capacity_source(spec, disruptions)
-    sizes = chunk_sizes(n_samples, chunk_samples)
-    tasks = [
-        _PortfolioChunkTask(
-            model=model,
-            cost_model=cost_model,
-            designs=design_tuple,
-            spec=spec,
-            disruptions=disruptions,
-            n_samples=size,
-        )
-        for size in sizes
-    ]
-    chunks: List[Dict[str, np.ndarray]] = parallel_map(
-        _evaluate_portfolio_chunk,
-        tasks,
-        executor=executor,
-        max_workers=max_workers,
+    with span(
+        "mc.compare_designs",
+        designs=[design.name for design in design_tuple],
+        n_samples=n_samples,
         seed=seed,
-    )
-    results: Dict[str, StudyResult] = {}
-    for i, design in enumerate(design_tuple):
-        samples = {
-            name: np.concatenate(
-                [np.asarray(chunk[name][i], dtype=float).ravel() for chunk in chunks]
+        executor=executor,
+    ):
+        sizes = chunk_sizes(n_samples, chunk_samples)
+        tasks = [
+            _PortfolioChunkTask(
+                model=model,
+                cost_model=cost_model,
+                designs=design_tuple,
+                spec=spec,
+                disruptions=disruptions,
+                n_samples=size,
             )
-            for name in chunks[0]
-        }
-        results[design.name] = _summarize_samples(
-            design,
-            n_samples,
-            seed,
-            samples,
-            window,
-            reference_weeks,
-            tail_level,
-            curve_points,
+            for size in sizes
+        ]
+        chunks: List[Dict[str, np.ndarray]] = parallel_map(
+            _evaluate_portfolio_chunk,
+            tasks,
+            executor=executor,
+            max_workers=max_workers,
+            seed=seed,
         )
-    return results
+        results: Dict[str, StudyResult] = {}
+        for i, design in enumerate(design_tuple):
+            samples = {
+                name: np.concatenate(
+                    [np.asarray(chunk[name][i], dtype=float).ravel() for chunk in chunks]
+                )
+                for name in chunks[0]
+            }
+            results[design.name] = _summarize_samples(
+                design,
+                n_samples,
+                seed,
+                samples,
+                window,
+                reference_weeks,
+                tail_level,
+                curve_points,
+            )
+        return results
 
 
 __all__ = [

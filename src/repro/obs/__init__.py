@@ -1,0 +1,92 @@
+"""Observability: tracing, metrics, and run manifests (zero-dependency).
+
+The engine stack (batch/split/portfolio kernels, the invariant LRU,
+``parallel_map``, the Monte Carlo studies) is the hot path for every
+figure and study; this package makes it inspectable without slowing it
+down:
+
+* :mod:`repro.obs.trace` — a :class:`Tracer` of nested spans (wall/CPU
+  time, attributes, correct parents across ``parallel_map`` thread and
+  process workers), exportable as JSON and as a Chrome-trace file that
+  ``chrome://tracing`` / Perfetto load directly. No-op until
+  :func:`install_tracer` is called.
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  counters/gauges/histograms (invariant-cache hits/misses/evictions,
+  kernel invocations and element throughput, executor fallbacks,
+  non-finite guard trips) with Prometheus-text and JSON exporters.
+* :mod:`repro.obs.manifest` — :class:`RunManifest`: per-run provenance
+  (git SHA, config, seeds, factor specs, duration, metrics delta,
+  result digest) written alongside outputs; identically-seeded runs
+  reproduce the digest bit-for-bit.
+* :mod:`repro.obs.instrument` — the hooks the engine layers call;
+  compiled down to a module-global check when uninstrumented (the
+  ``bench_engine.py --check`` guard pins the overhead at <= 2%).
+* :mod:`repro.obs.session` — :class:`ObsSession`, the CLI glue behind
+  ``--trace`` / ``--metrics`` / ``--manifest-dir`` and ``ttm-cas obs``.
+
+Quickstart::
+
+    from repro.obs import install_tracer, uninstall_tracer, get_registry
+
+    tracer = install_tracer()
+    ...  # run sweeps / studies
+    uninstall_tracer()
+    tracer.write_chrome_trace("trace.json")   # load in chrome://tracing
+    print(get_registry().to_prometheus_text())
+"""
+
+from .instrument import disabled, observed_kernel
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    TIMING_FIELDS,
+    environment_fingerprint,
+    git_revision,
+    result_digest,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    get_registry,
+    metrics_delta,
+)
+from .session import ManifestSink, ObsSession
+from .trace import (
+    SpanRecord,
+    TRACE_SCHEMA,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "METRICS_SCHEMA",
+    "ManifestSink",
+    "MetricsRegistry",
+    "ObsSession",
+    "RunManifest",
+    "SpanRecord",
+    "TIMING_FIELDS",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "current_tracer",
+    "disabled",
+    "environment_fingerprint",
+    "get_registry",
+    "git_revision",
+    "install_tracer",
+    "metrics_delta",
+    "observed_kernel",
+    "result_digest",
+    "span",
+    "uninstall_tracer",
+]

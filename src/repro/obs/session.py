@@ -1,0 +1,152 @@
+"""One CLI invocation's observability session.
+
+:class:`ObsSession` bundles the three export surfaces the CLI offers
+(``--trace FILE``, ``--metrics FILE``, ``--manifest-dir DIR``) into one
+context manager: entering installs a tracer when a trace was requested
+and clears the invariant cache (so recorded metrics are run-intrinsic —
+a cold start makes two identical seeded invocations produce identical
+manifests); exiting writes the Chrome-trace file and the
+Prometheus-text metrics dump.
+
+Per-run manifests are captured with :meth:`ObsSession.run_manifest`,
+which snapshots the metrics registry around the run, diffs it, digests
+the result, and writes ``<dir>/<key>.manifest.json``. With no obs flag
+set the session is inert and costs nothing.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Mapping, Optional
+
+from .manifest import (
+    RunManifest,
+    environment_fingerprint,
+    git_revision,
+    result_digest,
+)
+from .metrics import get_registry, metrics_delta
+from .trace import Tracer, install_tracer, uninstall_tracer
+
+
+class ManifestSink:
+    """Collects what the run wants recorded (result, seeds, config)."""
+
+    def __init__(self) -> None:
+        self.result: Any = None
+        self.seeds: Dict[str, int] = {}
+        self.config: Dict[str, Any] = {}
+        self.path: Optional[str] = None
+        self.manifest: Optional[RunManifest] = None
+
+    def set_result(self, result: Any) -> None:
+        """The run's result object (digested into the manifest)."""
+        self.result = result
+
+    def add_seeds(self, seeds: Mapping[str, int]) -> None:
+        self.seeds.update(seeds)
+
+    def add_config(self, config: Mapping[str, Any]) -> None:
+        self.config.update(config)
+
+
+class ObsSession:
+    """See the module docstring. Inert unless an obs flag was given."""
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        metrics_path: Optional[str] = None,
+        manifest_dir: Optional[str] = None,
+    ) -> None:
+        self.trace_path = trace_path or None
+        self.metrics_path = metrics_path or None
+        self.manifest_dir = manifest_dir or None
+        self.tracer: Optional[Tracer] = None
+
+    @classmethod
+    def from_args(cls, args: Any) -> "ObsSession":
+        """Build from an argparse namespace (missing attrs = off)."""
+        return cls(
+            trace_path=getattr(args, "trace", None),
+            metrics_path=getattr(args, "metrics", None),
+            manifest_dir=getattr(args, "manifest_dir", None),
+        )
+
+    @property
+    def active(self) -> bool:
+        return bool(self.trace_path or self.metrics_path or self.manifest_dir)
+
+    def __enter__(self) -> "ObsSession":
+        if not self.active:
+            return self
+        # Start cold so the metrics a run records describe the run, not
+        # whatever this process happened to have cached beforehand.
+        from ..engine.invariants import clear_invariant_cache
+
+        clear_invariant_cache()
+        if self.trace_path:
+            self.tracer = install_tracer()
+        if self.manifest_dir:
+            os.makedirs(self.manifest_dir, exist_ok=True)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.tracer is not None:
+            uninstall_tracer()
+            self.tracer.write_chrome_trace(self.trace_path)
+        if self.metrics_path:
+            get_registry().write_prometheus(self.metrics_path)
+        return False
+
+    @contextmanager
+    def run_manifest(
+        self,
+        kind: str,
+        key: str,
+        config: Optional[Mapping[str, Any]] = None,
+        seeds: Optional[Mapping[str, int]] = None,
+    ):
+        """Capture one run: yields a :class:`ManifestSink`, writes on exit.
+
+        With no ``--manifest-dir`` the sink is still yielded (callers
+        need not branch) but nothing is captured or written.
+        """
+        sink = ManifestSink()
+        if config:
+            sink.add_config(config)
+        if seeds:
+            sink.add_seeds(seeds)
+        if not self.manifest_dir:
+            yield sink
+            return
+        registry = get_registry()
+        before = registry.snapshot()
+        created = time.time()
+        start = time.perf_counter()
+        yield sink
+        duration = time.perf_counter() - start
+        manifest = RunManifest(
+            kind=kind,
+            key=key,
+            created_unix=created,
+            duration_seconds=duration,
+            config=sink.config,
+            seeds=sink.seeds,
+            metrics=metrics_delta(before, registry.snapshot()),
+            environment=environment_fingerprint(),
+            git_sha=git_revision(),
+            result_digest=(
+                result_digest(sink.result)
+                if sink.result is not None
+                else None
+            ),
+        )
+        sink.manifest = manifest
+        sink.path = os.path.join(self.manifest_dir, f"{key}.manifest.json")
+        manifest.write(sink.path)
+
+
+__all__ = ["ManifestSink", "ObsSession"]

@@ -1,0 +1,340 @@
+"""Tracing: nested spans, thread-safe collection, Chrome-trace export.
+
+A :class:`Tracer` records :class:`SpanRecord` entries — name, wall and
+CPU time, free-form attributes (tensor shapes, sample counts), plus the
+thread/process that ran them and the parent span they nest under. Spans
+are opened with the :meth:`Tracer.span` context manager; nesting is
+tracked per thread (a ``threading.local`` stack), and records from
+worker threads land in the same tracer under one lock, so
+``parallel_map`` thread fan-outs trace correctly. Process workers cannot
+share the object, so they record into a fresh local tracer and ship
+their spans back with the result; :meth:`Tracer.adopt` merges them
+(wall timestamps are epoch-based, hence comparable across processes on
+one machine).
+
+Nothing traces by default: the module-level :func:`span` helper returns
+a shared no-op context manager until :func:`install_tracer` installs a
+real one, so the engine's instrumentation costs one ``None`` check when
+tracing is off (the bench guard in ``scripts/bench_engine.py --check``
+pins the overhead).
+
+Exports: :meth:`Tracer.to_chrome_trace` renders the Trace Event Format
+that ``chrome://tracing`` / Perfetto load directly; :meth:`Tracer.to_jsonable`
+is a schema-tagged span list for programmatic use.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Schema marker for the JSON span-list export.
+TRACE_SCHEMA = "repro.obs/trace@1"
+
+#: Sentinel distinguishing "no parent override" from "parent is None".
+_UNSET = object()
+
+#: Process-wide span-id counter (see :meth:`Tracer._next_id`).
+_ID_COUNTER = itertools.count(1)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span (picklable; crosses process boundaries).
+
+    ``start_unix_ns`` is epoch-based wall time, ``duration_ns`` the wall
+    duration and ``cpu_ns`` the CPU time consumed by the span's thread's
+    process. ``status`` is ``"ok"`` or ``"error: <ExceptionType>"``.
+    """
+
+    name: str
+    span_id: str
+    parent_id: Optional[str]
+    start_unix_ns: int
+    duration_ns: int
+    cpu_ns: int
+    thread_id: int
+    process_id: int
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+
+    @property
+    def end_unix_ns(self) -> int:
+        return self.start_unix_ns + self.duration_ns
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix_ns": self.start_unix_ns,
+            "duration_ns": self.duration_ns,
+            "cpu_ns": self.cpu_ns,
+            "thread_id": self.thread_id,
+            "process_id": self.process_id,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+        }
+
+
+class _SpanContext:
+    """The context manager returned by :meth:`Tracer.span`.
+
+    Yields itself; ``set(key, value)`` attaches attributes that travel
+    with the finished record. ``span_id`` is available from entry on, so
+    callers can hand it to workers as an explicit parent.
+    """
+
+    __slots__ = (
+        "_tracer", "name", "span_id", "parent_id", "attributes",
+        "_start_unix_ns", "_start_perf", "_start_cpu",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent_id: Any,
+        attributes: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = tracer._next_id()
+        self.parent_id = parent_id
+        self.attributes = attributes
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def __enter__(self) -> "_SpanContext":
+        stack = self._tracer._stack()
+        if self.parent_id is _UNSET:
+            self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start_unix_ns = time.time_ns()
+        self._start_perf = time.perf_counter_ns()
+        self._start_cpu = time.process_time_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter_ns() - self._start_perf
+        cpu = time.process_time_ns() - self._start_cpu
+        stack = self._tracer._stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        self._tracer._finish(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,  # type: ignore[arg-type]
+                start_unix_ns=self._start_unix_ns,
+                duration_ns=duration,
+                cpu_ns=cpu,
+                thread_id=threading.get_ident(),
+                process_id=os.getpid(),
+                attributes=self.attributes,
+                status=(
+                    "ok" if exc_type is None
+                    else f"error: {exc_type.__name__}"
+                ),
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op stand-in when no tracer is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    span_id = None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans from every thread of this process (see module doc)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[SpanRecord] = []
+        self._local = threading.local()
+
+    def _next_id(self) -> str:
+        # The counter is process-global, not per-tracer: process workers
+        # build a fresh local tracer per item, and per-instance counters
+        # would restart at 1 and collide within one worker pid.
+        return f"{os.getpid():x}-{next(_ID_COUNTER)}"
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _finish(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def span(
+        self, name: str, parent_id: Any = _UNSET, **attributes: Any
+    ) -> _SpanContext:
+        """Open a span; nests under this thread's active span by default.
+
+        Pass ``parent_id=`` explicitly to attach work submitted to
+        another thread or process to the span that scheduled it.
+        """
+        return _SpanContext(self, name, parent_id, dict(attributes))
+
+    def current_span_id(self) -> Optional[str]:
+        """The active span id on *this* thread (None at top level)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def adopt(self, records: Iterable[SpanRecord]) -> None:
+        """Merge spans recorded elsewhere (e.g. in a process worker)."""
+        records = list(records)
+        with self._lock:
+            self._spans.extend(records)
+
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        """Snapshot of every finished span, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def clear(self) -> None:
+        """Drop every recorded span."""
+        with self._lock:
+            self._spans.clear()
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Schema-tagged span list (programmatic export)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "spans": [record.to_jsonable() for record in self.spans()],
+        }
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Trace Event Format dict for ``chrome://tracing`` / Perfetto.
+
+        Spans become complete (``"ph": "X"``) events with microsecond
+        ``ts``/``dur``; span/parent ids and attributes ride in ``args``.
+        """
+        events: List[Dict[str, Any]] = []
+        for record in self.spans():
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": record.start_unix_ns / 1000.0,
+                    "dur": max(record.duration_ns / 1000.0, 0.001),
+                    "pid": record.process_id,
+                    "tid": record.thread_id,
+                    "args": {
+                        "span_id": record.span_id,
+                        "parent_id": record.parent_id,
+                        "status": record.status,
+                        **record.attributes,
+                    },
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        """Write :meth:`to_chrome_trace` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_jsonable` as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_jsonable(), handle, indent=2, default=str)
+            handle.write("\n")
+
+    def summary(self) -> List[Dict[str, Any]]:
+        """Per-name aggregates: count, total/max wall seconds, CPU seconds."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for record in self.spans():
+            entry = totals.setdefault(
+                record.name,
+                {"count": 0, "wall_s": 0.0, "max_wall_s": 0.0, "cpu_s": 0.0},
+            )
+            entry["count"] += 1
+            entry["wall_s"] += record.duration_ns / 1e9
+            entry["max_wall_s"] = max(
+                entry["max_wall_s"], record.duration_ns / 1e9
+            )
+            entry["cpu_s"] += record.cpu_ns / 1e9
+        return [
+            {"name": name, **values}
+            for name, values in sorted(
+                totals.items(), key=lambda item: -item[1]["wall_s"]
+            )
+        ]
+
+
+#: The installed tracer (None = tracing off; the fast path).
+_INSTALLED: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the process tracer."""
+    global _INSTALLED
+    _INSTALLED = tracer if tracer is not None else Tracer()
+    return _INSTALLED
+
+
+def uninstall_tracer() -> Optional[Tracer]:
+    """Remove the installed tracer (returning it) and go back to no-op."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = None
+    return previous
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is off."""
+    return _INSTALLED
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the installed tracer; a shared no-op when none is.
+
+    This is the hook instrumented modules call: when tracing is off it
+    returns the singleton :data:`NULL_SPAN` without allocating a record.
+    """
+    tracer = _INSTALLED
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+__all__ = [
+    "NULL_SPAN",
+    "SpanRecord",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "span",
+    "uninstall_tracer",
+]

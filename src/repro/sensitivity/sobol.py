@@ -22,6 +22,7 @@ from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import InvalidParameterError
+from ..obs.instrument import guard_trip
 from .distributions import Factor, factor_names, sample_matrix
 
 #: Base sample count giving the paper's 1024 total evaluations at k = 6.
@@ -80,6 +81,7 @@ def _check_finite(
     """
     finite = np.isfinite(outputs)
     if not np.all(finite):
+        guard_trip("sobol")
         row = int(np.argmin(finite))
         values = dict(zip(names, (float(v) for v in matrix[row])))
         raise InvalidParameterError(

@@ -243,6 +243,7 @@ class TestPortfolioEviction:
         assert invariant_cache_info() == {
             "hits": 0,
             "misses": 0,
+            "evictions": 0,
             "entries": 0,
         }
         recompiled = compile_portfolio(designs, db)

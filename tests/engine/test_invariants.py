@@ -62,7 +62,7 @@ class TestCaching:
         design_invariants(a11("7nm"), db, DEFAULT_ENGINEERS)
         clear_invariant_cache()
         info = invariant_cache_info()
-        assert info == {"hits": 0, "misses": 0, "entries": 0}
+        assert info == {"hits": 0, "misses": 0, "evictions": 0, "entries": 0}
 
     def test_lru_eviction_is_bounded(self, db):
         designs = [a11("7nm") for _ in range(CACHE_MAX_ENTRIES + 5)]

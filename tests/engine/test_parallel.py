@@ -41,6 +41,24 @@ class TestParallelMap:
         ):
             parallel_map(lambda v: v, [1, 2], executor="process")
 
+    def test_fallback_is_observable_in_metrics_and_warning(self):
+        # Satellite: a degraded run must name the executor it chose AND
+        # bump the executor_fallback_total counter, so losing
+        # parallelism is visible in metrics dumps as well as logs.
+        from repro.obs.instrument import EXECUTOR_FALLBACKS
+
+        before = EXECUTOR_FALLBACKS.value(
+            requested="process", chosen="serial"
+        )
+        with pytest.warns(
+            RuntimeWarning, match=r"chosen executor: 'serial'"
+        ):
+            parallel_map(lambda v: v, [1, 2], executor="process")
+        after = EXECUTOR_FALLBACKS.value(
+            requested="process", chosen="serial"
+        )
+        assert after == before + 1
+
     def test_broken_pool_fallback_warns_with_reason(self, monkeypatch):
         # Simulate a platform whose process pool cannot start (the
         # ImportError/OSError path): the sweep still completes serially

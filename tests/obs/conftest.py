@@ -1,0 +1,23 @@
+"""Obs-suite fixtures: keep process-global obs state test-local."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.obs.trace import uninstall_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Reset the registry and tracer around every obs test.
+
+    The registry and installed tracer are process-wide by design; tests
+    must not leak counts or a live tracer into each other (or into the
+    rest of the suite).
+    """
+    uninstall_tracer()
+    get_registry().reset()
+    yield
+    uninstall_tracer()
+    get_registry().reset()

@@ -1,0 +1,98 @@
+"""Tests for the ``ttm-cas obs`` summarizer and the CLI obs flags."""
+
+import json
+
+from repro.cli import main
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    return tracer
+
+
+class TestObsCommand:
+    def test_summarizes_trace_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        make_tracer().write_json(str(path))
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== trace: 2 spans ==" in out
+        assert "outer" in out and "inner" in out
+
+    def test_summarizes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "chrome.json"
+        make_tracer().write_chrome_trace(str(path))
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== chrome trace: 2 complete events ==" in out
+
+    def test_summarizes_prometheus_text(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("calls_total").inc(kernel="ttm")
+        registry.counter("silent_total")
+        path = tmp_path / "metrics.prom"
+        registry.write_prometheus(str(path))
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics: 1 non-zero series ==" in out
+        assert 'calls_total{kernel="ttm"}' in out
+        assert "silent_total" not in out
+
+    def test_summarizes_manifest(self, tmp_path, capsys):
+        manifest = RunManifest(
+            kind="mc-study",
+            key="mc-a11",
+            created_unix=1_700_000_000.0,
+            duration_seconds=0.25,
+            seeds={"seed": 7},
+            metrics={"engine_kernel_invocations_total": 3.0},
+            git_sha="a" * 40,
+            result_digest="b" * 64,
+        )
+        path = tmp_path / "mc-a11.manifest.json"
+        manifest.write(str(path))
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== run manifest: mc-study / mc-a11 ==" in out
+        assert "seed:seed" in out
+        assert "engine_kernel_invocations_total" in out
+
+    def test_rejects_unrecognized_content(self, tmp_path, capsys):
+        path = tmp_path / "noise.txt"
+        path.write_text("not an artifact\n")
+        assert main(["obs", str(path)]) == 2
+        assert "not a recognized obs artifact" in capsys.readouterr().err
+
+    def test_rejects_missing_file(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path / "absent.json")]) == 2
+        assert capsys.readouterr().err
+
+
+class TestObsFlags:
+    def test_run_writes_trace_metrics_and_manifest(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        manifest_dir = tmp_path / "manifests"
+        assert main([
+            "run", "fig3",
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+            "--manifest-dir", str(manifest_dir),
+        ]) == 0
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert any(event["name"] == "experiment.fig3" for event in events)
+        assert "# TYPE engine_kernel_invocations_total counter" in (
+            metrics_path.read_text()
+        )
+        manifest = RunManifest.read(
+            str(manifest_dir / "fig3.manifest.json")
+        )
+        assert manifest.kind == "experiment"
+        assert manifest.config["experiment"] == "fig3"
+        assert manifest.result_digest is not None

@@ -1,0 +1,142 @@
+"""Tests for the metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    get_registry,
+    iter_prometheus_samples,
+    metrics_delta,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_series(self):
+        counter = MetricsRegistry().counter("calls_total")
+        counter.inc()
+        counter.inc(2.0)
+        counter.inc(kernel="ttm")
+        assert counter.value() == 3.0
+        assert counter.value(kernel="ttm") == 1.0
+        assert counter.value(kernel="never") == 0.0
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("calls_total")
+        with pytest.raises(InvalidParameterError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+    def test_precomputed_key_fast_path_matches_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total")
+        counter.inc(kernel="ttm")
+        counter._inc_key((("kernel", "ttm"),), 4.0)
+        assert counter.value(kernel="ttm") == 5.0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("entries")
+        gauge.set(7)
+        gauge.add(-3)
+        assert gauge.value() == 4.0
+
+
+class TestHistogram:
+    def test_observe_fills_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == (1, 2, 3)
+        assert histogram.value() == 4.0
+        assert histogram.sum() == pytest.approx(55.55)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(InvalidParameterError, match="sorted"):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("calls_total") is registry.counter(
+            "calls_total"
+        )
+        assert registry.get("calls_total") is not None
+        assert registry.get("absent") is None
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total")
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            registry.gauge("calls_total")
+
+    def test_reset_zeroes_values_but_keeps_registrations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total")
+        counter.inc(5.0)
+        registry.reset()
+        assert counter.value() == 0.0
+        assert registry.get("calls_total") is counter
+
+    def test_snapshot_flattens_series_names(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total").inc(kernel="ttm")
+        registry.gauge("entries").set(2)
+        histogram = registry.histogram("latency_seconds", buckets=(1.0,))
+        histogram.observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot['calls_total{kernel="ttm"}'] == 1.0
+        assert snapshot["entries"] == 2.0
+        assert snapshot["latency_seconds_count"] == 1.0
+        assert snapshot["latency_seconds_sum"] == 0.5
+
+    def test_process_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestExports:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", "Calls").inc(kernel="ttm")
+        registry.counter("untouched_total", "Never fired")
+        registry.histogram("latency_seconds", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_prometheus_text_headers_and_untouched_zero(self):
+        text = self.make_registry().to_prometheus_text()
+        assert "# HELP calls_total Calls" in text
+        assert "# TYPE calls_total counter" in text
+        assert 'calls_total{kernel="ttm"} 1' in text
+        assert "untouched_total 0" in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_count 1" in text
+
+    def test_prometheus_text_round_trips_through_parser(self):
+        registry = self.make_registry()
+        samples = dict(iter_prometheus_samples(registry.to_prometheus_text()))
+        assert samples['calls_total{kernel="ttm"}'] == 1.0
+        assert samples["untouched_total"] == 0.0
+
+    def test_write_prometheus(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        self.make_registry().write_prometheus(str(path))
+        assert "# TYPE calls_total counter" in path.read_text()
+
+    def test_json_export_is_schema_tagged(self):
+        data = json.loads(self.make_registry().to_json())
+        assert data["schema"] == METRICS_SCHEMA
+        names = [entry["name"] for entry in data["metrics"]]
+        assert names == ["calls_total", "untouched_total", "latency_seconds"]
+
+
+class TestMetricsDelta:
+    def test_delta_names_only_what_moved(self):
+        before = {"a": 1.0, "b": 2.0}
+        after = {"a": 1.0, "b": 5.0, "c": 4.0}
+        assert metrics_delta(before, after) == {"b": 3.0, "c": 4.0}

@@ -1,0 +1,71 @@
+"""Tests for ObsSession (the CLI observability glue)."""
+
+import argparse
+import json
+
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import get_registry
+from repro.obs.session import ManifestSink, ObsSession
+from repro.obs.trace import current_tracer, span
+
+
+class TestInertSession:
+    def test_no_flags_means_no_side_effects(self, tmp_path):
+        session = ObsSession()
+        assert not session.active
+        with session:
+            assert current_tracer() is None
+            with session.run_manifest("experiment", "fig3") as sink:
+                sink.set_result({"rows": 1})
+        assert sink.manifest is None
+        assert sink.path is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_from_args_tolerates_missing_attributes(self):
+        session = ObsSession.from_args(argparse.Namespace())
+        assert not session.active
+
+
+class TestActiveSession:
+    def test_writes_trace_and_metrics_on_exit(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        with ObsSession(
+            trace_path=str(trace_path), metrics_path=str(metrics_path)
+        ):
+            with span("session.work"):
+                pass
+            get_registry().counter("session_probe_total").inc()
+        assert current_tracer() is None
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        assert [event["name"] for event in events] == ["session.work"]
+        assert "session_probe_total 1" in metrics_path.read_text()
+
+    def test_run_manifest_records_the_run(self, tmp_path):
+        manifest_dir = tmp_path / "manifests"
+        with ObsSession(manifest_dir=str(manifest_dir)) as session:
+            with session.run_manifest(
+                "mc-study",
+                "mc-demo",
+                config={"samples": 8},
+                seeds={"seed": 3},
+            ) as sink:
+                get_registry().counter("session_probe_total").inc(2.0)
+                sink.set_result({"metric": 1.0})
+        manifest = RunManifest.read(str(manifest_dir / "mc-demo.manifest.json"))
+        assert sink.manifest is not None
+        assert manifest.equal_except_timing(sink.manifest)
+        assert manifest.config == {"samples": 8}
+        assert manifest.seeds == {"seed": 3}
+        assert manifest.metrics["session_probe_total"] == 2.0
+        assert manifest.result_digest is not None
+
+
+class TestManifestSink:
+    def test_accumulates_config_and_seeds(self):
+        sink = ManifestSink()
+        sink.add_config({"a": 1})
+        sink.add_config({"b": 2})
+        sink.add_seeds({"seed": 4})
+        assert sink.config == {"a": 1, "b": 2}
+        assert sink.seeds == {"seed": 4}
