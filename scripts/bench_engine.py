@@ -18,6 +18,12 @@ Workloads (the ISSUEs' acceptance targets):
   per-design *batched* loop is also timed (``per_design_batch_seconds``)
   for context, and the fused tensor is checked cell-for-cell against
   that per-design ``batch_ttm`` oracle.
+* ``sustained`` -- a steady request stream (32 requests x 16 designs x
+  512 samples, fresh supply draws per request): the per-design
+  ``batch_ttm`` loop vs the fused ``portfolio_ttm`` stream reusing one
+  compiled portfolio. Measures the per-call overhead the fused path
+  amortizes at serving-style batch sizes. Target: >= 2x over the
+  *batched* per-design loop (not the scalar model).
 * ``accuracy``  -- max error of the batched results against the scalar
   or per-design oracle over every workload (must be <= 1e-9).
 
@@ -26,6 +32,22 @@ Usage::
     PYTHONPATH=src python scripts/bench_engine.py [output.json]
     PYTHONPATH=src python scripts/bench_engine.py --check      # CI gate
     PYTHONPATH=src python scripts/bench_engine.py --profile 25
+    PYTHONPATH=src python scripts/bench_engine.py --backend compiled \\
+        BENCH_engine.compiled.json
+
+``--backend`` selects the engine backend (``numpy``, ``compiled``, or
+``compiled:float32``) for the batched hot paths before any measurement;
+the scalar baselines are backend-independent. The active backend label
+is recorded in the report's ``config`` block.
+
+``--compare-backends`` A/Bs the NumPy and compiled backends on the two
+tentpole hot paths (``fig14_split_sweep`` and ``portfolio_mc``) in the
+same process: float64 results must be bit-identical, and with Numba
+installed the compiled backend must clear ``COMPILED_SPEEDUP_FLOOR``
+(5x). Without Numba the kernels run as plain Python loops, so only the
+equality half gates and the timing half is reported, not enforced.
+Cross-machine wall times are too noisy to gate on; this same-process
+ratio is how CI's numba leg proves the compiled-backend speedup.
 
 ``--check`` re-measures every workload and compares its speedup against
 the recorded baseline in the output JSON with a generous slack factor
@@ -69,6 +91,13 @@ from repro.design.library.ariane import ariane_manycore
 from repro.design.library.raven import raven_multicore
 from repro.engine.batch import batch_ttm, cas_over_capacity
 from repro.engine.batch_split import batch_split
+from repro.engine.compiled import (
+    backend_label,
+    numba_available,
+    parse_backend_spec,
+    set_backend,
+    use_backend,
+)
 from repro.engine.invariants import clear_invariant_cache
 from repro.engine.portfolio import portfolio_ttm
 from repro.engine.sobol_adapter import ttm_factor_batch_function
@@ -88,6 +117,13 @@ PORTFOLIO_DESIGNS = 64
 PORTFOLIO_SAMPLES = 4096
 PORTFOLIO_SEED = 20230613
 
+#: The sustained-throughput stream: many smallish requests against one
+#: compiled portfolio (serving-style, overhead-bound sizes).
+SUSTAINED_DESIGNS = 16
+SUSTAINED_SAMPLES = 512
+SUSTAINED_REQUESTS = 32
+SUSTAINED_SEED = 20230807
+
 #: Error ceiling every workload must satisfy (scalar/oracle agreement).
 ERROR_CEILING = 1e-9
 
@@ -103,6 +139,10 @@ OVERHEAD_PROBE_ITERATIONS = 200_000
 
 #: Workload timing repeats for the overhead guard denominator.
 OVERHEAD_REPEATS = 5
+
+#: Compiled-over-NumPy speedup the tentpole hot paths must clear when
+#: Numba is installed (``--compare-backends``).
+COMPILED_SPEEDUP_FLOOR = 5.0
 
 
 def best_of(repeats: int, call) -> float:
@@ -349,11 +389,90 @@ def bench_portfolio_mc(model: TTMModel) -> dict:
     }
 
 
+def bench_sustained_throughput(model: TTMModel) -> dict:
+    """A steady request stream against one compiled portfolio.
+
+    Unlike ``portfolio_mc`` (one huge fused pass, where the per-design
+    batched loop is already near-optimal), this workload is
+    overhead-bound: 32 independent requests of 16 designs x 512 samples
+    each. The fused path pays one compiled-portfolio lookup and one
+    broadcasted kernel per request; the per-design loop pays 16
+    ``batch_ttm`` dispatches (invariant lookup, validation, result
+    assembly) per request. The speedup is therefore the engine's
+    *sustained* per-call efficiency, not its asymptotic FLOP rate, and
+    the target is deliberately modest.
+    """
+    designs, _, _, _ = portfolio_workload(n_designs=SUSTAINED_DESIGNS)
+    rng = np.random.default_rng(SUSTAINED_SEED)
+    requests = [
+        (
+            rng.uniform(0.2, 1.0, SUSTAINED_SAMPLES),
+            rng.uniform(0.0, 20.0, SUSTAINED_SAMPLES),
+            rng.uniform(1e6, 5e7, SUSTAINED_SAMPLES),
+        )
+        for _ in range(SUSTAINED_REQUESTS)
+    ]
+
+    def fused_stream():
+        return [
+            portfolio_ttm(
+                model,
+                designs,
+                demand,
+                capacity=capacity,
+                queue_weeks=queue_weeks,
+            ).total_weeks
+            for capacity, queue_weeks, demand in requests
+        ]
+
+    def per_design_stream():
+        return [
+            [
+                batch_ttm(
+                    model,
+                    design,
+                    demand,
+                    capacity=capacity,
+                    queue_weeks=queue_weeks,
+                ).total_weeks
+                for design in designs
+            ]
+            for capacity, queue_weeks, demand in requests
+        ]
+
+    fused_matrices = fused_stream()
+    oracle_rows = per_design_stream()
+    error = float(
+        max(
+            np.max(np.abs(matrix[i] - row))
+            for matrix, rows in zip(fused_matrices, oracle_rows)
+            for i, row in enumerate(rows)
+        )
+    )
+
+    clear_invariant_cache()
+    cold_time = best_of(1, fused_stream)  # includes the portfolio compile
+    loop_time = best_of(REPEATS, per_design_stream)
+    batch_time = best_of(REPEATS, fused_stream)
+    return {
+        "designs": len(designs),
+        "samples": SUSTAINED_SAMPLES,
+        "requests": SUSTAINED_REQUESTS,
+        "scalar_seconds": loop_time,  # baseline = per-design batch loop
+        "batched_seconds": batch_time,
+        "batched_cold_seconds": cold_time,
+        "speedup": loop_time / batch_time,
+        "max_abs_error": error,
+        "target_speedup": 2.0,
+    }
+
+
 WORKLOADS = {
     "sobol_1024_evals": bench_sobol,
     "cas_sweep_20x6": bench_sweep,
     "fig14_split_sweep": bench_split_sweep,
     "portfolio_mc": bench_portfolio_mc,
+    "sustained_throughput": bench_sustained_throughput,
 }
 
 
@@ -459,6 +578,83 @@ def bench_obs_overhead(model: TTMModel) -> dict:
     return out
 
 
+def compare_backends(model: TTMModel) -> bool:
+    """Same-process NumPy-vs-compiled A/B on the tentpole hot paths.
+
+    Gates two things: float64 bit-equality (always) and the
+    :data:`COMPILED_SPEEDUP_FLOOR` wall-time ratio (only when Numba is
+    installed — without it the compiled kernels are plain Python loops
+    and the ratio is informational).
+    """
+    designs, capacity, queue_weeks, demand = portfolio_workload()
+    cost_model = CostModel.nominal()
+    processes = [
+        node.name for node in model.foundry.technology.production_nodes()
+    ]
+    pairs = [
+        (primary, secondary)
+        for i, secondary in enumerate(processes)
+        for primary in processes[i:]
+    ]
+    split_grid = tuple(s / 100.0 for s in range(1, 101))
+    hot_paths = {
+        "fig14_split_sweep": lambda: batch_split(
+            raven_multicore,
+            pairs,
+            model,
+            cost_model,
+            1e9,
+            split_grid=split_grid,
+        ),
+        "portfolio_mc": lambda: portfolio_ttm(
+            model, designs, demand, capacity=capacity, queue_weeks=queue_weeks
+        ),
+    }
+    comparable = {
+        "fig14_split_sweep": lambda r: (
+            r.ttm_weeks,
+            r.cost_usd,
+            r.cas,
+            r.line_weeks_primary,
+        ),
+        "portfolio_mc": lambda r: (
+            r.total_weeks,
+            r.fabrication_weeks,
+            r.packaging_weeks,
+        ),
+    }
+    gate_timing = numba_available()
+    ok = True
+    for name, call in hot_paths.items():
+        with use_backend("numpy"):
+            reference = call()
+            numpy_time = best_of(REPEATS, call)
+        with use_backend("compiled"):
+            call()  # warm-up: pays any JIT compile outside the timing
+            compiled = call()
+            compiled_time = best_of(REPEATS, call)
+        equal = all(
+            np.array_equal(lhs, rhs, equal_nan=True)
+            for lhs, rhs in zip(
+                comparable[name](reference), comparable[name](compiled)
+            )
+        )
+        ratio = numpy_time / compiled_time
+        met = equal and (not gate_timing or ratio >= COMPILED_SPEEDUP_FLOOR)
+        ok = ok and met
+        floor = (
+            f"floor {COMPILED_SPEEDUP_FLOOR:.0f}x"
+            if gate_timing
+            else "floor waived: no numba, pure-Python kernels"
+        )
+        print(
+            f"compiled vs numpy {name}: {ratio:.1f}x ({floor}), "
+            f"float64 {'bit-equal' if equal else 'MISMATCH'} "
+            f"[{'ok' if met else 'FAILED'}]"
+        )
+    return ok
+
+
 def check_overhead(report: dict) -> bool:
     """Gate: default instrumentation must cost <= 2% on the hot paths."""
     ok = True
@@ -493,6 +689,10 @@ def measure(model: TTMModel) -> dict:
             "repeats": REPEATS,
             "portfolio_designs": PORTFOLIO_DESIGNS,
             "portfolio_samples": PORTFOLIO_SAMPLES,
+            "sustained_designs": SUSTAINED_DESIGNS,
+            "sustained_samples": SUSTAINED_SAMPLES,
+            "sustained_requests": SUSTAINED_REQUESTS,
+            "backend": backend_label(),
         },
     }
 
@@ -635,9 +835,31 @@ def main(argv=None) -> int:
         metavar="N",
         help="cProfile each workload's batched hot path, print top N",
     )
+    parser.add_argument(
+        "--backend",
+        default="",
+        metavar="SPEC",
+        help=(
+            "engine backend for the batched paths: numpy, compiled, or "
+            "compiled:float32 (default: the active backend)"
+        ),
+    )
+    parser.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help=(
+            "A/B the NumPy and compiled backends on the tentpole hot "
+            "paths (bit-equality always gates; the 5x floor gates only "
+            "with numba installed) instead of the full measurement"
+        ),
+    )
     options = parser.parse_args(argv)
 
+    if options.backend:
+        set_backend(*parse_backend_spec(options.backend))
     model = TTMModel.nominal()
+    if options.compare_backends:
+        return 0 if compare_backends(model) else 1
     if options.profile is not None:
         profile_workloads(model, options.profile)
 

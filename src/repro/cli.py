@@ -11,9 +11,11 @@ Usage::
 
 The ``run``, ``report``, and ``mc`` commands accept ``--trace FILE``
 (Chrome-trace span dump, loadable in ``chrome://tracing``),
-``--metrics FILE`` (Prometheus text exposition), and
-``--manifest-dir DIR`` (one provenance manifest per run); ``obs``
-summarizes any of the three artifacts.
+``--metrics FILE`` (Prometheus text exposition), ``--manifest-dir DIR``
+(one provenance manifest per run), and ``--backend SPEC`` (engine
+backend selection: ``numpy``, ``compiled``, or ``compiled:float32``);
+``obs`` summarizes any of the three artifacts, including the backend
+and shared-memory availability recorded in each manifest.
 
 (Equivalently: ``python -m repro.cli ...``.)
 """
@@ -55,6 +57,7 @@ def _run_one_experiment(session: ObsSession, experiment) -> object:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_engine_arguments(args)
     keys = (
         list(registry.experiment_keys()) if args.experiment == "all"
         else [args.experiment]
@@ -90,6 +93,7 @@ def _cmd_lint(_: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    _apply_engine_arguments(args)
     lines = [
         "# ttm-cas evaluation report",
         "",
@@ -120,6 +124,7 @@ MC_DESIGNS = ("a11", "zen2", "zen2-monolithic")
 
 
 def _cmd_mc(args: argparse.Namespace) -> int:
+    _apply_engine_arguments(args)
     from .analysis.export import to_jsonable
     from .cost.model import CostModel
     from .design.library import a11, zen2, zen2_monolithic
@@ -331,6 +336,35 @@ def _cmd_nodes(_: argparse.Namespace) -> int:
     return 0
 
 
+#: Backend specs accepted by ``--backend`` (see repro.engine.compiled).
+BACKEND_CHOICES = ("numpy", "compiled", "compiled:float32")
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared engine flags (run / report / mc)."""
+    group = parser.add_argument_group("engine")
+    group.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="",
+        metavar="SPEC",
+        help=(
+            "evaluation backend: 'numpy' (default), 'compiled' "
+            "(fused kernels, Numba-jitted when installed), or "
+            "'compiled:float32' (reduced precision; see README). "
+            "Overrides the REPRO_ENGINE_BACKEND environment variable."
+        ),
+    )
+
+
+def _apply_engine_arguments(args: argparse.Namespace) -> None:
+    backend = getattr(args, "backend", "")
+    if backend:
+        from .engine.compiled import parse_backend_spec, set_backend
+
+        set_backend(*parse_backend_spec(backend))
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags (run / report / mc)."""
     group = parser.add_argument_group("observability")
@@ -377,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the raw result as JSON instead of a table",
     )
+    _add_engine_arguments(run_parser)
     _add_obs_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
     sub.add_parser("nodes", help="print the technology database").set_defaults(
@@ -388,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "-o", "--output", default="", help="file to write (default: stdout)"
     )
+    _add_engine_arguments(report_parser)
     _add_obs_arguments(report_parser)
     report_parser.set_defaults(handler=_cmd_report)
     sub.add_parser(
@@ -431,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the raw result as JSON instead of a table",
     )
+    _add_engine_arguments(mc_parser)
     _add_obs_arguments(mc_parser)
     mc_parser.set_defaults(handler=_cmd_mc)
     obs_parser = sub.add_parser(

@@ -18,7 +18,14 @@ invariants on every scalar call. This package makes the hot paths cheap:
 * :mod:`repro.engine.sobol_adapter` -- one-shot Saltelli-matrix
   objectives for ``sobol_indices(..., vectorized=True)``;
 * :mod:`repro.engine.parallel` -- ``parallel_map`` with serial / thread /
-  process executors and a safe serial fallback.
+  process executors and a safe serial fallback;
+* :mod:`repro.engine.compiled` -- the optional ``engine="compiled"``
+  backend: single-pass fused kernels (Numba-jitted when the optional
+  dependency is present) behind a registry (``get_backend`` /
+  ``set_backend`` / ``REPRO_ENGINE_BACKEND``), bit-for-bit equal to the
+  NumPy path in float64;
+* :mod:`repro.engine.shm` -- zero-copy shared-memory publication of
+  compiled invariants to process-pool workers.
 
 Batched results match the scalar model to floating-point round-off; the
 equivalence suite (``tests/engine``) pins them to <= 1e-9 relative error
@@ -39,7 +46,17 @@ from .batch_split import (
     SplitSampleResult,
     batch_split,
     batch_split_samples,
+    refine_split_exact,
     refine_split_grid,
+)
+from .compiled import (
+    Backend,
+    backend_info,
+    backend_label,
+    get_backend,
+    numba_available,
+    set_backend,
+    use_backend,
 )
 from .invariants import (
     DesignInvariants,
@@ -50,6 +67,15 @@ from .invariants import (
     invariant_cache_info,
 )
 from .parallel import EXECUTORS, parallel_map
+from .shm import (
+    SHARED_STORE,
+    InvariantsShare,
+    PortfolioShare,
+    SharedInvariantStore,
+    share_design_invariants,
+    share_portfolio,
+    shm_enabled,
+)
 from .portfolio import (
     PortfolioCASResult,
     PortfolioCostResult,
@@ -66,16 +92,23 @@ from .portfolio import (
 from .sobol_adapter import rowwise_batch_function, ttm_factor_batch_function
 
 __all__ = [
+    "Backend",
     "BatchCASResult",
     "BatchTTMResult",
     "DesignInvariants",
     "EXECUTORS",
+    "InvariantsShare",
     "PortfolioCASResult",
     "PortfolioCostResult",
     "PortfolioInvariants",
+    "PortfolioShare",
     "PortfolioTTMResult",
+    "SHARED_STORE",
+    "SharedInvariantStore",
     "SplitGridResult",
     "SplitSampleResult",
+    "backend_info",
+    "backend_label",
     "batch_cas",
     "batch_split",
     "batch_split_samples",
@@ -86,7 +119,9 @@ __all__ = [
     "compile_portfolio",
     "compute_invariants",
     "design_invariants",
+    "get_backend",
     "invariant_cache_info",
+    "numba_available",
     "parallel_map",
     "portfolio_cas",
     "portfolio_cas_over_capacity",
@@ -94,7 +129,13 @@ __all__ = [
     "portfolio_fingerprint",
     "portfolio_ttm",
     "portfolio_ttm_over_capacity",
+    "refine_split_exact",
     "refine_split_grid",
     "rowwise_batch_function",
+    "set_backend",
+    "share_design_invariants",
+    "share_portfolio",
+    "shm_enabled",
     "ttm_factor_batch_function",
+    "use_backend",
 ]

@@ -41,6 +41,7 @@ from ..design.chip import ChipDesign
 from ..errors import InvalidParameterError
 from ..obs.instrument import observed_kernel
 from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
+from .compiled import get_backend
 from .invariants import DesignInvariants, design_invariants
 
 ArrayLike = Union[float, Sequence[float], np.ndarray]
@@ -213,6 +214,7 @@ def batch_ttm(
     queue_weeks: Optional[ArrayLike] = None,
     d0_scale: Optional[ArrayLike] = None,
     wafer_rate_scale: Optional[ArrayLike] = None,
+    invariants: Optional[DesignInvariants] = None,
 ) -> BatchTTMResult:
     """Vectorized ``TTMModel.time_to_market`` over quantity/capacity grids.
 
@@ -242,15 +244,20 @@ def batch_ttm(
     wafer_rate_scale:
         Optional multiplier on every node's *maximum* wafer rate (Table 2
         uncertainty); the queue quote's wafer backlog scales with it.
+    invariants:
+        Pre-compiled invariants for ``design`` (e.g. a shared-memory
+        attach in a worker process); ``None`` resolves them through the
+        shared LRU.
     """
-    invariants = design_invariants(
-        design,
-        model.foundry.technology,
-        model.engineers,
-        alpha=model.alpha,
-        edge_corrected=model.edge_corrected,
-        block_parallel=model.block_parallel,
-    )
+    if invariants is None:
+        invariants = design_invariants(
+            design,
+            model.foundry.technology,
+            model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
     quantities = _as_positive_array(n_chips, "number of final chips")
     supply = _supply_arrays(
         model,
@@ -260,6 +267,10 @@ def batch_ttm(
         d0_scale=d0_scale,
         wafer_rate_scale=wafer_rate_scale,
     )
+    if get_backend().name == "compiled":
+        from .compiled.adapters import ttm_from_supply
+
+        return ttm_from_supply(model, design, invariants, quantities, supply)
 
     ready_by_node: Dict[str, np.ndarray] = {}
     node_totals = []
@@ -375,6 +386,7 @@ def batch_cas(
     queue_weeks: Optional[ArrayLike] = None,
     d0_scale: Optional[ArrayLike] = None,
     wafer_rate_scale: Optional[ArrayLike] = None,
+    invariants: Optional[DesignInvariants] = None,
 ) -> BatchCASResult:
     """Vectorized Chip Agility Score (Eq. 8) over a capacity grid.
 
@@ -392,14 +404,15 @@ def batch_cas(
         raise InvalidParameterError(
             f"relative step must be in (0, 1), got {relative_step}"
         )
-    invariants = design_invariants(
-        design,
-        model.foundry.technology,
-        model.engineers,
-        alpha=model.alpha,
-        edge_corrected=model.edge_corrected,
-        block_parallel=model.block_parallel,
-    )
+    if invariants is None:
+        invariants = design_invariants(
+            design,
+            model.foundry.technology,
+            model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
     quantities = _as_positive_array(n_chips, "number of final chips")
     supply = _supply_arrays(
         model,
@@ -409,6 +422,12 @@ def batch_cas(
         d0_scale=d0_scale,
         wafer_rate_scale=wafer_rate_scale,
     )
+    if get_backend().name == "compiled":
+        from .compiled.adapters import cas_from_supply
+
+        return cas_from_supply(
+            model, design, invariants, quantities, supply, relative_step
+        )
 
     base_rates = list(supply.rates)
     sensitivities: Dict[str, np.ndarray] = {}
@@ -497,6 +516,7 @@ def batch_cost(
     n_chips: ArrayLike,
     d0_scale: Optional[ArrayLike] = None,
     engineers: int = DEFAULT_ENGINEERS,
+    invariants: Optional[DesignInvariants] = None,
 ) -> BatchCostResult:
     """Vectorized ``CostModel.chip_creation_cost`` over sampled inputs.
 
@@ -506,18 +526,25 @@ def batch_cost(
     team-size independent); pass the companion TTM model's team size so a
     joint TTM+cost study shares one cache entry.
     """
-    invariants = design_invariants(
-        design,
-        cost_model.technology,
-        engineers,
-        alpha=cost_model.alpha,
-        edge_corrected=cost_model.edge_corrected,
-    )
+    if invariants is None:
+        invariants = design_invariants(
+            design,
+            cost_model.technology,
+            engineers,
+            alpha=cost_model.alpha,
+            edge_corrected=cost_model.edge_corrected,
+        )
     quantities = _as_positive_array(n_chips, "number of final chips")
     if d0_scale is None:
         scale: np.ndarray = np.asarray(1.0, dtype=float)
     else:
         scale = _as_positive_array(d0_scale, "defect density scale")
+    if get_backend().name == "compiled":
+        from .compiled.adapters import cost_from_parts
+
+        return cost_from_parts(
+            cost_model, design, invariants, quantities, scale
+        )
     wafers_per_chip = invariants.wafers_per_chip_at(scale)
 
     nre = design_nre(

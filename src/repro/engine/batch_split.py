@@ -52,6 +52,7 @@ from .batch import (
     batch_cost,
     batch_ttm,
 )
+from .invariants import DesignInvariants
 
 #: Default split grid: 1% .. 100% of chips on the primary node. Kept in
 #: sync with ``repro.multiprocess.optimizer.DEFAULT_SPLIT_GRID`` (which
@@ -502,6 +503,164 @@ def refine_split_grid(
     return fine
 
 
+def _affine_fit(
+    fractions: np.ndarray, values: np.ndarray
+) -> Tuple[float, float]:
+    """(intercept, slope) of the line through the outer probe points."""
+    slope = float(
+        (values[2] - values[0]) / (fractions[2] - fractions[0])
+    )
+    return float(values[0]) - slope * float(fractions[0]), slope
+
+
+def _probe_is_affine(values: np.ndarray, rtol: float = 1e-9) -> bool:
+    """Whether the midpoint probe sits on the chord of the outer two."""
+    predicted = (float(values[0]) + float(values[2])) / 2.0
+    scale = max(abs(float(values[1])), 1.0)
+    return abs(float(values[1]) - predicted) <= rtol * scale
+
+
+def _affine_crossing(
+    line_a: Tuple[float, float],
+    line_b: Tuple[float, float],
+    lo: float,
+    hi: float,
+) -> Optional[float]:
+    """Interior zero of ``line_a - line_b`` in ``(lo, hi)``, if any."""
+    slope = line_a[1] - line_b[1]
+    if slope == 0.0:
+        return None
+    crossing = (line_b[0] - line_a[0]) / slope
+    return crossing if lo < crossing < hi else None
+
+
+def refine_split_exact(
+    result: SplitGridResult,
+    design_factory: DesignFactory,
+    model: TTMModel,
+    cost_model: CostModel,
+    relative_step: float = DEFAULT_RELATIVE_STEP,
+    points: int = DEFAULT_REFINE_POINTS,
+) -> np.ndarray:
+    """Per-pair *exact* candidate splits bracketing each coarse optimum.
+
+    Within one coarse-grid spacing, each production line's completion
+    weeks are affine in the allocated fraction (the active bottleneck
+    does not change), so every quantity the optimizer ranks is
+    piecewise affine in the split: TTM is the max of two lines, and the
+    CAS denominator is a sum of absolute differences of such maxima
+    (one per perturbed node). A piecewise-affine objective attains its
+    optimum at a breakpoint — a crossing of two line functions, a zero
+    of a perturbation difference, or a bracket endpoint — so instead of
+    carpeting the bracket with a fine grid this pass *solves* for those
+    breakpoints:
+
+    1. probe each line at the bracket's endpoints and midpoint, under
+       the base scenario and the four CAS perturbations (``primary``/
+       ``secondary`` rate, each displaced both ways);
+    2. verify the midpoint probe is on the endpoint chord (relative
+       tolerance 1e-9) — rows where any scenario bends fall back to the
+       :func:`refine_split_grid` fine grid for that pair;
+    3. fit the affine coefficients and enumerate every interior
+       crossing and sensitivity zero as a candidate split.
+
+    The returned ``(n_pairs, n_candidates)`` matrix (rows padded with
+    their last candidate, diagonal pairs pinned at 1.0) feeds a second
+    :func:`batch_split` call exactly like the fine grid does — but the
+    best cell is now the bracket's true optimum, not a 0.1%-grid
+    approximation of it.
+    """
+    if points < 2:
+        raise InvalidParameterError(
+            f"refinement needs at least 2 points, got {points}"
+        )
+    engine = _LineEngine(
+        design_factory, model, cost_model, result.n_chips, relative_step
+    )
+    rows: List[np.ndarray] = []
+    for i in range(result.n_pairs):
+        if bool(result.single_mask[i].all()):
+            rows.append(np.asarray([1.0]))
+            continue
+        primary, secondary = result.pairs[i]
+        row = result.splits[i]
+        best = float(row[result.best_index(i)])
+        below = row[row < best]
+        above = row[row > best]
+        lo = float(below.max()) if below.size else best / 2.0
+        hi = float(above.min()) if above.size else min(
+            1.0, best + (best - lo)
+        )
+        probes = np.asarray([lo, (lo + hi) / 2.0, hi])
+        scenarios = (
+            (None, 0),
+            (primary, +1),
+            (primary, -1),
+            (secondary, +1),
+            (secondary, -1),
+        )
+        fits = {}
+        affine = True
+        for perturb, sign in scenarios:
+            weeks_p = engine.totals(primary, probes, perturb, sign)
+            weeks_q = engine.totals(secondary, 1.0 - probes, perturb, sign)
+            if not (
+                _probe_is_affine(weeks_p) and _probe_is_affine(weeks_q)
+            ):
+                affine = False
+                break
+            fits[(perturb, sign)] = (
+                _affine_fit(probes, weeks_p),
+                _affine_fit(probes, weeks_q),
+            )
+        if not affine:
+            rows.append(np.linspace(lo, hi, points))
+            continue
+
+        candidates = {lo, hi}
+        base_cross = _affine_crossing(*fits[(None, 0)], lo, hi)
+        if base_cross is not None:
+            candidates.add(base_cross)
+        for node in (primary, secondary):
+            up_p, up_q = fits[(node, +1)]
+            dn_p, dn_q = fits[(node, -1)]
+            breaks = {lo, hi}
+            for pair_fit in ((up_p, up_q), (dn_p, dn_q)):
+                crossing = _affine_crossing(*pair_fit, lo, hi)
+                if crossing is not None:
+                    breaks.add(crossing)
+            edges = sorted(breaks)
+            candidates.update(edges)
+            # Sensitivity zeros: where the +step and -step maxima meet
+            # inside a segment, the |difference| kinks at zero.
+            for left, right in zip(edges, edges[1:]):
+                mid = (left + right) / 2.0
+
+                def _active(fit_p, fit_q):
+                    value_p = fit_p[0] + fit_p[1] * mid
+                    value_q = fit_q[0] + fit_q[1] * mid
+                    return fit_p if value_p >= value_q else fit_q
+
+                zero = _affine_crossing(
+                    _active(up_p, up_q), _active(dn_p, dn_q), left, right
+                )
+                if zero is not None:
+                    candidates.add(zero)
+        ordered = sorted(candidates)
+        deduped = [ordered[0]]
+        for value in ordered[1:]:
+            if value - deduped[-1] > 1e-12:
+                deduped.append(value)
+        rows.append(np.asarray(deduped))
+
+    width = max(2, max(len(candidate_row) for candidate_row in rows))
+    fine = np.empty((result.n_pairs, width))
+    for i, candidate_row in enumerate(rows):
+        fine[i, : len(candidate_row)] = candidate_row
+        fine[i, len(candidate_row):] = candidate_row[-1]
+    return fine
+
+
 @dataclass(frozen=True)
 class SplitSampleResult:
     """A fixed production split evaluated across sampled supply draws.
@@ -565,6 +724,7 @@ def batch_split_samples(
     wafer_rate_scale: Optional[ArrayLike] = None,
     relative_step: float = DEFAULT_RELATIVE_STEP,
     with_cas: bool = True,
+    line_invariants: Optional[Mapping[str, DesignInvariants]] = None,
 ) -> SplitSampleResult:
     """Push one production split through sampled supply factors.
 
@@ -580,6 +740,13 @@ def batch_split_samples(
     totals are centrally differenced, mirroring
     :func:`~repro.multiprocess.split.split_cas` under each draw's
     market conditions.
+
+    ``line_invariants`` optionally maps allocation nodes to
+    pre-compiled :class:`~repro.engine.invariants.DesignInvariants`
+    (e.g. a shared-memory attach in a worker process); they feed the
+    TTM/CAS line evaluations and must match ``model``'s compilation
+    settings. Cost still derives its own (cached) invariants — its
+    fingerprint ignores the schedule knobs.
     """
     if not 0.0 < relative_step < 1.0:
         raise InvalidParameterError(
@@ -608,6 +775,11 @@ def batch_split_samples(
                     designs[node],
                     quantities * fraction,
                     capacity=dict(capacity_map),
+                    invariants=(
+                        None
+                        if line_invariants is None
+                        else line_invariants.get(node)
+                    ),
                     **sampled,
                 ).total_weeks,
                 dtype=float,
@@ -708,5 +880,6 @@ __all__ = [
     "SplitSampleResult",
     "batch_split",
     "batch_split_samples",
+    "refine_split_exact",
     "refine_split_grid",
 ]

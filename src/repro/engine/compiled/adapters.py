@@ -1,0 +1,612 @@
+"""Adapters between the engine's public kernels and the fused loops.
+
+Each adapter takes the same pre-resolved inputs the NumPy expressions
+consume (invariants, validated quantities, ``_SupplyArrays`` /
+``_PortfolioSupply`` tensors), materializes them into dense C-order
+arrays, invokes the fused kernel from :mod:`.kernels`, and reassembles
+the public result dataclass. The split of work is deliberate:
+
+* everything *numerically delicate* stays NumPy-side — yield powers,
+  ``np.sum`` reductions (pairwise), the invariant helpers — so the
+  float64 results are bit-for-bit identical to the NumPy backend;
+* everything *bandwidth-bound* (the per-sample fused chain) runs in the
+  kernel.
+
+Batch adapters flatten the full broadcast shape to one sample axis and
+reshape outputs back. ``per_node_ready_weeks`` is returned at the full
+broadcast shape (the NumPy path keeps each node's pre-``testing``
+broadcast shape; values are identical under broadcasting). Portfolio
+adapters keep the native ``(designs, nodes, samples)`` tensors and use
+stride flags instead of materializing broadcasts.
+
+float32 mode casts the TTM/cost kernel inputs (and therefore outputs)
+to float32. CAS adapters always run float64 internally: the central
+difference subtracts two nearly-equal totals, and at the default
+relative step (1e-3) a float32 difference would be dominated by
+rounding, not signal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..batch import (
+    BatchCASResult,
+    BatchCostResult,
+    BatchTTMResult,
+    _SupplyArrays,
+)
+from ..invariants import DesignInvariants
+from ..portfolio import (
+    PortfolioCASResult,
+    PortfolioCostResult,
+    PortfolioInvariants,
+    PortfolioTTMResult,
+    _PortfolioSupply,
+)
+from ...cost.model import CostModel
+from ...cost.nre import design_nre
+from ...design.chip import ChipDesign
+from ...errors import InvalidParameterError
+from ...ttm.model import TTMModel
+from . import get_backend
+from .kernels import get_kernel
+
+
+def _active_dtype() -> np.dtype:
+    return np.dtype(
+        np.float32 if get_backend().dtype == "float32" else np.float64
+    )
+
+
+def _flat_size(shape: tuple) -> int:
+    size = 1
+    for extent in shape:
+        size *= int(extent)
+    return size
+
+
+def _dense_rows(values, shape: tuple, dtype: np.dtype) -> np.ndarray:
+    """Stack broadcastable per-node values into a dense (P, S) matrix."""
+    values = tuple(values)
+    size = _flat_size(shape)
+    out = np.empty((len(values), size), dtype=dtype)
+    for i, value in enumerate(values):
+        out[i, :] = np.broadcast_to(
+            np.asarray(value, dtype=float), shape
+        ).reshape(-1)
+    return out
+
+
+def _dense_vector(value, shape: tuple, dtype: np.dtype) -> np.ndarray:
+    """Broadcast one value to the full shape, flattened C-order."""
+    size = _flat_size(shape)
+    out = np.empty(size, dtype=dtype)
+    out[:] = np.broadcast_to(np.asarray(value, dtype=float), shape).reshape(-1)
+    return out
+
+
+def _batch_shape(quantities: np.ndarray, supply: _SupplyArrays) -> tuple:
+    """The full broadcast shape every batch result field lives on."""
+    shapes = [quantities.shape]
+    shapes.extend(np.shape(value) for value in supply.rates)
+    shapes.extend(np.shape(value) for value in supply.backlog)
+    shapes.extend(np.shape(value) for value in supply.wafers_per_chip)
+    shapes.append(np.shape(supply.testing_weeks_per_chip))
+    return np.broadcast_shapes(*shapes)
+
+
+def _batch_tensors(
+    quantities: np.ndarray,
+    supply: _SupplyArrays,
+    invariants: DesignInvariants,
+    dtype: np.dtype,
+):
+    shape = _batch_shape(quantities, supply)
+    rates = _dense_rows(supply.rates, shape, dtype)
+    backlog = _dense_rows(supply.backlog, shape, dtype)
+    wafers = _dense_rows(supply.wafers_per_chip, shape, dtype)
+    testing = _dense_vector(supply.testing_weeks_per_chip, shape, dtype)
+    flat_quantities = _dense_vector(quantities, shape, dtype)
+    tapeout = np.ascontiguousarray(invariants.tapeout_weeks, dtype=dtype)
+    fab_latency = np.ascontiguousarray(
+        invariants.fab_latency_weeks, dtype=dtype
+    )
+    return (
+        shape,
+        rates,
+        backlog,
+        wafers,
+        testing,
+        flat_quantities,
+        tapeout,
+        fab_latency,
+    )
+
+
+def ttm_from_supply(
+    model: TTMModel,
+    design: ChipDesign,
+    invariants: DesignInvariants,
+    quantities: np.ndarray,
+    supply: _SupplyArrays,
+) -> BatchTTMResult:
+    """Compiled-backend tail of :func:`repro.engine.batch.batch_ttm`."""
+    dtype = _active_dtype()
+    (
+        shape,
+        rates,
+        backlog,
+        wafers,
+        testing,
+        flat_quantities,
+        tapeout,
+        fab_latency,
+    ) = _batch_tensors(quantities, supply, invariants, dtype)
+    pipelined = model.schedule == "pipelined"
+    if pipelined:
+        tapeout_scalar = float(np.max(invariants.tapeout_weeks))
+    else:
+        tapeout_scalar = float(invariants.sequential_tapeout_weeks)
+
+    n_processes = len(invariants.processes)
+    size = flat_quantities.shape[0]
+    ready = np.empty((n_processes, size), dtype=dtype)
+    fabrication = np.empty(size, dtype=dtype)
+    packaging = np.empty(size, dtype=dtype)
+    total = np.empty(size, dtype=dtype)
+    get_kernel("ttm")(
+        rates,
+        backlog,
+        wafers,
+        flat_quantities,
+        testing,
+        tapeout,
+        fab_latency,
+        pipelined,
+        tapeout_scalar,
+        float(model.tap_latency_weeks),
+        float(invariants.assembly_weeks_per_chip),
+        float(invariants.design_weeks),
+        ready,
+        fabrication,
+        packaging,
+        total,
+    )
+    total_wafers = quantities * sum(supply.wafers_per_chip)
+    return BatchTTMResult(
+        design=design.name,
+        schedule=model.schedule,
+        design_weeks=invariants.design_weeks,
+        tapeout_weeks=np.broadcast_to(
+            np.asarray(tapeout_scalar, dtype=dtype), shape
+        ),
+        fabrication_weeks=fabrication.reshape(shape),
+        packaging_weeks=packaging.reshape(shape),
+        total_weeks=total.reshape(shape),
+        total_wafers=np.broadcast_to(
+            np.asarray(total_wafers, dtype=dtype), shape
+        ),
+        per_node_ready_weeks={
+            process: ready[i].reshape(shape)
+            for i, process in enumerate(invariants.processes)
+        },
+    )
+
+
+def cas_from_supply(
+    model: TTMModel,
+    design: ChipDesign,
+    invariants: DesignInvariants,
+    quantities: np.ndarray,
+    supply: _SupplyArrays,
+    relative_step: float,
+) -> BatchCASResult:
+    """Compiled-backend tail of :func:`repro.engine.batch.batch_cas`.
+
+    Always runs float64 internally (see the module docstring).
+    """
+    dtype = np.dtype(np.float64)
+    (
+        shape,
+        rates,
+        backlog,
+        wafers,
+        testing,
+        flat_quantities,
+        tapeout,
+        fab_latency,
+    ) = _batch_tensors(quantities, supply, invariants, dtype)
+    pipelined = model.schedule == "pipelined"
+    if pipelined:
+        tapeout_scalar = float(np.max(invariants.tapeout_weeks))
+    else:
+        tapeout_scalar = float(invariants.sequential_tapeout_weeks)
+
+    n_processes = len(invariants.processes)
+    size = flat_quantities.shape[0]
+    sensitivity = np.empty((n_processes, size), dtype=dtype)
+    total = np.empty(size, dtype=dtype)
+    get_kernel("cas")(
+        rates,
+        backlog,
+        wafers,
+        flat_quantities,
+        testing,
+        tapeout,
+        fab_latency,
+        np.ascontiguousarray(invariants.max_rate, dtype=dtype),
+        pipelined,
+        tapeout_scalar,
+        float(model.tap_latency_weeks),
+        float(invariants.assembly_weeks_per_chip),
+        float(invariants.design_weeks),
+        float(relative_step),
+        sensitivity,
+        total,
+    )
+    if not np.all(total > 0.0):
+        raise InvalidParameterError(
+            f"design {design.name!r} has zero TTM sensitivity on all nodes; "
+            "CAS is unbounded (check the production volume is non-trivial)"
+        )
+    return BatchCASResult(
+        design=design.name,
+        cas=(1.0 / total).reshape(shape),
+        sensitivity={
+            process: sensitivity[i].reshape(shape)
+            for i, process in enumerate(invariants.processes)
+        },
+    )
+
+
+def cost_from_parts(
+    cost_model: CostModel,
+    design: ChipDesign,
+    invariants: DesignInvariants,
+    quantities: np.ndarray,
+    scale: np.ndarray,
+) -> BatchCostResult:
+    """Compiled-backend tail of :func:`repro.engine.batch.batch_cost`."""
+    dtype = _active_dtype()
+    wafers_per_chip = invariants.wafers_per_chip_at(scale)
+    nre = design_nre(
+        design, cost_model.technology, cost_model.engineer_week_cost_usd
+    )
+    shape = np.broadcast_shapes(quantities.shape, scale.shape)
+    size = _flat_size(shape)
+    flat_quantities = _dense_vector(quantities, shape, dtype)
+    wafers = _dense_rows(wafers_per_chip, shape, dtype)
+    node_cost = np.asarray(
+        [
+            cost_model.technology[process].wafer_cost_usd
+            for process in invariants.processes
+        ],
+        dtype=dtype,
+    )
+    profiles = invariants.die_profiles
+    yields = _dense_rows(
+        (profile.yield_at(scale, invariants.alpha) for profile in profiles),
+        shape,
+        dtype,
+    )
+    counts = np.asarray([profile.count for profile in profiles], dtype=dtype)
+    ntts = np.asarray([profile.ntt for profile in profiles], dtype=dtype)
+    areas = np.asarray(
+        [profile.area_mm2 for profile in profiles], dtype=dtype
+    )
+
+    wafer_usd = np.empty(size, dtype=dtype)
+    testing_usd = np.empty(size, dtype=dtype)
+    packaging_usd = np.empty(size, dtype=dtype)
+    get_kernel("cost")(
+        flat_quantities,
+        wafers,
+        node_cost,
+        yields,
+        counts,
+        ntts,
+        areas,
+        float(cost_model.package_base_usd),
+        float(cost_model.die_handling_usd),
+        float(cost_model.package_area_usd_per_mm2),
+        float(cost_model.test_usd_per_transistor),
+        wafer_usd,
+        testing_usd,
+        packaging_usd,
+    )
+    return BatchCostResult(
+        design=design.name,
+        engineering_usd=nre.engineering_usd,
+        fixed_usd=nre.fixed_usd,
+        mask_usd=nre.mask_usd,
+        wafer_usd=wafer_usd.reshape(shape),
+        testing_usd=testing_usd.reshape(shape),
+        packaging_usd=packaging_usd.reshape(shape),
+        n_chips=np.broadcast_to(quantities, shape),
+    )
+
+
+def _normalized_quantities(quantities_design: np.ndarray):
+    """2-D (designs?, samples?) view of ``n_chips`` plus stride flags."""
+    quantities = np.ascontiguousarray(quantities_design, dtype=np.float64)
+    if quantities.ndim == 0:
+        quantities = quantities.reshape(1, 1)
+    elif quantities.ndim == 1:
+        quantities = quantities.reshape(1, -1)
+    stride_design = 0 if quantities.shape[0] == 1 else 1
+    stride_sample = 0 if quantities.shape[1] == 1 else 1
+    return quantities, stride_design, stride_sample
+
+
+def _sample_stride(extent: int) -> int:
+    return 0 if extent == 1 else 1
+
+
+def _portfolio_tensors(
+    quantities_design: np.ndarray,
+    supply: _PortfolioSupply,
+    dtype: np.dtype,
+):
+    rates = np.ascontiguousarray(supply.rates, dtype=dtype)
+    backlog = np.ascontiguousarray(supply.backlog, dtype=dtype)
+    wafers = np.ascontiguousarray(supply.wafers_per_chip, dtype=dtype)
+    testing = np.ascontiguousarray(
+        supply.testing_weeks_per_chip, dtype=dtype
+    )
+    quantities, stride_qd, stride_qs = _normalized_quantities(
+        quantities_design
+    )
+    if dtype != np.float64:
+        quantities = quantities.astype(dtype)
+    n_samples = np.broadcast_shapes(
+        (rates.shape[2],),
+        (wafers.shape[2],),
+        (testing.shape[1],),
+        (quantities.shape[1],),
+    )[0]
+    return (
+        rates,
+        backlog,
+        wafers,
+        testing,
+        quantities,
+        stride_qd,
+        stride_qs,
+        n_samples,
+    )
+
+
+def portfolio_ttm_from_supply(
+    model: TTMModel,
+    invariants: PortfolioInvariants,
+    quantities_design: np.ndarray,
+    supply: _PortfolioSupply,
+) -> PortfolioTTMResult:
+    """Compiled-backend tail of :func:`repro.engine.portfolio.portfolio_ttm`."""
+    dtype = _active_dtype()
+    (
+        rates,
+        backlog,
+        wafers,
+        testing,
+        quantities,
+        stride_qd,
+        stride_qs,
+        n_samples,
+    ) = _portfolio_tensors(quantities_design, supply, dtype)
+    pipelined = model.schedule == "pipelined"
+    tapeout_scalars = np.ascontiguousarray(
+        invariants.max_tapeout_weeks
+        if pipelined
+        else invariants.sequential_tapeout_weeks,
+        dtype=dtype,
+    )
+    n_designs = invariants.n_designs
+    fabrication = np.empty((n_designs, n_samples), dtype=dtype)
+    packaging = np.empty((n_designs, n_samples), dtype=dtype)
+    total = np.empty((n_designs, n_samples), dtype=dtype)
+    get_kernel("portfolio_ttm")(
+        rates,
+        _sample_stride(rates.shape[2]),
+        backlog,
+        _sample_stride(backlog.shape[2]),
+        wafers,
+        _sample_stride(wafers.shape[2]),
+        testing,
+        _sample_stride(testing.shape[1]),
+        quantities,
+        stride_qd,
+        stride_qs,
+        invariants.node_mask,
+        np.ascontiguousarray(invariants.tapeout_weeks, dtype=dtype),
+        np.ascontiguousarray(invariants.fab_latency_weeks, dtype=dtype),
+        tapeout_scalars,
+        np.ascontiguousarray(invariants.assembly_weeks_per_chip, dtype=dtype),
+        np.ascontiguousarray(invariants.design_weeks, dtype=dtype),
+        pipelined,
+        float(model.tap_latency_weeks),
+        fabrication,
+        packaging,
+        total,
+    )
+    total_wafers = quantities_design * np.sum(
+        supply.wafers_per_chip, axis=1
+    )
+    shape = np.broadcast_shapes(total.shape, np.shape(total_wafers))
+    return PortfolioTTMResult(
+        designs=invariants.designs,
+        schedule=model.schedule,
+        design_weeks=invariants.design_weeks,
+        tapeout_weeks=np.broadcast_to(tapeout_scalars[:, None], shape),
+        fabrication_weeks=np.broadcast_to(fabrication, shape),
+        packaging_weeks=np.broadcast_to(packaging, shape),
+        total_weeks=np.broadcast_to(total, shape),
+        total_wafers=np.broadcast_to(
+            np.asarray(total_wafers, dtype=dtype), shape
+        ),
+    )
+
+
+def portfolio_cas_from_supply(
+    model: TTMModel,
+    invariants: PortfolioInvariants,
+    quantities_design: np.ndarray,
+    supply: _PortfolioSupply,
+    relative_step: float,
+) -> PortfolioCASResult:
+    """Compiled-backend tail of :func:`repro.engine.portfolio.portfolio_cas`.
+
+    Always runs float64 internally (see the module docstring).
+    """
+    dtype = np.dtype(np.float64)
+    (
+        rates,
+        backlog,
+        wafers,
+        testing,
+        quantities,
+        stride_qd,
+        stride_qs,
+        n_samples,
+    ) = _portfolio_tensors(quantities_design, supply, dtype)
+    pipelined = model.schedule == "pipelined"
+    tapeout_scalars = np.ascontiguousarray(
+        invariants.max_tapeout_weeks
+        if pipelined
+        else invariants.sequential_tapeout_weeks,
+        dtype=dtype,
+    )
+    n_designs = invariants.n_designs
+    max_nodes = invariants.max_nodes
+    sensitivity = np.empty((n_designs, max_nodes, n_samples), dtype=dtype)
+    total = np.empty((n_designs, n_samples), dtype=dtype)
+    get_kernel("portfolio_cas")(
+        rates,
+        _sample_stride(rates.shape[2]),
+        backlog,
+        _sample_stride(backlog.shape[2]),
+        wafers,
+        _sample_stride(wafers.shape[2]),
+        testing,
+        _sample_stride(testing.shape[1]),
+        quantities,
+        stride_qd,
+        stride_qs,
+        invariants.node_mask,
+        np.ascontiguousarray(invariants.tapeout_weeks, dtype=dtype),
+        np.ascontiguousarray(invariants.fab_latency_weeks, dtype=dtype),
+        np.ascontiguousarray(invariants.max_rate, dtype=dtype),
+        tapeout_scalars,
+        np.ascontiguousarray(invariants.assembly_weeks_per_chip, dtype=dtype),
+        np.ascontiguousarray(invariants.design_weeks, dtype=dtype),
+        pipelined,
+        float(model.tap_latency_weeks),
+        float(relative_step),
+        sensitivity,
+        total,
+    )
+    row_positive = np.all(total > 0.0, axis=tuple(range(1, total.ndim)))
+    if not np.all(row_positive):
+        bad = invariants.designs[int(np.argmin(row_positive))]
+        raise InvalidParameterError(
+            f"design {bad!r} has zero TTM sensitivity on all nodes; "
+            "CAS is unbounded (check the production volume is non-trivial)"
+        )
+    return PortfolioCASResult(
+        designs=invariants.designs,
+        processes=invariants.processes,
+        cas=1.0 / total,
+        sensitivity=sensitivity,
+    )
+
+
+def portfolio_cost_from_parts(
+    cost_model: CostModel,
+    invariants: PortfolioInvariants,
+    quantities_node: np.ndarray,
+    quantities_design: np.ndarray,
+    scale: np.ndarray,
+) -> PortfolioCostResult:
+    """Compiled-backend tail of :func:`repro.engine.portfolio.portfolio_cost`."""
+    dtype = _active_dtype()
+    wafers_per_chip = invariants.wafers_per_chip_at(scale)
+
+    engineering = np.sum(
+        invariants.tapeout_effort_weeks * cost_model.engineer_week_cost_usd,
+        axis=1,
+    )
+    fixed = np.sum(invariants.tapeout_fixed_usd, axis=1)
+    masks = np.sum(invariants.mask_set_usd, axis=1)
+    wafer_usd = np.sum(
+        quantities_node
+        * wafers_per_chip
+        * invariants.wafer_cost_usd[:, :, None],
+        axis=1,
+    )
+
+    yields = invariants.profile_yields(scale)
+    tail = np.broadcast_shapes(
+        yields.shape[1:],
+        np.shape(quantities_design)[-1:] if quantities_design.ndim else (),
+    )
+    n_samples = tail[0] if tail else 1
+    quantities, stride_qd, stride_qs = _normalized_quantities(
+        quantities_design
+    )
+    if dtype != np.float64:
+        quantities = quantities.astype(dtype)
+        yields = yields.astype(dtype)
+    else:
+        yields = np.ascontiguousarray(yields)
+
+    n_designs = invariants.n_designs
+    testing_usd = np.empty((n_designs, n_samples), dtype=dtype)
+    packaging_usd = np.empty((n_designs, n_samples), dtype=dtype)
+    get_kernel("portfolio_cost_accum")(
+        quantities,
+        stride_qd,
+        stride_qs,
+        yields,
+        _sample_stride(yields.shape[1]),
+        invariants.profile_design,
+        np.asarray(invariants.profile_count, dtype=dtype),
+        np.asarray(invariants.profile_ntt, dtype=dtype),
+        np.asarray(invariants.profile_area_mm2, dtype=dtype),
+        float(cost_model.package_base_usd),
+        float(cost_model.die_handling_usd),
+        float(cost_model.package_area_usd_per_mm2),
+        float(cost_model.test_usd_per_transistor),
+        testing_usd,
+        packaging_usd,
+    )
+    shape = np.broadcast_shapes(
+        (n_designs,) + tail, np.shape(wafer_usd)
+    )
+    return PortfolioCostResult(
+        designs=invariants.designs,
+        engineering_usd=engineering,
+        fixed_usd=fixed,
+        mask_usd=masks,
+        wafer_usd=np.broadcast_to(np.asarray(wafer_usd, dtype=dtype), shape),
+        testing_usd=np.broadcast_to(
+            testing_usd.reshape((n_designs,) + (tail if tail else ())), shape
+        ),
+        packaging_usd=np.broadcast_to(
+            packaging_usd.reshape((n_designs,) + (tail if tail else ())),
+            shape,
+        ),
+        n_chips=np.broadcast_to(quantities_design, shape),
+    )
+
+
+__all__ = [
+    "cas_from_supply",
+    "cost_from_parts",
+    "portfolio_cas_from_supply",
+    "portfolio_cost_from_parts",
+    "portfolio_ttm_from_supply",
+    "ttm_from_supply",
+]

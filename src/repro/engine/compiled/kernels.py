@@ -1,0 +1,527 @@
+"""Single-pass fused loop kernels for the compiled backend.
+
+Each kernel here replaces a chain of NumPy array expressions with one
+pass over the sample axis, writing into caller-allocated output arrays
+and allocating nothing itself (Numba ``nopython`` friendly: inputs are
+plain ndarrays, ints, floats and bools only). The *per-element
+operation order replicates the NumPy expressions exactly* — same
+association, same evaluation order, the running maxima visiting
+elements in index order exactly as ``np.max`` does — which is what
+makes float64 results bit-for-bit identical to the NumPy backend (the
+equivalence suite pins this). When editing a kernel, keep every
+parenthesisation in sync with the corresponding expression in
+:mod:`repro.engine.batch` / :mod:`repro.engine.portfolio`; a merely
+algebraically-equal rewrite will break the bit-equality contract.
+
+Anything numerically delicate stays on the NumPy side of the adapter
+boundary on purpose: yield powers (libm ``pow`` may differ between
+NumPy and Numba), ``np.sum`` reductions (pairwise, not sequential),
+and the invariant helpers. The kernels only see pre-resolved dense
+tensors.
+
+Portfolio kernels take integer *sample-stride flags* (``0`` when that
+input's sample axis has length 1, else ``1``) so broadcast inputs are
+indexed without materializing the broadcast: element ``s`` of a
+length-1 axis is read as ``a[..., s * flag]``.
+
+With Numba installed, :func:`get_kernel` returns an ``njit`` dispatcher
+(``fastmath=False`` — reassociation would break bit-equality), cached
+in the shared invariant LRU under ``("compiled-kernel", name, tag)``.
+Without Numba the same Python functions run as-is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+import numpy as np
+
+from ..invariants import cached_invariants
+from . import _import_numba
+
+
+def ttm_core(
+    rates,
+    backlog,
+    wafers,
+    quantities,
+    testing,
+    tapeout,
+    fab_latency,
+    pipelined,
+    tapeout_scalar,
+    tap_latency,
+    assembly,
+    design_weeks,
+    ready_out,
+    fabrication_out,
+    packaging_out,
+    total_out,
+):
+    """Fused batch TTM: per-node ready + fab/packaging/total weeks.
+
+    Shapes: ``rates``/``backlog``/``wafers``/``ready_out`` are (P, S);
+    ``quantities``/``testing`` and the remaining outputs are (S,);
+    ``tapeout``/``fab_latency`` are (P,).
+    """
+    n_processes = rates.shape[0]
+    n_samples = rates.shape[1]
+    for s in range(n_samples):
+        quantity = quantities[s]
+        best = 0.0
+        for i in range(n_processes):
+            rate = rates[i, s]
+            node_total = (
+                backlog[i, s] / rate + (quantity * wafers[i, s]) / rate
+            ) + fab_latency[i]
+            ready = tapeout[i] + node_total
+            ready_out[i, s] = ready
+            if pipelined:
+                value = ready
+            else:
+                value = node_total
+            if i == 0 or value > best:
+                best = value
+        if pipelined:
+            fabrication = best - tapeout_scalar
+        else:
+            fabrication = best
+        packaging = (tap_latency + quantity * testing[s]) + quantity * assembly
+        fabrication_out[s] = fabrication
+        packaging_out[s] = packaging
+        total_out[s] = (
+            (design_weeks + tapeout_scalar) + fabrication
+        ) + packaging
+
+
+def cas_core(
+    rates,
+    backlog,
+    wafers,
+    quantities,
+    testing,
+    tapeout,
+    fab_latency,
+    max_rate,
+    pipelined,
+    tapeout_scalar,
+    tap_latency,
+    assembly,
+    design_weeks,
+    relative_step,
+    sensitivity_out,
+    total_out,
+):
+    """Fused batch CAS: central-difference TTM sensitivity per node.
+
+    For every node ``p`` the perturbed totals re-walk all nodes with
+    node ``p``'s rate replaced — the same full recompute the NumPy path
+    performs, so the op order (and the bits) match.
+    """
+    n_processes = rates.shape[0]
+    n_samples = rates.shape[1]
+    for s in range(n_samples):
+        quantity = quantities[s]
+        packaging = (tap_latency + quantity * testing[s]) + quantity * assembly
+        total = 0.0
+        for p in range(n_processes):
+            step = rates[p, s] * relative_step
+            rate_up = max_rate[p] * ((rates[p, s] + 1.0 * step) / max_rate[p])
+            rate_down = max_rate[p] * (
+                (rates[p, s] + (-1.0) * step) / max_rate[p]
+            )
+            best_up = 0.0
+            best_down = 0.0
+            for i in range(n_processes):
+                if i == p:
+                    r_up = rate_up
+                    r_down = rate_down
+                else:
+                    r_up = rates[i, s]
+                    r_down = rates[i, s]
+                node_up = (
+                    backlog[i, s] / r_up + (quantity * wafers[i, s]) / r_up
+                ) + fab_latency[i]
+                node_down = (
+                    backlog[i, s] / r_down + (quantity * wafers[i, s]) / r_down
+                ) + fab_latency[i]
+                if pipelined:
+                    value_up = tapeout[i] + node_up
+                    value_down = tapeout[i] + node_down
+                else:
+                    value_up = node_up
+                    value_down = node_down
+                if i == 0 or value_up > best_up:
+                    best_up = value_up
+                if i == 0 or value_down > best_down:
+                    best_down = value_down
+            if pipelined:
+                fab_up = best_up - tapeout_scalar
+                fab_down = best_down - tapeout_scalar
+            else:
+                fab_up = best_up
+                fab_down = best_down
+            total_up = (
+                (design_weeks + tapeout_scalar) + fab_up
+            ) + packaging
+            total_down = (
+                (design_weeks + tapeout_scalar) + fab_down
+            ) + packaging
+            slope = (total_up - total_down) / (2.0 * step)
+            sensitivity = abs(slope)
+            sensitivity_out[p, s] = sensitivity
+            if p == 0:
+                total = sensitivity
+            else:
+                total = total + sensitivity
+        total_out[s] = total
+
+
+def cost_core(
+    quantities,
+    wafers,
+    node_cost,
+    yields,
+    counts,
+    ntts,
+    areas,
+    package_base,
+    handling,
+    area_usd,
+    test_usd,
+    wafer_out,
+    testing_out,
+    packaging_out,
+):
+    """Fused batch cost: wafer, testing and packaging USD per sample.
+
+    ``wafers``/``yields`` are (P, S)/(K, S) dense tensors; per-profile
+    scalars (``counts``/``ntts``/``areas``) are (K,).
+    """
+    n_processes = wafers.shape[0]
+    n_profiles = yields.shape[0]
+    n_samples = quantities.shape[0]
+    for s in range(n_samples):
+        quantity = quantities[s]
+        wafer_usd = 0.0
+        for i in range(n_processes):
+            wafer_usd = wafer_usd + (quantity * wafers[i, s]) * node_cost[i]
+        testing_usd = 0.0
+        packaging_usd = quantity * package_base
+        for k in range(n_profiles):
+            dies_tested = (quantity * counts[k]) / yields[k, s]
+            testing_usd = testing_usd + (dies_tested * ntts[k]) * test_usd
+            packaging_usd = packaging_usd + (quantity * counts[k]) * (
+                handling + areas[k] * area_usd
+            )
+        wafer_out[s] = wafer_usd
+        testing_out[s] = testing_usd
+        packaging_out[s] = packaging_usd
+
+
+def portfolio_ttm_core(
+    rates,
+    stride_rates,
+    backlog,
+    stride_backlog,
+    wafers,
+    stride_wafers,
+    testing,
+    stride_testing,
+    quantities,
+    stride_qd,
+    stride_qs,
+    node_mask,
+    tapeout,
+    fab_latency,
+    tapeout_scalars,
+    assembly,
+    design_weeks,
+    pipelined,
+    tap_latency,
+    fabrication_out,
+    packaging_out,
+    total_out,
+):
+    """Fused portfolio TTM over the (designs, nodes, samples) tensor.
+
+    Masked (padded) node slots are skipped; the running max visits the
+    unmasked nodes in index order, matching the NumPy ``-inf`` mask.
+    ``quantities`` is normalized to 2-D (designs?, samples?) with its
+    own stride flags.
+    """
+    n_designs = node_mask.shape[0]
+    n_nodes = node_mask.shape[1]
+    n_samples = total_out.shape[1]
+    for d in range(n_designs):
+        tapeout_scalar = tapeout_scalars[d]
+        for s in range(n_samples):
+            quantity = quantities[d * stride_qd, s * stride_qs]
+            best = 0.0
+            first = True
+            for n in range(n_nodes):
+                if not node_mask[d, n]:
+                    continue
+                rate = rates[d, n, s * stride_rates]
+                node_total = (
+                    backlog[d, n, s * stride_backlog] / rate
+                    + (quantity * wafers[d, n, s * stride_wafers]) / rate
+                ) + fab_latency[d, n]
+                if pipelined:
+                    value = tapeout[d, n] + node_total
+                else:
+                    value = node_total
+                if first or value > best:
+                    best = value
+                    first = False
+            if pipelined:
+                fabrication = best - tapeout_scalar
+            else:
+                fabrication = best
+            packaging = (
+                tap_latency + quantity * testing[d, s * stride_testing]
+            ) + quantity * assembly[d]
+            fabrication_out[d, s] = fabrication
+            packaging_out[d, s] = packaging
+            total_out[d, s] = (
+                (design_weeks[d] + tapeout_scalar) + fabrication
+            ) + packaging
+
+
+def portfolio_cas_core(
+    rates,
+    stride_rates,
+    backlog,
+    stride_backlog,
+    wafers,
+    stride_wafers,
+    testing,
+    stride_testing,
+    quantities,
+    stride_qd,
+    stride_qs,
+    node_mask,
+    tapeout,
+    fab_latency,
+    max_rate,
+    tapeout_scalars,
+    assembly,
+    design_weeks,
+    pipelined,
+    tap_latency,
+    relative_step,
+    sensitivity_out,
+    total_out,
+):
+    """Fused portfolio CAS; padded node slots contribute exactly +0.0."""
+    n_designs = node_mask.shape[0]
+    n_nodes = node_mask.shape[1]
+    n_samples = total_out.shape[1]
+    for d in range(n_designs):
+        tapeout_scalar = tapeout_scalars[d]
+        for s in range(n_samples):
+            quantity = quantities[d * stride_qd, s * stride_qs]
+            packaging = (
+                tap_latency + quantity * testing[d, s * stride_testing]
+            ) + quantity * assembly[d]
+            total = 0.0
+            for p in range(n_nodes):
+                if not node_mask[d, p]:
+                    sensitivity = 0.0
+                else:
+                    base = rates[d, p, s * stride_rates]
+                    step = base * relative_step
+                    rate_up = max_rate[d, p] * (
+                        (base + 1.0 * step) / max_rate[d, p]
+                    )
+                    rate_down = max_rate[d, p] * (
+                        (base + (-1.0) * step) / max_rate[d, p]
+                    )
+                    best_up = 0.0
+                    best_down = 0.0
+                    first = True
+                    for n in range(n_nodes):
+                        if not node_mask[d, n]:
+                            continue
+                        if n == p:
+                            r_up = rate_up
+                            r_down = rate_down
+                        else:
+                            r_up = rates[d, n, s * stride_rates]
+                            r_down = r_up
+                        wafer_load = (
+                            quantity * wafers[d, n, s * stride_wafers]
+                        )
+                        queue = backlog[d, n, s * stride_backlog]
+                        node_up = (
+                            queue / r_up + wafer_load / r_up
+                        ) + fab_latency[d, n]
+                        node_down = (
+                            queue / r_down + wafer_load / r_down
+                        ) + fab_latency[d, n]
+                        if pipelined:
+                            value_up = tapeout[d, n] + node_up
+                            value_down = tapeout[d, n] + node_down
+                        else:
+                            value_up = node_up
+                            value_down = node_down
+                        if first or value_up > best_up:
+                            best_up = value_up
+                        if first or value_down > best_down:
+                            best_down = value_down
+                        first = False
+                    if pipelined:
+                        fab_up = best_up - tapeout_scalar
+                        fab_down = best_down - tapeout_scalar
+                    else:
+                        fab_up = best_up
+                        fab_down = best_down
+                    total_up = (
+                        (design_weeks[d] + tapeout_scalar) + fab_up
+                    ) + packaging
+                    total_down = (
+                        (design_weeks[d] + tapeout_scalar) + fab_down
+                    ) + packaging
+                    slope = (total_up - total_down) / (2.0 * step)
+                    sensitivity = abs(slope)
+                sensitivity_out[d, p, s] = sensitivity
+                if p == 0:
+                    total = sensitivity
+                else:
+                    total = total + sensitivity
+            total_out[d, s] = total
+
+
+def portfolio_cost_accum_core(
+    quantities,
+    stride_qd,
+    stride_qs,
+    yields,
+    stride_yields,
+    profile_design,
+    counts,
+    ntts,
+    areas,
+    package_base,
+    handling,
+    area_usd,
+    test_usd,
+    testing_out,
+    packaging_out,
+):
+    """Fused portfolio testing/packaging accumulation over die profiles.
+
+    Profiles are visited in ascending index order, replicating the
+    ``np.add.at`` accumulation order of the NumPy path.
+    """
+    n_designs = testing_out.shape[0]
+    n_samples = testing_out.shape[1]
+    n_profiles = counts.shape[0]
+    for d in range(n_designs):
+        for s in range(n_samples):
+            testing_out[d, s] = 0.0
+            packaging_out[d, s] = (
+                quantities[d * stride_qd, s * stride_qs] * package_base
+            )
+    for k in range(n_profiles):
+        design = profile_design[k]
+        for s in range(n_samples):
+            quantity = quantities[design * stride_qd, s * stride_qs]
+            dies_tested = (quantity * counts[k]) / yields[k, s * stride_yields]
+            testing_out[design, s] = (
+                testing_out[design, s] + (dies_tested * ntts[k]) * test_usd
+            )
+            packaging_out[design, s] = packaging_out[design, s] + (
+                quantity * counts[k]
+            ) * (handling + areas[k] * area_usd)
+
+
+#: Kernel name -> pure-Python source function.
+KERNEL_SOURCES: Dict[str, Callable[..., None]] = {
+    "ttm": ttm_core,
+    "cas": cas_core,
+    "cost": cost_core,
+    "portfolio_ttm": portfolio_ttm_core,
+    "portfolio_cas": portfolio_cas_core,
+    "portfolio_cost_accum": portfolio_cost_accum_core,
+}
+
+
+def jit_compile(function: Callable[..., None]) -> Callable[..., None]:
+    """``numba.njit`` the kernel when Numba is present, else pass through.
+
+    ``fastmath`` stays off: reassociation/FMA contraction would break
+    the bit-for-bit float64 contract with the NumPy backend.
+    """
+    numba = _import_numba()
+    if numba is None:
+        return function
+    return numba.njit(cache=False, fastmath=False, nogil=True)(function)
+
+
+def _numba_tag() -> str:
+    numba = _import_numba()
+    return getattr(numba, "__version__", "python") if numba else "python"
+
+
+def get_kernel(name: str) -> Callable[..., None]:
+    """The (possibly jitted) kernel dispatcher for ``name``, LRU-cached."""
+    source = KERNEL_SOURCES[name]
+    return cached_invariants(
+        ("compiled-kernel", name, _numba_tag()),
+        lambda: jit_compile(source),
+    )
+
+
+def warm_up_kernels() -> None:
+    """Run every kernel once on tiny inputs to force jit compilation."""
+    f = np.ones(1)
+    f2 = np.ones((1, 1))
+    f3 = np.ones((1, 1, 1))
+    mask = np.ones((1, 1), dtype=bool)
+    idx = np.zeros(1, dtype=np.intp)
+    for dtype in (np.float64,):
+        a = f.astype(dtype)
+        a2 = f2.astype(dtype)
+        a3 = f3.astype(dtype)
+        out1 = np.empty(1, dtype=dtype)
+        out2 = np.empty((1, 1), dtype=dtype)
+        out3 = np.empty((1, 1, 1), dtype=dtype)
+        get_kernel("ttm")(
+            a2, a2, a2, a, a, a, a, True, 1.0, 1.0, 1.0, 1.0,
+            out2.copy(), out1.copy(), out1.copy(), out1.copy(),
+        )
+        get_kernel("cas")(
+            a2, a2, a2, a, a, a, a, a, True, 1.0, 1.0, 1.0, 1.0, 1e-3,
+            out2.copy(), out1.copy(),
+        )
+        get_kernel("cost")(
+            a, a2, a, a2, a, a, a, 1.0, 1.0, 1.0, 1.0,
+            out1.copy(), out1.copy(), out1.copy(),
+        )
+        get_kernel("portfolio_ttm")(
+            a3, 1, a3, 1, a3, 1, a2, 1, a2, 1, 1, mask, a2, a2, a, a, a,
+            True, 1.0, out2.copy(), out2.copy(), out2.copy(),
+        )
+        get_kernel("portfolio_cas")(
+            a3, 1, a3, 1, a3, 1, a2, 1, a2, 1, 1, mask, a2, a2, a2, a, a,
+            a, True, 1.0, 1e-3, out3.copy(), out2.copy(),
+        )
+        get_kernel("portfolio_cost_accum")(
+            a2, 1, 1, a2, 1, idx, a, a, a, 1.0, 1.0, 1.0, 1.0,
+            out2.copy(), out2.copy(),
+        )
+
+
+__all__ = [
+    "KERNEL_SOURCES",
+    "cas_core",
+    "cost_core",
+    "get_kernel",
+    "jit_compile",
+    "portfolio_cas_core",
+    "portfolio_cost_accum_core",
+    "portfolio_ttm_core",
+    "ttm_core",
+    "warm_up_kernels",
+]

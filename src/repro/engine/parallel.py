@@ -37,7 +37,9 @@ the parent tracer with the results.
 from __future__ import annotations
 
 import pickle
+import threading
 import warnings
+from collections import OrderedDict
 from typing import Any, Callable, Iterable, List, Optional, Tuple, TypeVar
 
 from ..errors import InvalidParameterError
@@ -50,14 +52,71 @@ R = TypeVar("R")
 #: Recognized executor names.
 EXECUTORS: Tuple[str, ...] = ("serial", "thread", "process")
 
+#: Memoized picklability verdicts keyed by (function, payload types).
+#: A repeated sweep used to pay a full pickle.dumps of every chunk's
+#: payload per call just to *probe*; the verdict only depends on the
+#: mapped function and the item types, so it is cached (LRU-bounded).
+_PROBE_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+_PROBE_CACHE_SIZE = 1024
+_PROBE_LOCK = threading.Lock()
 
-def _picklable(*objects: object) -> bool:
+
+def clear_probe_cache() -> None:
+    """Drop memoized picklability verdicts (mainly for tests)."""
+    with _PROBE_LOCK:
+        _PROBE_CACHE.clear()
+
+
+def _item_type_key(item: object) -> object:
+    if isinstance(item, tuple):
+        return (tuple, tuple(type(element) for element in item))
+    return type(item)
+
+
+def _probe_key(function: object, points: List[Any]) -> tuple:
+    """Cache key: the unwrapped mapped function plus the payload types."""
+    target = function
+    for _ in range(8):
+        inner = getattr(target, "function", None)
+        if inner is None:
+            inner = getattr(target, "func", None)
+        if inner is None or not callable(inner):
+            break
+        target = inner
+    function_key = (
+        type(target),
+        getattr(target, "__module__", None),
+        getattr(target, "__qualname__", None),
+    )
+    return function_key, frozenset(_item_type_key(p) for p in points)
+
+
+def _picklable(function: object, points: List[Any]) -> bool:
+    """Probe (memoized) whether the payload survives pickling.
+
+    Verdicts are cached per (function, item types): a payload type whose
+    picklability varies by *content* can reuse a stale positive verdict,
+    in which case the pool's own ``PicklingError`` is caught downstream
+    and the call still degrades to serial.
+    """
+    key = _probe_key(function, points)
+    with _PROBE_LOCK:
+        cached = _PROBE_CACHE.get(key)
+        if cached is not None:
+            _PROBE_CACHE.move_to_end(key)
+            return cached
+    verdict = True
     try:
-        for obj in objects:
+        pickle.dumps(function)
+        for obj in points:
             pickle.dumps(obj)
     except Exception:
-        return False
-    return True
+        verdict = False
+    with _PROBE_LOCK:
+        _PROBE_CACHE[key] = verdict
+        while len(_PROBE_CACHE) > _PROBE_CACHE_SIZE:
+            _PROBE_CACHE.popitem(last=False)
+    return verdict
 
 
 class _SeededCall:
@@ -222,7 +281,12 @@ def _dispatch(
 
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             mapped = list(pool.map(worker, points))
-    except (BrokenProcessPool, OSError, ImportError) as error:
+    except (
+        BrokenProcessPool,
+        OSError,
+        ImportError,
+        pickle.PicklingError,
+    ) as error:
         _warn_fallback(f"the worker pool failed ({type(error).__name__}: {error})")
         return [item_function(item) for item in points]
     if tracer is None:

@@ -49,6 +49,7 @@ from ..technology.database import TechnologyDatabase
 from ..technology.yield_model import DEFAULT_ALPHA
 from ..ttm.model import DEFAULT_ENGINEERS, TTMModel
 from .batch import _WAFERS_PER_NORMALIZED_UNIT, _as_positive_array
+from .compiled import get_backend
 from .invariants import (
     DesignInvariants,
     DieYieldProfile,
@@ -590,6 +591,7 @@ def portfolio_ttm(
     queue_weeks: Optional[ArrayLike] = None,
     d0_scale: Optional[ArrayLike] = None,
     wafer_rate_scale: Optional[ArrayLike] = None,
+    invariants: Optional[PortfolioInvariants] = None,
 ) -> PortfolioTTMResult:
     """Vectorized TTM for every design under one shared sample set.
 
@@ -599,15 +601,20 @@ def portfolio_ttm(
     supply arrays are shared across designs — the common-random-numbers
     guarantee — and must be scalars or 1-D; ``n_chips`` may additionally
     be a ``(n_designs, n_samples)`` matrix.
+
+    ``invariants`` accepts a pre-compiled portfolio (e.g. a
+    shared-memory attach in a worker process); when given, ``designs``
+    is unused and may be ``None``.
     """
-    invariants = compile_portfolio(
-        designs,
-        model.foundry.technology,
-        engineers=model.engineers,
-        alpha=model.alpha,
-        edge_corrected=model.edge_corrected,
-        block_parallel=model.block_parallel,
-    )
+    if invariants is None:
+        invariants = compile_portfolio(
+            designs,
+            model.foundry.technology,
+            engineers=model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
     quantities_node, quantities_design = _portfolio_quantities(
         n_chips, invariants.n_designs
     )
@@ -619,6 +626,12 @@ def portfolio_ttm(
         d0_scale=d0_scale,
         wafer_rate_scale=wafer_rate_scale,
     )
+    if get_backend().name == "compiled":
+        from .compiled.adapters import portfolio_ttm_from_supply
+
+        return portfolio_ttm_from_supply(
+            model, invariants, quantities_design, supply
+        )
     tapeout_weeks, fabrication_weeks, packaging_weeks, total_weeks = (
         _total_weeks_at_rates(
             invariants,
@@ -680,6 +693,7 @@ def portfolio_cas(
     queue_weeks: Optional[ArrayLike] = None,
     d0_scale: Optional[ArrayLike] = None,
     wafer_rate_scale: Optional[ArrayLike] = None,
+    invariants: Optional[PortfolioInvariants] = None,
 ) -> PortfolioCASResult:
     """Vectorized CAS for every design under one shared sample set.
 
@@ -693,14 +707,15 @@ def portfolio_cas(
         raise InvalidParameterError(
             f"relative step must be in (0, 1), got {relative_step}"
         )
-    invariants = compile_portfolio(
-        designs,
-        model.foundry.technology,
-        engineers=model.engineers,
-        alpha=model.alpha,
-        edge_corrected=model.edge_corrected,
-        block_parallel=model.block_parallel,
-    )
+    if invariants is None:
+        invariants = compile_portfolio(
+            designs,
+            model.foundry.technology,
+            engineers=model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
     quantities_node, quantities_design = _portfolio_quantities(
         n_chips, invariants.n_designs
     )
@@ -712,6 +727,12 @@ def portfolio_cas(
         d0_scale=d0_scale,
         wafer_rate_scale=wafer_rate_scale,
     )
+    if get_backend().name == "compiled":
+        from .compiled.adapters import portfolio_cas_from_supply
+
+        return portfolio_cas_from_supply(
+            model, invariants, quantities_design, supply, relative_step
+        )
 
     base_rates = np.ascontiguousarray(supply.rates)
     sensitivities = []
@@ -810,6 +831,7 @@ def portfolio_cost(
     n_chips: ArrayLike,
     d0_scale: Optional[ArrayLike] = None,
     engineers: int = DEFAULT_ENGINEERS,
+    invariants: Optional[PortfolioInvariants] = None,
 ) -> PortfolioCostResult:
     """Vectorized chip-creation cost for every design in one pass.
 
@@ -817,13 +839,14 @@ def portfolio_cost(
     is team-size independent); pass the companion TTM model's team size
     so a joint TTM+cost study shares one compiled portfolio.
     """
-    invariants = compile_portfolio(
-        designs,
-        cost_model.technology,
-        engineers=engineers,
-        alpha=cost_model.alpha,
-        edge_corrected=cost_model.edge_corrected,
-    )
+    if invariants is None:
+        invariants = compile_portfolio(
+            designs,
+            cost_model.technology,
+            engineers=engineers,
+            alpha=cost_model.alpha,
+            edge_corrected=cost_model.edge_corrected,
+        )
     quantities_node, quantities_design = _portfolio_quantities(
         n_chips, invariants.n_designs
     )
@@ -831,6 +854,12 @@ def portfolio_cost(
         scale: np.ndarray = np.asarray(1.0, dtype=float)
     else:
         scale = _sample_array(d0_scale, "defect density scale")
+    if get_backend().name == "compiled":
+        from .compiled.adapters import portfolio_cost_from_parts
+
+        return portfolio_cost_from_parts(
+            cost_model, invariants, quantities_node, quantities_design, scale
+        )
     wafers_per_chip = invariants.wafers_per_chip_at(scale)
 
     engineering = np.sum(

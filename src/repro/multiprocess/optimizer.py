@@ -21,7 +21,7 @@ Two engines drive the sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..cost.model import CostModel
 from ..errors import InvalidParameterError
@@ -41,6 +41,18 @@ DEFAULT_SPLIT_GRID: Tuple[float, ...] = tuple(s / 100.0 for s in range(1, 101))
 DEFAULT_REFINE_POINTS = 21
 
 _ENGINES = ("batch", "scalar")
+
+#: Refinement modes: ``True`` is an alias for ``"exact"``.
+_REFINE_MODES = (False, True, "exact", "grid")
+
+
+def _require_refine(refine: Union[bool, str]) -> Union[bool, str]:
+    if refine not in _REFINE_MODES:
+        raise InvalidParameterError(
+            f"unknown refinement mode {refine!r}; choose from "
+            f"{_REFINE_MODES}"
+        )
+    return "exact" if refine is True else refine
 
 
 @dataclass(frozen=True)
@@ -117,15 +129,20 @@ def _batched_best(
     cost_model: CostModel,
     n_chips: float,
     split_grid: Sequence[float],
-    refine: bool,
+    refine: Union[bool, str],
     refine_points: int,
 ) -> List[SplitEvaluation]:
     """Per-pair optima from the vectorized tensor (+ optional refinement)."""
     # Imported lazily: ``repro.engine.batch_split`` itself imports from
     # ``repro.multiprocess``, so a module-level import here would close
     # an import cycle during package initialization.
-    from ..engine.batch_split import batch_split, refine_split_grid
+    from ..engine.batch_split import (
+        batch_split,
+        refine_split_exact,
+        refine_split_grid,
+    )
 
+    refine = _require_refine(refine)
     coarse = batch_split(
         design_factory,
         pairs,
@@ -137,13 +154,23 @@ def _batched_best(
     best = list(coarse.best_evaluations())
     if not refine:
         return best
+    if refine == "exact":
+        fine_grid = refine_split_exact(
+            coarse,
+            design_factory,
+            model,
+            cost_model,
+            points=refine_points,
+        )
+    else:
+        fine_grid = refine_split_grid(coarse, points=refine_points)
     fine = batch_split(
         design_factory,
         pairs,
         model,
         cost_model,
         n_chips,
-        split_grid=refine_split_grid(coarse, points=refine_points),
+        split_grid=fine_grid,
     )
     # The fine grid brackets the coarse optimum but need not contain it,
     # so refinement keeps whichever stage actually scored higher.
@@ -162,14 +189,17 @@ def best_split_for_pair(
     n_chips: float,
     split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
     engine: str = "batch",
-    refine: bool = False,
+    refine: Union[bool, str] = False,
     refine_points: int = DEFAULT_REFINE_POINTS,
 ) -> PairResult:
     """Sweep the split grid for one pair, keeping the max-CAS split.
 
     Ties on CAS break toward lower TTM. The diagonal (primary ==
     secondary) evaluates only the single-process plan. ``refine`` adds a
-    vectorized second grid around the coarse optimum (batch engine only).
+    second vectorized stage around the coarse optimum (batch engine
+    only): ``"exact"`` (alias ``True``) solves the bracket's
+    piecewise-affine breakpoints, ``"grid"`` carpets it with
+    ``refine_points`` evenly spaced splits.
     """
     _require_engine(engine)
     if len(split_grid) == 0:
@@ -222,7 +252,7 @@ def run_split_study(
     split_grid: Sequence[float] = DEFAULT_SPLIT_GRID,
     include_singles: bool = True,
     engine: str = "batch",
-    refine: bool = False,
+    refine: Union[bool, str] = False,
     refine_points: int = DEFAULT_REFINE_POINTS,
 ) -> SplitStudy:
     """Evaluate every unordered node pair (plus singles on the diagonal).
@@ -231,9 +261,11 @@ def run_split_study(
     primary is always the more advanced (later-roadmap) node of the pair,
     matching the paper's axes. The default batch engine evaluates the
     whole study as one (pair x split) tensor; ``engine="scalar"`` falls
-    back to the per-plan loop (the equivalence oracle). ``refine=True``
-    adds a vectorized coarse -> fine stage giving each pair roughly
-    ``spacing / (refine_points - 1)`` split resolution.
+    back to the per-plan loop (the equivalence oracle). ``refine="exact"``
+    (alias ``True``) adds a second vectorized stage that solves each
+    pair's bracket for its piecewise-affine breakpoints — the bracket's
+    true optimum, not a grid approximation; ``refine="grid"`` keeps the
+    original ``refine_points``-point fine grid.
     """
     _require_engine(engine)
     if len(processes) < 1:

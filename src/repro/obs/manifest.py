@@ -52,15 +52,19 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
 
 
 def environment_fingerprint() -> Dict[str, str]:
-    """Library/interpreter versions the run executed under."""
+    """Library/interpreter versions plus active engine configuration."""
     import numpy
 
     from .. import __version__
+    from ..engine.compiled import backend_label
+    from ..engine.shm import shm_enabled
 
     return {
         "python": platform.python_version(),
         "numpy": numpy.__version__,
         "repro": __version__,
+        "engine_backend": backend_label(),
+        "engine_shm": "available" if shm_enabled() else "unavailable",
     }
 
 

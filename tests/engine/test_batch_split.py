@@ -351,3 +351,94 @@ class TestSampledSplits:
                 np.array([N_CHIPS]),
                 capacity={"28nm": np.array([0.0])},
             )
+
+
+class TestExactRefinement:
+    """Satellite: the breakpoint solver vs the grid it replaces.
+
+    Within a coarse bracket each line's completion weeks are affine in
+    the primary fraction, so the TTM/CAS optimum sits on a breakpoint of
+    a piecewise-affine function — ``refine_split_exact`` enumerates
+    those breakpoints instead of carpeting the bracket with a grid. Its
+    candidates must therefore never score worse than any finite grid.
+    """
+
+    @pytest.fixture(scope="class")
+    def exact(self, grid_result, model, cost_model):
+        from repro.engine.batch_split import refine_split_exact
+
+        return refine_split_exact(
+            grid_result, raven_multicore, model, cost_model
+        )
+
+    def test_candidates_stay_inside_the_coarse_bracket(
+        self, exact, grid_result
+    ):
+        assert exact.ndim == 2 and exact.shape[0] == len(PAIRS)
+        for i in range(len(PAIRS)):
+            assert np.all((exact[i] > 0.0) & (exact[i] <= 1.0))
+            if bool(grid_result.single_mask[i].all()):
+                assert np.all(exact[i] == 1.0)
+                continue
+            best = grid_result.splits[i][grid_result.best_index(i)]
+            assert exact[i].min() <= best <= exact[i].max()
+
+    def test_exact_is_no_worse_than_the_grid_refine(
+        self, exact, grid_result, model, cost_model
+    ):
+        fine_grid = batch_split(
+            raven_multicore,
+            PAIRS,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=refine_split_grid(grid_result),
+        )
+        fine_exact = batch_split(
+            raven_multicore,
+            PAIRS,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=exact,
+        )
+        for i in range(len(PAIRS)):
+            assert (
+                fine_exact.best_evaluation(i).cas
+                >= fine_grid.best_evaluation(i).cas - 1e-12
+            )
+
+    def test_exact_matches_a_dense_grid_oracle(self, model, cost_model):
+        # A 2001-point dense carpet of one pair's bracket cannot beat
+        # the breakpoint candidates: the optimum is exact, not sampled.
+        from repro.engine.batch_split import refine_split_exact
+
+        pairs = [("28nm", "40nm")]
+        coarse = batch_split(
+            raven_multicore,
+            pairs,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=tuple(s / 20.0 for s in range(1, 21)),
+        )
+        exact = refine_split_exact(
+            coarse, raven_multicore, model, cost_model
+        )
+        lo, hi = exact[0].min(), exact[0].max()
+        dense = batch_split(
+            raven_multicore,
+            pairs,
+            model,
+            cost_model,
+            N_CHIPS,
+            split_grid=np.linspace(lo, hi, 2001).reshape(1, -1),
+        )
+        refined = batch_split(
+            raven_multicore, pairs, model, cost_model, N_CHIPS,
+            split_grid=exact,
+        )
+        assert (
+            refined.best_evaluation(0).cas
+            >= dense.best_evaluation(0).cas - 1e-12
+        )

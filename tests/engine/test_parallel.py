@@ -140,3 +140,99 @@ class TestSeededParallelMap:
 
     def test_unseeded_calls_keep_single_argument_signature(self):
         assert parallel_map(square, [2, 3]) == [4, 9]
+
+
+class Moody:
+    """Instances pickle or refuse to, by content (not by type)."""
+
+    def __init__(self, ok: bool) -> None:
+        self.ok = ok
+
+    def __reduce__(self):
+        import pickle
+
+        if self.ok:
+            return (Moody, (True,))
+        raise pickle.PicklingError("moody instance refuses to pickle")
+
+
+def moody_flag(item: "Moody") -> bool:
+    return item.ok
+
+
+class TestProbeCache:
+    """Satellite: the picklability probe memoizes its verdict.
+
+    The process path used to re-serialize the full payload once per
+    dispatch just to *test* picklability; the verdict depends only on
+    the mapped function and the item types, so repeated sweeps must
+    probe exactly once.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.engine.parallel import clear_probe_cache
+
+        clear_probe_cache()
+        yield
+        clear_probe_cache()
+
+    @pytest.fixture
+    def dumps_counter(self, monkeypatch):
+        import pickle
+
+        from repro.engine import parallel
+
+        counted = []
+        real_dumps = pickle.dumps
+
+        def counting(obj, *args, **kwargs):
+            counted.append(obj)
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(parallel.pickle, "dumps", counting)
+        return counted
+
+    def test_repeat_probe_is_free(self, dumps_counter):
+        from repro.engine.parallel import _picklable
+
+        payload = [1.5, 2.5, 3.5]
+        assert _picklable(square, payload)
+        first = len(dumps_counter)
+        assert first > 0  # the initial probe pays the serialization
+        assert _picklable(square, payload)
+        assert _picklable(square, [9.0, 10.0])  # same types: still cached
+        assert len(dumps_counter) == first
+
+    def test_new_payload_types_probe_again(self, dumps_counter):
+        from repro.engine.parallel import _picklable
+
+        assert _picklable(square, [1, 2])
+        first = len(dumps_counter)
+        assert _picklable(square, [(1, "a"), (2, "b")])  # tuple payload
+        assert len(dumps_counter) > first
+
+    def test_negative_verdicts_are_cached_too(self, dumps_counter):
+        from repro.engine.parallel import _picklable
+
+        offset = 3
+        closure = lambda v: v + offset  # noqa: E731 - deliberately unpicklable
+        assert not _picklable(closure, [1, 2])
+        first = len(dumps_counter)
+        assert not _picklable(closure, [1, 2])
+        assert len(dumps_counter) == first
+
+    def test_stale_positive_verdict_still_degrades_serially(self):
+        # Moody's picklability varies by *content*, which the type-keyed
+        # cache cannot see: prime a positive verdict, then dispatch an
+        # instance that refuses to pickle. The pool's own PicklingError
+        # is caught and the sweep completes serially.
+        good = parallel_map(
+            moody_flag, [Moody(True), Moody(True)], executor="process"
+        )
+        assert good == [True, True]
+        with pytest.warns(RuntimeWarning, match="worker pool failed"):
+            degraded = parallel_map(
+                moody_flag, [Moody(True), Moody(False)], executor="process"
+            )
+        assert degraded == [True, False]

@@ -1,0 +1,245 @@
+"""SharedInvariantStore lifecycle: refcounts, cleanup, zero-copy reads.
+
+The shm layer's contract: publishing returns a handle that pickles to a
+few hundred bytes regardless of tensor size, workers attach read-only
+zero-copy views that are bit-identical to the published arrays, the
+refcounted release unlinks the segment at zero (no leaked ``/dev/shm``
+entries), and everything degrades gracefully to the inline pickling
+handle when shared memory is disabled.
+"""
+
+import glob
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.design.library.generic import demo_chip_a, demo_chip_b
+from repro.engine.invariants import design_invariants
+from repro.engine.parallel import parallel_map
+from repro.engine.portfolio import compile_portfolio, portfolio_ttm
+from repro.engine.shm import (
+    DESIGN_ARRAY_FIELDS,
+    PORTFOLIO_ARRAY_FIELDS,
+    SEGMENT_PREFIX,
+    SHARED_STORE,
+    SHM_ENV,
+    InlineTensorHandle,
+    SharedInvariantStore,
+    share_design_invariants,
+    share_portfolio,
+    shm_enabled,
+    shm_usage,
+)
+from repro.ttm.model import TTMModel
+
+pytestmark = pytest.mark.skipif(
+    not shm_enabled(), reason="shared memory unavailable on this platform"
+)
+
+
+def leaked_segments():
+    return glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = set(leaked_segments())
+    yield
+    SHARED_STORE.close_all()
+    assert set(leaked_segments()) == before
+
+
+@pytest.fixture
+def store():
+    owner = SharedInvariantStore()
+    yield owner
+    owner.close_all()
+
+
+def sample_arrays():
+    rng = np.random.default_rng(7)
+    return {
+        "rates": rng.uniform(1.0, 9.0, (3, 5)),
+        "mask": rng.uniform(size=(3, 5)) > 0.5,
+        "scalarish": np.asarray([42.0]),
+    }
+
+
+class TestPublishAndAttach:
+    def test_round_trip_is_bit_identical_and_read_only(self, store):
+        published = sample_arrays()
+        handle = store.publish(published)
+        assert handle.is_shared
+        views = handle.arrays()
+        assert set(views) == set(published)
+        for key, original in published.items():
+            assert np.array_equal(views[key], original)
+            assert views[key].dtype == original.dtype
+            assert not views[key].flags.writeable
+        store.release(handle)
+
+    def test_handle_pickles_small_regardless_of_tensor_size(self, store):
+        big = {"tensor": np.zeros((1024, 1024))}  # 8 MiB
+        handle = store.publish(big)
+        try:
+            assert len(pickle.dumps(handle)) < 2048
+        finally:
+            store.release(handle)
+
+    def test_publish_is_refcount_one(self, store):
+        handle = store.publish(sample_arrays())
+        assert store.refcount(handle) == 1
+        store.release(handle)
+        assert store.refcount(handle) == 0
+
+
+class TestRefcountLifecycle:
+    def test_retain_release_unlinks_at_zero(self, store):
+        handle = store.publish(sample_arrays())
+        segment_file = f"/dev/shm/{handle.name}"
+        assert segment_file in leaked_segments()
+        store.retain(handle)
+        assert store.refcount(handle) == 2
+        store.release(handle)
+        assert store.refcount(handle) == 1
+        assert segment_file in leaked_segments()  # still referenced
+        store.release(handle)
+        assert store.refcount(handle) == 0
+        assert segment_file not in leaked_segments()
+
+    def test_release_is_idempotent_and_tolerates_foreigners(self, store):
+        handle = store.publish(sample_arrays())
+        store.release(handle)
+        store.release(handle)  # double release: no-op, no raise
+        store.release(None)
+        store.release(InlineTensorHandle(token="nobody", payload={}))
+        foreign = SharedInvariantStore()
+        other = foreign.publish(sample_arrays())
+        store.release(other)  # not ours: no-op
+        assert foreign.refcount(other) == 1
+        foreign.close_all()
+
+    def test_close_all_unlinks_everything(self, store):
+        handles = [store.publish(sample_arrays()) for _ in range(3)]
+        store.close_all()
+        for handle in handles:
+            assert store.refcount(handle) == 0
+            assert f"/dev/shm/{handle.name}" not in leaked_segments()
+
+    def test_shm_usage_tracks_owned_segments(self):
+        before = shm_usage()["owned_segments"]
+        handle = SHARED_STORE.publish(sample_arrays())
+        assert shm_usage()["owned_segments"] == before + 1
+        SHARED_STORE.release(handle)
+        assert shm_usage()["owned_segments"] == before
+
+
+class TestInlineFallback:
+    def test_kill_switch_forces_inline_handles(self, monkeypatch, store):
+        monkeypatch.setenv(SHM_ENV, "off")
+        assert not shm_enabled()
+        published = sample_arrays()
+        handle = store.publish(published)
+        assert not handle.is_shared
+        for key, original in published.items():
+            assert np.array_equal(handle.arrays()[key], original)
+        store.release(handle)  # inline: no-op, no raise
+        assert leaked_segments() == []
+
+
+class TestTypedShares:
+    def test_portfolio_share_round_trips(self):
+        model = TTMModel.nominal()
+        invariants = compile_portfolio(
+            (demo_chip_a(), demo_chip_b()), model.foundry.technology
+        )
+        share = share_portfolio(invariants)
+        try:
+            rebuilt = share.materialize()
+            assert rebuilt.designs == invariants.designs
+            assert rebuilt.alpha == invariants.alpha
+            for name in PORTFOLIO_ARRAY_FIELDS:
+                assert np.array_equal(
+                    getattr(rebuilt, name), getattr(invariants, name)
+                )
+            assert share.materialize() is rebuilt  # memoized by token
+        finally:
+            SHARED_STORE.release(share.handle)
+
+    def test_design_invariants_share_round_trips(self):
+        model = TTMModel.nominal()
+        source = {
+            "a": design_invariants(
+                demo_chip_a(), model.foundry.technology, model.engineers
+            ),
+            "b": design_invariants(
+                demo_chip_b(), model.foundry.technology, model.engineers
+            ),
+        }
+        share = share_design_invariants(source)
+        try:
+            rebuilt = share.materialize()
+            assert set(rebuilt) == {"a", "b"}
+            for label, invariants in source.items():
+                twin = rebuilt[label]
+                assert twin.processes == invariants.processes
+                assert twin.design_weeks == invariants.design_weeks
+                assert twin.alpha == invariants.alpha
+                for name in DESIGN_ARRAY_FIELDS:
+                    assert np.array_equal(
+                        getattr(twin, name), getattr(invariants, name)
+                    )
+        finally:
+            SHARED_STORE.release(share.handle)
+
+
+def _worker_evaluate(task):
+    """Worker side of the zero-copy check (module-level: picklable)."""
+    model, share, demand = task
+    invariants = share.materialize()
+    result = portfolio_ttm(
+        model, None, np.asarray(demand), invariants=invariants
+    )
+    return share.handle.is_shared, result.total_weeks
+
+
+class TestZeroCopyWorkers:
+    def test_workers_attach_instead_of_unpickling_tensors(self):
+        # The acceptance check: a process-pool evaluation through a
+        # PortfolioShare must (a) ship only the tiny handle — the task
+        # pickle stays orders of magnitude below the tensor payload —
+        # and (b) reproduce the owner's result bit-for-bit from the
+        # attached segment.
+        model = TTMModel.nominal()
+        designs = (demo_chip_a(), demo_chip_b())
+        invariants = compile_portfolio(designs, model.foundry.technology)
+        demand = np.linspace(1e5, 5e7, 128)
+        share = share_portfolio(invariants)
+        try:
+            tensor_bytes = sum(
+                np.asarray(getattr(invariants, name)).nbytes
+                for name in PORTFOLIO_ARRAY_FIELDS
+            )
+            task_bytes = len(pickle.dumps((model, share, demand[:1])))
+            assert task_bytes < max(tensor_bytes / 4, 8192)
+
+            expected = portfolio_ttm(
+                model, None, demand, invariants=invariants
+            ).total_weeks
+            chunks = [
+                (model, share, demand[:64]),
+                (model, share, demand[64:]),
+            ]
+            results = parallel_map(
+                _worker_evaluate, chunks, executor="process", max_workers=2
+            )
+            for was_shared, _ in results:
+                assert was_shared
+            stitched = np.concatenate(
+                [weeks for _, weeks in results], axis=-1
+            )
+            assert np.array_equal(stitched, expected)
+        finally:
+            SHARED_STORE.release(share.handle)

@@ -202,3 +202,41 @@ class TestValidation:
         empty = SplitStudy(n_chips=1e9, pairs={})
         with pytest.raises(InvalidParameterError, match="empty study"):
             getattr(empty, pick)()
+
+
+class TestRefineModes:
+    """refine= accepts False / True / "exact" / "grid" (True == exact)."""
+
+    def test_true_is_an_alias_for_exact(self, model, cost_model):
+        kwargs = dict(split_grid=GRID)
+        aliased = best_split_for_pair(
+            raven_multicore, "28nm", "40nm", model, cost_model, 1e7,
+            refine=True, **kwargs,
+        )
+        exact = best_split_for_pair(
+            raven_multicore, "28nm", "40nm", model, cost_model, 1e7,
+            refine="exact", **kwargs,
+        )
+        assert aliased.best == exact.best
+
+    def test_exact_never_scores_below_grid(self, model, cost_model):
+        grid_refined = run_split_study(
+            raven_multicore, NODES, model, cost_model, 1e9,
+            split_grid=GRID, refine="grid",
+        )
+        exact_refined = run_split_study(
+            raven_multicore, NODES, model, cost_model, 1e9,
+            split_grid=GRID, refine="exact",
+        )
+        for key, grid_pair in grid_refined.pairs.items():
+            assert (
+                exact_refined.pairs[key].best.cas
+                >= grid_pair.best.cas - 1e-12
+            )
+
+    def test_unknown_refine_mode_rejected(self, model, cost_model):
+        with pytest.raises(InvalidParameterError, match="refinement mode"):
+            run_split_study(
+                raven_multicore, NODES, model, cost_model, 1e7,
+                split_grid=GRID, refine="newton",
+            )
