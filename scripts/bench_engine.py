@@ -24,6 +24,13 @@ Workloads (the ISSUEs' acceptance targets):
   compiled portfolio. Measures the per-call overhead the fused path
   amortizes at serving-style batch sizes. Target: >= 2x over the
   *batched* per-design loop (not the scalar model).
+* ``serve``     -- 96 concurrent HTTP round-trips through the
+  ``repro.serve`` evaluation service (16 client threads, mixed
+  designs): coalescing disabled vs the 10 ms coalescing window.
+  Also reports client-observed p50/p95 latency and the coalesce
+  ratio; the error metric is the fraction of coalesced responses
+  not byte-identical to uncoalesced ones (must be exactly 0).
+  Target: >= 1.5x.
 * ``accuracy``  -- max error of the batched results against the scalar
   or per-design oracle over every workload (must be <= 1e-9).
 
@@ -123,6 +130,13 @@ SUSTAINED_DESIGNS = 16
 SUSTAINED_SAMPLES = 512
 SUSTAINED_REQUESTS = 32
 SUSTAINED_SEED = 20230807
+
+#: The serve_roundtrip workload: concurrent HTTP requests against an
+#: in-process evaluation server, coalesced vs uncoalesced.
+SERVE_REQUESTS = 96
+SERVE_THREADS = 16
+SERVE_WINDOW_MS = 10.0
+SERVE_REPEATS = 3
 
 #: Error ceiling every workload must satisfy (scalar/oracle agreement).
 ERROR_CEILING = 1e-9
@@ -467,12 +481,98 @@ def bench_sustained_throughput(model: TTMModel) -> dict:
     }
 
 
+def bench_serve_roundtrip(model: TTMModel) -> dict:
+    """HTTP round-trips through repro.serve, coalesced vs uncoalesced.
+
+    Boots two in-process servers: a baseline with coalescing disabled
+    (window 0, max batch 1 — every request is its own engine dispatch)
+    and the coalescing server (10 ms window). The same 96-request
+    mixed-design burst is driven through both with 16 client threads
+    over real sockets; the reported speedup is wall time of the burst,
+    so it prices the whole service (HTTP parse, batcher, engine,
+    canonical JSON) rather than the engine alone. ``max_abs_error`` is
+    the fraction of coalesced responses that are NOT byte-identical to
+    the uncoalesced ones — the determinism contract makes it exactly
+    0.0. Also reports client-observed p50/p95 latency on the coalesced
+    server and the measured coalesce ratio (requests per fused batch).
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.serve import ServeClient, ServerConfig, ServerThread
+
+    bodies = [
+        {"design": "a11"},
+        {"design": "zen2"},
+        {"design": "raven"},
+        {"design": {"library": "a11", "process": "28nm"}},
+    ]
+    stream = [bodies[i % len(bodies)] for i in range(SERVE_REQUESTS)]
+
+    def drive(client):
+        latencies = []
+
+        def call(body):
+            start = time.perf_counter()
+            response = client.post("/evaluate", body)
+            latencies.append(time.perf_counter() - start)
+            assert response.status == 200, response.body
+            return response.body
+
+        with ThreadPoolExecutor(max_workers=SERVE_THREADS) as pool:
+            responses = list(pool.map(call, stream))
+        return responses, latencies
+
+    def timed_burst(client):
+        best, responses, latencies = float("inf"), None, None
+        for _ in range(SERVE_REPEATS):
+            start = time.perf_counter()
+            responses, latencies = drive(client)
+            best = min(best, time.perf_counter() - start)
+        return best, responses, latencies
+
+    with ServerThread(
+        ServerConfig(port=0, batch_window_ms=0.0, max_batch=1)
+    ) as solo:
+        client = ServeClient(solo.host, solo.port)
+        drive(client)  # warm the invariant caches and thread pools
+        solo_seconds, solo_bodies, _ = timed_burst(client)
+
+    with ServerThread(
+        ServerConfig(
+            port=0, batch_window_ms=SERVE_WINDOW_MS, max_batch=SERVE_THREADS
+        )
+    ) as fused:
+        client = ServeClient(fused.host, fused.port)
+        drive(client)
+        fused_seconds, fused_bodies, latencies = timed_burst(client)
+        stats = fused.server.batcher.stats()
+
+    mismatches = sum(
+        1 for a, b in zip(solo_bodies, fused_bodies) if a != b
+    )
+    ordered = sorted(latencies)
+    return {
+        "requests": SERVE_REQUESTS,
+        "client_threads": SERVE_THREADS,
+        "batch_window_ms": SERVE_WINDOW_MS,
+        "scalar_seconds": solo_seconds,  # baseline = coalescing off
+        "batched_seconds": fused_seconds,
+        "speedup": solo_seconds / fused_seconds,
+        "p50_ms": ordered[len(ordered) // 2] * 1e3,
+        "p95_ms": ordered[int(len(ordered) * 0.95)] * 1e3,
+        "coalesce_ratio": stats["batched_requests"] / stats["batches"],
+        "max_abs_error": mismatches / float(SERVE_REQUESTS),
+        "target_speedup": 1.5,
+    }
+
+
 WORKLOADS = {
     "sobol_1024_evals": bench_sobol,
     "cas_sweep_20x6": bench_sweep,
     "fig14_split_sweep": bench_split_sweep,
     "portfolio_mc": bench_portfolio_mc,
     "sustained_throughput": bench_sustained_throughput,
+    "serve_roundtrip": bench_serve_roundtrip,
 }
 
 
@@ -692,6 +792,9 @@ def measure(model: TTMModel) -> dict:
             "sustained_designs": SUSTAINED_DESIGNS,
             "sustained_samples": SUSTAINED_SAMPLES,
             "sustained_requests": SUSTAINED_REQUESTS,
+            "serve_requests": SERVE_REQUESTS,
+            "serve_threads": SERVE_THREADS,
+            "serve_window_ms": SERVE_WINDOW_MS,
             "backend": backend_label(),
         },
     }

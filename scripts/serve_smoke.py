@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Smoke-test a running (or in-process) repro.serve evaluation server.
+
+CI boots ``ttm-cas serve`` in the background and points this script at
+it with ``--connect HOST:PORT``; with no argument the script boots its
+own in-process server, so the same checks run anywhere. The pass bar is
+the service's headline contract, end to end over real HTTP:
+
+1. ``/healthz`` answers;
+2. a concurrent burst of identical ``/evaluate`` requests coalesces
+   (X-Batch-Size > 1) and every response is byte-identical to a solo
+   request's response;
+3. ``/mc`` and ``/splits`` answer and are deterministic across repeats;
+4. malformed input gets a structured 400, not a hang or a 500;
+5. ``/metrics`` exposes the full ``serve_*`` family (optionally written
+   to ``--metrics-out`` for the CI artifact).
+
+Exit code 0 = all checks passed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+    PYTHONPATH=src python scripts/serve_smoke.py --connect 127.0.0.1:8321
+    PYTHONPATH=src python scripts/serve_smoke.py --metrics-out serve.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve import ServeClient, ServerConfig, ServerThread
+
+BURST = 12
+SERVE_METRICS = (
+    "serve_requests_total",
+    "serve_request_seconds",
+    "serve_queue_depth",
+    "serve_batches_total",
+    "serve_batched_requests_total",
+    "serve_batch_size",
+    "serve_rejected_total",
+)
+
+
+def check(label: str, ok: bool, detail: str = "") -> bool:
+    print(f"{'ok' if ok else 'FAILED'}: {label}" + (f" ({detail})" if detail else ""))
+    return ok
+
+
+def run_checks(client: ServeClient, metrics_out: str) -> bool:
+    ok = True
+
+    health = client.get("/healthz")
+    ok &= check(
+        "healthz answers",
+        health.status == 200 and health.json().get("status") == "ok",
+        f"status {health.status}",
+    )
+
+    body = {"design": "a11", "n_chips": 2e7}
+    solo = client.post("/evaluate", body)
+    ok &= check("solo /evaluate answers", solo.status == 200)
+
+    with ThreadPoolExecutor(max_workers=BURST) as pool:
+        burst = list(
+            pool.map(lambda _: client.post("/evaluate", body), range(BURST))
+        )
+    ok &= check(
+        "burst all answered",
+        all(r.status == 200 for r in burst),
+        f"statuses {sorted({r.status for r in burst})}",
+    )
+    ok &= check(
+        "burst coalesced",
+        max(r.batch_size for r in burst) > 1,
+        f"max batch {max(r.batch_size for r in burst)}",
+    )
+    ok &= check(
+        "coalesced == solo, byte for byte",
+        all(r.body == solo.body for r in burst),
+    )
+
+    mc_body = {"design": "zen2", "samples": 64, "seed": 5}
+    mc_a = client.post("/mc", mc_body)
+    mc_b = client.post("/mc", mc_body)
+    ok &= check(
+        "/mc answers deterministically",
+        mc_a.status == 200 and mc_a.body == mc_b.body,
+        f"status {mc_a.status}",
+    )
+
+    splits = client.post(
+        "/splits", {"design": "a11", "pairs": [["7nm", "14nm"]]}
+    )
+    ok &= check("/splits answers", splits.status == 200)
+
+    bad = client.request("POST", "/evaluate", body=b"{nope")
+    ok &= check(
+        "malformed JSON is a structured 400",
+        bad.status == 400 and bad.json()["error"]["code"] == "invalid_json",
+        f"status {bad.status}",
+    )
+
+    metrics = client.get("/metrics")
+    text = metrics.body.decode("utf-8")
+    missing = [s for s in SERVE_METRICS if f"# TYPE {s}" not in text]
+    ok &= check(
+        "metrics expose the serve_* family",
+        metrics.status == 200 and not missing,
+        f"missing {missing}" if missing else f"{len(text)} bytes",
+    )
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {metrics_out}")
+
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Smoke-test a repro.serve evaluation server."
+    )
+    parser.add_argument(
+        "--connect",
+        default="",
+        metavar="HOST:PORT",
+        help="test a running server (default: boot one in-process)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="FILE",
+        help="write the final /metrics scrape to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        client = ServeClient(host or "127.0.0.1", int(port))
+        ok = run_checks(client, args.metrics_out)
+    else:
+        with ServerThread(
+            ServerConfig(port=0, batch_window_ms=15.0)
+        ) as server:
+            client = ServeClient(server.host, server.port)
+            ok = run_checks(client, args.metrics_out)
+
+    print("smoke:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -336,6 +336,40 @@ def _cmd_nodes(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    _apply_engine_arguments(args)
+    from .serve.server import EvalServer, ServerConfig
+
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            workers=args.workers,
+            deadline_ms=args.deadline_ms,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    def _announce(host: str, port: int) -> None:
+        print(f"serving on http://{host}:{port}", flush=True)
+        if args.ready_file:
+            with open(args.ready_file, "w", encoding="utf-8") as handle:
+                handle.write(f"{host} {port}\n")
+
+    server = EvalServer(config=config)
+    # Tests inject a threading.Event via the namespace to stop the loop
+    # without signals; the CLI proper relies on SIGINT/SIGTERM.
+    server.run_forever(
+        stop_event=getattr(args, "stop_event", None), ready=_announce
+    )
+    print("server drained and stopped", flush=True)
+    return 0
+
+
 #: Backend specs accepted by ``--backend`` (see repro.engine.compiled).
 BACKEND_CHOICES = ("numpy", "compiled", "compiled:float32")
 
@@ -470,6 +504,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arguments(mc_parser)
     _add_obs_arguments(mc_parser)
     mc_parser.set_defaults(handler=_cmd_mc)
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the multi-tenant coalescing evaluation service",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="coalescing window after a group's first arrival (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="group size that flushes immediately",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        help="admitted-request bound before 429 backpressure",
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=30_000.0,
+        help="default per-request deadline before 504 (0 disables)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads executing fused batches",
+    )
+    serve_parser.add_argument(
+        "--ready-file",
+        default="",
+        metavar="FILE",
+        help="write 'HOST PORT' to FILE once the socket is bound",
+    )
+    _add_engine_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
     obs_parser = sub.add_parser(
         "obs", help="summarize an obs artifact (manifest/trace/metrics)"
     )

@@ -89,6 +89,12 @@ from .portfolio import (
     portfolio_ttm,
     portfolio_ttm_over_capacity,
 )
+from .requests import (
+    POINT_METRICS,
+    PointRequest,
+    fused_point_eval,
+    point_signature,
+)
 from .sobol_adapter import rowwise_batch_function, ttm_factor_batch_function
 
 __all__ = [
@@ -98,6 +104,8 @@ __all__ = [
     "DesignInvariants",
     "EXECUTORS",
     "InvariantsShare",
+    "POINT_METRICS",
+    "PointRequest",
     "PortfolioCASResult",
     "PortfolioCostResult",
     "PortfolioInvariants",
@@ -119,10 +127,12 @@ __all__ = [
     "compile_portfolio",
     "compute_invariants",
     "design_invariants",
+    "fused_point_eval",
     "get_backend",
     "invariant_cache_info",
     "numba_available",
     "parallel_map",
+    "point_signature",
     "portfolio_cas",
     "portfolio_cas_over_capacity",
     "portfolio_cost",

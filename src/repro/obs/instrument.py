@@ -106,6 +106,46 @@ SHM_BYTES = _registry.counter(
 )
 
 
+#: The ``serve_*`` family: the repro.serve request/batcher instruments.
+#: Pre-registered like everything else so ``/metrics`` always exposes
+#: the full family, traffic or not. The coalesce ratio is derivable as
+#: ``serve_batched_requests_total / serve_batches_total``.
+SERVE_REQUESTS = _registry.counter(
+    "serve_requests_total",
+    "HTTP requests handled, labelled by endpoint and status code",
+)
+SERVE_REQUEST_SECONDS = _registry.histogram(
+    "serve_request_seconds",
+    "End-to-end request latency (admission to response), by endpoint",
+    buckets=(
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+        0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    ),
+)
+SERVE_QUEUE_DEPTH = _registry.gauge(
+    "serve_queue_depth",
+    "Requests admitted by the batcher and not yet completed",
+)
+SERVE_BATCHES = _registry.counter(
+    "serve_batches_total",
+    "Fused batch executions, labelled by endpoint",
+)
+SERVE_BATCHED_REQUESTS = _registry.counter(
+    "serve_batched_requests_total",
+    "Requests carried by fused batches, labelled by endpoint",
+)
+SERVE_BATCH_SIZE = _registry.histogram(
+    "serve_batch_size",
+    "Requests coalesced per fused batch, labelled by endpoint",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+)
+SERVE_REJECTED = _registry.counter(
+    "serve_rejected_total",
+    "Requests refused before evaluation, labelled by reason "
+    "(queue_full/deadline/draining)",
+)
+
+
 def _default_backend_label() -> str:
     return "numpy"
 
@@ -153,6 +193,37 @@ def record_fallback(requested: str, chosen: str) -> None:
     if not _ENABLED:
         return
     EXECUTOR_FALLBACKS.inc(requested=requested, chosen=chosen)
+
+
+def record_request(endpoint: str, status: int, seconds: float) -> None:
+    """Count one finished HTTP request and observe its latency."""
+    if not _ENABLED:
+        return
+    SERVE_REQUESTS.inc(endpoint=endpoint, status=str(status))
+    SERVE_REQUEST_SECONDS.observe(float(seconds), endpoint=endpoint)
+
+
+def record_batch(endpoint: str, size: int) -> None:
+    """Count one fused batch execution of ``size`` coalesced requests."""
+    if not _ENABLED:
+        return
+    SERVE_BATCHES.inc(endpoint=endpoint)
+    SERVE_BATCHED_REQUESTS.inc(float(size), endpoint=endpoint)
+    SERVE_BATCH_SIZE.observe(float(size), endpoint=endpoint)
+
+
+def record_rejection(reason: str) -> None:
+    """Count one admission-control rejection (``reason`` names why)."""
+    if not _ENABLED:
+        return
+    SERVE_REJECTED.inc(reason=reason)
+
+
+def set_queue_depth(depth: int) -> None:
+    """Publish the batcher's admitted-but-uncompleted request count."""
+    if not _ENABLED:
+        return
+    SERVE_QUEUE_DEPTH.set(float(depth))
 
 
 def guard_trip(guard: str) -> None:
@@ -226,6 +297,13 @@ __all__ = [
     "GUARD_TRIPS",
     "KERNEL_ELEMENTS",
     "KERNEL_INVOCATIONS",
+    "SERVE_BATCHED_REQUESTS",
+    "SERVE_BATCHES",
+    "SERVE_BATCH_SIZE",
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_REJECTED",
+    "SERVE_REQUESTS",
+    "SERVE_REQUEST_SECONDS",
     "SHM_BYTES",
     "SHM_SEGMENTS",
     "cache_counters",
@@ -233,8 +311,12 @@ __all__ = [
     "enabled",
     "guard_trip",
     "observed_kernel",
+    "record_batch",
     "record_fallback",
     "record_kernel",
+    "record_rejection",
+    "record_request",
     "record_shm",
     "set_backend_label_provider",
+    "set_queue_depth",
 ]

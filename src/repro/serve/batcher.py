@@ -1,0 +1,282 @@
+"""The coalescing micro-batcher: fuse concurrent requests into one call.
+
+Requests submitted within a small *window* (or until a *max batch*
+fills) that share a compatibility key are executed as one fused batch in
+a worker thread; each submitter gets its own slice of the batch result.
+The window starts at the *first* arrival of a key's group — a lone
+request therefore waits at most one window, and a burst of N identical
+requests costs one engine dispatch instead of N.
+
+Admission control is a bounded count of admitted-but-uncompleted
+requests: past ``max_queue``, :meth:`CoalescingBatcher.submit` raises
+:class:`QueueFullError` (the server maps it to ``429 Retry-After``).
+While draining, new submissions raise :class:`ServerClosingError` (503)
+and every pending group is flushed immediately — in-flight work always
+completes, which is the graceful-shutdown guarantee.
+
+Batch poisoning: one bad request (say, a design with zero TTM
+sensitivity asking for CAS) would fail the whole fused call, so when a
+batch raises, the worker retries each member solo and delivers per-item
+results or errors. Good requests are never failed by a bad neighbor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future as ThreadFuture
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..obs import instrument
+from ..obs.trace import span
+
+#: A batch executor: (key, payloads) -> one result per payload, in order.
+BatchFunction = Callable[[Hashable, Sequence[Any]], Sequence[Any]]
+
+
+class QueueFullError(Exception):
+    """Admission control refused the request (bounded queue is full)."""
+
+
+class ServerClosingError(Exception):
+    """The batcher is draining and no longer admits new requests."""
+
+
+class _Group:
+    """One key's open batch: payloads, their futures, and the timer."""
+
+    __slots__ = ("key", "payloads", "futures", "timer")
+
+    def __init__(self, key: Hashable) -> None:
+        self.key = key
+        self.payloads: List[Any] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class CoalescingBatcher:
+    """Groups compatible submissions and runs them fused in worker threads.
+
+    Parameters
+    ----------
+    batch_function:
+        Called in a worker thread with ``(key, payloads)``; must return
+        one result per payload, in order. Exceptions trigger the
+        per-item solo retry described in the module docstring.
+    window_s:
+        Seconds a group waits for company after its first arrival.
+        ``0`` flushes every submission immediately (coalescing off —
+        the bench baseline).
+    max_batch:
+        Group size that triggers an immediate flush.
+    max_queue:
+        Bound on admitted-but-uncompleted requests (admission control).
+    workers:
+        Worker threads executing fused batches. The default of 1
+        serializes engine calls, which keeps the process-wide invariant
+        cache hot and the GIL uncontended; raise it when batches block
+        on anything but the CPU.
+    endpoint_of:
+        Maps a group key to the metrics ``endpoint`` label.
+    """
+
+    def __init__(
+        self,
+        batch_function: BatchFunction,
+        *,
+        window_s: float = 0.01,
+        max_batch: int = 32,
+        max_queue: int = 256,
+        workers: int = 1,
+        endpoint_of: Callable[[Hashable], str] = lambda key: str(key),
+    ) -> None:
+        if window_s < 0:
+            raise ValueError(f"window must be >= 0, got {window_s}")
+        if max_batch < 1:
+            raise ValueError(f"max batch must be >= 1, got {max_batch}")
+        if max_queue < 1:
+            raise ValueError(f"max queue must be >= 1, got {max_queue}")
+        self._batch_function = batch_function
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self._endpoint_of = endpoint_of
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serve-batch"
+        )
+        self._groups: Dict[Hashable, _Group] = {}
+        self._in_flight: Dict[ThreadFuture, None] = {}
+        self._depth = 0
+        self._draining = False
+        self._batches = 0
+        self._batched_requests = 0
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Admitted-but-uncompleted request count (the bounded queue)."""
+        return self._depth
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime totals: batches executed and requests they carried."""
+        return {
+            "batches": self._batches,
+            "batched_requests": self._batched_requests,
+        }
+
+    def _set_depth(self, depth: int) -> None:
+        self._depth = depth
+        instrument.set_queue_depth(depth)
+
+    # -- submission ------------------------------------------------------------
+
+    async def submit(self, key: Hashable, payload: Any) -> Tuple[Any, int]:
+        """Queue one payload and await its ``(result, batch_size)``.
+
+        Raises :class:`ServerClosingError` while draining and
+        :class:`QueueFullError` past the admission bound. Other
+        exceptions are whatever the batch function raised for this
+        payload's solo retry.
+        """
+        return await self.enqueue(key, payload)
+
+    def enqueue(self, key: Hashable, payload: Any) -> "asyncio.Future":
+        """Queue one payload, returning its future without awaiting it.
+
+        Must be called from the event-loop thread. The future resolves
+        to ``(result, batch_size)``; callers enforcing a deadline await
+        it behind :func:`asyncio.shield` and *cancel the returned
+        future* on timeout, which tells delivery to skip it without
+        disturbing the rest of the batch.
+        """
+        if self._draining:
+            instrument.record_rejection("draining")
+            raise ServerClosingError("server is draining; not accepting work")
+        if self._depth >= self.max_queue:
+            instrument.record_rejection("queue_full")
+            raise QueueFullError(
+                f"admission queue is full ({self.max_queue} in flight)"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._set_depth(self._depth + 1)
+
+        group = self._groups.get(key)
+        if group is None:
+            group = _Group(key)
+            self._groups[key] = group
+            if self.window_s > 0 and self.max_batch > 1:
+                group.timer = loop.call_later(
+                    self.window_s, self._flush, key
+                )
+        group.payloads.append(payload)
+        group.futures.append(future)
+        if len(group.payloads) >= self.max_batch or (
+            self.window_s <= 0 or self.max_batch <= 1
+        ):
+            self._flush(key)
+        return future
+
+    # -- flushing --------------------------------------------------------------
+
+    def _flush(self, key: Hashable) -> None:
+        """Move one group from pending to in-flight (event-loop thread)."""
+        group = self._groups.pop(key, None)
+        if group is None:
+            return
+        if group.timer is not None:
+            group.timer.cancel()
+        loop = asyncio.get_running_loop()
+        size = len(group.payloads)
+        endpoint = self._endpoint_of(key)
+        self._batches += 1
+        self._batched_requests += size
+        instrument.record_batch(endpoint, size)
+        handle = self._pool.submit(
+            self._run_batch, key, endpoint, group.payloads
+        )
+        self._in_flight[handle] = None
+        handle.add_done_callback(
+            lambda done: loop.call_soon_threadsafe(
+                self._deliver, done, group, size
+            )
+        )
+
+    def _run_batch(
+        self, key: Hashable, endpoint: str, payloads: List[Any]
+    ) -> List[Tuple[bool, Any]]:
+        """Worker-thread body: fused call, solo retries on failure."""
+        with span("serve.batch", endpoint=endpoint, size=len(payloads)):
+            try:
+                results = list(self._batch_function(key, payloads))
+                if len(results) != len(payloads):
+                    raise RuntimeError(
+                        f"batch function returned {len(results)} results "
+                        f"for {len(payloads)} payloads"
+                    )
+                return [(True, result) for result in results]
+            except Exception:
+                if len(payloads) == 1:
+                    raise
+            outcomes: List[Tuple[bool, Any]] = []
+            for payload in payloads:
+                try:
+                    (solo,) = self._batch_function(key, [payload])
+                    outcomes.append((True, solo))
+                except Exception as error:
+                    outcomes.append((False, error))
+            return outcomes
+
+    def _deliver(
+        self, handle: ThreadFuture, group: _Group, size: int
+    ) -> None:
+        """Resolve the group's futures from a finished batch (loop thread)."""
+        self._in_flight.pop(handle, None)
+        self._set_depth(self._depth - size)
+        error = handle.exception()
+        for i, future in enumerate(group.futures):
+            if future.done():  # submitter gave up (deadline); drop quietly
+                continue
+            if error is not None:
+                future.set_exception(error)
+                continue
+            ok, value = handle.result()[i]
+            if ok:
+                future.set_result((value, size))
+            else:
+                future.set_exception(value)
+
+    # -- shutdown --------------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Refuse new work, flush pending groups, wait out in-flight batches.
+
+        Idempotent; afterwards the worker pool is shut down and every
+        previously admitted request has been delivered a result (or an
+        error) — nothing is abandoned.
+        """
+        self._draining = True
+        for key in list(self._groups):
+            self._flush(key)
+        while self._in_flight:
+            handles = list(self._in_flight)
+            await asyncio.gather(
+                *(asyncio.wrap_future(handle) for handle in handles),
+                return_exceptions=True,
+            )
+            # _deliver runs via call_soon_threadsafe; yield so it lands.
+            await asyncio.sleep(0)
+        self._pool.shutdown(wait=True)
+
+
+__all__ = [
+    "BatchFunction",
+    "CoalescingBatcher",
+    "QueueFullError",
+    "ServerClosingError",
+]

@@ -1,0 +1,95 @@
+"""A small blocking HTTP client for the evaluation service.
+
+Built on :mod:`http.client` so tests, benchmarks, and the smoke script
+can exercise the real wire protocol (status codes, headers, raw body
+bytes — the byte-identity guarantee is checked on exactly what arrived)
+without any dependency beyond the stdlib.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One HTTP exchange: status, headers (lower-cased keys), raw body."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON."""
+        return json.loads(self.body)
+
+    @property
+    def batch_size(self) -> int:
+        """The ``X-Batch-Size`` header, or 0 when absent."""
+        return int(self.headers.get("x-batch-size", "0") or "0")
+
+
+class ServeClient:
+    """Blocking client for one server; one connection per call.
+
+    A fresh connection per request keeps concurrent use trivially safe
+    (``http.client`` connections are not thread-safe) and exercises the
+    server's accept path the way independent tenants would.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> ServeResponse:
+        """One HTTP exchange; returns the full response, never raises
+        on non-2xx statuses (error handling is the caller's assertion)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(
+                method, path, body=body, headers=dict(headers or {})
+            )
+            raw = connection.getresponse()
+            payload = raw.read()
+            return ServeResponse(
+                status=raw.status,
+                headers={
+                    name.lower(): value for name, value in raw.getheaders()
+                },
+                body=payload,
+            )
+        finally:
+            connection.close()
+
+    def get(self, path: str) -> ServeResponse:
+        return self.request("GET", path)
+
+    def post(
+        self,
+        path: str,
+        payload: Any,
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResponse:
+        """POST ``payload`` as JSON; ``deadline_ms`` sets ``X-Deadline-Ms``."""
+        headers = {"Content-Type": "application/json"}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        return self.request(
+            "POST", path, body=json.dumps(payload).encode("utf-8"),
+            headers=headers,
+        )
+
+
+__all__ = ["ServeClient", "ServeResponse"]

@@ -1,0 +1,620 @@
+"""The asyncio HTTP/JSON evaluation server (hand-rolled, stdlib-only).
+
+A deliberately small HTTP/1.1 implementation on
+``asyncio.start_server`` — request line, headers, ``Content-Length``
+bodies, keep-alive — because the service needs exactly five routes and
+zero heavy dependencies:
+
+========  ==========  ====================================================
+method    path        behavior
+========  ==========  ====================================================
+``GET``   /healthz    liveness + draining flag
+``GET``   /metrics    the process metrics registry as Prometheus text
+``POST``  /evaluate   single-design point evaluation (coalesced)
+``POST``  /mc         Monte Carlo supply study (coalesced across designs)
+``POST``  /splits     multi-process split sweep (single-flight dedup)
+========  ==========  ====================================================
+
+POST bodies are JSON; responses are canonical JSON (sorted keys, no
+whitespace). Batch metadata never enters a response body — the number of
+requests the fused call carried rides in the ``X-Batch-Size`` header —
+so a response's bytes are a pure function of its own request, which is
+the service's determinism guarantee.
+
+Failure paths: malformed JSON → 400, unknown route → 404, wrong method
+→ 405, oversized body → 413, admission-queue overflow → 429 with
+``Retry-After``, draining → 503, per-request deadline (the
+``X-Deadline-Ms`` header, or the server default) → 504. Every error
+carries a structured ``{"error": {"code", "message"}}`` body.
+
+:class:`ServerThread` wraps the server in a background thread with its
+own event loop for tests, benchmarks, and in-process smoke runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ReproError
+from ..obs import instrument
+from ..obs.metrics import get_registry
+from ..obs.trace import SpanRecord, current_tracer
+from .batcher import CoalescingBatcher, QueueFullError, ServerClosingError
+from .protocol import (
+    BATCHED_ENDPOINTS,
+    BadRequestError,
+    ServeState,
+    canonical_json,
+    endpoint_of,
+    error_body,
+    execute_batch,
+    parse_request,
+)
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`EvalServer` (CLI flags map 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    batch_window_ms: float = 10.0
+    max_batch: int = 32
+    max_queue: int = 256
+    workers: int = 1
+    deadline_ms: float = 30_000.0
+    max_body_bytes: int = 1_048_576
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError(
+                f"batch window must be >= 0 ms, got {self.batch_window_ms}"
+            )
+        if self.deadline_ms < 0:
+            raise ValueError(
+                f"deadline must be >= 0 ms (0 disables), got "
+                f"{self.deadline_ms}"
+            )
+
+
+class EvalServer:
+    """The evaluation service: batcher + HTTP front end on one loop."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        state: Optional[ServeState] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.state = state or ServeState()
+        self.host = self.config.host
+        self.port = self.config.port
+        self.batcher: Optional[CoalescingBatcher] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: Dict[asyncio.Task, None] = {}
+        self._draining = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        self.batcher = CoalescingBatcher(
+            lambda key, payloads: execute_batch(self.state, key, payloads),
+            window_s=self.config.batch_window_ms / 1000.0,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue,
+            workers=self.config.workers,
+            endpoint_of=endpoint_of,
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain in-flight batches, then close.
+
+        New requests are refused (503) the moment draining starts, every
+        already-admitted request still receives its response, and open
+        keep-alive connections are closed once quiet.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self.batcher is not None:
+            await self.batcher.drain()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                set(self._connections), timeout=2.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.wait(pending, timeout=1.0)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = None
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive or self._draining:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Serve one request; returns whether to keep the connection."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            await self._respond(
+                writer, 400, error_body("invalid_request", "headers too large")
+            )
+            return False
+        started = time.perf_counter()
+        started_ns = time.time_ns()
+        try:
+            method, path, headers = _parse_head(head)
+        except ValueError as error:
+            await self._respond(
+                writer, 400, error_body("invalid_request", str(error))
+            )
+            return False
+        path = path.split("?", 1)[0]
+        endpoint = path.lstrip("/") or "root"
+
+        body = b""
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            await self._respond(
+                writer,
+                400,
+                error_body("invalid_request", "bad Content-Length header"),
+            )
+            return False
+        if length > self.config.max_body_bytes:
+            await self._respond(
+                writer,
+                413,
+                error_body(
+                    "payload_too_large",
+                    f"body of {length} bytes exceeds the "
+                    f"{self.config.max_body_bytes}-byte limit",
+                ),
+                close=True,
+            )
+            self._finish(endpoint, 413, started, started_ns, 0)
+            return False
+        if length:
+            body = await reader.readexactly(length)
+
+        status, payload, extra = await self._route(
+            method, path, headers, body
+        )
+        keep = (
+            headers.get("connection", "").lower() != "close"
+            and not self._draining
+            and status != 503
+        )
+        if not keep:
+            extra = dict(extra)
+            extra["Connection"] = "close"
+        await self._respond(
+            writer,
+            status,
+            payload,
+            content_type=extra.pop("Content-Type", "application/json"),
+            headers=extra,
+            close=not keep,
+        )
+        batch_size = int(extra.get("X-Batch-Size", 0) or 0)
+        self._finish(endpoint, status, started, started_ns, batch_size)
+        return keep
+
+    def _finish(
+        self,
+        endpoint: str,
+        status: int,
+        started: float,
+        started_ns: int,
+        batch_size: int,
+    ) -> None:
+        """Per-request accounting: metrics always, a span when tracing."""
+        elapsed = time.perf_counter() - started
+        instrument.record_request(endpoint, status, elapsed)
+        tracer = current_tracer()
+        if tracer is None:
+            return
+        # Concurrent requests interleave awaits on one thread, so the
+        # tracer's thread-local nesting stack cannot scope them; record
+        # a parentless span directly and merge it via adopt().
+        attributes: Dict[str, Any] = {
+            "endpoint": endpoint,
+            "status": status,
+        }
+        if batch_size:
+            attributes["batch_size"] = batch_size
+        tracer.adopt(
+            [
+                SpanRecord(
+                    name="serve.request",
+                    span_id=tracer._next_id(),
+                    parent_id=None,
+                    start_unix_ns=started_ns,
+                    duration_ns=int(elapsed * 1e9),
+                    cpu_ns=0,
+                    thread_id=threading.get_ident(),
+                    process_id=os.getpid(),
+                    attributes=attributes,
+                    status="ok" if status < 500 else f"error: {status}",
+                )
+            ]
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def _route(
+        self,
+        method: str,
+        path: str,
+        headers: Dict[str, str],
+        body: bytes,
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        if path == "/healthz":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return (
+                200,
+                canonical_json(
+                    {"status": "draining" if self._draining else "ok"}
+                ),
+                {},
+            )
+        if path == "/metrics":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            text = get_registry().to_prometheus_text()
+            return (
+                200,
+                text.encode("utf-8"),
+                {"Content-Type": "text/plain; version=0.0.4"},
+            )
+        endpoint = path.lstrip("/")
+        if endpoint in BATCHED_ENDPOINTS:
+            if method != "POST":
+                return _method_not_allowed("POST")
+            return await self._handle_batched(endpoint, headers, body)
+        return (
+            404,
+            error_body("not_found", f"no route for {path!r}"),
+            {},
+        )
+
+    async def _handle_batched(
+        self, endpoint: str, headers: Dict[str, str], body: bytes
+    ) -> Tuple[int, bytes, Dict[str, str]]:
+        try:
+            parsed = json.loads(body)
+        except ValueError as error:
+            return (
+                400,
+                error_body("invalid_json", f"body is not valid JSON: {error}"),
+                {},
+            )
+        try:
+            key, payload = parse_request(self.state, endpoint, parsed)
+        except BadRequestError as error:
+            return 400, error_body(error.code, str(error)), {}
+
+        deadline_ms = self.config.deadline_ms
+        header_deadline = headers.get("x-deadline-ms")
+        if header_deadline is not None:
+            try:
+                deadline_ms = float(header_deadline)
+            except ValueError:
+                return (
+                    400,
+                    error_body(
+                        "invalid_request",
+                        f"X-Deadline-Ms must be a number, "
+                        f"got {header_deadline!r}",
+                    ),
+                    {},
+                )
+
+        assert self.batcher is not None
+        try:
+            future = self.batcher.enqueue(key, payload)
+        except QueueFullError as error:
+            retry_after = max(1, int(self.config.batch_window_ms / 1000.0) + 1)
+            return (
+                429,
+                error_body("queue_full", str(error)),
+                {"Retry-After": str(retry_after)},
+            )
+        except ServerClosingError as error:
+            return 503, error_body("draining", str(error)), {}
+
+        try:
+            if deadline_ms > 0:
+                result, batch_size = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=deadline_ms / 1000.0
+                )
+            else:
+                result, batch_size = await future
+        except asyncio.TimeoutError:
+            # Tell delivery this slot was abandoned; the rest of the
+            # batch is untouched.
+            future.cancel()
+            instrument.record_rejection("deadline")
+            return (
+                504,
+                error_body(
+                    "deadline_exceeded",
+                    f"request exceeded its {deadline_ms:g} ms deadline",
+                ),
+                {},
+            )
+        except BadRequestError as error:
+            return 400, error_body(error.code, str(error)), {}
+        except ReproError as error:
+            return 400, error_body("invalid_request", str(error)), {}
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            return (
+                500,
+                error_body("internal", f"{type(error).__name__}: {error}"),
+                {},
+            )
+        return (
+            200,
+            canonical_json(result),
+            {"X-Batch-Size": str(batch_size)},
+        )
+
+    # -- response writing ------------------------------------------------------
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str = "application/json",
+        headers: Optional[Dict[str, str]] = None,
+        close: bool = False,
+    ) -> None:
+        lines = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+        ]
+        for name, value in (headers or {}).items():
+            if name not in ("Content-Type",):
+                lines.append(f"{name}: {value}")
+        if close and "Connection" not in (headers or {}):
+            lines.append("Connection: close")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        writer.write(head + payload)
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- blocking entry point (CLI) --------------------------------------------
+
+    def run_forever(
+        self,
+        stop_event: Optional[threading.Event] = None,
+        ready: Optional[Any] = None,
+    ) -> None:
+        """Serve until SIGINT/SIGTERM (or ``stop_event``), then drain.
+
+        ``ready`` is called with ``(host, port)`` once the socket is
+        bound — the CLI uses it to announce the ephemeral port.
+        """
+
+        async def _main() -> None:
+            await self.start()
+            if ready is not None:
+                ready(self.host, self.port)
+            loop = asyncio.get_running_loop()
+            stopper: asyncio.Future = loop.create_future()
+
+            def _request_stop() -> None:
+                if not stopper.done():
+                    stopper.set_result(None)
+
+            import signal
+
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, _request_stop)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            waiter = None
+            if stop_event is not None:
+                waiter = loop.run_in_executor(None, stop_event.wait)
+                waiter.add_done_callback(lambda _: _request_stop())
+            try:
+                await stopper
+            finally:
+                await self.stop()
+                if waiter is not None and stop_event is not None:
+                    stop_event.set()
+                    await waiter
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    """(method, path, lower-cased headers) from one request head."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise ValueError(f"undecodable request head: {error}") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise ValueError(f"malformed header line {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+    return method.upper(), path, headers
+
+
+def _method_not_allowed(allow: str) -> Tuple[int, bytes, Dict[str, str]]:
+    return (
+        405,
+        error_body("method_not_allowed", f"use {allow}"),
+        {"Allow": allow},
+    )
+
+
+class ServerThread:
+    """An :class:`EvalServer` on a dedicated thread + event loop.
+
+    The in-process harness used by tests, benchmarks, and the smoke
+    client: ``start()`` blocks until the ephemeral port is bound,
+    ``stop()`` drains gracefully and joins the thread. Usable as a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        state: Optional[ServeState] = None,
+    ) -> None:
+        self.server = EvalServer(config=config, state=state)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"{self.server.host}:{self.server.port}"
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "server failed to start"
+            ) from self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 30 s")
+        return self
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            loop = asyncio.get_running_loop()
+            self._loop = loop
+            self._stop_future: asyncio.Future = loop.create_future()
+            try:
+                await self.server.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop_future
+            await self.server.stop()
+
+        asyncio.run(_main())
+        self._stopped.set()
+
+    def stop(self) -> None:
+        """Drain and shut down; safe to call from any thread, once."""
+        loop = self._loop
+        if loop is None or self._stopped.is_set():
+            return
+
+        def _request() -> None:
+            if not self._stop_future.done():
+                self._stop_future.set_result(None)
+
+        try:
+            loop.call_soon_threadsafe(_request)
+        except RuntimeError:  # loop already closed
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+__all__ = [
+    "EvalServer",
+    "ServerConfig",
+    "ServerThread",
+]

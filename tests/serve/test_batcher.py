@@ -1,0 +1,221 @@
+"""Unit tests for the coalescing micro-batcher (no HTTP, no engine)."""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Hashable, List, Sequence, Tuple
+
+import pytest
+
+from repro.serve.batcher import (
+    CoalescingBatcher,
+    QueueFullError,
+    ServerClosingError,
+)
+
+
+class Recorder:
+    """A batch function that records every call it receives."""
+
+    def __init__(self, fail_on: Any = None) -> None:
+        self.calls: List[Tuple[Hashable, Tuple[Any, ...]]] = []
+        self.fail_on = fail_on
+
+    def __call__(self, key: Hashable, payloads: Sequence[Any]) -> List[Any]:
+        self.calls.append((key, tuple(payloads)))
+        if self.fail_on is not None and self.fail_on in payloads:
+            raise ValueError(f"poisoned by {self.fail_on!r}")
+        return [("done", payload) for payload in payloads]
+
+
+def run(main):
+    """Run an async test body (a zero-arg coroutine function)."""
+    return asyncio.run(main())
+
+
+def test_burst_coalesces_into_one_batch():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.05, max_batch=32)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(8))
+        )
+        await batcher.drain()
+        return results
+
+    results = run(main)
+    assert len(recorder.calls) == 1
+    assert recorder.calls[0] == ("k", tuple(range(8)))
+    # Every submitter got its own slice and the shared batch size.
+    assert results == [(("done", i), 8) for i in range(8)]
+
+
+def test_max_batch_flushes_immediately():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=10.0, max_batch=4)
+        # A window of 10 s would stall forever if max_batch didn't flush.
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(4))
+        )
+        await batcher.drain()
+        return results
+
+    results = run(main)
+    assert len(recorder.calls) == 1
+    assert [size for _, size in results] == [4, 4, 4, 4]
+
+
+def test_distinct_keys_never_fuse():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.02, max_batch=32)
+        await asyncio.gather(
+            batcher.submit("a", 1),
+            batcher.submit("b", 2),
+            batcher.submit("a", 3),
+        )
+        await batcher.drain()
+
+    run(main)
+    by_key = {key: payloads for key, payloads in recorder.calls}
+    assert by_key == {"a": (1, 3), "b": (2,)}
+
+
+def test_window_zero_disables_coalescing():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.0, max_batch=32)
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(5)))
+        await batcher.drain()
+
+    run(main)
+    assert len(recorder.calls) == 5
+    assert all(len(payloads) == 1 for _, payloads in recorder.calls)
+
+
+def test_queue_full_raises_and_depth_recovers():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(
+            recorder, window_s=5.0, max_batch=64, max_queue=3
+        )
+        futures = [batcher.enqueue("k", i) for i in range(3)]
+        with pytest.raises(QueueFullError):
+            batcher.enqueue("k", 99)
+        assert batcher.depth == 3
+        await batcher.drain()
+        assert batcher.depth == 0
+        return await asyncio.gather(*futures)
+
+    results = run(main)
+    assert [payload for (_, payload), _ in results] == [0, 1, 2]
+
+
+def test_draining_rejects_new_work():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.01)
+        await batcher.drain()
+        with pytest.raises(ServerClosingError):
+            batcher.enqueue("k", 1)
+
+    run(main)
+
+
+def test_drain_completes_pending_groups():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=60.0, max_batch=64)
+        futures = [batcher.enqueue("k", i) for i in range(3)]
+        # The window is a minute out; drain must flush it now.
+        await batcher.drain()
+        return await asyncio.gather(*futures)
+
+    results = run(main)
+    assert len(recorder.calls) == 1
+    assert [size for _, size in results] == [3, 3, 3]
+
+
+def test_poisoned_batch_retries_solo_and_isolates_failure():
+    recorder = Recorder(fail_on=2)
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.05, max_batch=32)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(4)),
+            return_exceptions=True,
+        )
+        await batcher.drain()
+        return results
+
+    results = run(main)
+    # One fused attempt + one solo retry per member.
+    assert len(recorder.calls) == 1 + 4
+    assert recorder.calls[0][1] == (0, 1, 2, 3)
+    # The poisoned member fails alone; its neighbors all succeed.
+    assert isinstance(results[2], ValueError)
+    for i in (0, 1, 3):
+        (tag, payload), _size = results[i]
+        assert (tag, payload) == ("done", i)
+
+
+def test_single_payload_failure_propagates_without_retry():
+    recorder = Recorder(fail_on=7)
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.0)
+        with pytest.raises(ValueError):
+            await batcher.submit("k", 7)
+        await batcher.drain()
+
+    run(main)
+    assert len(recorder.calls) == 1
+
+
+def test_abandoned_future_skips_delivery():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.05, max_batch=32)
+        abandoned = batcher.enqueue("k", 0)
+        kept = batcher.enqueue("k", 1)
+        abandoned.cancel()  # the server's deadline path
+        result = await kept
+        await batcher.drain()
+        return result
+
+    (tag, payload), size = run(main)
+    assert (tag, payload) == ("done", 1)
+    assert size == 2  # the abandoned request still rode in the batch
+
+
+def test_stats_track_batches_and_requests():
+    recorder = Recorder()
+
+    async def main():
+        batcher = CoalescingBatcher(recorder, window_s=0.05, max_batch=32)
+        await asyncio.gather(*(batcher.submit("k", i) for i in range(6)))
+        await batcher.submit("other", 1)
+        await batcher.drain()
+        return batcher.stats()
+
+    stats = run(main)
+    assert stats == {"batches": 2, "batched_requests": 7}
+
+
+def test_invalid_parameters_rejected():
+    recorder = Recorder()
+    with pytest.raises(ValueError):
+        CoalescingBatcher(recorder, window_s=-1.0)
+    with pytest.raises(ValueError):
+        CoalescingBatcher(recorder, max_batch=0)
+    with pytest.raises(ValueError):
+        CoalescingBatcher(recorder, max_queue=0)
