@@ -13,7 +13,10 @@ the service's headline contract, end to end over real HTTP:
 3. ``/mc`` and ``/splits`` answer and are deterministic across repeats;
 4. malformed input gets a structured 400, not a hang or a 500;
 5. ``/metrics`` exposes the full ``serve_*`` family (optionally written
-   to ``--metrics-out`` for the CI artifact).
+   to ``--metrics-out`` for the CI artifact);
+6. with ``--expect-workers N`` (a sharded ``--workers N`` server): the
+   aggregated ``/metrics`` carries at least N distinct ``worker=``
+   labels and ``/healthz`` reports N live workers.
 
 Exit code 0 = all checks passed.
 
@@ -22,11 +25,14 @@ Usage::
     PYTHONPATH=src python scripts/serve_smoke.py
     PYTHONPATH=src python scripts/serve_smoke.py --connect 127.0.0.1:8321
     PYTHONPATH=src python scripts/serve_smoke.py --metrics-out serve.prom
+    PYTHONPATH=src python scripts/serve_smoke.py --connect 127.0.0.1:8321 \\
+        --expect-workers 2
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from concurrent.futures import ThreadPoolExecutor
 
@@ -49,7 +55,9 @@ def check(label: str, ok: bool, detail: str = "") -> bool:
     return ok
 
 
-def run_checks(client: ServeClient, metrics_out: str) -> bool:
+def run_checks(
+    client: ServeClient, metrics_out: str, expect_workers: int = 0
+) -> bool:
     ok = True
 
     health = client.get("/healthz")
@@ -116,6 +124,24 @@ def run_checks(client: ServeClient, metrics_out: str) -> bool:
             handle.write(text)
         print(f"wrote {metrics_out}")
 
+    if expect_workers:
+        labels = {
+            match
+            for match in re.findall(r'worker="(\d+)"', text)
+        }
+        ok &= check(
+            f"metrics carry >= {expect_workers} worker labels",
+            len(labels) >= expect_workers,
+            f"saw {sorted(labels)}",
+        )
+        fleet = health.json().get("workers", [])
+        alive = [entry for entry in fleet if entry.get("alive")]
+        ok &= check(
+            f"healthz reports {expect_workers} live workers",
+            len(alive) >= expect_workers,
+            f"fleet {[(e.get('worker'), e.get('status')) for e in fleet]}",
+        )
+
     return ok
 
 
@@ -135,18 +161,28 @@ def main(argv=None) -> int:
         metavar="FILE",
         help="write the final /metrics scrape to FILE",
     )
+    parser.add_argument(
+        "--expect-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "assert the server is sharded: >= N worker labels in "
+            "/metrics and N live workers in /healthz"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.connect:
         host, _, port = args.connect.rpartition(":")
         client = ServeClient(host or "127.0.0.1", int(port))
-        ok = run_checks(client, args.metrics_out)
+        ok = run_checks(client, args.metrics_out, args.expect_workers)
     else:
         with ServerThread(
             ServerConfig(port=0, batch_window_ms=15.0)
         ) as server:
             client = ServeClient(server.host, server.port)
-            ok = run_checks(client, args.metrics_out)
+            ok = run_checks(client, args.metrics_out, args.expect_workers)
 
     print("smoke:", "PASS" if ok else "FAIL")
     return 0 if ok else 1

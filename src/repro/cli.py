@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional
 
@@ -340,6 +341,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _apply_engine_arguments(args)
     from .serve.server import EvalServer, ServerConfig
 
+    workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
     try:
         config = ServerConfig(
             host=args.host,
@@ -347,7 +349,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_ms=args.batch_window_ms,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
-            workers=args.workers,
+            batch_threads=args.batch_threads,
             deadline_ms=args.deadline_ms,
         )
     except ValueError as error:
@@ -360,12 +362,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with open(args.ready_file, "w", encoding="utf-8") as handle:
                 handle.write(f"{host} {port}\n")
 
-    server = EvalServer(config=config)
     # Tests inject a threading.Event via the namespace to stop the loop
     # without signals; the CLI proper relies on SIGINT/SIGTERM.
-    server.run_forever(
-        stop_event=getattr(args, "stop_event", None), ready=_announce
-    )
+    stop_event = getattr(args, "stop_event", None)
+    if workers <= 1:
+        server = EvalServer(config=config)
+        server.run_forever(stop_event=stop_event, ready=_announce)
+    else:
+        from .serve.shard import ShardConfig, ShardSupervisor
+
+        supervisor = ShardSupervisor(
+            ShardConfig(
+                workers=workers,
+                host=args.host,
+                port=args.port,
+                server=config,
+                backend=getattr(args, "backend", ""),
+            )
+        )
+        supervisor.run_forever(stop_event=stop_event, ready=_announce)
     print("server drained and stopped", flush=True)
     return 0
 
@@ -544,8 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--workers",
         type=int,
+        default=0,
+        help=(
+            "worker processes behind the sticky router (0 = cpu count; "
+            "1 runs today's single-process server unchanged)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--batch-threads",
+        type=int,
         default=1,
-        help="threads executing fused batches",
+        help="threads executing fused batches inside each worker",
     )
     serve_parser.add_argument(
         "--ready-file",

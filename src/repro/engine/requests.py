@@ -82,6 +82,37 @@ class PointRequest:
             )
 
 
+def knob_signature(
+    capacity: Optional[CapacityValue],
+    queue_weeks: Optional[object],
+    d0_scale: Optional[object],
+    wafer_rate_scale: Optional[object],
+) -> Tuple[object, ...]:
+    """The supply-knob shape key shared by :func:`point_signature` and
+    the shard router.
+
+    Computable from raw values (the router derives it straight from the
+    JSON body, without resolving designs or validating scenarios), and
+    guaranteed consistent with :func:`point_signature`: two requests the
+    batcher would group together always produce equal knob signatures,
+    so a sticky router hashing this key keeps every coalescing group on
+    one worker. The capacity node set is carried as a frozenset, so node
+    order in the request body never splits a group.
+    """
+    if capacity is None:
+        capacity_kind: object = "conditions"
+    elif isinstance(capacity, Mapping):
+        capacity_kind = frozenset(str(name) for name in capacity)
+    else:
+        capacity_kind = "global"
+    return (
+        capacity_kind,
+        queue_weeks is not None,
+        d0_scale is not None,
+        wafer_rate_scale is not None,
+    )
+
+
 def point_signature(request: PointRequest) -> Tuple[object, ...]:
     """The fusion-compatibility key of one request.
 
@@ -92,18 +123,11 @@ def point_signature(request: PointRequest) -> Tuple[object, ...]:
     deliberately *not* part of the key — they vary along the sample
     axis.
     """
-    capacity = request.capacity
-    if capacity is None:
-        capacity_kind: object = "conditions"
-    elif isinstance(capacity, Mapping):
-        capacity_kind = frozenset(str(name) for name in capacity)
-    else:
-        capacity_kind = "global"
-    return (
-        capacity_kind,
-        request.queue_weeks is not None,
-        request.d0_scale is not None,
-        request.wafer_rate_scale is not None,
+    return knob_signature(
+        request.capacity,
+        request.queue_weeks,
+        request.d0_scale,
+        request.wafer_rate_scale,
     )
 
 
@@ -290,5 +314,6 @@ __all__ = [
     "POINT_METRICS",
     "PointRequest",
     "fused_point_eval",
+    "knob_signature",
     "point_signature",
 ]

@@ -80,8 +80,13 @@ class _ArraySpec:
 
 # Per-process cache of attached segments (workers attach each segment
 # once, not once per chunk) and of materialized invariants by token.
+# One re-entrant lock guards *both* maps so attach and memoization are
+# a single atomic step: a thread (or a worker about to be killed)
+# observed mid-materialize can never leave an attachment recorded
+# without its memoized twin, which is the window that used to strand
+# references when a worker died between the two writes.
 _ATTACHED: Dict[str, object] = {}
-_ATTACH_LOCK = threading.Lock()
+_ATTACH_LOCK = threading.RLock()
 _MATERIALIZED: Dict[str, object] = {}
 
 
@@ -95,6 +100,21 @@ def _attach_segment(name: str):
             _ATTACHED[name] = segment
             record_shm("attach")
         return segment
+
+
+def _materialize(token: str, build: "callable") -> object:
+    """Memoized ``build()`` per handle token, atomic with the attach.
+
+    ``build`` runs under the attach lock (it calls ``handle.arrays()``,
+    which re-enters :func:`_attach_segment`; the lock is re-entrant), so
+    the attach and its memoization commit together or not at all.
+    """
+    with _ATTACH_LOCK:
+        cached = _MATERIALIZED.get(token)
+        if cached is None:
+            cached = build()
+            _MATERIALIZED[token] = cached
+        return cached
 
 
 def _close_attachments() -> None:
@@ -242,6 +262,21 @@ class SharedInvariantStore:
             if owned is not None:
                 owned.refcount += 1
 
+    def lease(self, handle: TensorHandle) -> "Lease":
+        """Retain ``handle`` behind a release-exactly-once :class:`Lease`.
+
+        The sharded server ties one lease to each worker *process*: the
+        supervisor takes it before the worker spawns and releases it
+        when the process is reaped — never from inside the worker — so a
+        worker killed at any point (even ``SIGKILL`` mid-attach, before
+        its memoization commits) cannot strand a reference. Double
+        release through the same lease is a no-op by construction, which
+        is what makes the reap path safe to run from both the respawn
+        monitor and the final drain.
+        """
+        self.retain(handle)
+        return Lease(self, handle)
+
     def release(self, handle: Optional[TensorHandle]) -> None:
         """Drop a reference; unlink the segment when it reaches zero.
 
@@ -291,6 +326,43 @@ class SharedInvariantStore:
             pass
 
 
+class Lease:
+    """One retained reference on a store, released at most once.
+
+    Usable as a context manager; :meth:`release` is idempotent and
+    thread-safe, so owner-side cleanup paths may race without
+    over-decrementing the segment's refcount.
+    """
+
+    def __init__(self, store: SharedInvariantStore, handle: TensorHandle):
+        self._store = store
+        self._handle = handle
+        self._lock = threading.Lock()
+        self._released = False
+
+    @property
+    def handle(self) -> TensorHandle:
+        return self._handle
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Drop the reference (first call only; later calls no-op)."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._store.release(self._handle)
+
+    def __enter__(self) -> "Lease":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+
 #: The process-wide store every engine call site shares.
 SHARED_STORE = SharedInvariantStore()
 atexit.register(SHARED_STORE.close_all)
@@ -336,22 +408,21 @@ class PortfolioShare:
 
     def materialize(self):
         """Rebuild the ``PortfolioInvariants`` (memoized per process)."""
-        cached = _MATERIALIZED.get(self.handle.token)
-        if cached is not None:
-            return cached
-        from .portfolio import PortfolioInvariants
 
-        arrays = self.handle.arrays()
-        invariants = PortfolioInvariants(
-            designs=self.designs,
-            processes=self.processes,
-            alpha=self.alpha,
-            per_design=self.per_design,
-            special_profiles=self.special_profiles,
-            **{name: arrays[name] for name in PORTFOLIO_ARRAY_FIELDS},
-        )
-        _MATERIALIZED[self.handle.token] = invariants
-        return invariants
+        def _build():
+            from .portfolio import PortfolioInvariants
+
+            arrays = self.handle.arrays()
+            return PortfolioInvariants(
+                designs=self.designs,
+                processes=self.processes,
+                alpha=self.alpha,
+                per_design=self.per_design,
+                special_profiles=self.special_profiles,
+                **{name: arrays[name] for name in PORTFOLIO_ARRAY_FIELDS},
+            )
+
+        return _materialize(self.handle.token, _build)
 
 
 def share_portfolio(invariants) -> PortfolioShare:
@@ -399,27 +470,27 @@ class InvariantsShare:
 
     def materialize(self) -> Dict[str, DesignInvariants]:
         """Rebuild the invariants map (memoized per process)."""
-        cached = _MATERIALIZED.get(self.handle.token)
-        if cached is not None:
-            return cached  # type: ignore[return-value]
-        arrays = self.handle.arrays()
-        out: Dict[str, DesignInvariants] = {}
-        for label, meta in self.entries:
-            out[label] = DesignInvariants(
-                processes=meta.processes,
-                sequential_tapeout_weeks=meta.sequential_tapeout_weeks,
-                testing_weeks_per_chip=meta.testing_weeks_per_chip,
-                assembly_weeks_per_chip=meta.assembly_weeks_per_chip,
-                design_weeks=meta.design_weeks,
-                alpha=meta.alpha,
-                die_profiles=meta.die_profiles,
-                **{
-                    name: arrays[f"{label}/{name}"]
-                    for name in DESIGN_ARRAY_FIELDS
-                },
-            )
-        _MATERIALIZED[self.handle.token] = out
-        return out
+
+        def _build() -> Dict[str, DesignInvariants]:
+            arrays = self.handle.arrays()
+            out: Dict[str, DesignInvariants] = {}
+            for label, meta in self.entries:
+                out[label] = DesignInvariants(
+                    processes=meta.processes,
+                    sequential_tapeout_weeks=meta.sequential_tapeout_weeks,
+                    testing_weeks_per_chip=meta.testing_weeks_per_chip,
+                    assembly_weeks_per_chip=meta.assembly_weeks_per_chip,
+                    design_weeks=meta.design_weeks,
+                    alpha=meta.alpha,
+                    die_profiles=meta.die_profiles,
+                    **{
+                        name: arrays[f"{label}/{name}"]
+                        for name in DESIGN_ARRAY_FIELDS
+                    },
+                )
+            return out
+
+        return _materialize(self.handle.token, _build)  # type: ignore[return-value]
 
 
 def share_design_invariants(
@@ -469,6 +540,7 @@ __all__ = [
     "DESIGN_ARRAY_FIELDS",
     "InlineTensorHandle",
     "InvariantsShare",
+    "Lease",
     "PORTFOLIO_ARRAY_FIELDS",
     "PortfolioShare",
     "SEGMENT_PREFIX",

@@ -144,6 +144,18 @@ SERVE_REJECTED = _registry.counter(
     "Requests refused before evaluation, labelled by reason "
     "(queue_full/deadline/draining)",
 )
+SERVE_ROUTED = _registry.counter(
+    "serve_routed_total",
+    "Requests the shard router forwarded, labelled by worker slot",
+)
+SERVE_WORKERS_ALIVE = _registry.gauge(
+    "serve_workers_alive",
+    "Shard worker processes currently alive (supervisor view)",
+)
+SERVE_WORKER_RESPAWNS = _registry.counter(
+    "serve_worker_respawns_total",
+    "Dead shard workers replaced by the supervisor, labelled by worker",
+)
 
 
 def _default_backend_label() -> str:
@@ -217,6 +229,27 @@ def record_rejection(reason: str) -> None:
     if not _ENABLED:
         return
     SERVE_REJECTED.inc(reason=reason)
+
+
+def record_route(worker: int) -> None:
+    """Count one request the shard router forwarded to ``worker``."""
+    if not _ENABLED:
+        return
+    SERVE_ROUTED.inc(worker=str(worker))
+
+
+def record_respawn(worker: int) -> None:
+    """Count one dead worker the supervisor replaced."""
+    if not _ENABLED:
+        return
+    SERVE_WORKER_RESPAWNS.inc(worker=str(worker))
+
+
+def set_workers_alive(count: int) -> None:
+    """Publish the supervisor's live-worker gauge."""
+    if not _ENABLED:
+        return
+    SERVE_WORKERS_ALIVE.set(float(count))
 
 
 def set_queue_depth(depth: int) -> None:
@@ -304,6 +337,9 @@ __all__ = [
     "SERVE_REJECTED",
     "SERVE_REQUESTS",
     "SERVE_REQUEST_SECONDS",
+    "SERVE_ROUTED",
+    "SERVE_WORKERS_ALIVE",
+    "SERVE_WORKER_RESPAWNS",
     "SHM_BYTES",
     "SHM_SEGMENTS",
     "cache_counters",
@@ -316,7 +352,10 @@ __all__ = [
     "record_kernel",
     "record_rejection",
     "record_request",
+    "record_respawn",
+    "record_route",
     "record_shm",
     "set_backend_label_provider",
     "set_queue_depth",
+    "set_workers_alive",
 ]

@@ -29,9 +29,13 @@ but keeps registrations, so exports always show the full instrument set.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: One ``name="value"`` label pair inside a series' brace block.
+_LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 from ..errors import InvalidParameterError
 
@@ -377,6 +381,113 @@ def metrics_delta(
     return delta
 
 
+def _parse_series(series: str) -> Tuple[str, List[Tuple[str, str]]]:
+    """Split one sample's series into (metric name, label pairs)."""
+    if series.endswith("}") and "{" in series:
+        name, inner = series[:-1].split("{", 1)
+        pairs = [
+            (match.group(1), match.group(2))
+            for match in _LABEL_PAIR.finditer(inner)
+        ]
+        return name, pairs
+    return series, []
+
+
+def relabel_prometheus_line(line: str, labels: Mapping[str, str]) -> str:
+    """Inject ``labels`` into one exposition line (comments pass through).
+
+    Existing labels win on collision — a sample already carrying a
+    ``worker`` label (say, from a nested aggregation) is not rewritten.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#") or not labels:
+        return line
+    series, _, value = stripped.rpartition(" ")
+    if not series:
+        return line
+    name, pairs = _parse_series(series)
+    present = {pair_name for pair_name, _ in pairs}
+    merged = pairs + [
+        (str(k), str(v)) for k, v in labels.items() if str(k) not in present
+    ]
+    merged.sort()
+    return f"{name}{_label_suffix(tuple(merged))} {value}"
+
+
+def relabel_prometheus_text(text: str, **labels: object) -> str:
+    """Inject ``labels`` into every sample line of exposition ``text``."""
+    wanted = {str(k): str(v) for k, v in labels.items()}
+    return (
+        "\n".join(
+            relabel_prometheus_line(line, wanted)
+            for line in text.splitlines()
+        )
+        + "\n"
+    )
+
+
+def merge_prometheus_texts(
+    parts: Iterable[Tuple[Mapping[str, str], str]],
+) -> str:
+    """Merge several exposition dumps into one, tagging each part.
+
+    ``parts`` is ``(extra_labels, text)`` per source (the shard
+    supervisor passes one part per worker plus its own registry, each
+    tagged ``worker="N"`` / ``worker="router"``). Samples of the same
+    metric from every part are grouped under a single ``# HELP`` /
+    ``# TYPE`` header (first part's wording wins), so the aggregate is
+    valid exposition text a Prometheus scraper accepts as-is.
+    """
+    metrics: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+
+    def _entry(name: str) -> Dict[str, object]:
+        entry = metrics.get(name)
+        if entry is None:
+            entry = {"help": None, "type": None, "samples": []}
+            metrics[name] = entry
+        return entry
+
+    for labels, text in parts:
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        current: Optional[str] = None
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("# HELP ") or stripped.startswith(
+                "# TYPE "
+            ):
+                kind = stripped[2:6]
+                rest = stripped[7:]
+                name, _, detail = rest.partition(" ")
+                current = name
+                entry = _entry(name)
+                field = "help" if kind == "HELP" else "type"
+                if entry[field] is None:
+                    entry[field] = detail
+                continue
+            if stripped.startswith("#"):
+                continue
+            series, _, _value = stripped.rpartition(" ")
+            name, _pairs = _parse_series(series)
+            owner = current
+            if owner is None or not name.startswith(owner):
+                owner = name
+            entry = _entry(owner)
+            entry["samples"].append(  # type: ignore[union-attr]
+                relabel_prometheus_line(stripped, wanted)
+            )
+
+    lines: List[str] = []
+    for name, entry in metrics.items():
+        if entry["help"] is not None:
+            lines.append(f"# HELP {name} {entry['help']}")
+        if entry["type"] is not None:
+            lines.append(f"# TYPE {name} {entry['type']}")
+        lines.extend(entry["samples"])  # type: ignore[arg-type]
+    return "\n".join(lines) + "\n"
+
+
 def iter_prometheus_samples(text: str) -> Iterable[Tuple[str, float]]:
     """Parse ``(series, value)`` pairs back out of exposition text.
 
@@ -400,5 +511,8 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "iter_prometheus_samples",
+    "merge_prometheus_texts",
     "metrics_delta",
+    "relabel_prometheus_line",
+    "relabel_prometheus_text",
 ]

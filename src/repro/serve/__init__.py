@@ -12,12 +12,18 @@ that exposes the repro engine to concurrent callers:
 * :mod:`repro.serve.server` — the HTTP/1.1 front end
   (``/evaluate``, ``/mc``, ``/splits``, ``/metrics``, ``/healthz``),
   backpressure, deadlines, graceful drain;
+* :mod:`repro.serve.shard` — the prefork worker pool: a parent-side
+  sticky router (rendezvous-hashed coalescing groups), zero-copy warm
+  caches published through :mod:`repro.engine.shm`, aggregated
+  ``/metrics`` and ``/healthz``, rolling drain and worker respawn;
 * :mod:`repro.serve.client` — a small blocking client used by tests,
-  benchmarks, and the smoke script.
+  benchmarks, and the smoke script (opt-in 429 retry with jittered
+  ``Retry-After`` backoff).
 
 The contract callers rely on: a coalesced response is byte-identical to
-the response the same request would get alone on an idle server. Batch
-size is surfaced only in the ``X-Batch-Size`` header, never in a body.
+the response the same request would get alone on an idle server — with
+or without sharding. Batch size is surfaced only in the
+``X-Batch-Size`` header, never in a body.
 """
 
 from .batcher import (
@@ -26,15 +32,30 @@ from .batcher import (
     QueueFullError,
     ServerClosingError,
 )
-from .client import ServeClient, ServeResponse
+from .client import (
+    ServeClient,
+    ServeClientError,
+    ServeResponse,
+    ServerDrainingError,
+)
 from .protocol import (
     BATCHED_ENDPOINTS,
     BadRequestError,
     ServeState,
+    WarmBundle,
+    build_warm_bundle,
     canonical_json,
     parse_request,
 )
 from .server import EvalServer, ServerConfig, ServerThread
+from .shard import (
+    ShardConfig,
+    ShardSupervisor,
+    ShardThread,
+    WorkerUnavailableError,
+    rendezvous_worker,
+    routing_key,
+)
 
 __all__ = [
     "BATCHED_ENDPOINTS",
@@ -44,11 +65,21 @@ __all__ = [
     "EvalServer",
     "QueueFullError",
     "ServeClient",
+    "ServeClientError",
     "ServeResponse",
     "ServeState",
     "ServerClosingError",
     "ServerConfig",
+    "ServerDrainingError",
     "ServerThread",
+    "ShardConfig",
+    "ShardSupervisor",
+    "ShardThread",
+    "WarmBundle",
+    "WorkerUnavailableError",
+    "build_warm_bundle",
     "canonical_json",
     "parse_request",
+    "rendezvous_worker",
+    "routing_key",
 ]

@@ -26,6 +26,7 @@ which is what makes "coalesced == solo, byte for byte" testable.
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,11 +36,23 @@ from ..design.chip import ChipDesign
 from ..design.library import a11, raven_multicore, zen2, zen2_monolithic
 from ..design.serialize import design_from_dict
 from ..engine.batch_split import DEFAULT_SPLIT_GRID, batch_split, refine_split_grid
+from ..engine.invariants import (
+    cached_invariants,
+    design_invariants,
+    seed_design_invariants,
+)
+from ..engine.portfolio import compile_portfolio, portfolio_fingerprint
 from ..engine.requests import (
     POINT_METRICS,
     PointRequest,
     fused_point_eval,
     point_signature,
+)
+from ..engine.shm import (
+    InvariantsShare,
+    PortfolioShare,
+    share_design_invariants,
+    share_portfolio,
 )
 from ..errors import ReproError
 from ..market import scenarios
@@ -184,17 +197,93 @@ def _metrics(body: Mapping[str, Any]) -> Tuple[str, ...]:
     return tuple(metrics)
 
 
+@dataclass(frozen=True)
+class WarmBundle:
+    """Picklable warm-cache publication for shard workers.
+
+    The supervisor computes the named designs' invariants and their
+    compiled portfolio once, publishes the tensors through
+    ``repro.engine.shm``, and ships this bundle to every worker. A
+    worker interns its *own* design/technology objects (the engine's
+    caches are identity-keyed) and seeds them with the attached
+    zero-copy views, so N workers share one copy of the warm tensors
+    instead of re-deriving N. The model knobs ride along because they
+    are part of the cache keys: seeding under the knobs the tensors were
+    computed with keeps the entries correct even if defaults diverge.
+    """
+
+    labels: Tuple[str, ...]
+    invariants: InvariantsShare
+    portfolio: Optional[PortfolioShare]
+    engineers: int
+    alpha: float
+    edge_corrected: bool
+    block_parallel: bool
+
+    @property
+    def handles(self) -> Tuple[Any, ...]:
+        """Every tensor handle the bundle references (for leasing)."""
+        out: List[Any] = [self.invariants.handle]
+        if self.portfolio is not None:
+            out.append(self.portfolio.handle)
+        return tuple(out)
+
+    @property
+    def source(self) -> str:
+        """``shared`` for zero-copy shm views, ``inline`` for pickled."""
+        return "shared" if self.invariants.handle.is_shared else "inline"
+
+
 class ServeState:
     """Process-wide shared state: database, models, interned designs."""
 
     def __init__(
-        self, technology: Optional[TechnologyDatabase] = None
+        self,
+        technology: Optional[TechnologyDatabase] = None,
+        warm: Optional[WarmBundle] = None,
     ) -> None:
         self.technology = technology or TechnologyDatabase.default()
         self.cost_model = CostModel.nominal(self.technology)
         self._base_model = TTMModel.nominal(self.technology)
         self._models: Dict[str, TTMModel] = {}
         self._designs: Dict[bytes, ChipDesign] = {}
+        #: Where this process's warm caches came from: ``local`` (it
+        #: computes them itself), ``shared`` (zero-copy shm views from
+        #: the shard supervisor), or ``inline`` (the pickling fallback).
+        self.warm_source = "local"
+        if warm is not None:
+            self._seed_warm(warm)
+
+    def _seed_warm(self, warm: WarmBundle) -> None:
+        """Seed the identity-keyed engine caches from a warm bundle."""
+        shared = warm.invariants.materialize()
+        designs: List[ChipDesign] = []
+        for label in warm.labels:
+            design = self.resolve_design(label)
+            designs.append(design)
+            entry = shared.get(label)
+            if entry is not None:
+                seed_design_invariants(
+                    design,
+                    self.technology,
+                    entry,
+                    engineers=warm.engineers,
+                    alpha=warm.alpha,
+                    edge_corrected=warm.edge_corrected,
+                    block_parallel=warm.block_parallel,
+                )
+        if warm.portfolio is not None:
+            tensors = warm.portfolio.materialize()
+            key = portfolio_fingerprint(
+                tuple(designs),
+                self.technology,
+                engineers=warm.engineers,
+                alpha=warm.alpha,
+                edge_corrected=warm.edge_corrected,
+                block_parallel=warm.block_parallel,
+            )
+            cached_invariants(key, lambda: tensors)
+        self.warm_source = warm.source
 
     def model_for(self, scenario: str) -> TTMModel:
         """The memoized TTM model under one named market scenario."""
@@ -314,6 +403,50 @@ class ServeState:
                 )
             return f"{name}:{cores}", partial(factory, cores=cores)
         return str(name), factory
+
+
+def build_warm_bundle(state: Optional[ServeState] = None) -> WarmBundle:
+    """Compute and publish the named designs' warm caches (parent side).
+
+    Uses (or builds) a :class:`ServeState`, derives every named library
+    design's invariants plus the compiled portfolio over all of them,
+    and publishes the tensors through the process-wide shm store. The
+    returned bundle's handles each carry one publish reference; the
+    caller owns their release (the shard supervisor leases them per
+    worker and releases its own reference at shutdown).
+    """
+    state = state or ServeState()
+    model = state._base_model
+    labels = tuple(sorted(_NAMED_DESIGNS))
+    designs = [state.resolve_design(label) for label in labels]
+    invariants = {
+        label: design_invariants(
+            design,
+            state.technology,
+            model.engineers,
+            alpha=model.alpha,
+            edge_corrected=model.edge_corrected,
+            block_parallel=model.block_parallel,
+        )
+        for label, design in zip(labels, designs)
+    }
+    portfolio = compile_portfolio(
+        tuple(designs),
+        state.technology,
+        engineers=model.engineers,
+        alpha=model.alpha,
+        edge_corrected=model.edge_corrected,
+        block_parallel=model.block_parallel,
+    )
+    return WarmBundle(
+        labels=labels,
+        invariants=share_design_invariants(invariants),
+        portfolio=share_portfolio(portfolio),
+        engineers=model.engineers,
+        alpha=model.alpha,
+        edge_corrected=model.edge_corrected,
+        block_parallel=model.block_parallel,
+    )
 
 
 # -- parsing: body -> (group key, payload) ------------------------------------
@@ -625,6 +758,8 @@ __all__ = [
     "DEFAULT_N_CHIPS",
     "DESIGN_CACHE_LIMIT",
     "ServeState",
+    "WarmBundle",
+    "build_warm_bundle",
     "canonical_json",
     "endpoint_of",
     "error_body",

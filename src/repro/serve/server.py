@@ -72,16 +72,24 @@ _STATUS_TEXT = {
 
 @dataclass(frozen=True)
 class ServerConfig:
-    """Tunables for one :class:`EvalServer` (CLI flags map 1:1)."""
+    """Tunables for one :class:`EvalServer` (CLI flags map 1:1).
+
+    ``batch_threads`` sizes the thread pool that executes fused batches
+    (the CLI's ``--batch-threads``; process-level parallelism is the
+    shard supervisor's ``--workers``). ``worker_id`` is set only when
+    this server runs as one shard worker — it adds worker identity to
+    ``/healthz`` and changes nothing else.
+    """
 
     host: str = "127.0.0.1"
     port: int = 0
     batch_window_ms: float = 10.0
     max_batch: int = 32
     max_queue: int = 256
-    workers: int = 1
+    batch_threads: int = 1
     deadline_ms: float = 30_000.0
     max_body_bytes: int = 1_048_576
+    worker_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -121,7 +129,7 @@ class EvalServer:
             window_s=self.config.batch_window_ms / 1000.0,
             max_batch=self.config.max_batch,
             max_queue=self.config.max_queue,
-            workers=self.config.workers,
+            workers=self.config.batch_threads,
             endpoint_of=endpoint_of,
         )
         self._server = await asyncio.start_server(
@@ -309,13 +317,16 @@ class EvalServer:
         if path == "/healthz":
             if method != "GET":
                 return _method_not_allowed("GET")
-            return (
-                200,
-                canonical_json(
-                    {"status": "draining" if self._draining else "ok"}
-                ),
-                {},
-            )
+            health: Dict[str, Any] = {
+                "status": "draining" if self._draining else "ok"
+            }
+            if self.config.worker_id is not None:
+                health["worker"] = self.config.worker_id
+                health["pid"] = os.getpid()
+                health["warm_cache"] = getattr(
+                    self.state, "warm_source", "local"
+                )
+            return 200, canonical_json(health), {}
         if path == "/metrics":
             if method != "GET":
                 return _method_not_allowed("GET")

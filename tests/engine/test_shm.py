@@ -9,7 +9,11 @@ handle when shared memory is disabled.
 """
 
 import glob
+import multiprocessing
+import os
 import pickle
+import signal
+import time
 
 import numpy as np
 import pytest
@@ -25,6 +29,7 @@ from repro.engine.shm import (
     SHARED_STORE,
     SHM_ENV,
     InlineTensorHandle,
+    Lease,
     SharedInvariantStore,
     share_design_invariants,
     share_portfolio,
@@ -193,6 +198,82 @@ class TestTypedShares:
                     )
         finally:
             SHARED_STORE.release(share.handle)
+
+
+class TestLease:
+    """The supervisor-side reference: one lease per worker process."""
+
+    def test_lease_retains_and_release_is_idempotent(self, store):
+        handle = store.publish(sample_arrays())
+        lease = store.lease(handle)
+        assert store.refcount(handle) == 2
+        assert not lease.released
+        lease.release()
+        assert lease.released
+        assert store.refcount(handle) == 1
+        lease.release()  # double release must not over-decrement
+        assert store.refcount(handle) == 1
+        store.release(handle)
+
+    def test_lease_is_a_context_manager(self, store):
+        handle = store.publish(sample_arrays())
+        with store.lease(handle) as lease:
+            assert lease.handle is handle
+            assert store.refcount(handle) == 2
+        assert store.refcount(handle) == 1
+        store.release(handle)
+
+
+def _attach_then_block(handle, conn):
+    """Child side of the kill -9 audit (module-level: spawn-picklable).
+
+    Attaches the segment — the historical leak window opened here, when
+    a worker died between attach and memoization — reports in, then
+    blocks until it is killed.
+    """
+    views = handle.arrays()
+    conn.send(("attached", sorted(views)))
+    time.sleep(300)
+
+
+class TestKillNineLeakAudit:
+    def test_sigkilled_attacher_cannot_strand_the_segment(self, store):
+        # The supervisor protocol under audit: the parent takes one
+        # lease per worker *before* the spawn and releases it when the
+        # process is reaped — so even SIGKILL (no atexit, no finally)
+        # mid-attach leaves the refcount exact and the segment unlinks
+        # at zero. The autouse no_leaks fixture is the final auditor.
+        published = sample_arrays()
+        handle = store.publish(published)
+        lease = store.lease(handle)
+        assert store.refcount(handle) == 2
+
+        ctx = multiprocessing.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        child = ctx.Process(
+            target=_attach_then_block,
+            args=(handle, child_conn),
+            daemon=True,
+        )
+        child.start()
+        child_conn.close()
+        assert parent_conn.poll(120), "child never attached"
+        tag, keys = parent_conn.recv()
+        assert tag == "attached"
+        assert keys == sorted(published)
+
+        os.kill(child.pid, signal.SIGKILL)  # mid-window, no cleanup runs
+        child.join(timeout=30)
+        assert not child.is_alive()
+        parent_conn.close()
+
+        lease.release()  # the reap path
+        assert store.refcount(handle) == 1
+        segment_file = f"/dev/shm/{handle.name}"
+        assert segment_file in leaked_segments()  # parent still owns it
+        store.release(handle)
+        assert store.refcount(handle) == 0
+        assert segment_file not in leaked_segments()
 
 
 def _worker_evaluate(task):

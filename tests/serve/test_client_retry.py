@@ -1,0 +1,119 @@
+"""Client-side backpressure handling: opt-in 429 retries, typed 503s.
+
+Pure unit tests: the wire exchange is stubbed so the retry policy is
+pinned without a server — deterministic sleeps via an injected RNG.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.serve.client import (
+    ServeClient,
+    ServeResponse,
+    ServerDrainingError,
+)
+
+_DRAINING = ServeResponse(
+    status=503,
+    headers={},
+    body=b'{"error": {"code": "draining", "message": "bye"}}',
+)
+_BUSY = ServeResponse(
+    status=429,
+    headers={"retry-after": "2"},
+    body=b'{"error": {"code": "queue_full", "message": "later"}}',
+)
+_OK = ServeResponse(status=200, body=b'{"fine": true}')
+
+
+class _Script:
+    """Replays a fixed response sequence and records the sleeps."""
+
+    def __init__(self, client, responses):
+        self.responses = list(responses)
+        self.exchanges = 0
+        self.sleeps = []
+        client._exchange = self._exchange
+        client._sleep = self.sleeps.append
+
+    def _exchange(self, method, path, body, headers):
+        self.exchanges += 1
+        return self.responses.pop(0)
+
+
+def _client(**kwargs):
+    kwargs.setdefault("_rng", random.Random(7))
+    return ServeClient("localhost", 1, **kwargs)
+
+
+def test_default_client_never_retries_or_raises():
+    client = _client()
+    script = _Script(client, [_DRAINING])
+    response = client.request("POST", "/evaluate")
+    assert response.status == 503
+    assert script.exchanges == 1
+    assert script.sleeps == []
+
+
+def test_429_is_retried_after_jittered_retry_after():
+    client = _client(max_retries=3)
+    script = _Script(client, [_BUSY, _BUSY, _OK])
+    response = client.request("POST", "/evaluate")
+    assert response.status == 200
+    assert script.exchanges == 3
+    assert len(script.sleeps) == 2
+    for slept in script.sleeps:
+        # Retry-After 2s, full jitter in [0.5x, 1.5x].
+        assert 1.0 <= slept <= 3.0
+
+
+def test_retry_after_is_clamped():
+    client = _client(max_retries=1, max_retry_after=0.25)
+    script = _Script(
+        client,
+        [
+            ServeResponse(
+                status=429, headers={"retry-after": "3600"}, body=b"{}"
+            ),
+            _OK,
+        ],
+    )
+    assert client.request("POST", "/mc").status == 200
+    assert script.sleeps[0] <= 0.375  # 1.5x the 0.25s clamp
+
+
+def test_retries_exhaust_to_the_last_429():
+    client = _client(max_retries=2)
+    script = _Script(client, [_BUSY, _BUSY, _BUSY])
+    response = client.request("POST", "/evaluate")
+    assert response.status == 429
+    assert script.exchanges == 3  # initial + 2 retries
+
+
+def test_draining_503_raises_typed_error_when_retrying():
+    client = _client(max_retries=2)
+    script = _Script(client, [_DRAINING])
+    with pytest.raises(ServerDrainingError) as excinfo:
+        client.request("POST", "/evaluate")
+    assert excinfo.value.response.status == 503
+    assert script.exchanges == 1  # no retry against a draining server
+
+
+def test_non_draining_503_is_returned_not_raised():
+    client = _client(max_retries=2)
+    plain_503 = ServeResponse(
+        status=503,
+        body=b'{"error": {"code": "worker_unavailable", "message": "x"}}',
+    )
+    _Script(client, [plain_503])
+    response = client.request("POST", "/evaluate")
+    assert response.status == 503
+    assert response.error_code == "worker_unavailable"
+
+
+def test_negative_max_retries_is_rejected():
+    with pytest.raises(ValueError):
+        ServeClient("localhost", 1, max_retries=-1)
