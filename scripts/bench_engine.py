@@ -24,6 +24,13 @@ Workloads (the ISSUEs' acceptance targets):
   compiled portfolio. Measures the per-call overhead the fused path
   amortizes at serving-style batch sizes. Target: >= 2x over the
   *batched* per-design loop (not the scalar model).
+* ``scenario_sweep`` -- the fused scenario cube: 50 graded stress
+  scenarios x 32 designs x 2048 samples through one
+  ``scenario_evaluate`` pass vs the looped per-scenario
+  ``portfolio_ttm`` + ``portfolio_cas`` + ``portfolio_cost`` oracle
+  over ``apply_scenario``-transformed draws. The cube is pinned
+  bit-for-bit against the loop (``max_abs_error`` must be exactly 0).
+  Target: >= 5x.
 * ``serve``     -- 96 concurrent HTTP round-trips through the
   ``repro.serve`` evaluation service (16 client threads, mixed
   designs): coalescing disabled vs the 10 ms coalescing window.
@@ -47,11 +54,15 @@ Usage::
 the scalar baselines are backend-independent. The active backend label
 is recorded in the report's ``config`` block.
 
-``--compare-backends`` A/Bs the NumPy and compiled backends on the two
-tentpole hot paths (``fig14_split_sweep`` and ``portfolio_mc``) in the
-same process: float64 results must be bit-identical, and with Numba
-installed the compiled backend must clear ``COMPILED_SPEEDUP_FLOOR``
-(5x). Without Numba the kernels run as plain Python loops, so only the
+``--compare-backends`` A/Bs the NumPy and compiled backends on the
+tentpole hot paths (``fig14_split_sweep``, ``portfolio_mc``, and the
+``scenario_cube``) in the same process: float64 results must be
+bit-identical, and with Numba installed the compiled backend must clear
+``COMPILED_SPEEDUP_FLOOR`` (5x) on the per-call paths. The
+``scenario_cube`` leg gates equality only — its NumPy baseline already
+amortizes the pow/supply work across scenarios, so the compiled margin
+is structurally thinner there and the ratio is reported, not enforced.
+Without Numba the kernels run as plain Python loops, so only the
 equality half gates and the timing half is reported, not enforced.
 Cross-machine wall times are too noisy to gate on; this same-process
 ratio is how CI's numba leg proves the compiled-backend speedup.
@@ -107,9 +118,14 @@ from repro.engine.compiled import (
     use_backend,
 )
 from repro.engine.invariants import clear_invariant_cache
-from repro.engine.portfolio import portfolio_ttm
+from repro.engine.portfolio import portfolio_cas, portfolio_cost, portfolio_ttm
+from repro.engine.scenario import apply_scenario, scenario_evaluate
 from repro.engine.sobol_adapter import ttm_factor_batch_function
+from repro.design.block import Block
+from repro.design.chip import ChipDesign
+from repro.design.die import Die
 from repro.market.conditions import MarketConditions
+from repro.montecarlo.stress import graded_stress_scenarios
 from repro.multiprocess.optimizer import run_split_study
 from repro.sensitivity.sobol import sobol_indices
 from repro.sensitivity.ttm_factors import ttm_factor_function, ttm_factors
@@ -124,6 +140,20 @@ REPEATS = 5
 PORTFOLIO_DESIGNS = 64
 PORTFOLIO_SAMPLES = 4096
 PORTFOLIO_SEED = 20230613
+
+#: The fused scenario-cube workload: 50 stress scenarios (baseline +
+#: 7 families x 7 graded intensities) x 32 multi-die chiplet candidates
+#: x 2048 correlated supply samples, one (K, D, S) pass vs the looped
+#: per-scenario portfolio oracle.
+SCENARIO_DESIGNS = 32
+SCENARIO_SAMPLES = 2048
+SCENARIO_SEED = 20230915
+#: Fine severity scan for the supply-side families (capacity, queue,
+#: wafer rate) and the library's canonical quarter steps for the
+#: demand/defect families: 1 baseline + 3 x 11 + 4 x 4 = 50 scenarios.
+SCENARIO_INTENSITIES = tuple((i + 1) / 11 for i in range(11))
+SCENARIO_DEMAND_INTENSITIES = (0.25, 0.5, 0.75, 1.0)
+SCENARIO_NODES = ("65nm", "40nm", "28nm", "14nm", "7nm", "5nm")
 
 #: The sustained-throughput stream: many smallish requests against one
 #: compiled portfolio (serving-style, overhead-bound sizes).
@@ -411,6 +441,164 @@ def bench_portfolio_mc(model: TTMModel) -> dict:
         "speedup": scalar_time / batch_time,
         "max_abs_error": error,
         "target_speedup": 50.0,
+    }
+
+
+def scenario_portfolio_workload(
+    n_designs: int = SCENARIO_DESIGNS,
+    n_samples: int = SCENARIO_SAMPLES,
+    seed: int = SCENARIO_SEED,
+):
+    """Chiplet candidates + shared supply draws for the scenario cube.
+
+    Each candidate spans 3-6 production nodes (heterogeneous multi-die
+    packages), so the per-node ``capacity_scale`` scenarios exercise the
+    node-mapping path, not just the global multipliers. Draws are CRN:
+    one capacity/queue/defect/wafer-rate/demand vector shared by every
+    (scenario, design) cell.
+    """
+    designs = []
+    for i in range(n_designs):
+        nodes = SCENARIO_NODES[i % 3 : i % 3 + 3 + (i % 4)]
+        dies = tuple(
+            Die(
+                name=f"sc{i}-die{j}",
+                process=node,
+                blocks=(
+                    Block(
+                        name=f"sc{i}-b{j}",
+                        transistors=(2e9 + i * 1e8) / len(nodes),
+                        instances=4,
+                        unique_transistors=(2e8 + i * 5e6) / len(nodes),
+                    ),
+                ),
+                count=1 + (j % 2),
+                area_mm2=80.0 + 5.0 * j,
+            )
+            for j, node in enumerate(nodes)
+        )
+        designs.append(ChipDesign(name=f"chiplet-{i:02d}", dies=dies))
+    rng = np.random.default_rng(seed)
+    demand = rng.uniform(1e6, 5e7, n_samples)
+    capacity = rng.uniform(0.2, 1.0, n_samples)
+    queue_weeks = rng.uniform(0.0, 20.0, n_samples)
+    d0_scale = rng.uniform(0.8, 1.2, n_samples)
+    wafer_rate_scale = rng.uniform(0.85, 1.15, n_samples)
+    return designs, demand, capacity, queue_weeks, d0_scale, wafer_rate_scale
+
+
+def bench_scenario_sweep(model: TTMModel) -> dict:
+    """Fused (scenarios x designs x samples) cube vs the looped oracle.
+
+    The baseline is the strongest competitor, not a strawman: one
+    *batched* ``portfolio_ttm`` + ``portfolio_cas`` + ``portfolio_cost``
+    pass per scenario over ``apply_scenario``-transformed draws. The
+    fused ``scenario_evaluate`` wins by sharing work *across* scenarios
+    (one supply resolve + baseline pass per demand group, cached yield
+    powers, prefix/suffix LOO-max scans), and the cube is pinned
+    bit-for-bit against the loop: ``max_abs_error`` must be exactly 0.
+    """
+    (
+        designs,
+        demand,
+        capacity,
+        queue_weeks,
+        d0_scale,
+        wafer_rate_scale,
+    ) = scenario_portfolio_workload()
+    cost_model = CostModel.nominal()
+    scenario_set = graded_stress_scenarios(
+        SCENARIO_INTENSITIES, demand_intensities=SCENARIO_DEMAND_INTENSITIES
+    )
+    nodes = tuple(
+        dict.fromkeys(p for design in designs for p in design.processes)
+    )
+    n_designs, n_samples = len(designs), demand.size
+    shape = (scenario_set.n_scenarios, n_designs, n_samples)
+
+    def looped():
+        ttm = np.empty(shape)
+        cas = np.empty(shape)
+        cost = np.empty(shape)
+        for k in range(scenario_set.n_scenarios):
+            kw = apply_scenario(
+                scenario_set,
+                k,
+                nodes=nodes,
+                conditions=model.foundry.conditions,
+                n_chips=demand,
+                capacity=capacity,
+                queue_weeks=queue_weeks,
+                d0_scale=d0_scale,
+                wafer_rate_scale=wafer_rate_scale,
+            )
+            supply = {
+                key: kw[key]
+                for key in (
+                    "capacity",
+                    "queue_weeks",
+                    "d0_scale",
+                    "wafer_rate_scale",
+                )
+            }
+            ttm[k] = np.broadcast_to(
+                portfolio_ttm(
+                    model, designs, kw["n_chips"], **supply
+                ).total_weeks,
+                shape[1:],
+            )
+            cas[k] = np.broadcast_to(
+                portfolio_cas(
+                    model, designs, kw["n_chips"], **supply
+                ).cas,
+                shape[1:],
+            )
+            cost[k] = np.broadcast_to(
+                portfolio_cost(
+                    cost_model,
+                    designs,
+                    kw["n_chips"],
+                    d0_scale=kw["d0_scale"],
+                    engineers=model.engineers,
+                ).total_usd,
+                shape[1:],
+            )
+        return ttm, cas, cost
+
+    def fused():
+        return scenario_evaluate(
+            model,
+            cost_model,
+            designs,
+            demand,
+            scenario_set,
+            capacity=capacity,
+            queue_weeks=queue_weeks,
+            d0_scale=d0_scale,
+            wafer_rate_scale=wafer_rate_scale,
+        )
+
+    oracle_ttm, oracle_cas, oracle_cost = looped()
+    cube = fused()
+    error = float(
+        max(
+            np.max(np.abs(cube.ttm.total_weeks - oracle_ttm)),
+            np.max(np.abs(cube.cas.cas - oracle_cas)),
+            np.max(np.abs(cube.cost.total_usd - oracle_cost)),
+        )
+    )
+
+    scalar_time = best_of(2, looped)
+    batch_time = best_of(REPEATS, fused)
+    return {
+        "scenarios": scenario_set.n_scenarios,
+        "designs": n_designs,
+        "samples": n_samples,
+        "scalar_seconds": scalar_time,
+        "batched_seconds": batch_time,
+        "speedup": scalar_time / batch_time,
+        "max_abs_error": error,
+        "target_speedup": 5.0,
     }
 
 
@@ -745,6 +933,7 @@ WORKLOADS = {
     "cas_sweep_20x6": bench_sweep,
     "fig14_split_sweep": bench_split_sweep,
     "portfolio_mc": bench_portfolio_mc,
+    "scenario_sweep": bench_scenario_sweep,
     "sustained_throughput": bench_sustained_throughput,
     "serve_roundtrip": bench_serve_roundtrip,
     "serve_scaling": bench_serve_scaling,
@@ -872,6 +1061,15 @@ def compare_backends(model: TTMModel) -> bool:
         for primary in processes[i:]
     ]
     split_grid = tuple(s / 100.0 for s in range(1, 101))
+    (
+        scen_designs,
+        scen_demand,
+        scen_capacity,
+        scen_queue,
+        scen_d0,
+        scen_wafer_rate,
+    ) = scenario_portfolio_workload(n_designs=12, n_samples=256)
+    scenario_set = graded_stress_scenarios((0.5, 1.0), (1.0,))
     hot_paths = {
         "fig14_split_sweep": lambda: batch_split(
             raven_multicore,
@@ -883,6 +1081,17 @@ def compare_backends(model: TTMModel) -> bool:
         ),
         "portfolio_mc": lambda: portfolio_ttm(
             model, designs, demand, capacity=capacity, queue_weeks=queue_weeks
+        ),
+        "scenario_cube": lambda: scenario_evaluate(
+            model,
+            cost_model,
+            scen_designs,
+            scen_demand,
+            scenario_set,
+            capacity=scen_capacity,
+            queue_weeks=scen_queue,
+            d0_scale=scen_d0,
+            wafer_rate_scale=scen_wafer_rate,
         ),
     }
     comparable = {
@@ -897,7 +1106,18 @@ def compare_backends(model: TTMModel) -> bool:
             r.fabrication_weeks,
             r.packaging_weeks,
         ),
+        "scenario_cube": lambda r: (
+            r.ttm.total_weeks,
+            r.ttm.fabrication_weeks,
+            r.cas.cas,
+            r.cost.total_usd,
+        ),
     }
+    # The scenario cube's NumPy path already shares the pow/supply work
+    # across scenarios, so the compiled kernels have structurally less
+    # redundancy to remove there: the leg gates bit-equality only and
+    # its ratio is informational.
+    timing_gated = {"fig14_split_sweep", "portfolio_mc"}
     gate_timing = numba_available()
     ok = True
     for name, call in hot_paths.items():
@@ -915,13 +1135,15 @@ def compare_backends(model: TTMModel) -> bool:
             )
         )
         ratio = numpy_time / compiled_time
-        met = equal and (not gate_timing or ratio >= COMPILED_SPEEDUP_FLOOR)
+        gated = gate_timing and name in timing_gated
+        met = equal and (not gated or ratio >= COMPILED_SPEEDUP_FLOOR)
         ok = ok and met
-        floor = (
-            f"floor {COMPILED_SPEEDUP_FLOOR:.0f}x"
-            if gate_timing
-            else "floor waived: no numba, pure-Python kernels"
-        )
+        if gated:
+            floor = f"floor {COMPILED_SPEEDUP_FLOOR:.0f}x"
+        elif gate_timing:
+            floor = "floor waived: equality-only leg"
+        else:
+            floor = "floor waived: no numba, pure-Python kernels"
         print(
             f"compiled vs numpy {name}: {ratio:.1f}x ({floor}), "
             f"float64 {'bit-equal' if equal else 'MISMATCH'} "
@@ -972,6 +1194,9 @@ def measure(model: TTMModel) -> dict:
             "serve_window_ms": SERVE_WINDOW_MS,
             "scaling_workers": list(SCALING_WORKERS),
             "scaling_requests": SCALING_REQUESTS,
+            "scenario_designs": SCENARIO_DESIGNS,
+            "scenario_samples": SCENARIO_SAMPLES,
+            "scenario_seed": SCENARIO_SEED,
             "backend": backend_label(),
         },
     }

@@ -130,7 +130,13 @@ def _cmd_mc(args: argparse.Namespace) -> int:
     from .cost.model import CostModel
     from .design.library import a11, zen2, zen2_monolithic
     from .market import scenarios
-    from .montecarlo import default_supply_spec, run_study
+    from .montecarlo import (
+        default_correlated_spec,
+        default_supply_spec,
+        run_scenario_study,
+        run_study,
+        stress_scenarios,
+    )
     from .ttm.model import TTMModel
 
     try:
@@ -145,7 +151,15 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         model = nominal.with_foundry(
             nominal.foundry.with_conditions(conditions)
         )
-        spec = default_supply_spec(n_chips=args.chips)
+        if args.correlated:
+            spec = default_correlated_spec(n_chips=args.chips)
+        else:
+            spec = default_supply_spec(n_chips=args.chips)
+        selector = tuple(
+            entry.strip()
+            for entry in args.scenarios.split(",")
+            if entry.strip()
+        )
         with ObsSession.from_args(args) as session:
             with session.run_manifest(
                 "mc-study",
@@ -157,19 +171,33 @@ def _cmd_mc(args: argparse.Namespace) -> int:
                     "chips": args.chips,
                     "samples": args.samples,
                     "executor": args.executor,
+                    "correlated": args.correlated,
+                    "stress_scenarios": list(selector),
                     "spec": to_jsonable(spec),
                 },
                 seeds={"seed": args.seed},
             ) as sink:
-                result = run_study(
-                    model,
-                    design,
-                    spec,
-                    n_samples=args.samples,
-                    seed=args.seed,
-                    cost_model=CostModel.nominal(),
-                    executor=args.executor,
-                )
+                if selector:
+                    result = run_scenario_study(
+                        model,
+                        [design],
+                        spec,
+                        stress_scenarios(selector),
+                        n_samples=args.samples,
+                        seed=args.seed,
+                        cost_model=CostModel.nominal(),
+                        executor=args.executor,
+                    )
+                else:
+                    result = run_study(
+                        model,
+                        design,
+                        spec,
+                        n_samples=args.samples,
+                        seed=args.seed,
+                        cost_model=CostModel.nominal(),
+                        executor=args.executor,
+                    )
                 sink.set_result(result)
     except (KeyError, ReproError) as error:
         # Node/scenario lookups are lazy, so bad inputs surface here;
@@ -179,6 +207,21 @@ def _cmd_mc(args: argparse.Namespace) -> int:
         return 2
     if args.json:
         print(to_json(result))
+    elif selector:
+        sampling = "correlated" if args.correlated else "independent"
+        print(
+            f"== Scenario stress suite: {design.name} under "
+            f"{args.scenario!r} ({len(result.scenarios)} scenarios x "
+            f"{args.samples} samples, {sampling} draws, seed "
+            f"{args.seed}) =="
+        )
+        for metric in ("ttm_weeks", "cas", "cost_per_chip_usd"):
+            print()
+            print(f"-- {metric}: per-scenario risk (CVaR ladder) --")
+            print(result.cvar_table(metric, design.name))
+        print()
+        print("-- ttm_weeks: exceedance vs the baseline world --")
+        print(result.exceedance_table("ttm_weeks", design.name))
     else:
         print(
             f"== Monte Carlo: {design.name} under {args.scenario!r} "
@@ -502,6 +545,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mc_parser.add_argument(
         "--seed", type=int, default=0, help="study seed (reproducible)"
+    )
+    mc_parser.add_argument(
+        "--scenarios",
+        default="",
+        metavar="SELECTOR",
+        help=(
+            "run the fused stress-scenario cube instead of the "
+            "single-world study: 'all', a family ('fab-outage', "
+            "'logistics', ...), an exact 'family:severity' name, or a "
+            "comma-separated mix"
+        ),
+    )
+    mc_parser.add_argument(
+        "--correlated",
+        action="store_true",
+        help=(
+            "draw from the correlated supply spec (Gaussian-copula "
+            "rank correlation + Latin hypercube + antithetic pairs; "
+            "needs an even --samples)"
+        ),
     )
     from .engine.parallel import EXECUTORS
 

@@ -95,6 +95,20 @@ from .requests import (
     fused_point_eval,
     point_signature,
 )
+from .scenario import (
+    Scenario,
+    ScenarioCASResult,
+    ScenarioCostResult,
+    ScenarioCubeResult,
+    ScenarioSet,
+    ScenarioTTMResult,
+    apply_scenario,
+    compile_scenarios,
+    scenario_cas,
+    scenario_cost,
+    scenario_evaluate,
+    scenario_ttm,
+)
 from .sobol_adapter import rowwise_batch_function, ttm_factor_batch_function
 
 __all__ = [
@@ -112,9 +126,16 @@ __all__ = [
     "PortfolioShare",
     "PortfolioTTMResult",
     "SHARED_STORE",
+    "Scenario",
+    "ScenarioCASResult",
+    "ScenarioCostResult",
+    "ScenarioCubeResult",
+    "ScenarioSet",
+    "ScenarioTTMResult",
     "SharedInvariantStore",
     "SplitGridResult",
     "SplitSampleResult",
+    "apply_scenario",
     "backend_info",
     "backend_label",
     "batch_cas",
@@ -125,6 +146,7 @@ __all__ = [
     "cas_over_capacity",
     "clear_invariant_cache",
     "compile_portfolio",
+    "compile_scenarios",
     "compute_invariants",
     "design_invariants",
     "fused_point_eval",
@@ -142,6 +164,10 @@ __all__ = [
     "refine_split_exact",
     "refine_split_grid",
     "rowwise_batch_function",
+    "scenario_cas",
+    "scenario_cost",
+    "scenario_evaluate",
+    "scenario_ttm",
     "set_backend",
     "share_design_invariants",
     "share_portfolio",

@@ -45,6 +45,7 @@ from ..portfolio import (
     PortfolioInvariants,
     PortfolioTTMResult,
     _PortfolioSupply,
+    _portfolio_quantities,
 )
 from ...cost.model import CostModel
 from ...cost.nre import design_nre
@@ -602,11 +603,219 @@ def portfolio_cost_from_parts(
     )
 
 
+def _base_vector(values) -> tuple:
+    """(1-D float64 contiguous view, stride flag, present flag)."""
+    if values is None:
+        return np.ones(1), 0, False
+    array = np.ascontiguousarray(
+        np.atleast_1d(np.asarray(values, dtype=np.float64))
+    )
+    return array, (0 if array.shape[0] == 1 else 1), True
+
+
+def scenario_eval_from_parts(
+    model: TTMModel,
+    invariants: PortfolioInvariants,
+    scenario_set,
+    n_chips,
+    capacity,
+    queue_weeks,
+    d0_scale,
+    wafer_rate_scale,
+    relative_step: float,
+    with_cas: bool,
+):
+    """Compiled-backend tail of the scenario cube evaluation.
+
+    Always runs float64 internally (the cube's bit-identity pin is a
+    float64 contract, and CAS needs float64 regardless). Returns the
+    ``(tapeout, fabrication, total, cas-or-None)`` tuple the NumPy path
+    produces.
+    """
+    from ..scenario import _D0Groups
+
+    conditions = model.foundry.conditions
+    n_designs, max_nodes = invariants.node_mask.shape
+    k_total = scenario_set.n_scenarios
+
+    _, quantities_design = _portfolio_quantities(n_chips, n_designs)
+    quantities, stride_qd, stride_qs = _normalized_quantities(
+        quantities_design
+    )
+
+    cap_base, stride_cap, has_cap_base = _base_vector(capacity)
+    queue_base, stride_queue, has_queue_base = _base_vector(queue_weeks)
+    rate_base, stride_rate, has_rate_base = _base_vector(wafer_rate_scale)
+
+    if not has_queue_base:
+        for k in range(k_total):
+            if not bool(scenario_set.queue_identity[k]):
+                raise InvalidParameterError(
+                    f"scenario {scenario_set.names[k]!r} transforms "
+                    "queue weeks but no queue_weeks samples were provided"
+                )
+
+    cond_frac = np.ones((n_designs, max_nodes))
+    quotes = np.zeros((n_designs, max_nodes))
+    for d, processes in enumerate(invariants.processes):
+        for p, name in enumerate(processes):
+            quotes[d, p] = conditions.queue_weeks_for(name)
+            if not has_cap_base:
+                fraction = conditions.capacity_for(name)
+                if fraction <= 0.0:
+                    raise InvalidParameterError(
+                        f"node {name!r} has zero effective capacity "
+                        f"(fraction {fraction}); time-to-market would be "
+                        "unbounded"
+                    )
+                cond_frac[d, p] = fraction
+
+    cap_cols = np.ascontiguousarray(
+        np.concatenate(
+            [
+                scenario_set.capacity_scale[:, None],
+                scenario_set.capacity_node_scale,
+            ],
+            axis=1,
+        )
+    )
+    cap_idx = np.zeros((n_designs, max_nodes), dtype=np.intp)
+    for d, processes in enumerate(invariants.processes):
+        for p, name in enumerate(processes):
+            try:
+                cap_idx[d, p] = scenario_set.capacity_nodes.index(name) + 1
+            except ValueError:
+                cap_idx[d, p] = 0
+
+    # One D0-derived tensor pair per unique defect multiplier; the
+    # numerically delicate yield powers run NumPy-side, shared across
+    # every scenario in the group.
+    d0_groups = _D0Groups(invariants, d0_scale)
+    group_of: dict = {}
+    group_idx = np.empty(k_total, dtype=np.intp)
+    wafers_list = []
+    testing_list = []
+    for k in range(k_total):
+        g = float(scenario_set.d0_scale[k])
+        slot = group_of.get(g)
+        if slot is None:
+            slot = len(wafers_list)
+            group_of[g] = slot
+            wafers, testing, _ = d0_groups.tensors(g)
+            wafers_list.append(np.asarray(wafers, dtype=np.float64))
+            testing_list.append(np.asarray(testing, dtype=np.float64))
+        group_idx[k] = slot
+    wafers_tail = max(w.shape[2] for w in wafers_list)
+    testing_tail = max(t.shape[1] for t in testing_list)
+    wafers_groups = np.ascontiguousarray(
+        np.stack(
+            [
+                np.broadcast_to(w, (n_designs, max_nodes, wafers_tail))
+                for w in wafers_list
+            ]
+        )
+    )
+    testing_groups = np.ascontiguousarray(
+        np.stack(
+            [
+                np.broadcast_to(t, (n_designs, testing_tail))
+                for t in testing_list
+            ]
+        )
+    )
+
+    n_samples = np.broadcast_shapes(
+        (quantities.shape[1],),
+        (cap_base.shape[0],),
+        (queue_base.shape[0],),
+        (rate_base.shape[0],),
+        (wafers_tail,),
+        (testing_tail,),
+    )[0]
+    pipelined = model.schedule == "pipelined"
+    tapeout_scalars = np.ascontiguousarray(
+        invariants.max_tapeout_weeks
+        if pipelined
+        else invariants.sequential_tapeout_weeks,
+        dtype=np.float64,
+    )
+
+    fabrication = np.empty((k_total, n_designs, n_samples))
+    total = np.empty((k_total, n_designs, n_samples))
+    cas_total = (
+        np.empty((k_total, n_designs, n_samples))
+        if with_cas
+        else np.empty((1, 1, 1))
+    )
+    get_kernel("scenario_eval")(
+        np.ascontiguousarray(scenario_set.demand_scale),
+        cap_cols,
+        cap_idx,
+        np.ascontiguousarray(scenario_set.queue_scale),
+        np.ascontiguousarray(scenario_set.queue_add_weeks),
+        np.ascontiguousarray(scenario_set.queue_identity),
+        np.ascontiguousarray(scenario_set.wafer_rate_scale),
+        group_idx,
+        quantities,
+        stride_qd,
+        stride_qs,
+        cap_base,
+        stride_cap,
+        has_cap_base,
+        cond_frac,
+        queue_base,
+        stride_queue,
+        has_queue_base,
+        quotes,
+        rate_base,
+        stride_rate,
+        has_rate_base,
+        wafers_groups,
+        _sample_stride(wafers_tail),
+        testing_groups,
+        _sample_stride(testing_tail),
+        invariants.node_mask,
+        np.ascontiguousarray(invariants.tapeout_weeks, dtype=np.float64),
+        np.ascontiguousarray(invariants.fab_latency_weeks, dtype=np.float64),
+        np.ascontiguousarray(invariants.max_rate, dtype=np.float64),
+        tapeout_scalars,
+        np.ascontiguousarray(
+            invariants.assembly_weeks_per_chip, dtype=np.float64
+        ),
+        np.ascontiguousarray(invariants.design_weeks, dtype=np.float64),
+        pipelined,
+        float(model.tap_latency_weeks),
+        float(relative_step),
+        with_cas,
+        fabrication,
+        total,
+        cas_total,
+    )
+    tapeout = np.broadcast_to(
+        tapeout_scalars[None, :], (k_total, n_designs)
+    )
+    cas = None
+    if with_cas:
+        for k in range(k_total):
+            row_positive = np.all(cas_total[k] > 0.0, axis=1)
+            if not np.all(row_positive):
+                bad = invariants.designs[int(np.argmin(row_positive))]
+                raise InvalidParameterError(
+                    f"design {bad!r} has zero TTM sensitivity on all "
+                    f"nodes under scenario {scenario_set.names[k]!r}; "
+                    "CAS is unbounded (check the production volume is "
+                    "non-trivial)"
+                )
+        cas = 1.0 / cas_total
+    return tapeout, fabrication, total, cas
+
+
 __all__ = [
     "cas_from_supply",
     "cost_from_parts",
     "portfolio_cas_from_supply",
     "portfolio_cost_from_parts",
     "portfolio_ttm_from_supply",
+    "scenario_eval_from_parts",
     "ttm_from_supply",
 ]

@@ -436,6 +436,219 @@ def portfolio_cost_accum_core(
             ) * (handling + areas[k] * area_usd)
 
 
+def scenario_eval_core(
+    demand_mult,
+    cap_cols,
+    cap_idx,
+    queue_mult,
+    queue_add,
+    queue_identity,
+    wafer_mult,
+    group_idx,
+    quantities,
+    stride_qd,
+    stride_qs,
+    cap_base,
+    stride_cap,
+    has_cap_base,
+    cond_frac,
+    queue_base,
+    stride_queue,
+    has_queue_base,
+    quotes,
+    rate_base,
+    stride_rate,
+    has_rate_base,
+    wafers_groups,
+    stride_wafers,
+    testing_groups,
+    stride_testing,
+    node_mask,
+    tapeout,
+    fab_latency,
+    max_rate,
+    tapeout_scalars,
+    assembly,
+    design_weeks,
+    pipelined,
+    tap_latency,
+    relative_step,
+    with_cas,
+    fabrication_out,
+    total_out,
+    cas_total_out,
+):
+    """Fused (scenarios, designs, samples) TTM + CAS cube in one pass.
+
+    Scenario transforms arrive as SoA multiplier vectors (``(K,)``;
+    per-node capacity multipliers as ``cap_cols``/``cap_idx`` columns)
+    and are applied to the *base* sample arrays inline, with the same
+    per-element op order the looped oracle performs on materialized
+    transformed arrays. ``wafers_groups``/``testing_groups`` hold one
+    D0-derived tensor per unique defect multiplier (``group_idx`` maps
+    scenarios to groups) — the numerically delicate yield powers stay
+    NumPy-side, shared across scenarios.
+
+    CAS uses leave-one-out node maxima: the node reduction is a max
+    (exact, so reassociation is bitwise safe), so each perturbation
+    recomputes only node ``p``'s candidate and recombines it with the
+    precomputed max over the other nodes — ``O(1)`` per perturbation
+    instead of the oracle's full node re-walk, with identical bits.
+    ``cas_total_out`` receives the summed sensitivity (the caller
+    inverts after its positivity check).
+    """
+    n_scenarios = total_out.shape[0]
+    n_designs = total_out.shape[1]
+    n_samples = total_out.shape[2]
+    n_nodes = node_mask.shape[1]
+    rates_row = np.empty(n_nodes)
+    backlog_row = np.empty(n_nodes)
+    load_row = np.empty(n_nodes)
+    value_row = np.empty(n_nodes)
+    loo_row = np.empty(n_nodes)
+    for k in range(n_scenarios):
+        dm = demand_mult[k]
+        qm = queue_mult[k]
+        qa = queue_add[k]
+        q_identity = queue_identity[k]
+        wm = wafer_mult[k]
+        g = group_idx[k]
+        for d in range(n_designs):
+            tapeout_scalar = tapeout_scalars[d]
+            for s in range(n_samples):
+                quantity = quantities[d * stride_qd, s * stride_qs]
+                if dm != 1.0:
+                    quantity = quantity * dm
+                best = 0.0
+                first = True
+                for p in range(n_nodes):
+                    if not node_mask[d, p]:
+                        value_row[p] = -np.inf
+                        continue
+                    if has_rate_base:
+                        rate_scale = rate_base[s * stride_rate]
+                        if wm != 1.0:
+                            rate_scale = rate_scale * wm
+                        scaled_max = max_rate[d, p] * rate_scale
+                    elif wm != 1.0:
+                        scaled_max = max_rate[d, p] * wm
+                    else:
+                        scaled_max = max_rate[d, p] * 1.0
+                    mult = cap_cols[k, cap_idx[d, p]]
+                    if has_cap_base:
+                        fraction = cap_base[s * stride_cap]
+                        if mult != 1.0:
+                            fraction = fraction * mult
+                    else:
+                        fraction = cond_frac[d, p]
+                        if mult != 1.0:
+                            fraction = fraction * mult
+                    rate = scaled_max * fraction
+                    if has_queue_base:
+                        queue_weeks = queue_base[s * stride_queue]
+                        if not q_identity:
+                            queue_weeks = queue_weeks * qm + qa
+                        queue_load = queue_weeks * scaled_max
+                    else:
+                        queue_load = quotes[d, p] * scaled_max
+                    wafer_load = (
+                        quantity
+                        * wafers_groups[g, d, p, s * stride_wafers]
+                    )
+                    node_total = (
+                        queue_load / rate + wafer_load / rate
+                    ) + fab_latency[d, p]
+                    if pipelined:
+                        value = tapeout[d, p] + node_total
+                    else:
+                        value = node_total
+                    rates_row[p] = rate
+                    backlog_row[p] = queue_load
+                    load_row[p] = wafer_load
+                    value_row[p] = value
+                    if first or value > best:
+                        best = value
+                        first = False
+                if pipelined:
+                    fabrication = best - tapeout_scalar
+                else:
+                    fabrication = best
+                testing = testing_groups[g, d, s * stride_testing]
+                packaging = (
+                    tap_latency + quantity * testing
+                ) + quantity * assembly[d]
+                fabrication_out[k, d, s] = fabrication
+                total_out[k, d, s] = (
+                    (design_weeks[d] + tapeout_scalar) + fabrication
+                ) + packaging
+                if not with_cas:
+                    continue
+                running = -np.inf
+                for p in range(n_nodes):
+                    loo_row[p] = running
+                    if value_row[p] > running:
+                        running = value_row[p]
+                running = -np.inf
+                for p in range(n_nodes - 1, -1, -1):
+                    if running > loo_row[p]:
+                        loo_row[p] = running
+                    if value_row[p] > running:
+                        running = value_row[p]
+                total = 0.0
+                for p in range(n_nodes):
+                    if not node_mask[d, p]:
+                        sensitivity = 0.0
+                    else:
+                        base = rates_row[p]
+                        step = base * relative_step
+                        rate_up = max_rate[d, p] * (
+                            (base + 1.0 * step) / max_rate[d, p]
+                        )
+                        rate_down = max_rate[d, p] * (
+                            (base + (-1.0) * step) / max_rate[d, p]
+                        )
+                        queue_load = backlog_row[p]
+                        wafer_load = load_row[p]
+                        node_up = (
+                            queue_load / rate_up + wafer_load / rate_up
+                        ) + fab_latency[d, p]
+                        node_down = (
+                            queue_load / rate_down + wafer_load / rate_down
+                        ) + fab_latency[d, p]
+                        if pipelined:
+                            value_up = tapeout[d, p] + node_up
+                            value_down = tapeout[d, p] + node_down
+                        else:
+                            value_up = node_up
+                            value_down = node_down
+                        others = loo_row[p]
+                        best_up = others
+                        if value_up > best_up:
+                            best_up = value_up
+                        best_down = others
+                        if value_down > best_down:
+                            best_down = value_down
+                        if pipelined:
+                            fab_up = best_up - tapeout_scalar
+                            fab_down = best_down - tapeout_scalar
+                        else:
+                            fab_up = best_up
+                            fab_down = best_down
+                        total_up = (
+                            (design_weeks[d] + tapeout_scalar) + fab_up
+                        ) + packaging
+                        total_down = (
+                            (design_weeks[d] + tapeout_scalar) + fab_down
+                        ) + packaging
+                        slope = (total_up - total_down) / (2.0 * step)
+                        sensitivity = abs(slope)
+                    if p == 0:
+                        total = sensitivity
+                    else:
+                        total = total + sensitivity
+                cas_total_out[k, d, s] = total
+
+
 #: Kernel name -> pure-Python source function.
 KERNEL_SOURCES: Dict[str, Callable[..., None]] = {
     "ttm": ttm_core,
@@ -444,6 +657,7 @@ KERNEL_SOURCES: Dict[str, Callable[..., None]] = {
     "portfolio_ttm": portfolio_ttm_core,
     "portfolio_cas": portfolio_cas_core,
     "portfolio_cost_accum": portfolio_cost_accum_core,
+    "scenario_eval": scenario_eval_core,
 }
 
 
@@ -511,6 +725,15 @@ def warm_up_kernels() -> None:
             a2, 1, 1, a2, 1, idx, a, a, a, 1.0, 1.0, 1.0, 1.0,
             out2.copy(), out2.copy(),
         )
+        a4 = np.ones((1, 1, 1, 1), dtype=dtype)
+        get_kernel("scenario_eval")(
+            a, a2, idx.reshape(1, 1), a, a.copy() * 0.0,
+            np.ones(1, dtype=bool), a, idx, a2, 1, 1,
+            a, 1, True, a2, a, 1, True, a2, a, 1, True,
+            a4, 1, a3, 1, mask, a2, a2, a2, a, a, a,
+            True, 1.0, 1e-3, True,
+            out3.copy(), out3.copy(), out3.copy(),
+        )
 
 
 __all__ = [
@@ -522,6 +745,7 @@ __all__ = [
     "portfolio_cas_core",
     "portfolio_cost_accum_core",
     "portfolio_ttm_core",
+    "scenario_eval_core",
     "ttm_core",
     "warm_up_kernels",
 ]

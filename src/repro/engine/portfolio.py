@@ -140,7 +140,11 @@ class PortfolioInvariants:
             yields[row] = profile.yield_at(scale, self.alpha)
         return yields
 
-    def wafers_per_chip_at(self, d0_scale: ArrayLike) -> np.ndarray:
+    def wafers_per_chip_at(
+        self,
+        d0_scale: ArrayLike,
+        yields: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Wafers per final chip with D0 scaled per sample.
 
         Returns ``(n_designs, max_nodes, n_samples)``; padded node slots
@@ -148,11 +152,15 @@ class PortfolioInvariants:
         per (design, node) cell is each design's own die order — the
         same order as the scalar accumulation, so the result matches
         ``DesignInvariants.wafers_per_chip_at`` to the last bit.
+        ``yields``, when given, must be ``profile_yields(d0_scale)``
+        (callers evaluating several yield-dependent tensors share one
+        ``pow`` pass; the result is bit-identical either way).
         """
         scale = np.asarray(d0_scale, dtype=float)
         if scale.ndim == 0:
             scale = scale.reshape(1)
-        yields = self.profile_yields(scale)
+        if yields is None:
+            yields = self.profile_yields(scale)
         out = np.zeros((self.n_designs, self.max_nodes, scale.shape[0]))
         contribution = self.profile_count[:, None] / (
             self.profile_gross[:, None] * yields
@@ -160,12 +168,21 @@ class PortfolioInvariants:
         np.add.at(out, (self.profile_design, self.profile_node), contribution)
         return out
 
-    def testing_weeks_per_chip_at(self, d0_scale: ArrayLike) -> np.ndarray:
-        """Eq. 7 testing term per chip, shape ``(n_designs, n_samples)``."""
+    def testing_weeks_per_chip_at(
+        self,
+        d0_scale: ArrayLike,
+        yields: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Eq. 7 testing term per chip, shape ``(n_designs, n_samples)``.
+
+        ``yields`` has the same precomputed-``profile_yields`` contract
+        as :meth:`wafers_per_chip_at`.
+        """
         scale = np.asarray(d0_scale, dtype=float)
         if scale.ndim == 0:
             scale = scale.reshape(1)
-        yields = self.profile_yields(scale)
+        if yields is None:
+            yields = self.profile_yields(scale)
         out = np.zeros((self.n_designs, scale.shape[0]))
         contribution = (
             self.profile_count[:, None]
@@ -422,6 +439,26 @@ class _PortfolioSupply:
     testing_weeks_per_chip: np.ndarray
 
 
+@dataclass
+class _SupplyScratch:
+    """Reusable ``(n_designs, max_nodes, n_samples)`` supply buffers.
+
+    Passing these to :func:`_portfolio_supply` redirects the resolved
+    tensors into preallocated storage instead of fresh temporaries.
+    Every output element is still the same ufunc on the same operands
+    (inputs broadcast up to the buffer shape), so the resolved supply
+    stays bit-identical to the allocating path — only the allocator
+    traffic changes. The returned :class:`_PortfolioSupply` aliases the
+    buffers, so callers must consume it before the next resolve that
+    reuses the same scratch.
+    """
+
+    scaled: np.ndarray
+    rates: np.ndarray
+    backlog: np.ndarray
+    fraction: np.ndarray
+
+
 def _portfolio_supply(
     model: TTMModel,
     invariants: PortfolioInvariants,
@@ -429,6 +466,7 @@ def _portfolio_supply(
     queue_weeks: Optional[ArrayLike] = None,
     d0_scale: Optional[ArrayLike] = None,
     wafer_rate_scale: Optional[ArrayLike] = None,
+    scratch: Optional[_SupplyScratch] = None,
 ) -> _PortfolioSupply:
     """Resolve the sampled supply parameters into portfolio tensors."""
     conditions = model.foundry.conditions
@@ -453,10 +491,20 @@ def _portfolio_supply(
     elif capacity is not None:
         shared = _sample_array(capacity, "capacity fraction")
 
-    scaled_max_rate = invariants.max_rate[:, :, None] * rate_scale
+    def _mul(a: ArrayLike, b: ArrayLike, out: Optional[np.ndarray]):
+        if out is None:
+            return np.asarray(a) * b
+        return np.multiply(a, b, out=out)
+
+    scaled_max_rate = _mul(
+        invariants.max_rate[:, :, None],
+        rate_scale,
+        scratch.scaled if scratch is not None else None,
+    )
+    rates_out = scratch.rates if scratch is not None else None
 
     if shared is not None:
-        rates = scaled_max_rate * shared
+        rates = _mul(scaled_max_rate, shared, rates_out)
     else:
         base = np.ones((n_designs, max_nodes))
         for d, processes in enumerate(invariants.processes):
@@ -472,29 +520,33 @@ def _portfolio_supply(
                     )
                 base[d, p] = fraction
         if mapping is None:
-            rates = scaled_max_rate * base[:, :, None]
+            rates = _mul(scaled_max_rate, base[:, :, None], rates_out)
         else:
-            tail = np.broadcast_shapes(
-                *(value.shape for value in mapping.values())
-            )
-            fraction_tensor = np.empty(
-                (n_designs, max_nodes) + (tail if tail else (1,))
-            )
+            if scratch is None:
+                tail = np.broadcast_shapes(
+                    *(value.shape for value in mapping.values())
+                )
+                fraction_tensor = np.empty(
+                    (n_designs, max_nodes) + (tail if tail else (1,))
+                )
+            else:
+                fraction_tensor = scratch.fraction
             fraction_tensor[...] = base[:, :, None]
             for d, processes in enumerate(invariants.processes):
                 for p, name in enumerate(processes):
                     if name in mapping:
                         fraction_tensor[d, p, :] = mapping[name]
-            rates = scaled_max_rate * fraction_tensor
+            rates = _mul(scaled_max_rate, fraction_tensor, rates_out)
 
+    backlog_out = scratch.backlog if scratch is not None else None
     if queue_override is not None:
-        backlog = queue_override * scaled_max_rate
+        backlog = _mul(queue_override, scaled_max_rate, backlog_out)
     else:
         quotes = np.zeros((n_designs, max_nodes))
         for d, processes in enumerate(invariants.processes):
             for p, name in enumerate(processes):
                 quotes[d, p] = conditions.queue_weeks_for(name)
-        backlog = quotes[:, :, None] * scaled_max_rate
+        backlog = _mul(quotes[:, :, None], scaled_max_rate, backlog_out)
     backlog = np.broadcast_to(
         backlog, np.broadcast_shapes(backlog.shape, rates.shape)
     )
@@ -860,8 +912,58 @@ def portfolio_cost(
         return portfolio_cost_from_parts(
             cost_model, invariants, quantities_node, quantities_design, scale
         )
-    wafers_per_chip = invariants.wafers_per_chip_at(scale)
+    return _portfolio_cost_from_tensors(
+        cost_model,
+        invariants,
+        quantities_node,
+        quantities_design,
+        invariants.wafers_per_chip_at(scale),
+        invariants.profile_yields(scale),
+    )
 
+
+def _scatter_add_rows(
+    out: np.ndarray, index: np.ndarray, contribution: np.ndarray
+) -> None:
+    """``np.add.at(out, index, contribution)`` via in-order row adds.
+
+    ``np.add.at`` applies ``out[index[i]] += contribution[i]`` for ``i``
+    in array order through a slow element-general inner loop; running
+    the very same accumulation as one in-place vectorized row add per
+    profile keeps the operation order and operands — and therefore the
+    bits — identical while being several times faster. Falls back to
+    ``np.add.at`` when rows are not arrays (scalar tail).
+    """
+    if out.ndim >= 2 and np.ndim(contribution) >= 2:
+        for i, d in enumerate(index):
+            out[d] += contribution[i]
+    else:
+        np.add.at(out, index, contribution)
+
+
+def _portfolio_cost_from_tensors(
+    cost_model: CostModel,
+    invariants: PortfolioInvariants,
+    quantities_node: np.ndarray,
+    quantities_design: np.ndarray,
+    wafers_per_chip: np.ndarray,
+    yields: np.ndarray,
+    production_load: Optional[np.ndarray] = None,
+    dies_numerator: Optional[np.ndarray] = None,
+) -> PortfolioCostResult:
+    """NumPy cost kernel over precomputed D0-dependent tensors.
+
+    Split out of :func:`portfolio_cost` so the fused scenario cube can
+    compute the ``pow``-heavy ``wafers_per_chip_at`` / ``profile_yields``
+    tensors once per unique D0 multiplier and share them across every
+    (demand, D0) combination — the arithmetic downstream of the tensors
+    is unchanged, so results stay bit-identical per call.
+    ``production_load``, when given, must equal ``quantities_node *
+    wafers_per_chip`` (the TTM cube computes exactly that product per
+    group and lends it out here); ``dies_numerator`` must equal the
+    per-profile quantities times ``profile_count`` (demand-only, so the
+    scenario cube shares it across D0 groups).
+    """
     engineering = np.sum(
         invariants.tapeout_effort_weeks * cost_model.engineer_week_cost_usd,
         axis=1,
@@ -869,36 +971,33 @@ def portfolio_cost(
     fixed = np.sum(invariants.tapeout_fixed_usd, axis=1)
     masks = np.sum(invariants.mask_set_usd, axis=1)
 
+    if production_load is None:
+        production_load = quantities_node * wafers_per_chip
     wafer_usd = np.sum(
-        quantities_node
-        * wafers_per_chip
-        * invariants.wafer_cost_usd[:, :, None],
+        production_load * invariants.wafer_cost_usd[:, :, None],
         axis=1,
     )
 
-    yields = invariants.profile_yields(scale)
     if quantities_design.ndim == 2:
         profile_quantities: np.ndarray = quantities_design[
             invariants.profile_design
         ]
     else:
         profile_quantities = quantities_design
-    dies_tested = (
-        profile_quantities * invariants.profile_count[:, None] / yields
-    )
+    if dies_numerator is None:
+        dies_numerator = (
+            profile_quantities * invariants.profile_count[:, None]
+        )
+    dies_tested = dies_numerator / yields
     testing_contribution = (
         dies_tested
         * invariants.profile_ntt[:, None]
         * cost_model.test_usd_per_transistor
     )
-    packaging_contribution = (
-        profile_quantities
-        * invariants.profile_count[:, None]
-        * (
-            cost_model.die_handling_usd
-            + invariants.profile_area_mm2[:, None]
-            * cost_model.package_area_usd_per_mm2
-        )
+    packaging_contribution = dies_numerator * (
+        cost_model.die_handling_usd
+        + invariants.profile_area_mm2[:, None]
+        * cost_model.package_area_usd_per_mm2
     )
 
     tail = np.broadcast_shapes(
@@ -906,10 +1005,12 @@ def portfolio_cost(
         np.shape(quantities_design)[-1:] if quantities_design.ndim else (),
     )
     testing_usd = np.zeros((invariants.n_designs,) + tail)
-    np.add.at(testing_usd, invariants.profile_design, testing_contribution)
+    _scatter_add_rows(
+        testing_usd, invariants.profile_design, testing_contribution
+    )
     packaging_usd = np.zeros((invariants.n_designs,) + tail)
     packaging_usd += quantities_design * cost_model.package_base_usd
-    np.add.at(
+    _scatter_add_rows(
         packaging_usd, invariants.profile_design, packaging_contribution
     )
 

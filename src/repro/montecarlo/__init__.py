@@ -30,14 +30,34 @@ from .results import (
     StudyResult,
     summarize_metrics,
 )
+from .sampling import (
+    STRATEGIES,
+    RankCorrelation,
+    latin_hypercube,
+    sample_factor_matrix,
+    sample_uniforms,
+)
+from .scenario_study import (
+    DEFAULT_CHUNK_SCENARIOS,
+    ScenarioStudyResult,
+    conditional_value_at_risk,
+    run_scenario_study,
+)
 from .spec import (
     TARGETS,
     ParameterSamples,
     SampledParameter,
     SamplingSpec,
+    default_correlated_spec,
     default_supply_spec,
 )
 from .splits import compare_plans, plan_label, run_plan_study
+from .stress import (
+    STRESS_FAMILIES,
+    STRESS_LIBRARY,
+    graded_stress_scenarios,
+    stress_scenarios,
+)
 from .study import (
     DEFAULT_CHUNK_SAMPLES,
     METRIC_TAILS,
@@ -48,6 +68,7 @@ from .study import (
 
 __all__ = [
     "DEFAULT_CHUNK_SAMPLES",
+    "DEFAULT_CHUNK_SCENARIOS",
     "DEFAULT_TAIL_LEVEL",
     "DisruptionDraw",
     "DisruptionEvent",
@@ -60,18 +81,30 @@ __all__ = [
     "MetricSummary",
     "PERCENTILES",
     "ParameterSamples",
+    "RankCorrelation",
+    "STRATEGIES",
+    "STRESS_FAMILIES",
+    "STRESS_LIBRARY",
     "SampledEvents",
     "SampledParameter",
     "SamplingSpec",
+    "ScenarioStudyResult",
     "StudyResult",
     "TAILS",
     "TARGETS",
     "chunk_sizes",
     "compare_designs",
     "compare_plans",
+    "conditional_value_at_risk",
+    "default_correlated_spec",
     "default_supply_spec",
+    "graded_stress_scenarios",
+    "latin_hypercube",
     "plan_label",
     "run_plan_study",
+    "run_scenario_study",
     "run_study",
-    "summarize_metrics",
+    "sample_factor_matrix",
+    "sample_uniforms",
+    "stress_scenarios",
 ]

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import InvalidParameterError
 from ..sensitivity.distributions import DEFAULT_VARIATION, Factor, sample_matrix
+from .sampling import STRATEGIES, RankCorrelation, sample_factor_matrix
 
 #: Recognized sampling targets.
 TARGETS: Tuple[str, ...] = (
@@ -93,10 +94,24 @@ class SamplingSpec:
         node" in a single capacity argument).
     n_chips:
         Nominal demand used when ``"n_chips"`` is not sampled.
+    correlation:
+        Optional Gaussian-copula rank correlation between factor names
+        (:class:`~repro.montecarlo.sampling.RankCorrelation`). ``None``
+        keeps the factors independent.
+    strategy:
+        ``"iid"`` (default) or ``"lhs"`` (Latin hypercube). With every
+        sampling field at its default, :meth:`sample` takes the legacy
+        path and its draws are bit-for-bit unchanged.
+    antithetic:
+        Mirror the second half of each draw (``1.0 - u``), pairing
+        negatively correlated samples; requires even sample counts.
     """
 
     parameters: Tuple[SampledParameter, ...]
     n_chips: float
+    correlation: Optional[RankCorrelation] = None
+    strategy: str = "iid"
+    antithetic: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parameters", tuple(self.parameters))
@@ -107,6 +122,17 @@ class SamplingSpec:
         if self.n_chips <= 0.0:
             raise InvalidParameterError(
                 f"nominal n_chips must be positive, got {self.n_chips}"
+            )
+        if self.strategy not in STRATEGIES:
+            raise InvalidParameterError(
+                f"sampling strategy must be one of {STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.correlation is not None:
+            # Validate the pair names and positive definiteness up
+            # front, not at first draw.
+            self.correlation.cholesky(
+                tuple(p.factor.name for p in self.parameters)
             )
         keys = [p.key for p in self.parameters]
         if len(set(keys)) != len(keys):
@@ -126,13 +152,35 @@ class SamplingSpec:
         """Factor names in parameter order."""
         return tuple(p.factor.name for p in self.parameters)
 
+    @property
+    def uses_default_sampling(self) -> bool:
+        """True when every sampling option is at its legacy default."""
+        return (
+            self.correlation is None
+            and self.strategy == "iid"
+            and not self.antithetic
+        )
+
     def sample(
         self, n_samples: int, rng: np.random.Generator
     ) -> "ParameterSamples":
-        """Draw ``n_samples`` joint rows (independent uniforms)."""
-        matrix = sample_matrix(
-            [p.factor for p in self.parameters], n_samples, rng
-        )
+        """Draw ``n_samples`` joint rows.
+
+        With default sampling options this is the legacy independent
+        draw — same RNG consumption, bit-for-bit identical matrices.
+        """
+        factors = [p.factor for p in self.parameters]
+        if self.uses_default_sampling:
+            matrix = sample_matrix(factors, n_samples, rng)
+        else:
+            matrix = sample_factor_matrix(
+                factors,
+                n_samples,
+                rng,
+                correlation=self.correlation,
+                strategy=self.strategy,
+                antithetic=self.antithetic,
+            )
         return ParameterSamples(spec=self, matrix=matrix)
 
 
@@ -252,10 +300,51 @@ def default_supply_spec(
     )
 
 
+def default_correlated_spec(
+    n_chips: float,
+    variation: float = DEFAULT_VARIATION,
+    queue_weeks: float = 2.0,
+    capacity: float = 0.9,
+    strategy: str = "lhs",
+    antithetic: bool = True,
+) -> SamplingSpec:
+    """The default joint spec with realistic supply-side dependence.
+
+    Tight capacity goes with long queues and slow wafer rates (a
+    stressed fab is stressed everywhere), and defect excursions
+    correlate with reduced effective rates; demand stays independent of
+    the supply side. Latin-hypercube + antithetic sampling are on by
+    default — they change estimator variance, not the model.
+    """
+    base = default_supply_spec(
+        n_chips,
+        variation=variation,
+        queue_weeks=queue_weeks,
+        capacity=capacity,
+    )
+    correlation = RankCorrelation(
+        {
+            ("capacity", "queue_weeks"): -0.6,
+            ("capacity", "wafer_rate_scale"): 0.5,
+            ("queue_weeks", "wafer_rate_scale"): -0.4,
+            ("D0_scale", "wafer_rate_scale"): -0.3,
+        }
+    )
+    return SamplingSpec(
+        parameters=base.parameters,
+        n_chips=base.n_chips,
+        correlation=correlation,
+        strategy=strategy,
+        antithetic=antithetic,
+    )
+
+
 __all__ = [
     "ParameterSamples",
+    "RankCorrelation",
     "SampledParameter",
     "SamplingSpec",
     "TARGETS",
+    "default_correlated_spec",
     "default_supply_spec",
 ]

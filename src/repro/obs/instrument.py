@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import functools
 from contextlib import contextmanager
-from typing import Any, Callable, Tuple, TypeVar
+from typing import Any, Callable, Optional, Tuple, TypeVar
 
 from . import trace
 from .metrics import Counter, Gauge, get_registry
@@ -139,6 +139,13 @@ SERVE_BATCH_SIZE = _registry.histogram(
     "Requests coalesced per fused batch, labelled by endpoint",
     buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
 )
+SERVE_BATCH_FILL = _registry.histogram(
+    "serve_batch_fill",
+    "Fraction of max_batch each fused batch filled, labelled by "
+    "endpoint (mass near the lowest buckets means the window closes "
+    "before company arrives; mass at 1.0 means max_batch caps fusion)",
+    buckets=(0.0625, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+)
 SERVE_REJECTED = _registry.counter(
     "serve_rejected_total",
     "Requests refused before evaluation, labelled by reason "
@@ -215,13 +222,26 @@ def record_request(endpoint: str, status: int, seconds: float) -> None:
     SERVE_REQUEST_SECONDS.observe(float(seconds), endpoint=endpoint)
 
 
-def record_batch(endpoint: str, size: int) -> None:
-    """Count one fused batch execution of ``size`` coalesced requests."""
+def record_batch(
+    endpoint: str, size: int, max_batch: Optional[int] = None
+) -> None:
+    """Count one fused batch execution of ``size`` coalesced requests.
+
+    When ``max_batch`` is given, also observes the batch *fill ratio*
+    (``size / max_batch``) — the signal for tuning the coalescing
+    window: ratios stuck near ``1/max_batch`` say the window closes
+    too early to collect company, ratios pinned at 1.0 say
+    ``max_batch`` is the binding constraint.
+    """
     if not _ENABLED:
         return
     SERVE_BATCHES.inc(endpoint=endpoint)
     SERVE_BATCHED_REQUESTS.inc(float(size), endpoint=endpoint)
     SERVE_BATCH_SIZE.observe(float(size), endpoint=endpoint)
+    if max_batch is not None and max_batch > 0:
+        SERVE_BATCH_FILL.observe(
+            float(size) / float(max_batch), endpoint=endpoint
+        )
 
 
 def record_rejection(reason: str) -> None:

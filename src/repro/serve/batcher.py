@@ -196,7 +196,7 @@ class CoalescingBatcher:
         endpoint = self._endpoint_of(key)
         self._batches += 1
         self._batched_requests += size
-        instrument.record_batch(endpoint, size)
+        instrument.record_batch(endpoint, size, max_batch=self.max_batch)
         handle = self._pool.submit(
             self._run_batch, key, endpoint, group.payloads
         )

@@ -56,13 +56,15 @@ from ..engine.shm import (
 )
 from ..errors import ReproError
 from ..market import scenarios
-from ..montecarlo.spec import default_supply_spec
+from ..montecarlo.scenario_study import run_scenario_study
+from ..montecarlo.spec import default_correlated_spec, default_supply_spec
+from ..montecarlo.stress import stress_scenarios
 from ..montecarlo.study import compare_designs
 from ..technology.database import TechnologyDatabase
 from ..ttm.model import TTMModel
 
 #: Endpoints served through the coalescing batcher.
-BATCHED_ENDPOINTS: Tuple[str, ...] = ("evaluate", "mc", "splits")
+BATCHED_ENDPOINTS: Tuple[str, ...] = ("evaluate", "mc", "splits", "scenarios")
 
 #: Default nominal demand when a request omits ``n_chips``.
 DEFAULT_N_CHIPS = 1e7
@@ -583,10 +585,101 @@ def parse_splits(
     return key, payload
 
 
+def normalize_stress_selector(value: Any) -> Tuple[str, ...]:
+    """Normalize a /scenarios ``scenarios`` field to a selector tuple.
+
+    Shared with the shard router's :func:`~repro.serve.shard.routing_key`
+    (which must not resolve or validate), so the batcher group key and
+    the routing key agree on the selector's canonical spelling.
+    """
+    if value is None:
+        return ("all",)
+    if isinstance(value, str):
+        return (value,)
+    if isinstance(value, (list, tuple)) and value and all(
+        isinstance(item, str) for item in value
+    ):
+        return tuple(value)
+    raise BadRequestError(
+        "field 'scenarios' must be a selector string or a non-empty "
+        f"list of selector strings, got {value!r}"
+    )
+
+
+def parse_scenarios(
+    state: ServeState, body: Any
+) -> Tuple[Hashable, Dict[str, Any]]:
+    """Parse one /scenarios body into its batcher (key, payload).
+
+    Like /mc, the group key pins everything shaping the shared draw —
+    market scenario, sample count, seed, spec knobs, sampling mode —
+    plus the stress-scenario selector, so coalesced requests differ
+    only along the design axis and fuse into one
+    :func:`~repro.montecarlo.scenario_study.run_scenario_study` cube.
+    The per-request ``seed`` lives in the key: requests with different
+    seeds never share a batch.
+    """
+    body = _require_mapping(body)
+    if "design" not in body:
+        raise BadRequestError("missing required field 'design'")
+    design = state.resolve_design(body["design"])
+    scenario = str(body.get("scenario", "nominal"))
+    state.model_for(scenario)
+    selector = normalize_stress_selector(body.get("scenarios"))
+    try:
+        stress_set = stress_scenarios(selector)
+    except ReproError as error:
+        raise BadRequestError(str(error)) from None
+    samples = _integer(body, "samples", 1024)
+    if samples <= 0:
+        raise BadRequestError(f"'samples' must be positive, got {samples}")
+    correlated = bool(body.get("correlated", False))
+    if correlated and samples % 2:
+        raise BadRequestError(
+            "correlated sampling is antithetic and needs an even "
+            f"'samples', got {samples}"
+        )
+    seed = _integer(body, "seed", 0)
+    mc_chips = _number(body, "n_chips", DEFAULT_N_CHIPS)
+    if mc_chips <= 0:  # type: ignore[operator]
+        raise BadRequestError(f"'n_chips' must be positive, got {mc_chips}")
+    spec_knobs = {
+        "n_chips": mc_chips,
+        "variation": _number(body, "variation", 0.1),
+        "queue_weeks": _number(body, "queue_weeks", 2.0),
+        "capacity": _number(body, "capacity", 0.9),
+    }
+    with_cost = bool(body.get("with_cost", True))
+    key = (
+        "scenarios",
+        scenario,
+        selector,
+        samples,
+        seed,
+        with_cost,
+        correlated,
+        canonical_json(spec_knobs),
+    )
+    payload = {
+        "design": design,
+        "scenario": scenario,
+        "selector": selector,
+        "stress_set": stress_set,
+        "samples": samples,
+        "seed": seed,
+        "with_cost": with_cost,
+        "correlated": correlated,
+        "spec_knobs": spec_knobs,
+        "design_name": design.name,
+    }
+    return key, payload
+
+
 _PARSERS = {
     "evaluate": parse_evaluate,
     "mc": parse_mc,
     "splits": parse_splits,
+    "scenarios": parse_scenarios,
 }
 
 
@@ -727,10 +820,98 @@ def execute_splits(
     return [response for _ in payloads]
 
 
+def execute_scenarios(
+    state: ServeState, key: Hashable, payloads: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Run one coalesced scenario-cube study batch.
+
+    Identical designs are deduplicated; distinct designs join one fused
+    ``run_scenario_study`` cube over shared draws (common random
+    numbers). Per the scenario engine's per-design independence, a
+    design's slice of the fused cube is bit-identical to its solo
+    study, so coalesced == solo byte-for-byte. Name collisions between
+    *different* interned designs fall back to per-design studies.
+    """
+    first = payloads[0]
+    model = state.model_for(first["scenario"])
+    knobs = first["spec_knobs"]
+    build_spec = (
+        default_correlated_spec if first["correlated"] else default_supply_spec
+    )
+    spec = build_spec(
+        n_chips=knobs["n_chips"],
+        variation=knobs["variation"],
+        queue_weeks=knobs["queue_weeks"],
+        capacity=knobs["capacity"],
+    )
+    cost_model = state.cost_model if first["with_cost"] else None
+    stress_set = first["stress_set"]
+
+    unique: List[ChipDesign] = []
+    row_of: Dict[int, int] = {}
+    for payload in payloads:
+        design = payload["design"]
+        if id(design) not in row_of:
+            row_of[id(design)] = len(unique)
+            unique.append(design)
+
+    names = [design.name for design in unique]
+    run = partial(
+        run_scenario_study,
+        model,
+        spec=spec,
+        scenarios=stress_set,
+        n_samples=first["samples"],
+        seed=first["seed"],
+        cost_model=cost_model,
+    )
+    if len(set(names)) == len(names):
+        study = run(unique)
+        by_row = [
+            {
+                scenario: study.cell(scenario, design.name)
+                for scenario in study.scenarios
+            }
+            for design in unique
+        ]
+        baseline = study.baseline
+    else:
+        by_row = []
+        baseline = stress_set.names[0]
+        for design in unique:
+            solo = run([design])
+            baseline = solo.baseline
+            by_row.append(
+                {
+                    scenario: solo.cell(scenario, design.name)
+                    for scenario in solo.scenarios
+                }
+            )
+    return [
+        {
+            "design": payload["design_name"],
+            "scenario": payload["scenario"],
+            "scenarios": list(stress_set.names),
+            "baseline": baseline,
+            "samples": payload["samples"],
+            "seed": payload["seed"],
+            "correlated": payload["correlated"],
+            "studies": {
+                scenario: to_jsonable(cell)
+                for scenario, cell in by_row[
+                    row_of[id(payload["design"])]
+                ].items()
+            },
+        }
+        for payload in payloads
+    ]
+
+
 _EXECUTORS = {
     "evaluate": execute_evaluate,
     "mc": execute_mc,
     "splits": execute_splits,
+    "scenarios": execute_scenarios,
 }
 
 
@@ -766,9 +947,12 @@ __all__ = [
     "execute_batch",
     "execute_evaluate",
     "execute_mc",
+    "execute_scenarios",
     "execute_splits",
+    "normalize_stress_selector",
     "parse_evaluate",
     "parse_mc",
     "parse_request",
+    "parse_scenarios",
     "parse_splits",
 ]

@@ -2,18 +2,19 @@
 
 A deliberately small HTTP/1.1 implementation on
 ``asyncio.start_server`` — request line, headers, ``Content-Length``
-bodies, keep-alive — because the service needs exactly five routes and
+bodies, keep-alive — because the service needs exactly six routes and
 zero heavy dependencies:
 
-========  ==========  ====================================================
-method    path        behavior
-========  ==========  ====================================================
-``GET``   /healthz    liveness + draining flag
-``GET``   /metrics    the process metrics registry as Prometheus text
-``POST``  /evaluate   single-design point evaluation (coalesced)
-``POST``  /mc         Monte Carlo supply study (coalesced across designs)
-``POST``  /splits     multi-process split sweep (single-flight dedup)
-========  ==========  ====================================================
+========  ===========  ===================================================
+method    path         behavior
+========  ===========  ===================================================
+``GET``   /healthz     liveness + draining flag
+``GET``   /metrics     the process metrics registry as Prometheus text
+``POST``  /evaluate    single-design point evaluation (coalesced)
+``POST``  /mc          Monte Carlo supply study (coalesced across designs)
+``POST``  /splits      multi-process split sweep (single-flight dedup)
+``POST``  /scenarios   fused stress-scenario cube (coalesced across designs)
+========  ===========  ===================================================
 
 POST bodies are JSON; responses are canonical JSON (sorted keys, no
 whitespace). Batch metadata never enters a response body — the number of

@@ -56,11 +56,13 @@ from ..obs.metrics import get_registry, merge_prometheus_texts
 from .protocol import (
     BATCHED_ENDPOINTS,
     DEFAULT_N_CHIPS,
+    BadRequestError,
     ServeState,
     WarmBundle,
     build_warm_bundle,
     canonical_json,
     error_body,
+    normalize_stress_selector,
 )
 from .server import ServerConfig, _parse_head
 
@@ -119,8 +121,8 @@ def routing_key(endpoint: str, body: bytes) -> bytes:
     requests the worker-side batcher would put in one group always
     produce equal routing keys, so the group is never split across
     workers. The key is deliberately *coarser* than the batcher key for
-    ``/evaluate`` (it ignores nothing) and exactly as fine for ``/mc``
-    and ``/splits``. Computed from the raw JSON alone — no design
+    ``/evaluate`` (it ignores nothing) and exactly as fine for ``/mc``,
+    ``/scenarios``, and ``/splits``. Computed from the raw JSON alone — no design
     resolution, no scenario validation — so the router stays cheap, and
     malformed bodies just route *somewhere* deterministic and collect
     their 400 from the worker.
@@ -150,6 +152,30 @@ def routing_key(endpoint: str, body: bytes) -> bytes:
                 parsed.get("samples", 1024),
                 parsed.get("seed", 0),
                 bool(parsed.get("with_cost", True)),
+                _route_number(parsed.get("n_chips"), DEFAULT_N_CHIPS),
+                _route_number(parsed.get("variation"), 0.1),
+                _route_number(parsed.get("queue_weeks"), 2.0),
+                _route_number(parsed.get("capacity"), 0.9),
+            ]
+        )
+    if endpoint == "scenarios":
+        try:
+            selector: Any = list(
+                normalize_stress_selector(parsed.get("scenarios"))
+            )
+        except BadRequestError:
+            # Malformed selectors still route *somewhere* deterministic
+            # and collect their 400 from the worker.
+            selector = ["opaque", repr(parsed.get("scenarios"))]
+        return canonical_json(
+            [
+                "scenarios",
+                scenario,
+                selector,
+                parsed.get("samples", 1024),
+                parsed.get("seed", 0),
+                bool(parsed.get("with_cost", True)),
+                bool(parsed.get("correlated", False)),
                 _route_number(parsed.get("n_chips"), DEFAULT_N_CHIPS),
                 _route_number(parsed.get("variation"), 0.1),
                 _route_number(parsed.get("queue_weeks"), 2.0),

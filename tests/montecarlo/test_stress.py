@@ -1,0 +1,94 @@
+"""Stress-library shape and selector-resolution contracts."""
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.montecarlo.stress import (
+    STRESS_FAMILIES,
+    STRESS_LIBRARY,
+    graded_stress_scenarios,
+    stress_scenarios,
+)
+
+SEVERITIES = ("mild", "moderate", "severe", "extreme")
+
+
+class TestLibraryShape:
+    def test_library_count(self):
+        # baseline + 7 families x 4 severities.
+        assert len(STRESS_LIBRARY) == 29
+        assert len(STRESS_FAMILIES) == 8  # includes "baseline"
+
+    def test_every_family_has_full_ladder(self):
+        for family in STRESS_FAMILIES:
+            if family == "baseline":
+                assert "baseline" in STRESS_LIBRARY
+                continue
+            for severity in SEVERITIES:
+                assert f"{family}:{severity}" in STRESS_LIBRARY
+
+    def test_names_match_keys(self):
+        for key, scenario in STRESS_LIBRARY.items():
+            assert scenario.name == key
+
+
+class TestSelectors:
+    def test_all(self):
+        assert stress_scenarios("all").names == tuple(STRESS_LIBRARY)
+
+    def test_family_selects_its_ladder(self):
+        names = stress_scenarios("fab-outage").names
+        assert names == tuple(
+            f"fab-outage:{severity}" for severity in SEVERITIES
+        )
+
+    def test_exact_name(self):
+        assert stress_scenarios("logistics:severe").names == (
+            "logistics:severe",
+        )
+
+    def test_mixed_list_dedups_keeps_first_mention_order(self):
+        names = stress_scenarios(
+            ["baseline", "logistics:mild", "logistics", "baseline"]
+        ).names
+        assert names == (
+            "baseline",
+            "logistics:mild",
+            "logistics:moderate",
+            "logistics:severe",
+            "logistics:extreme",
+        )
+
+    @pytest.mark.parametrize("bad", ["nope", "fab-outage:apocalyptic", ""])
+    def test_unknown_selector(self, bad):
+        with pytest.raises(InvalidParameterError):
+            stress_scenarios(bad)
+
+    def test_empty_sequence(self):
+        with pytest.raises(InvalidParameterError):
+            stress_scenarios([])
+
+
+class TestGradedGrid:
+    def test_bench_grid_is_fifty_scenarios(self):
+        # The scenario_sweep benchmark grid: 11-point supply ladder,
+        # 4-point demand/D0 ladder -> 1 + 4*11 + 3*... = 50 once the
+        # demand-touching families take the coarse ladder.
+        grid = graded_stress_scenarios(
+            tuple((k + 1) / 11 for k in range(11)),
+            (0.25, 0.5, 0.75, 1.0),
+        )
+        assert len(grid.names) == 50
+        assert grid.names[0] == "baseline"
+
+    def test_single_ladder_applies_everywhere(self):
+        grid = graded_stress_scenarios((0.5, 1.0))
+        # baseline + 7 families x 2 intensities.
+        assert len(grid.names) == 15
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.0001])
+    def test_intensity_bounds(self, bad):
+        with pytest.raises(InvalidParameterError):
+            graded_stress_scenarios((bad,))
+        with pytest.raises(InvalidParameterError):
+            graded_stress_scenarios((0.5,), (bad,))
