@@ -293,13 +293,109 @@ def _summarize_spans(rows: List[Dict[str, Any]]) -> None:
     )
 
 
+def _cmd_obs_tail(path: str, args: argparse.Namespace) -> int:
+    """``ttm-cas obs tail FILE``: recent request-log lines, oldest first."""
+    from .obs.log import format_record, read_request_log, tail_records
+
+    try:
+        records = read_request_log(path)
+    except OSError as error:
+        print(error, file=sys.stderr)
+        return 2
+    for record in tail_records(records, limit=args.lines):
+        print(format_record(record), flush=True)
+    if not args.follow:
+        return 0
+    import time as _time
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            handle.seek(0, os.SEEK_END)
+            while True:
+                line = handle.readline()
+                if not line:
+                    _time.sleep(0.2)
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    print(format_record(record), flush=True)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_slo(path: str, args: argparse.Namespace) -> int:
+    """``ttm-cas obs slo FILE``: burn rates recomputed from a request log."""
+    from .obs.log import read_request_log
+    from .obs.slo import report_from_records
+
+    try:
+        records = read_request_log(path)
+    except OSError as error:
+        print(error, file=sys.stderr)
+        return 2
+    window = args.window_s if args.window_s > 0 else None
+    report = report_from_records(records, window_s=window)
+    if not report:
+        print(f"{path}: no request records")
+        return 0
+    scope = f"last {window:g} s" if window else "whole log"
+    print(f"== SLO report ({scope}) ==")
+    rows = []
+    worst = False
+    for endpoint, status in sorted(report.items()):
+        rows.append(
+            [
+                endpoint,
+                status["requests"],
+                status["errors"],
+                status["slow"],
+                f"{status['error_burn_rate']:.3f}",
+                f"{status['latency_burn_rate']:.3f}",
+                "ok" if status["ok"] else "BURNING",
+            ]
+        )
+        worst = worst or not status["ok"]
+    print(
+        format_table(
+            [
+                "endpoint",
+                "requests",
+                "errors",
+                "slow",
+                "err burn",
+                "lat burn",
+                "status",
+            ],
+            rows,
+        )
+    )
+    return 1 if worst else 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from .obs.manifest import MANIFEST_SCHEMA
     from .obs.metrics import iter_prometheus_samples
     from .obs.trace import TRACE_SCHEMA
 
+    tokens = list(args.file)
+    if tokens and tokens[0] in ("tail", "slo"):
+        if len(tokens) != 2:
+            print(
+                f"usage: ttm-cas obs {tokens[0]} FILE", file=sys.stderr
+            )
+            return 2
+        handler = _cmd_obs_tail if tokens[0] == "tail" else _cmd_obs_slo
+        return handler(tokens[1], args)
+    if len(tokens) != 1:
+        print("usage: ttm-cas obs [tail|slo] FILE", file=sys.stderr)
+        return 2
+    path = tokens[0]
+
     try:
-        with open(args.file, encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             text = handle.read()
     except OSError as error:
         print(error, file=sys.stderr)
@@ -329,6 +425,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         _summarize_spans(spans)
         return 0
     if data is None and "# TYPE" in text:
+        from .obs.metrics import histogram_quantiles_from_text
+
         samples = [
             [series, _format_number(value)]
             for series, value in iter_prometheus_samples(text)
@@ -337,10 +435,48 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         print(f"== metrics: {len(samples)} non-zero series ==")
         if samples:
             print(format_table(["series", "value"], samples))
+        quantiles = [
+            (series, entry)
+            for series, entry in histogram_quantiles_from_text(text)
+            if any(entry.values())
+        ]
+        if quantiles:
+            print()
+            print("-- histogram quantiles (estimated from buckets) --")
+            print(
+                format_table(
+                    ["series", "p50", "p95", "p99"],
+                    [
+                        [
+                            series,
+                            _format_number(entry["p50"]),
+                            _format_number(entry["p95"]),
+                            _format_number(entry["p99"]),
+                        ]
+                        for series, entry in quantiles
+                    ],
+                )
+            )
+        return 0
+    # A request log: JSON lines (multi-line text defeats json.loads
+    # above) or a single schema-tagged record.
+    from .obs.log import LOG_SCHEMA
+
+    log_like = (
+        isinstance(data, dict) and data.get("schema") == LOG_SCHEMA
+    ) or (data is None and f'"{LOG_SCHEMA}"' in text)
+    if log_like:
+        from .obs.log import format_record, read_request_log, tail_records
+
+        records = read_request_log(path)
+        print(f"== request log: {len(records)} records ==")
+        for record in tail_records(records, limit=args.lines):
+            print(format_record(record))
         return 0
     print(
-        f"{args.file}: not a recognized obs artifact (expected a run "
-        "manifest, a trace JSON, a Chrome trace, or Prometheus text)",
+        f"{path}: not a recognized obs artifact (expected a run "
+        "manifest, a trace JSON, a Chrome trace, a request log, or "
+        "Prometheus text)",
         file=sys.stderr,
     )
     return 2
@@ -394,6 +530,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             batch_threads=args.batch_threads,
             deadline_ms=args.deadline_ms,
+            trace=bool(args.trace),
+            trace_out=args.trace if workers <= 1 else "",
+            log_json=args.log_json,
+            slo_window_s=args.slo_window_s,
+            profile_hz=args.profile_hz,
+            profile_out=args.profile_out,
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -421,6 +563,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 server=config,
                 backend=getattr(args, "backend", ""),
+                # Sharded: the supervisor collects every worker's spans
+                # at drain and writes the one merged Chrome trace.
+                trace_out=args.trace,
             )
         )
         supervisor.run_forever(stop_event=stop_event, ready=_announce)
@@ -640,16 +785,88 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write 'HOST PORT' to FILE once the socket is bound",
     )
+    obs_group = serve_parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help=(
+            "enable distributed tracing and write one merged Chrome "
+            "trace at shutdown (sharded: one process lane per worker)"
+        ),
+    )
+    obs_group.add_argument(
+        "--log-json",
+        default="",
+        metavar="FILE",
+        help=(
+            "append one JSON line per request (router and workers "
+            "share the file); summarize with 'ttm-cas obs tail'"
+        ),
+    )
+    obs_group.add_argument(
+        "--slo-window-s",
+        type=float,
+        default=300.0,
+        help="sliding window for SLO burn rates in /metrics and /debug/obs",
+    )
+    obs_group.add_argument(
+        "--profile-hz",
+        type=float,
+        default=0.0,
+        help=(
+            "sampling-profiler rate (0 disables); attributes wall time "
+            "to engine kernels under live load"
+        ),
+    )
+    obs_group.add_argument(
+        "--profile-out",
+        default="",
+        metavar="FILE",
+        help=(
+            "write collapsed stacks at shutdown (sharded: one "
+            "FILE.workerN per worker)"
+        ),
+    )
     _add_engine_arguments(serve_parser)
     serve_parser.set_defaults(handler=_cmd_serve)
     obs_parser = sub.add_parser(
-        "obs", help="summarize an obs artifact (manifest/trace/metrics)"
+        "obs",
+        help=(
+            "summarize an obs artifact, or 'obs tail FILE' / "
+            "'obs slo FILE' for request logs"
+        ),
     )
     obs_parser.add_argument(
         "file",
+        nargs="+",
+        metavar="[tail|slo] FILE",
         help=(
-            "a run manifest, trace JSON, Chrome-trace file, or "
-            "Prometheus-text metrics dump"
+            "a run manifest, trace JSON, Chrome-trace file, request "
+            "log (JSON lines), or Prometheus-text metrics dump; "
+            "'tail FILE' prints recent request-log lines, 'slo FILE' "
+            "reports burn rates from a request log"
+        ),
+    )
+    obs_parser.add_argument(
+        "-n",
+        "--lines",
+        type=int,
+        default=20,
+        help="lines shown by 'obs tail' (default 20)",
+    )
+    obs_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="'obs tail' keeps the file open and streams new records",
+    )
+    obs_parser.add_argument(
+        "--window-s",
+        type=float,
+        default=0.0,
+        help=(
+            "'obs slo' window (seconds) ending at the newest record "
+            "(0 = whole log)"
         ),
     )
     obs_parser.set_defaults(handler=_cmd_obs)

@@ -41,6 +41,7 @@ import numpy as np
 from ..cost.model import CostModel
 from ..design.chip import ChipDesign
 from ..errors import InvalidParameterError
+from ..obs.trace import span
 from ..ttm.model import TTMModel
 from .batch import _WAFERS_PER_NORMALIZED_UNIT
 from .portfolio import compile_portfolio, portfolio_cas, portfolio_cost, portfolio_ttm
@@ -226,6 +227,23 @@ def fused_point_eval(
 
     ``cost_model`` may be ``None`` when no request asks for ``"cost"``.
     """
+    # The span is a shared no-op unless a tracer is installed, and it
+    # wraps the whole fused batch (one span per engine dispatch, not
+    # per kernel) — the instrumentation-overhead bound is untouched.
+    with span(
+        "engine.fused_point_eval",
+        requests=len(requests),
+        designs=len({id(request.design) for request in requests}),
+    ):
+        return _fused_point_eval_body(model, cost_model, requests)
+
+
+def _fused_point_eval_body(
+    model: TTMModel,
+    cost_model: Optional[CostModel],
+    requests: Sequence[PointRequest],
+) -> List[Dict[str, Dict[str, float]]]:
+    """The fused pass itself, hoisted to keep the span wrapper flat."""
     plan = _plan(requests)
     invariants = compile_portfolio(
         plan.designs,

@@ -23,6 +23,16 @@ down:
   ``bench_engine.py --check`` guard pins the overhead at <= 2%).
 * :mod:`repro.obs.session` — :class:`ObsSession`, the CLI glue behind
   ``--trace`` / ``--metrics`` / ``--manifest-dir`` and ``ttm-cas obs``.
+* :mod:`repro.obs.distributed` — the ``traceparent``-style
+  :class:`TraceContext` propagated over the serve stack's
+  router→worker hop, plus :func:`stitch_trace`, which reassembles one
+  request's spans across router, worker, batch, and engine kernels.
+* :mod:`repro.obs.log` — :class:`RequestLogger`, the JSON-lines
+  structured request log (``ttm-cas obs tail``).
+* :mod:`repro.obs.slo` — declarative latency/error objectives with
+  sliding-window burn rates (``/debug/obs``, ``ttm-cas obs slo``).
+* :mod:`repro.obs.profile` — :class:`SamplingProfiler`, the stdlib
+  thread-sampling wall-time profiler behind ``serve --profile-hz``.
 
 Quickstart::
 
@@ -35,7 +45,15 @@ Quickstart::
     print(get_registry().to_prometheus_text())
 """
 
+from .distributed import (
+    TraceContext,
+    mint_request_id,
+    mint_trace_context,
+    parse_traceparent,
+    stitch_trace,
+)
 from .instrument import disabled, observed_kernel
+from .log import LOG_SCHEMA, RequestLogger, read_request_log
 from .manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -50,14 +68,19 @@ from .metrics import (
     Histogram,
     METRICS_SCHEMA,
     MetricsRegistry,
+    estimate_quantile,
     get_registry,
+    histogram_quantiles_from_text,
     metrics_delta,
 )
+from .profile import SamplingProfiler
 from .session import ManifestSink, ObsSession
+from .slo import DEFAULT_OBJECTIVES, SLObjective, SLOTracker
 from .trace import (
     SpanRecord,
     TRACE_SCHEMA,
     Tracer,
+    chrome_trace_from_spans,
     current_tracer,
     install_tracer,
     span,
@@ -66,27 +89,42 @@ from .trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_OBJECTIVES",
     "Gauge",
     "Histogram",
+    "LOG_SCHEMA",
     "MANIFEST_SCHEMA",
     "METRICS_SCHEMA",
     "ManifestSink",
     "MetricsRegistry",
     "ObsSession",
+    "RequestLogger",
     "RunManifest",
+    "SLOTracker",
+    "SLObjective",
+    "SamplingProfiler",
     "SpanRecord",
     "TIMING_FIELDS",
     "TRACE_SCHEMA",
+    "TraceContext",
     "Tracer",
+    "chrome_trace_from_spans",
     "current_tracer",
     "disabled",
     "environment_fingerprint",
+    "estimate_quantile",
     "get_registry",
     "git_revision",
+    "histogram_quantiles_from_text",
     "install_tracer",
     "metrics_delta",
+    "mint_request_id",
+    "mint_trace_context",
     "observed_kernel",
+    "parse_traceparent",
+    "read_request_log",
     "result_digest",
     "span",
+    "stitch_trace",
     "uninstall_tracer",
 ]

@@ -164,6 +164,21 @@ SERVE_WORKER_RESPAWNS = _registry.counter(
     "Dead shard workers replaced by the supervisor, labelled by worker",
 )
 
+SERVE_SLO_ERROR_BURN = _registry.gauge(
+    "serve_slo_error_burn_rate",
+    "Sliding-window error burn rate per endpoint (>1 = out of budget)",
+)
+
+SERVE_SLO_LATENCY_BURN = _registry.gauge(
+    "serve_slo_latency_burn_rate",
+    "Sliding-window latency burn rate per endpoint (>1 = out of budget)",
+)
+
+SERVE_SLO_OK = _registry.gauge(
+    "serve_slo_ok",
+    "1 when the endpoint is inside both SLO budgets, else 0",
+)
+
 
 def _default_backend_label() -> str:
     return "numpy"
@@ -179,6 +194,11 @@ def set_backend_label_provider(provider: Callable[[], str]) -> None:
     """Install the callable that names the active engine backend."""
     global _BACKEND_LABEL_PROVIDER
     _BACKEND_LABEL_PROVIDER = provider
+
+
+def backend_label() -> str:
+    """The active engine-backend label (request logs tag records with it)."""
+    return _BACKEND_LABEL_PROVIDER()
 
 
 def cache_counters() -> Tuple[Counter, Counter, Counter, Gauge]:
@@ -272,6 +292,18 @@ def set_workers_alive(count: int) -> None:
     SERVE_WORKERS_ALIVE.set(float(count))
 
 
+def record_slo(
+    endpoint: str, error_burn: float, latency_burn: float, ok: bool
+) -> None:
+    """Publish one endpoint's SLO burn rates (refreshed at scrape time
+    by :meth:`repro.obs.slo.SLOTracker.publish`, never per-request)."""
+    if not _ENABLED:
+        return
+    SERVE_SLO_ERROR_BURN.set(float(error_burn), endpoint=endpoint)
+    SERVE_SLO_LATENCY_BURN.set(float(latency_burn), endpoint=endpoint)
+    SERVE_SLO_OK.set(1.0 if ok else 0.0, endpoint=endpoint)
+
+
 def set_queue_depth(depth: int) -> None:
     """Publish the batcher's admitted-but-uncompleted request count."""
     if not _ENABLED:
@@ -358,10 +390,14 @@ __all__ = [
     "SERVE_REQUESTS",
     "SERVE_REQUEST_SECONDS",
     "SERVE_ROUTED",
+    "SERVE_SLO_ERROR_BURN",
+    "SERVE_SLO_LATENCY_BURN",
+    "SERVE_SLO_OK",
     "SERVE_WORKERS_ALIVE",
     "SERVE_WORKER_RESPAWNS",
     "SHM_BYTES",
     "SHM_SEGMENTS",
+    "backend_label",
     "cache_counters",
     "disabled",
     "enabled",
@@ -375,6 +411,7 @@ __all__ = [
     "record_respawn",
     "record_route",
     "record_shm",
+    "record_slo",
     "set_backend_label_provider",
     "set_queue_depth",
     "set_workers_alive",

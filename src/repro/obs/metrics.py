@@ -32,7 +32,7 @@ import json
 import re
 import threading
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: One ``name="value"`` label pair inside a series' brace block.
 _LABEL_PAIR = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
@@ -63,6 +63,54 @@ def _format_value(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def estimate_quantile(
+    bounds: Sequence[float],
+    cumulative_counts: Sequence[float],
+    total: float,
+    q: float,
+) -> float:
+    """Estimate one quantile from cumulative histogram buckets.
+
+    Standard ``histogram_quantile`` linear interpolation: the target
+    rank ``q * total`` is located in the first bucket whose cumulative
+    count reaches it, then interpolated between that bucket's bounds
+    (the lowest bucket interpolates from 0). Mass beyond the last
+    finite bound clamps to that bound — the honest answer buckets can
+    give without an upper edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise InvalidParameterError(f"quantile must be in [0, 1], got {q!r}")
+    if total <= 0 or not bounds:
+        return 0.0
+    rank = q * total
+    previous_bound = 0.0
+    previous_cum = 0.0
+    for bound, cum in zip(bounds, cumulative_counts):
+        if cum >= rank and cum > previous_cum:
+            fraction = (rank - previous_cum) / (cum - previous_cum)
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cum = bound, cum
+    return float(bounds[-1])
+
+
+#: The quantiles every export surfaces.
+EXPORT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def _quantile_entry(
+    bounds: Sequence[float],
+    cumulative_counts: Sequence[float],
+    total: float,
+    qs: Sequence[float] = EXPORT_QUANTILES,
+) -> Dict[str, float]:
+    return {
+        f"p{round(q * 100):d}": estimate_quantile(
+            bounds, cumulative_counts, total, q
+        )
+        for q in qs
+    }
 
 
 class _Instrument:
@@ -195,6 +243,15 @@ class Histogram(_Instrument):
             return tuple(
                 self._counts.get(_label_key(labels), [0] * len(self.buckets))
             )
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated ``q``-quantile for one label series (see
+        :func:`estimate_quantile` for the interpolation rules)."""
+        with self._lock:
+            key = _label_key(labels)
+            counts = tuple(self._counts.get(key, ()))
+            total = self._totals.get(key, 0)
+        return estimate_quantile(self.buckets, counts, total, q)
 
 
 class MetricsRegistry:
@@ -329,17 +386,41 @@ class MetricsRegistry:
             "metrics": [],
         }
         for instrument in self.instruments():
-            entry: Dict[str, object] = {
-                "name": instrument.name,
-                "kind": instrument.kind,
-                "help": instrument.help,
-                "series": [
-                    {"labels": dict(key), "value": value}
-                    for key, value in instrument.series().items()
-                ],
-            }
             if isinstance(instrument, Histogram):
-                entry["buckets"] = list(instrument.buckets)
+                # Histogram series carry the sum and estimated
+                # p50/p95/p99 alongside the count, so JSON consumers
+                # never redo bucket math by hand.
+                with instrument._lock:
+                    series = [
+                        {
+                            "labels": dict(key),
+                            "value": float(total),
+                            "sum": instrument._sums.get(key, 0.0),
+                            "quantiles": _quantile_entry(
+                                instrument.buckets,
+                                instrument._counts.get(key, ()),
+                                total,
+                            ),
+                        }
+                        for key, total in instrument._totals.items()
+                    ]
+                entry: Dict[str, object] = {
+                    "name": instrument.name,
+                    "kind": instrument.kind,
+                    "help": instrument.help,
+                    "series": series,
+                    "buckets": list(instrument.buckets),
+                }
+            else:
+                entry = {
+                    "name": instrument.name,
+                    "kind": instrument.kind,
+                    "help": instrument.help,
+                    "series": [
+                        {"labels": dict(key), "value": value}
+                        for key, value in instrument.series().items()
+                    ],
+                }
             out["metrics"].append(entry)  # type: ignore[union-attr]
         return out
 
@@ -437,6 +518,14 @@ def merge_prometheus_texts(
     metric from every part are grouped under a single ``# HELP`` /
     ``# TYPE`` header (first part's wording wins), so the aggregate is
     valid exposition text a Prometheus scraper accepts as-is.
+
+    Identical series landing from *different* parts merge instead of
+    colliding — the respawn case: a worker dies mid-scrape and its
+    replacement reuses the slot, so two parts both carry
+    ``worker="N"``. Counter and histogram samples sum (both processes
+    really did that work); gauge and untyped samples take the last
+    value seen (a gauge is a statement of current state, and the later
+    part is the survivor).
     """
     metrics: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
 
@@ -484,8 +573,34 @@ def merge_prometheus_texts(
             lines.append(f"# HELP {name} {entry['help']}")
         if entry["type"] is not None:
             lines.append(f"# TYPE {name} {entry['type']}")
-        lines.extend(entry["samples"])  # type: ignore[arg-type]
+        lines.extend(
+            _merge_duplicate_samples(
+                entry["samples"], str(entry["type"] or "untyped")
+            )
+        )
     return "\n".join(lines) + "\n"
+
+
+def _merge_duplicate_samples(samples: List[str], kind: str) -> List[str]:
+    """Collapse repeated series within one family (first-seen order)."""
+    summing = kind in ("counter", "histogram")
+    merged: "OrderedDict[str, Optional[float]]" = OrderedDict()
+    for line in samples:
+        series, _, value = line.rpartition(" ")
+        try:
+            numeric = float(value)
+        except ValueError:
+            merged[line] = None  # unparseable: pass through verbatim
+            continue
+        if series in merged and merged[series] is not None:
+            previous = merged[series]
+            merged[series] = previous + numeric if summing else numeric
+        else:
+            merged[series] = numeric
+    return [
+        series if value is None else f"{series} {_format_value(value)}"
+        for series, value in merged.items()
+    ]
 
 
 def iter_prometheus_samples(text: str) -> Iterable[Tuple[str, float]]:
@@ -502,14 +617,67 @@ def iter_prometheus_samples(text: str) -> Iterable[Tuple[str, float]]:
         yield series, float(value)
 
 
+def histogram_quantiles_from_text(
+    text: str, qs: Sequence[float] = EXPORT_QUANTILES
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Estimate quantiles for every histogram series in exposition text.
+
+    Pairs ``_bucket{le=...}`` samples with their ``_count`` totals per
+    base series (``le`` stripped, other labels kept) and interpolates —
+    the ``ttm-cas obs`` summarizer uses this so a raw ``.prom`` dump
+    reads as p50/p95/p99 instead of bucket math homework.
+    """
+    buckets: Dict[Tuple[str, LabelKey], List[Tuple[float, float]]] = {}
+    totals: Dict[Tuple[str, LabelKey], float] = {}
+    for series, value in iter_prometheus_samples(text):
+        name, pairs = _parse_series(series)
+        if name.endswith("_bucket"):
+            bound_text = dict(pairs).get("le")
+            if bound_text is None:
+                continue
+            rest = tuple(sorted(p for p in pairs if p[0] != "le"))
+            try:
+                bound = (
+                    float("inf") if bound_text == "+Inf"
+                    else float(bound_text)
+                )
+            except ValueError:
+                continue
+            buckets.setdefault((name[: -len("_bucket")], rest), []).append(
+                (bound, value)
+            )
+        elif name.endswith("_count"):
+            totals[(name[: -len("_count")], tuple(sorted(pairs)))] = value
+    out: List[Tuple[str, Dict[str, float]]] = []
+    for (base, rest), entries in sorted(buckets.items()):
+        total = totals.get((base, rest), 0.0)
+        finite = sorted(
+            (bound, cum) for bound, cum in entries if bound != float("inf")
+        )
+        if total <= 0 or not finite:
+            continue
+        bounds = [bound for bound, _ in finite]
+        counts = [cum for _, cum in finite]
+        out.append(
+            (
+                f"{base}{_label_suffix(rest)}",
+                _quantile_entry(bounds, counts, total, qs),
+            )
+        )
+    return out
+
+
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "EXPORT_QUANTILES",
     "Gauge",
     "Histogram",
     "METRICS_SCHEMA",
     "MetricsRegistry",
+    "estimate_quantile",
     "get_registry",
+    "histogram_quantiles_from_text",
     "iter_prometheus_samples",
     "merge_prometheus_texts",
     "metrics_delta",

@@ -98,7 +98,14 @@ class ObsSession:
             uninstall_tracer()
             self.tracer.write_chrome_trace(self.trace_path)
         if self.metrics_path:
-            get_registry().write_prometheus(self.metrics_path)
+            # A .json target gets the structured export (histogram
+            # series with estimated p50/p95/p99); anything else gets
+            # classic Prometheus text.
+            if self.metrics_path.endswith(".json"):
+                with open(self.metrics_path, "w", encoding="utf-8") as f:
+                    f.write(get_registry().to_json() + "\n")
+            else:
+                get_registry().write_prometheus(self.metrics_path)
         return False
 
     @contextmanager

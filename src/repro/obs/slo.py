@@ -1,0 +1,210 @@
+"""Declarative SLOs with sliding-window burn rates for the serve stack.
+
+An :class:`SLObjective` states, per endpoint, what "good" means:
+a latency threshold that some fraction of requests must beat, and a
+tolerated server-error fraction.  The :class:`SLOTracker` keeps a
+sliding window of observations (endpoint, status, latency) and turns
+them into *burn rates* — the observed bad fraction divided by the
+error budget, the standard Google-SRE framing:
+
+* burn < 1  — inside budget; sustaining this forever is fine;
+* burn = 1  — spending the budget exactly as fast as it accrues;
+* burn > 1  — out of budget if sustained; alertable.
+
+The tracker is embedded in :class:`~repro.serve.server.EvalServer`
+(per-worker view) and in the shard router (end-to-end view); gauges are
+refreshed into the metrics registry at ``/metrics`` scrape time and the
+live snapshot feeds ``GET /debug/obs`` and ``ttm-cas obs slo``.
+
+Error definition: HTTP 5xx only.  4xx are the caller's fault (bad
+JSON, over-limit bodies) and must not burn the operator's budget —
+except 429/503, which *are* the server refusing work, but those are
+capacity signals tracked separately by ``serve_rejected_total``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Iterable, Optional, Tuple
+
+from . import instrument
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "SLOTracker",
+    "SLObjective",
+    "report_from_records",
+]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """``latency_objective`` of requests under ``latency_ms``; at most
+    ``error_objective`` of requests may be server errors."""
+
+    endpoint: str
+    latency_ms: float
+    latency_objective: float = 0.99
+    error_objective: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError("latency_ms must be positive")
+        for name in ("latency_objective", "error_objective"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1)")
+
+
+#: Per-endpoint defaults scaled to each workload's weight: a point
+#: evaluation is interactive; an MC ensemble or a scenario cube is not.
+DEFAULT_OBJECTIVES: Tuple[SLObjective, ...] = (
+    SLObjective("evaluate", latency_ms=500.0),
+    SLObjective("mc", latency_ms=5_000.0),
+    SLObjective("splits", latency_ms=30_000.0),
+    SLObjective("scenarios", latency_ms=30_000.0),
+)
+
+_FALLBACK = SLObjective("default", latency_ms=1_000.0)
+
+
+def _objective_map(
+    objectives: Iterable[SLObjective],
+) -> Dict[str, SLObjective]:
+    return {o.endpoint: o for o in objectives}
+
+
+def _burn(bad: int, total: int, budget: float) -> float:
+    if total <= 0:
+        return 0.0
+    return (bad / total) / budget
+
+
+def _status_entry(
+    objective: SLObjective,
+    total: int,
+    errors: int,
+    slow: int,
+    window_s: float,
+) -> Dict[str, Any]:
+    error_burn = _burn(errors, total, objective.error_objective)
+    latency_burn = _burn(slow, total, 1.0 - objective.latency_objective)
+    return {
+        "window_s": window_s,
+        "requests": total,
+        "errors": errors,
+        "slow": slow,
+        "latency_ms": objective.latency_ms,
+        "latency_objective": objective.latency_objective,
+        "error_objective": objective.error_objective,
+        "error_burn_rate": round(error_burn, 6),
+        "latency_burn_rate": round(latency_burn, 6),
+        "ok": error_burn <= 1.0 and latency_burn <= 1.0,
+    }
+
+
+class SLOTracker:
+    """Sliding-window SLO accounting; thread-safe, O(1) per request."""
+
+    def __init__(
+        self,
+        objectives: Iterable[SLObjective] = DEFAULT_OBJECTIVES,
+        window_s: float = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.objectives = _objective_map(objectives)
+        self.window_s = float(window_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (t, endpoint, is_error, is_slow)
+        self._events: Deque[Tuple[float, str, bool, bool]] = deque()
+
+    def objective_for(self, endpoint: str) -> SLObjective:
+        return self.objectives.get(endpoint, _FALLBACK)
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        objective = self.objective_for(endpoint)
+        is_error = status >= 500
+        is_slow = (seconds * 1000.0) > objective.latency_ms
+        now = self._clock()
+        with self._lock:
+            self._events.append((now, endpoint, is_error, is_slow))
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window_s
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    def status(self) -> Dict[str, Dict[str, Any]]:
+        """Per-endpoint burn rates over the live window."""
+        with self._lock:
+            self._prune(self._clock())
+            events = list(self._events)
+        totals: Dict[str, list] = {}
+        for _, endpoint, is_error, is_slow in events:
+            entry = totals.setdefault(endpoint, [0, 0, 0])
+            entry[0] += 1
+            entry[1] += int(is_error)
+            entry[2] += int(is_slow)
+        return {
+            endpoint: _status_entry(
+                self.objective_for(endpoint), total, errors, slow, self.window_s
+            )
+            for endpoint, (total, errors, slow) in sorted(totals.items())
+        }
+
+    def publish(self) -> None:
+        """Refresh the ``serve_slo_*`` gauges (called at scrape time so
+        idle servers cost nothing between scrapes)."""
+        for endpoint, entry in self.status().items():
+            instrument.record_slo(
+                endpoint,
+                error_burn=entry["error_burn_rate"],
+                latency_burn=entry["latency_burn_rate"],
+                ok=entry["ok"],
+            )
+
+
+def report_from_records(
+    records: Iterable[Dict[str, Any]],
+    objectives: Iterable[SLObjective] = DEFAULT_OBJECTIVES,
+    window_s: Optional[float] = None,
+) -> Dict[str, Dict[str, Any]]:
+    """Offline SLO report from request-log records (``ttm-cas obs slo``).
+
+    ``window_s`` restricts to the trailing window ending at the newest
+    record's timestamp; ``None`` scores the whole file.
+    """
+    objective_map = _objective_map(objectives)
+    records = [r for r in records if "endpoint" in r and "status" in r]
+    if window_s is not None and records:
+        newest = max(r.get("ts_unix_ns", 0) for r in records)
+        horizon = newest - window_s * 1e9
+        records = [r for r in records if r.get("ts_unix_ns", 0) >= horizon]
+    totals: Dict[str, list] = {}
+    for record in records:
+        endpoint = str(record["endpoint"])
+        objective = objective_map.get(endpoint, _FALLBACK)
+        try:
+            status = int(record["status"])
+        except (TypeError, ValueError):
+            continue
+        latency_ms = float(record.get("latency_ms") or 0.0)
+        entry = totals.setdefault(endpoint, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += int(status >= 500)
+        entry[2] += int(latency_ms > objective.latency_ms)
+    span = window_s if window_s is not None else 0.0
+    return {
+        endpoint: _status_entry(
+            objective_map.get(endpoint, _FALLBACK), total, errors, slow, span
+        )
+        for endpoint, (total, errors, slow) in sorted(totals.items())
+    }

@@ -169,12 +169,21 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Collects spans from every thread of this process (see module doc)."""
+    """Collects spans from every thread of this process (see module doc).
 
-    def __init__(self) -> None:
+    ``limit`` bounds retained spans for long-lived serving processes:
+    when set, the oldest records are dropped as new ones land, so a
+    worker that stays up for days keeps a rolling window instead of
+    growing without bound.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError("limit must be positive when set")
         self._lock = threading.Lock()
         self._spans: List[SpanRecord] = []
         self._local = threading.local()
+        self.limit = limit
 
     def _next_id(self) -> str:
         # The counter is process-global, not per-tracer: process workers
@@ -192,6 +201,12 @@ class Tracer:
     def _finish(self, record: SpanRecord) -> None:
         with self._lock:
             self._spans.append(record)
+            self._trim_locked()
+
+    def _trim_locked(self) -> None:
+        limit = self.limit
+        if limit is not None and len(self._spans) > limit:
+            del self._spans[: len(self._spans) - limit]
 
     def span(
         self, name: str, parent_id: Any = _UNSET, **attributes: Any
@@ -213,6 +228,7 @@ class Tracer:
         records = list(records)
         with self._lock:
             self._spans.extend(records)
+            self._trim_locked()
 
     def spans(self) -> Tuple[SpanRecord, ...]:
         """Snapshot of every finished span, in completion order."""
@@ -231,37 +247,31 @@ class Tracer:
             "spans": [record.to_jsonable() for record in self.spans()],
         }
 
-    def to_chrome_trace(self) -> Dict[str, Any]:
+    def to_chrome_trace(
+        self, process_names: Optional[Dict[int, str]] = None
+    ) -> Dict[str, Any]:
         """Trace Event Format dict for ``chrome://tracing`` / Perfetto.
 
         Spans become complete (``"ph": "X"``) events with microsecond
         ``ts``/``dur``; span/parent ids and attributes ride in ``args``.
+        See :func:`chrome_trace_from_spans` for the process-lane rules.
         """
-        events: List[Dict[str, Any]] = []
-        for record in self.spans():
-            events.append(
-                {
-                    "name": record.name,
-                    "cat": "repro",
-                    "ph": "X",
-                    "ts": record.start_unix_ns / 1000.0,
-                    "dur": max(record.duration_ns / 1000.0, 0.001),
-                    "pid": record.process_id,
-                    "tid": record.thread_id,
-                    "args": {
-                        "span_id": record.span_id,
-                        "parent_id": record.parent_id,
-                        "status": record.status,
-                        **record.attributes,
-                    },
-                }
-            )
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        return chrome_trace_from_spans(
+            (record.to_jsonable() for record in self.spans()),
+            process_names=process_names,
+        )
 
-    def write_chrome_trace(self, path: str) -> None:
+    def write_chrome_trace(
+        self, path: str, process_names: Optional[Dict[int, str]] = None
+    ) -> None:
         """Write :meth:`to_chrome_trace` as JSON to ``path``."""
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_chrome_trace(), handle, indent=2, default=str)
+            json.dump(
+                self.to_chrome_trace(process_names=process_names),
+                handle,
+                indent=2,
+                default=str,
+            )
             handle.write("\n")
 
     def write_json(self, path: str) -> None:
@@ -290,6 +300,80 @@ class Tracer:
                 totals.items(), key=lambda item: -item[1]["wall_s"]
             )
         ]
+
+
+def chrome_trace_from_spans(
+    spans: Iterable[Dict[str, Any]],
+    process_names: Optional[Dict[int, str]] = None,
+) -> Dict[str, Any]:
+    """Build a Chrome trace from jsonable span dicts, one *process lane*
+    per originating pid.
+
+    Spans merged from a sharded fleet all carry their worker's real
+    ``process_id``; without metadata events the viewer shows bare pids
+    (or, pre-fix, collapsed lanes). Each distinct pid gets a
+    ``process_name`` metadata event (``"ph": "M"``) named from, in
+    priority order: the explicit ``process_names`` mapping, a
+    ``worker`` attribute found on any of the pid's spans, or
+    ``"pid <n>"``. A ``process_sort_index`` event keeps the router lane
+    on top and worker lanes in slot order.
+    """
+    names: Dict[int, str] = dict(process_names or {})
+    events: List[Dict[str, Any]] = []
+    pids: List[int] = []
+    for record in spans:
+        pid = record.get("process_id", 0)
+        if pid not in names:
+            worker = record.get("attributes", {}).get("worker")
+            if worker is not None:
+                names[pid] = f"worker {worker}"
+        if pid not in pids:
+            pids.append(pid)
+        events.append(
+            {
+                "name": record["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": record.get("start_unix_ns", 0) / 1000.0,
+                "dur": max(record.get("duration_ns", 0) / 1000.0, 0.001),
+                "pid": pid,
+                "tid": record.get("thread_id", 0),
+                "args": {
+                    "span_id": record.get("span_id"),
+                    "parent_id": record.get("parent_id"),
+                    "status": record.get("status", "ok"),
+                    **record.get("attributes", {}),
+                },
+            }
+        )
+
+    def _sort_key(pid: int) -> Tuple[int, str]:
+        label = names.get(pid, f"pid {pid}")
+        # Router first, then workers by label, then anonymous pids.
+        if label == "router":
+            return (0, label)
+        return (1, label)
+
+    metadata: List[Dict[str, Any]] = []
+    for index, pid in enumerate(sorted(pids, key=_sort_key)):
+        label = names.get(pid, f"pid {pid}")
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": label},
+            }
+        )
+        metadata.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "args": {"sort_index": index},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
 
 
 #: The installed tracer (None = tracing off; the fast path).
@@ -333,6 +417,7 @@ __all__ = [
     "SpanRecord",
     "TRACE_SCHEMA",
     "Tracer",
+    "chrome_trace_from_spans",
     "current_tracer",
     "install_tracer",
     "span",

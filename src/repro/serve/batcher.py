@@ -23,6 +23,7 @@ results or errors. Good requests are never failed by a bad neighbor.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Future as ThreadFuture
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
@@ -43,14 +44,21 @@ class ServerClosingError(Exception):
 
 
 class _Group:
-    """One key's open batch: payloads, their futures, and the timer."""
+    """One key's open batch: payloads, their futures, and the timer.
 
-    __slots__ = ("key", "payloads", "futures", "timer")
+    ``metas`` is a parallel list of optional per-request observability
+    dicts the batcher stamps timing and batch membership into — kept
+    apart from the payloads so trace plumbing can never perturb what
+    the engine (or the coalescing group key) sees.
+    """
+
+    __slots__ = ("key", "payloads", "futures", "metas", "timer")
 
     def __init__(self, key: Hashable) -> None:
         self.key = key
         self.payloads: List[Any] = []
         self.futures: List[asyncio.Future] = []
+        self.metas: List[Optional[Dict[str, Any]]] = []
         self.timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -145,7 +153,12 @@ class CoalescingBatcher:
         """
         return await self.enqueue(key, payload)
 
-    def enqueue(self, key: Hashable, payload: Any) -> "asyncio.Future":
+    def enqueue(
+        self,
+        key: Hashable,
+        payload: Any,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> "asyncio.Future":
         """Queue one payload, returning its future without awaiting it.
 
         Must be called from the event-loop thread. The future resolves
@@ -153,6 +166,11 @@ class CoalescingBatcher:
         it behind :func:`asyncio.shield` and *cancel the returned
         future* on timeout, which tells delivery to skip it without
         disturbing the rest of the batch.
+
+        ``meta``, when given, receives ``perf_counter_ns`` stamps
+        (``t_enqueue`` / ``t_flush`` / ``t_exec_start`` / ``t_exec_end``)
+        and the ``batch_span_id`` its request fused into — the server's
+        latency breakdown and trace batch-membership links.
         """
         if self._draining:
             instrument.record_rejection("draining")
@@ -174,8 +192,11 @@ class CoalescingBatcher:
                 group.timer = loop.call_later(
                     self.window_s, self._flush, key
                 )
+        if meta is not None:
+            meta["t_enqueue"] = time.perf_counter_ns()
         group.payloads.append(payload)
         group.futures.append(future)
+        group.metas.append(meta)
         if len(group.payloads) >= self.max_batch or (
             self.window_s <= 0 or self.max_batch <= 1
         ):
@@ -197,8 +218,12 @@ class CoalescingBatcher:
         self._batches += 1
         self._batched_requests += size
         instrument.record_batch(endpoint, size, max_batch=self.max_batch)
+        now = time.perf_counter_ns()
+        for meta in group.metas:
+            if meta is not None:
+                meta["t_flush"] = now
         handle = self._pool.submit(
-            self._run_batch, key, endpoint, group.payloads
+            self._run_batch, key, endpoint, group.payloads, group.metas
         )
         self._in_flight[handle] = None
         handle.add_done_callback(
@@ -208,29 +233,63 @@ class CoalescingBatcher:
         )
 
     def _run_batch(
-        self, key: Hashable, endpoint: str, payloads: List[Any]
+        self,
+        key: Hashable,
+        endpoint: str,
+        payloads: List[Any],
+        metas: Optional[List[Optional[Dict[str, Any]]]] = None,
     ) -> List[Tuple[bool, Any]]:
         """Worker-thread body: fused call, solo retries on failure."""
-        with span("serve.batch", endpoint=endpoint, size=len(payloads)):
-            try:
-                results = list(self._batch_function(key, payloads))
-                if len(results) != len(payloads):
-                    raise RuntimeError(
-                        f"batch function returned {len(results)} results "
-                        f"for {len(payloads)} payloads"
-                    )
-                return [(True, result) for result in results]
-            except Exception:
-                if len(payloads) == 1:
-                    raise
-            outcomes: List[Tuple[bool, Any]] = []
-            for payload in payloads:
+        metas = metas if metas is not None else [None] * len(payloads)
+        start = time.perf_counter_ns()
+        for meta in metas:
+            if meta is not None:
+                meta["t_exec_start"] = start
+        try:
+            with span(
+                "serve.batch", endpoint=endpoint, size=len(payloads)
+            ) as active:
+                if active.span_id is not None:
+                    # Batch membership: the batch span links to every
+                    # request it fused; each request's meta learns which
+                    # batch span it rode in (stitch_trace uses both).
+                    links = [
+                        {
+                            "request_id": meta.get("request_id"),
+                            "trace_id": meta.get("trace_id"),
+                        }
+                        for meta in metas
+                        if meta is not None
+                    ]
+                    if links:
+                        active.set("links", links)
+                    for meta in metas:
+                        if meta is not None:
+                            meta["batch_span_id"] = active.span_id
                 try:
-                    (solo,) = self._batch_function(key, [payload])
-                    outcomes.append((True, solo))
-                except Exception as error:
-                    outcomes.append((False, error))
-            return outcomes
+                    results = list(self._batch_function(key, payloads))
+                    if len(results) != len(payloads):
+                        raise RuntimeError(
+                            f"batch function returned {len(results)} results "
+                            f"for {len(payloads)} payloads"
+                        )
+                    return [(True, result) for result in results]
+                except Exception:
+                    if len(payloads) == 1:
+                        raise
+                outcomes: List[Tuple[bool, Any]] = []
+                for payload in payloads:
+                    try:
+                        (solo,) = self._batch_function(key, [payload])
+                        outcomes.append((True, solo))
+                    except Exception as error:
+                        outcomes.append((False, error))
+                return outcomes
+        finally:
+            end = time.perf_counter_ns()
+            for meta in metas:
+                if meta is not None:
+                    meta["t_exec_end"] = end
 
     def _deliver(
         self, handle: ThreadFuture, group: _Group, size: int

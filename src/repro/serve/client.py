@@ -46,6 +46,18 @@ class ServeResponse:
         return int(self.headers.get("x-batch-size", "0") or "0")
 
     @property
+    def request_id(self) -> str:
+        """The ``X-Request-Id`` header, or '' when absent."""
+        return self.headers.get("x-request-id", "")
+
+    @property
+    def trace_id(self) -> str:
+        """The ``X-Trace-Id`` header ('' when the server isn't tracing
+        or logging): the key to fetch this request's stitched spans
+        from ``GET /debug/trace``."""
+        return self.headers.get("x-trace-id", "")
+
+    @property
     def error_code(self) -> str:
         """The structured error code of a non-2xx body ('' when none)."""
         try:

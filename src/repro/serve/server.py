@@ -5,22 +5,28 @@ A deliberately small HTTP/1.1 implementation on
 bodies, keep-alive — because the service needs exactly six routes and
 zero heavy dependencies:
 
-========  ===========  ===================================================
-method    path         behavior
-========  ===========  ===================================================
-``GET``   /healthz     liveness + draining flag
-``GET``   /metrics     the process metrics registry as Prometheus text
-``POST``  /evaluate    single-design point evaluation (coalesced)
-``POST``  /mc          Monte Carlo supply study (coalesced across designs)
-``POST``  /splits      multi-process split sweep (single-flight dedup)
-``POST``  /scenarios   fused stress-scenario cube (coalesced across designs)
-========  ===========  ===================================================
+============  ============  ==============================================
+method        path          behavior
+============  ============  ==============================================
+``GET``       /healthz      liveness + draining flag
+``GET``       /metrics      the process metrics registry as Prometheus text
+``GET``       /debug/obs    live ops snapshot (in-flight, recent, SLOs)
+``GET``       /debug/trace  recorded spans as schema-tagged JSON
+``POST``      /evaluate     single-design point evaluation (coalesced)
+``POST``      /mc           Monte Carlo supply study (coalesced)
+``POST``      /splits       multi-process split sweep (single-flight dedup)
+``POST``      /scenarios    fused stress-scenario cube (coalesced)
+============  ============  ==============================================
 
 POST bodies are JSON; responses are canonical JSON (sorted keys, no
 whitespace). Batch metadata never enters a response body — the number of
 requests the fused call carried rides in the ``X-Batch-Size`` header —
 so a response's bytes are a pure function of its own request, which is
-the service's determinism guarantee.
+the service's determinism guarantee. The same rule covers the
+observability identifiers: ``X-Request-Id`` / ``X-Trace-Id`` response
+headers and the inbound ``traceparent`` context
+(:mod:`repro.obs.distributed`) never touch a body, so coalesced
+responses stay byte-identical to solo ones with tracing enabled.
 
 Failure paths: malformed JSON → 400, unknown route → 404, wrong method
 → 405, oversized body → 413, admission-queue overflow → 429 with
@@ -44,8 +50,24 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..errors import ReproError
 from ..obs import instrument
+from ..obs.distributed import (
+    TraceContext,
+    mint_request_id,
+    mint_trace_context,
+    parse_traceparent,
+)
+from ..obs.log import RequestLogger
 from ..obs.metrics import get_registry
-from ..obs.trace import SpanRecord, current_tracer
+from ..obs.profile import SamplingProfiler
+from ..obs.slo import SLOTracker
+from ..obs.trace import (
+    SpanRecord,
+    TRACE_SCHEMA,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
 from .batcher import CoalescingBatcher, QueueFullError, ServerClosingError
 from .protocol import (
     BATCHED_ENDPOINTS,
@@ -79,7 +101,14 @@ class ServerConfig:
     (the CLI's ``--batch-threads``; process-level parallelism is the
     shard supervisor's ``--workers``). ``worker_id`` is set only when
     this server runs as one shard worker — it adds worker identity to
-    ``/healthz`` and changes nothing else.
+    ``/healthz`` and ``/debug/*`` and changes nothing else.
+
+    Observability (all opt-in): ``trace`` installs a bounded process
+    tracer at startup (``trace_out`` writes the Chrome trace at stop —
+    left empty for shard workers, whose spans the supervisor collects
+    over ``/debug/trace`` instead); ``log_json`` appends one JSON line
+    per request; ``profile_hz`` starts the sampling profiler
+    (``profile_out`` writes collapsed stacks at stop).
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +120,12 @@ class ServerConfig:
     deadline_ms: float = 30_000.0
     max_body_bytes: int = 1_048_576
     worker_id: Optional[int] = None
+    trace: bool = False
+    trace_out: str = ""
+    log_json: str = ""
+    slo_window_s: float = 300.0
+    profile_hz: float = 0.0
+    profile_out: str = ""
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -102,6 +137,20 @@ class ServerConfig:
                 f"deadline must be >= 0 ms (0 disables), got "
                 f"{self.deadline_ms}"
             )
+        if self.slo_window_s <= 0:
+            raise ValueError(
+                f"SLO window must be > 0 s, got {self.slo_window_s}"
+            )
+        if self.profile_hz < 0:
+            raise ValueError(
+                f"profile rate must be >= 0 Hz (0 disables), got "
+                f"{self.profile_hz}"
+            )
+
+
+#: Rolling span window a serve-installed tracer keeps (a long-lived
+#: worker must not grow without bound).
+_TRACE_SPAN_LIMIT = 20_000
 
 
 class EvalServer:
@@ -120,11 +169,29 @@ class EvalServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: Dict[asyncio.Task, None] = {}
         self._draining = False
+        self.slo = SLOTracker(window_s=self.config.slo_window_s)
+        self.logger = RequestLogger(
+            path=self.config.log_json or None,
+            role=(
+                "worker" if self.config.worker_id is not None else "server"
+            ),
+        )
+        self._in_flight: Dict[str, Dict[str, Any]] = {}
+        self._profiler: Optional[SamplingProfiler] = None
+        self._installed_tracer: Optional[Tracer] = None
 
     # -- lifecycle -------------------------------------------------------------
 
     async def start(self) -> None:
         """Bind the listening socket and start accepting connections."""
+        if self.config.trace and current_tracer() is None:
+            self._installed_tracer = install_tracer(
+                Tracer(limit=_TRACE_SPAN_LIMIT)
+            )
+        if self.config.profile_hz > 0:
+            self._profiler = SamplingProfiler(
+                hz=self.config.profile_hz
+            ).start()
         self.batcher = CoalescingBatcher(
             lambda key, payloads: execute_batch(self.state, key, payloads),
             window_s=self.config.batch_window_ms / 1000.0,
@@ -161,6 +228,21 @@ class EvalServer:
                 await asyncio.wait(pending, timeout=1.0)
         if self._server is not None:
             await self._server.wait_closed()
+        if self._profiler is not None:
+            self._profiler.stop()
+            if self.config.profile_out:
+                self._profiler.write_collapsed(self.config.profile_out)
+            self._profiler = None
+        if self._installed_tracer is not None:
+            # Only a tracer this server installed is torn down here; a
+            # caller-managed tracer (tests, ObsSession) stays put.
+            uninstall_tracer()
+            if self.config.trace_out:
+                self._installed_tracer.write_chrome_trace(
+                    self.config.trace_out
+                )
+            self._installed_tracer = None
+        self.logger.close()
 
     @property
     def draining(self) -> bool:
@@ -216,11 +298,13 @@ class EvalServer:
             return False
         path = path.split("?", 1)[0]
         endpoint = path.lstrip("/") or "root"
+        obs = self._admit(endpoint, headers)
 
         body = b""
         try:
             length = int(headers.get("content-length", "0") or "0")
         except ValueError:
+            self._in_flight.pop(obs["request_id"], None)
             await self._respond(
                 writer,
                 400,
@@ -238,21 +322,25 @@ class EvalServer:
                 ),
                 close=True,
             )
-            self._finish(endpoint, 413, started, started_ns, 0)
+            self._finish(endpoint, 413, started, started_ns, 0, obs)
             return False
         if length:
             body = await reader.readexactly(length)
 
         status, payload, extra = await self._route(
-            method, path, headers, body
+            method, path, headers, body, obs
         )
+        extra = dict(extra)
+        extra.setdefault("X-Request-Id", obs["request_id"])
+        ctx: Optional[TraceContext] = obs["ctx"]
+        if ctx is not None:
+            extra.setdefault("X-Trace-Id", ctx.trace_id)
         keep = (
             headers.get("connection", "").lower() != "close"
             and not self._draining
             and status != 503
         )
         if not keep:
-            extra = dict(extra)
             extra["Connection"] = "close"
         await self._respond(
             writer,
@@ -263,8 +351,41 @@ class EvalServer:
             close=not keep,
         )
         batch_size = int(extra.get("X-Batch-Size", 0) or 0)
-        self._finish(endpoint, status, started, started_ns, batch_size)
+        self._finish(endpoint, status, started, started_ns, batch_size, obs)
         return keep
+
+    def _admit(self, endpoint: str, headers: Dict[str, str]) -> Dict[str, Any]:
+        """Mint/parse per-request observability identity.
+
+        The trace context comes from the inbound ``traceparent`` header
+        (the shard router minted it at admission) or is minted fresh
+        when this process is the admission point and tracing or request
+        logging is on. ``meta`` is the dict the batcher stamps timing
+        and batch membership into.
+        """
+        request_id = headers.get("x-request-id") or mint_request_id()
+        ctx = parse_traceparent(headers.get("traceparent"))
+        inbound = ctx is not None
+        tracing = current_tracer() is not None
+        if ctx is None and (tracing or self.logger.active):
+            ctx = mint_trace_context(sampled=tracing)
+        obs: Dict[str, Any] = {
+            "request_id": request_id,
+            "ctx": ctx,
+            "ctx_inbound": inbound,
+            "endpoint": endpoint,
+            "meta": {
+                "request_id": request_id,
+                "trace_id": ctx.trace_id if ctx is not None else "",
+            },
+        }
+        self._in_flight[request_id] = {
+            "request_id": request_id,
+            "trace_id": ctx.trace_id if ctx is not None else "",
+            "endpoint": endpoint,
+            "started_unix_ns": time.time_ns(),
+        }
+        return obs
 
     def _finish(
         self,
@@ -273,12 +394,45 @@ class EvalServer:
         started: float,
         started_ns: int,
         batch_size: int,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> None:
-        """Per-request accounting: metrics always, a span when tracing."""
+        """Per-request accounting: metrics + SLO always, a structured
+        log record always (ring; file when configured), a span when
+        tracing."""
         elapsed = time.perf_counter() - started
         instrument.record_request(endpoint, status, elapsed)
+        self.slo.observe(endpoint, status, elapsed)
+
+        request_id = trace_id = ""
+        ctx: Optional[TraceContext] = None
+        meta: Dict[str, Any] = {}
+        if obs is not None:
+            self._in_flight.pop(obs["request_id"], None)
+            request_id = obs["request_id"]
+            ctx = obs["ctx"]
+            trace_id = ctx.trace_id if ctx is not None else ""
+            meta = obs["meta"]
+        breakdown = _latency_breakdown(meta, elapsed)
+
+        record: Dict[str, Any] = {
+            "ts_unix_ns": time.time_ns(),
+            "request_id": request_id,
+            "trace_id": trace_id,
+            "endpoint": endpoint,
+            "status": status,
+            "latency_ms": round(elapsed * 1000.0, 3),
+            "batch_size": batch_size,
+            "backend": instrument.backend_label(),
+            "outcome": _outcome(status),
+        }
+        if self.config.worker_id is not None:
+            record["worker"] = self.config.worker_id
+        if breakdown:
+            record["breakdown"] = breakdown
+        self.logger.log(record)
+
         tracer = current_tracer()
-        if tracer is None:
+        if tracer is None or (ctx is not None and not ctx.sampled):
             return
         # Concurrent requests interleave awaits on one thread, so the
         # tracer's thread-local nesting stack cannot scope them; record
@@ -287,8 +441,21 @@ class EvalServer:
             "endpoint": endpoint,
             "status": status,
         }
+        if request_id:
+            attributes["request_id"] = request_id
+        if ctx is not None:
+            attributes["trace_id"] = ctx.trace_id
+            # Inbound context: the router's span hex is our parent.
+            # Self-minted: our own span hex, for downstream stitching.
+            key = "parent_ctx" if obs and obs["ctx_inbound"] else "ctx_span"
+            attributes[key] = ctx.span_id
         if batch_size:
             attributes["batch_size"] = batch_size
+        if meta.get("batch_span_id"):
+            attributes["batch_span_id"] = meta["batch_span_id"]
+        if self.config.worker_id is not None:
+            attributes["worker"] = self.config.worker_id
+        attributes.update(breakdown)
         tracer.adopt(
             [
                 SpanRecord(
@@ -314,6 +481,7 @@ class EvalServer:
         path: str,
         headers: Dict[str, str],
         body: bytes,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> Tuple[int, bytes, Dict[str, str]]:
         if path == "/healthz":
             if method != "GET":
@@ -331,25 +499,81 @@ class EvalServer:
         if path == "/metrics":
             if method != "GET":
                 return _method_not_allowed("GET")
+            # Burn-rate gauges refresh at scrape time: idle servers pay
+            # nothing between scrapes.
+            self.slo.publish()
             text = get_registry().to_prometheus_text()
             return (
                 200,
                 text.encode("utf-8"),
                 {"Content-Type": "text/plain; version=0.0.4"},
             )
+        if path == "/debug/obs":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return 200, canonical_json(self.obs_snapshot()), {}
+        if path == "/debug/trace":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            tracer = current_tracer()
+            data: Dict[str, Any] = (
+                tracer.to_jsonable()
+                if tracer is not None
+                else {"schema": TRACE_SCHEMA, "spans": []}
+            )
+            data["pid"] = os.getpid()
+            data["worker"] = self.config.worker_id
+            return 200, canonical_json(data), {}
         endpoint = path.lstrip("/")
         if endpoint in BATCHED_ENDPOINTS:
             if method != "POST":
                 return _method_not_allowed("POST")
-            return await self._handle_batched(endpoint, headers, body)
+            return await self._handle_batched(endpoint, headers, body, obs)
         return (
             404,
             error_body("not_found", f"no route for {path!r}"),
             {},
         )
 
+    def obs_snapshot(self) -> Dict[str, Any]:
+        """The live ops view behind ``GET /debug/obs``."""
+        now_ns = time.time_ns()
+        tracer = current_tracer()
+        in_flight = sorted(
+            (
+                {
+                    **entry,
+                    "age_ms": round(
+                        (now_ns - entry["started_unix_ns"]) / 1e6, 3
+                    ),
+                }
+                for entry in list(self._in_flight.values())
+            ),
+            key=lambda e: -e["age_ms"],
+        )
+        return {
+            "role": (
+                "worker" if self.config.worker_id is not None else "server"
+            ),
+            "worker": self.config.worker_id,
+            "pid": os.getpid(),
+            "draining": self._draining,
+            "tracing": tracer is not None,
+            "spans_recorded": (
+                len(tracer.spans()) if tracer is not None else 0
+            ),
+            "profiling": self._profiler is not None,
+            "in_flight": in_flight,
+            "recent": self.logger.recent(),
+            "slo": self.slo.status(),
+        }
+
     async def _handle_batched(
-        self, endpoint: str, headers: Dict[str, str], body: bytes
+        self,
+        endpoint: str,
+        headers: Dict[str, str],
+        body: bytes,
+        obs: Optional[Dict[str, Any]] = None,
     ) -> Tuple[int, bytes, Dict[str, str]]:
         try:
             parsed = json.loads(body)
@@ -382,7 +606,9 @@ class EvalServer:
 
         assert self.batcher is not None
         try:
-            future = self.batcher.enqueue(key, payload)
+            future = self.batcher.enqueue(
+                key, payload, meta=obs["meta"] if obs is not None else None
+            )
         except QueueFullError as error:
             retry_after = max(1, int(self.config.batch_window_ms / 1000.0) + 1)
             return (
@@ -504,6 +730,53 @@ class EvalServer:
             asyncio.run(_main())
         except KeyboardInterrupt:
             pass
+
+
+def _outcome(status: int) -> str:
+    """Log-record outcome classification for one response status."""
+    if status < 400:
+        return "ok"
+    if status == 429:
+        return "rejected"
+    if status == 503:
+        return "draining"
+    if status == 504:
+        return "deadline"
+    if status < 500:
+        return "client_error"
+    return "server_error"
+
+
+def _latency_breakdown(
+    meta: Dict[str, Any], elapsed_s: float
+) -> Dict[str, float]:
+    """Queue / batch-wait / compute / serialize split from the batcher's
+    ``perf_counter_ns`` stamps (empty for requests that never enqueued).
+
+    ``serialize_ms`` is the remainder — parse, response write, and
+    event-loop scheduling — clamped at zero against clock skew between
+    the loop thread and the executor thread.
+    """
+    stamps = [
+        meta.get(key)
+        for key in ("t_enqueue", "t_flush", "t_exec_start", "t_exec_end")
+    ]
+    if any(stamp is None for stamp in stamps):
+        return {}
+    t_enqueue, t_flush, t_exec_start, t_exec_end = stamps
+    queue_ms = max(0.0, (t_flush - t_enqueue) / 1e6)
+    batch_wait_ms = max(0.0, (t_exec_start - t_flush) / 1e6)
+    compute_ms = max(0.0, (t_exec_end - t_exec_start) / 1e6)
+    total_ms = elapsed_s * 1000.0
+    serialize_ms = max(
+        0.0, total_ms - queue_ms - batch_wait_ms - compute_ms
+    )
+    return {
+        "queue_ms": round(queue_ms, 3),
+        "batch_wait_ms": round(batch_wait_ms, 3),
+        "compute_ms": round(compute_ms, 3),
+        "serialize_ms": round(serialize_ms, 3),
+    }
 
 
 def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:

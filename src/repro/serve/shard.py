@@ -26,7 +26,17 @@ while keeping every guarantee PR 7's coalescing service makes:
   worker and merges the per-worker Prometheus dumps (each tagged
   ``worker="N"``, the router's own registry tagged
   ``worker="router"``); ``GET /healthz`` reports per-worker liveness,
-  pid, restart count, and warm-cache state.
+  pid, restart count, and warm-cache state; ``GET /debug/obs`` is the
+  fleet-wide live ops snapshot and ``GET /debug/trace`` merges every
+  worker's recorded spans with the router's own, so one request's
+  trace — router admission, worker handling, batch membership, engine
+  kernels — stitches into a single tree
+  (:func:`repro.obs.distributed.stitch_trace`).
+* **Trace propagation** — with tracing on, the router mints a
+  ``traceparent`` context per request at admission and forwards it
+  (plus ``X-Request-Id``) on the worker hop; at drain it collects
+  every worker's spans over ``/debug/trace`` and writes one Chrome
+  trace with a distinct process lane per worker.
 * **Lifecycle** — dead workers are respawned with exponential backoff;
   SIGTERM/SIGINT triggers a rolling drain: new requests are refused
   with 503 while every accepted request (in any worker) completes, then
@@ -52,7 +62,24 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..engine.requests import knob_signature
 from ..engine.shm import SHARED_STORE, Lease
 from ..obs import instrument
+from ..obs.distributed import (
+    TraceContext,
+    mint_request_id,
+    mint_trace_context,
+    parse_traceparent,
+)
+from ..obs.log import RequestLogger
 from ..obs.metrics import get_registry, merge_prometheus_texts
+from ..obs.slo import SLOTracker
+from ..obs.trace import (
+    SpanRecord,
+    TRACE_SCHEMA,
+    Tracer,
+    chrome_trace_from_spans,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
 from .protocol import (
     BATCHED_ENDPOINTS,
     DEFAULT_N_CHIPS,
@@ -64,7 +91,7 @@ from .protocol import (
     error_body,
     normalize_stress_selector,
 )
-from .server import ServerConfig, _parse_head
+from .server import _TRACE_SPAN_LIMIT, ServerConfig, _outcome, _parse_head
 
 #: How often the supervisor checks worker liveness (seconds).
 _MONITOR_INTERVAL_S = 0.2
@@ -327,7 +354,11 @@ class ShardConfig:
     ``server`` is the per-worker template: its batching knobs are used
     verbatim, while host/port/worker_id are overridden per worker
     (workers always bind ephemeral loopback ports; only the supervisor
-    listens on ``host:port``). ``workers=0`` resolves to
+    listens on ``host:port``). Worker-side ``trace_out``/``profile_out``
+    are also overridden: the supervisor collects every worker's spans at
+    drain and writes the single merged Chrome trace to ``trace_out``
+    here, and per-worker profiles get a ``.workerN`` suffix so they
+    never clobber each other. ``workers=0`` resolves to
     ``os.cpu_count()``.
     """
 
@@ -341,6 +372,7 @@ class ShardConfig:
     worker_start_timeout_s: float = 120.0
     respawn_backoff_s: float = 0.5
     respawn_backoff_cap_s: float = 15.0
+    trace_out: str = ""
 
     def resolved_workers(self) -> int:
         count = self.workers or (os.cpu_count() or 1)
@@ -365,6 +397,17 @@ class ShardSupervisor:
         self._respawn_tasks: Dict[int, asyncio.Task] = {}
         self._draining = False
         self._in_flight = 0
+        # Router-side observability: its own SLO window and request log
+        # (role="router" — the end-to-end view including the forward
+        # hop), in-flight request records for /debug/obs, and a tracer
+        # installed only when the template asks for tracing and none is
+        # already active in this process.
+        self.slo = SLOTracker(window_s=self.config.server.slo_window_s)
+        self.logger = RequestLogger(
+            path=self.config.server.log_json or None, role="router"
+        )
+        self._in_flight_requests: Dict[str, Dict[str, Any]] = {}
+        self._installed_tracer: Optional[Tracer] = None
 
     @property
     def draining(self) -> bool:
@@ -378,6 +421,9 @@ class ShardSupervisor:
 
     async def start(self) -> None:
         """Publish warm caches, boot every worker, bind the public port."""
+        if self.config.server.trace and current_tracer() is None:
+            self._installed_tracer = Tracer(limit=_TRACE_SPAN_LIMIT)
+            install_tracer(self._installed_tracer)
         count = self.config.resolved_workers()
         if self.config.warm:
             self._warm = build_warm_bundle(ServeState())
@@ -405,11 +451,21 @@ class ShardSupervisor:
                 SHARED_STORE.lease(handle) for handle in self._warm.handles
             ]
         parent_conn, child_conn = self._ctx.Pipe()
+        template = self.config.server
         config = replace(
-            self.config.server,
+            template,
             host="127.0.0.1",
             port=0,
             worker_id=worker.slot,
+            # The supervisor collects worker spans over /debug/trace at
+            # drain and writes the one merged Chrome trace itself;
+            # profiles split per worker so they never clobber.
+            trace_out="",
+            profile_out=(
+                f"{template.profile_out}.worker{worker.slot}"
+                if template.profile_out
+                else ""
+            ),
         )
         process = self._ctx.Process(
             target=_worker_main,
@@ -481,6 +537,30 @@ class ShardSupervisor:
         for task in list(self._respawn_tasks.values()):
             task.cancel()
         self._respawn_tasks.clear()
+        # Workers are still up: collect their spans *now* so the merged
+        # Chrome trace (one process lane per worker) can be written
+        # before the pool is torn down. Export must never block the
+        # drain, so failures are swallowed.
+        # Export keys off the *live* tracer, not ownership: when an
+        # outer harness installed the process-global tracer, the router
+        # spans landed there and the merged trace is still writable.
+        if self.config.trace_out and current_tracer() is not None:
+            try:
+                merged = await self._aggregate_trace()
+                chrome = chrome_trace_from_spans(
+                    merged["spans"],
+                    process_names={
+                        int(pid): name
+                        for pid, name in merged["process_names"].items()
+                    },
+                )
+                with open(
+                    self.config.trace_out, "w", encoding="utf-8"
+                ) as handle:
+                    json.dump(chrome, handle, indent=2, default=str)
+                    handle.write("\n")
+            except Exception:
+                pass
         for worker in self._workers:
             await self._stop_worker(worker)
         instrument.set_workers_alive(0)
@@ -500,6 +580,13 @@ class ShardSupervisor:
             self._warm = None
         if self._server is not None:
             await self._server.wait_closed()
+        if self._installed_tracer is not None:
+            # Only uninstall what we installed — an outer harness (obs
+            # session, test fixture) may own the process-global tracer.
+            if current_tracer() is self._installed_tracer:
+                uninstall_tracer()
+            self._installed_tracer = None
+        self.logger.close()
 
     async def _stop_worker(self, worker: _Worker) -> None:
         """SIGTERM one worker, wait out its drain, escalate, reap."""
@@ -639,7 +726,12 @@ class ShardSupervisor:
                     f"Host: {worker.host}:{worker.port}",
                     f"Content-Length: {len(body)}",
                 ]
-                for name in ("content-type", "x-deadline-ms"):
+                for name in (
+                    "content-type",
+                    "x-deadline-ms",
+                    "traceparent",
+                    "x-request-id",
+                ):
                     value = headers.get(name)
                     if value is not None:
                         lines.append(f"{name}: {value}")
@@ -792,6 +884,14 @@ class ShardSupervisor:
                 text.encode("utf-8"),
                 {"Content-Type": "text/plain; version=0.0.4"},
             )
+        if path == "/debug/obs":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return 200, canonical_json(await self._aggregate_obs()), {}
+        if path == "/debug/trace":
+            if method != "GET":
+                return _method_not_allowed("GET")
+            return 200, canonical_json(await self._aggregate_trace()), {}
         endpoint = path.lstrip("/")
         if endpoint not in BATCHED_ENDPOINTS:
             return 404, error_body("not_found", f"no route for {path!r}"), {}
@@ -816,26 +916,137 @@ class ShardSupervisor:
         slot = rendezvous_worker(routing_key(endpoint, body), slots)
         worker = self._workers[slot]
         instrument.record_route(slot)
+        # Admission: every routed request gets a request id here (the
+        # worker echoes an inbound one rather than minting its own) and,
+        # when tracing or logging is on, a trace context whose span id
+        # becomes the worker-side span's parent — that is the stitch
+        # point of the distributed trace. Inbound client contexts are
+        # honored so an upstream caller's trace continues through us.
+        started = time.perf_counter()
+        started_ns = time.time_ns()
+        tracer = current_tracer()
+        request_id = headers.get("x-request-id") or mint_request_id()
+        ctx = parse_traceparent(headers.get("traceparent"))
+        if ctx is None and (tracer is not None or self.logger.active):
+            ctx = mint_trace_context(sampled=tracer is not None)
+        forward_headers: Dict[str, str] = dict(headers)
+        forward_headers["x-request-id"] = request_id
+        if ctx is not None:
+            forward_headers["traceparent"] = ctx.to_traceparent()
         self._in_flight += 1
+        self._in_flight_requests[request_id] = {
+            "request_id": request_id,
+            "trace_id": ctx.trace_id if ctx is not None else "",
+            "endpoint": endpoint,
+            "worker": slot,
+            "started_unix_ns": started_ns,
+        }
+        response_headers: Dict[str, str] = {}
         try:
-            status, response_headers, payload = await self._forward(
-                worker, method, path, headers, body
-            )
-        except WorkerUnavailableError as error:
-            return 503, error_body("worker_unavailable", str(error)), {}
+            try:
+                status, response_headers, payload = await self._forward(
+                    worker, method, path, forward_headers, body
+                )
+            except WorkerUnavailableError as error:
+                status = 503
+                payload = error_body("worker_unavailable", str(error))
         finally:
             self._in_flight -= 1
+            self._in_flight_requests.pop(request_id, None)
         extra: Dict[str, str] = {}
-        for name in ("x-batch-size", "retry-after"):
+        for name in (
+            "x-batch-size",
+            "retry-after",
+            "x-request-id",
+            "x-trace-id",
+        ):
             value = response_headers.get(name)
             if value is not None:
                 extra["-".join(p.capitalize() for p in name.split("-"))] = (
                     value
                 )
+        extra.setdefault("X-Request-Id", request_id)
+        if ctx is not None:
+            extra.setdefault("X-Trace-Id", ctx.trace_id)
         content_type = response_headers.get("content-type")
         if content_type:
             extra["Content-Type"] = content_type
+        batch_size = int(response_headers.get("x-batch-size", "0") or "0")
+        self._finish_route(
+            endpoint, slot, status, batch_size, started, started_ns,
+            request_id, ctx,
+        )
         return status, payload, extra
+
+    def _finish_route(
+        self,
+        endpoint: str,
+        slot: int,
+        status: int,
+        batch_size: int,
+        started: float,
+        started_ns: int,
+        request_id: str,
+        ctx: Optional[TraceContext],
+    ) -> None:
+        """Router-side bookkeeping for one routed request.
+
+        The router deliberately does *not* call
+        :func:`instrument.record_request` — the worker already did, and
+        ``/metrics`` aggregates both sides, so counting here would
+        double every request. It keeps its own SLO window (the
+        end-to-end client view, including the forward hop) and its own
+        log/span records.
+        """
+        elapsed = time.perf_counter() - started
+        self.slo.observe(endpoint, status, elapsed)
+        # Ring always collects (the /debug/obs "recent" view); the
+        # logger only touches disk when a log path was configured.
+        self.logger.log(
+            {
+                "ts_unix_ns": time.time_ns(),
+                "request_id": request_id,
+                "trace_id": ctx.trace_id if ctx is not None else "",
+                "endpoint": endpoint,
+                "status": status,
+                "latency_ms": round(elapsed * 1000.0, 3),
+                "batch_size": batch_size,
+                "backend": "router",
+                "outcome": _outcome(status),
+                "worker": slot,
+            }
+        )
+        tracer = current_tracer()
+        if tracer is None or ctx is None or not ctx.sampled:
+            return
+        # Same interleaved-await reasoning as the worker's serve.request
+        # span: record parentless and merge via adopt(). ``ctx_span`` is
+        # the hex the worker recorded as ``parent_ctx`` — the stitch.
+        tracer.adopt(
+            [
+                SpanRecord(
+                    name="serve.router",
+                    span_id=tracer._next_id(),
+                    parent_id=None,
+                    start_unix_ns=started_ns,
+                    duration_ns=int(elapsed * 1e9),
+                    cpu_ns=0,
+                    thread_id=threading.get_ident(),
+                    process_id=os.getpid(),
+                    attributes={
+                        "endpoint": endpoint,
+                        "status": status,
+                        "request_id": request_id,
+                        "trace_id": ctx.trace_id,
+                        "ctx_span": ctx.span_id,
+                        "worker": "router",
+                        "routed_to": slot,
+                        **({"batch_size": batch_size} if batch_size else {}),
+                    },
+                    status="ok" if status < 500 else f"error: {status}",
+                )
+            ]
+        )
 
     # -- aggregation ---------------------------------------------------------
 
@@ -867,6 +1078,9 @@ class ShardSupervisor:
                         ),
                     )
                 )
+        # Refresh the router's SLO gauges at scrape time, mirroring the
+        # worker-side publish in EvalServer._route.
+        self.slo.publish()
         parts.append(
             ({"worker": "router"}, get_registry().to_prometheus_text())
         )
@@ -905,6 +1119,105 @@ class ShardSupervisor:
         return {
             "status": "draining" if self._draining else "ok",
             "workers": entries,
+        }
+
+    async def _aggregate_obs(self) -> Dict[str, Any]:
+        """The fleet-wide live ops snapshot behind ``GET /debug/obs``.
+
+        The router's own view (in-flight forwards, recent log records,
+        SLO status) plus each live worker's ``/debug/obs`` verbatim —
+        dead or unreachable workers appear with ``reachable: false`` so
+        the surface never hides a sick shard.
+        """
+        now = time.time_ns()
+        in_flight = sorted(
+            (dict(entry) for entry in self._in_flight_requests.values()),
+            key=lambda entry: entry["started_unix_ns"],
+        )
+        for entry in in_flight:
+            entry["age_ms"] = round(
+                (now - entry["started_unix_ns"]) / 1e6, 3
+            )
+        snapshot: Dict[str, Any] = {
+            "role": "router",
+            "pid": os.getpid(),
+            "draining": self._draining,
+            "tracing": current_tracer() is not None,
+            "workers_alive": len(self._alive_slots()),
+            "in_flight": in_flight,
+            "recent": self.logger.recent(),
+            "slo": self.slo.status(),
+        }
+        fetches = await asyncio.gather(
+            *(
+                self._fetch_worker(worker, "/debug/obs")
+                if worker.alive()
+                else _none()
+                for worker in self._workers
+            )
+        )
+        workers: List[Dict[str, Any]] = []
+        for worker, response in zip(self._workers, fetches):
+            entry: Dict[str, Any] = {
+                "worker": worker.slot,
+                "pid": worker.pid,
+                "alive": worker.alive(),
+                "reachable": False,
+            }
+            if response is not None and response[0] == 200:
+                try:
+                    entry.update(json.loads(response[2]))
+                    entry["reachable"] = True
+                except ValueError:
+                    pass
+            workers.append(entry)
+        snapshot["workers"] = workers
+        return snapshot
+
+    async def _aggregate_trace(self) -> Dict[str, Any]:
+        """Every worker's spans merged with the router's own.
+
+        The payload behind ``GET /debug/trace`` and the source of the
+        drain-time Chrome export: ``process_names`` maps each pid to its
+        lane label so the merged trace renders one lane per process.
+        """
+        spans: List[Dict[str, Any]] = []
+        process_names: Dict[int, str] = {os.getpid(): "router"}
+        tracer = current_tracer()
+        if tracer is not None:
+            spans.extend(
+                record.to_jsonable() for record in tracer.spans()
+            )
+        alive = [w for w in self._workers if w.alive()]
+        fetches = await asyncio.gather(
+            *(
+                self._fetch_worker(worker, "/debug/trace")
+                for worker in alive
+            )
+        )
+        for worker, response in zip(alive, fetches):
+            if response is None or response[0] != 200:
+                continue
+            try:
+                reported = json.loads(response[2])
+            except ValueError:
+                continue
+            process_names[int(reported.get("pid", worker.pid))] = (
+                f"worker {worker.slot}"
+            )
+            spans.extend(reported.get("spans", ()))
+        spans.sort(
+            key=lambda record: (
+                record.get("start_unix_ns", 0),
+                str(record.get("span_id", "")),
+            )
+        )
+        return {
+            "schema": TRACE_SCHEMA,
+            "pid": os.getpid(),
+            "role": "router",
+            "process_names": process_names,
+            "spans": spans,
         }
 
     # -- blocking entry point (CLI) ------------------------------------------

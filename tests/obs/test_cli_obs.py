@@ -3,9 +3,25 @@
 import json
 
 from repro.cli import main
+from repro.obs.log import RequestLogger
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+
+
+def write_request_log(path, statuses, latency_ms=1.0, step_s=1.0):
+    logger = RequestLogger(path=str(path), role="worker")
+    for i, status in enumerate(statuses):
+        logger.log(
+            {
+                "ts_unix_ns": int(i * step_s * 1e9),
+                "endpoint": "evaluate",
+                "status": status,
+                "latency_ms": latency_ms,
+                "request_id": f"rid-{i}",
+            }
+        )
+    logger.close()
 
 
 def make_tracer() -> Tracer:
@@ -63,6 +79,29 @@ class TestObsCommand:
         assert "seed:seed" in out
         assert "engine_kernel_invocations_total" in out
 
+    def test_prometheus_summary_includes_quantile_table(
+        self, tmp_path, capsys
+    ):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            histogram.observe(value, endpoint="evaluate")
+        path = tmp_path / "metrics.prom"
+        registry.write_prometheus(str(path))
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "histogram quantiles (estimated from buckets)" in out
+        assert 'latency_seconds{endpoint="evaluate"}' in out
+        assert "p95" in out
+
+    def test_summarizes_request_log(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        write_request_log(path, [200, 200, 500])
+        assert main(["obs", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== request log: 3 records ==" in out
+        assert "evaluate" in out
+
     def test_rejects_unrecognized_content(self, tmp_path, capsys):
         path = tmp_path / "noise.txt"
         path.write_text("not an artifact\n")
@@ -72,6 +111,61 @@ class TestObsCommand:
     def test_rejects_missing_file(self, tmp_path, capsys):
         assert main(["obs", str(tmp_path / "absent.json")]) == 2
         assert capsys.readouterr().err
+
+
+class TestObsTail:
+    def test_tail_prints_recent_lines_oldest_first(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        write_request_log(path, [200] * 5)
+        assert main(["obs", "tail", str(path), "-n", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "rid=rid-3" in lines[0]
+        assert "rid=rid-4" in lines[1]
+
+    def test_tail_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "absent.jsonl")]) == 2
+        assert capsys.readouterr().err
+
+    def test_subcommand_without_file_is_usage_error(self, capsys):
+        assert main(["obs", "tail"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_extra_tokens_are_usage_error(self, tmp_path, capsys):
+        assert main(["obs", str(tmp_path), str(tmp_path)]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestObsSlo:
+    def test_healthy_log_reports_ok_and_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        write_request_log(path, [200] * 10)
+        assert main(["obs", "slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== SLO report (whole log) ==" in out
+        assert "ok" in out and "BURNING" not in out
+
+    def test_burning_log_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        write_request_log(path, [500] * 5 + [200] * 5)
+        assert main(["obs", "slo", str(path)]) == 1
+        assert "BURNING" in capsys.readouterr().out
+
+    def test_window_excludes_old_errors(self, tmp_path, capsys):
+        # The only error is 100 s before the newest record; a 5 s
+        # trailing window must not see it.
+        path = tmp_path / "requests.jsonl"
+        write_request_log(path, [500] + [200] * 3, step_s=100.0)
+        assert main(["obs", "slo", str(path), "--window-s", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "last 5 s" in out
+        assert "BURNING" not in out
+
+    def test_empty_log_is_not_an_error(self, tmp_path, capsys):
+        path = tmp_path / "requests.jsonl"
+        path.write_text("")
+        assert main(["obs", "slo", str(path)]) == 0
+        assert "no request records" in capsys.readouterr().out
 
 
 class TestObsFlags:

@@ -1,0 +1,126 @@
+"""Trace-context propagation primitives and cross-process stitching."""
+
+from __future__ import annotations
+
+from repro.obs.distributed import (
+    TraceContext,
+    mint_request_id,
+    mint_trace_context,
+    parse_traceparent,
+    stitch_trace,
+)
+from repro.obs.trace import SpanRecord
+
+
+def _span(span_id, parent_id=None, start=0, **attributes):
+    return SpanRecord(
+        name=attributes.pop("name", "span"),
+        span_id=span_id,
+        parent_id=parent_id,
+        start_unix_ns=start,
+        duration_ns=1,
+        cpu_ns=0,
+        thread_id=1,
+        process_id=1,
+        attributes=attributes,
+    )
+
+
+class TestTraceContext:
+    def test_traceparent_round_trips(self):
+        ctx = mint_trace_context()
+        parsed = parse_traceparent(ctx.to_traceparent())
+        assert parsed == ctx
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+
+    def test_sampling_bit_round_trips(self):
+        off = mint_trace_context(sampled=False)
+        assert off.to_traceparent().endswith("-00")
+        parsed = parse_traceparent(off.to_traceparent())
+        assert parsed is not None and not parsed.sampled
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = mint_trace_context()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+        assert child.sampled == ctx.sampled
+
+    def test_mint_request_ids_are_unique_and_pid_prefixed(self):
+        import os
+
+        ids = {mint_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(rid.startswith(f"{os.getpid():x}-") for rid in ids)
+
+    def test_malformed_headers_parse_to_none(self):
+        good = mint_trace_context().to_traceparent()
+        for header in (
+            None,
+            "",
+            "junk",
+            good.replace("00-", "01-", 1),  # unknown version
+            "00-" + "0" * 32 + "-" + "a" * 16 + "-01",  # zero trace id
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # zero span id
+            "00-" + "g" * 32 + "-" + "a" * 16 + "-01",  # non-hex
+            "00-" + "a" * 31 + "-" + "a" * 16 + "-01",  # short trace id
+            good + "-extra",
+        ):
+            assert parse_traceparent(header) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8)
+        header = "  " + ctx.to_traceparent().upper() + "  "
+        assert parse_traceparent(header) == ctx
+
+
+class TestStitchTrace:
+    def make_soup(self):
+        # Two processes' span soup: a router span and a worker request
+        # span share trace "t1"; the worker's batch span (no trace_id
+        # attribute of its own) is joined via batch_span_id, and an
+        # engine span nests under the batch via in-process parent_id.
+        # A second trace ("t2") and an orphan must be excluded.
+        return [
+            _span("r-1", start=1, name="serve.router", trace_id="t1"),
+            _span(
+                "w-1",
+                start=2,
+                name="serve.request",
+                trace_id="t1",
+                parent_ctx="beef",
+                batch_span_id="w-2",
+            ),
+            _span("w-2", start=3, name="serve.batch"),
+            _span("w-3", parent_id="w-2", start=4, name="engine.kernel"),
+            _span("x-1", start=5, name="serve.request", trace_id="t2"),
+            _span("x-2", parent_id="x-1", start=6, name="engine.kernel"),
+            _span("z-9", start=7, name="unrelated"),
+        ]
+
+    def test_joins_seeds_batch_and_descendants(self):
+        stitched = stitch_trace(self.make_soup(), "t1")
+        assert [r["name"] for r in stitched] == [
+            "serve.router",
+            "serve.request",
+            "serve.batch",
+            "engine.kernel",
+        ]
+
+    def test_other_traces_are_excluded(self):
+        stitched = stitch_trace(self.make_soup(), "t2")
+        assert [r["span_id"] for r in stitched] == ["x-1", "x-2"]
+
+    def test_accepts_dicts_and_records_mixed(self):
+        soup = self.make_soup()
+        mixed = [soup[0].to_jsonable(), *soup[1:]]
+        assert len(stitch_trace(mixed, "t1")) == 4
+
+    def test_sorted_by_start_time(self):
+        stitched = stitch_trace(reversed(self.make_soup()), "t1")
+        starts = [r["start_unix_ns"] for r in stitched]
+        assert starts == sorted(starts)
+
+    def test_unknown_trace_is_empty(self):
+        assert stitch_trace(self.make_soup(), "nope") == []

@@ -8,8 +8,11 @@ from repro.errors import InvalidParameterError
 from repro.obs.metrics import (
     METRICS_SCHEMA,
     MetricsRegistry,
+    estimate_quantile,
     get_registry,
+    histogram_quantiles_from_text,
     iter_prometheus_samples,
+    merge_prometheus_texts,
     metrics_delta,
 )
 
@@ -140,3 +143,135 @@ class TestMetricsDelta:
         before = {"a": 1.0, "b": 2.0}
         after = {"a": 1.0, "b": 5.0, "c": 4.0}
         assert metrics_delta(before, after) == {"b": 3.0, "c": 4.0}
+
+
+class TestQuantileEstimation:
+    def test_interpolates_within_a_bucket(self):
+        # 4 of 8 observations land at or under 1.0, all 8 under 2.0:
+        # the median falls exactly on the first bucket's upper bound
+        # and p75 interpolates halfway into the second.
+        bounds = (1.0, 2.0)
+        cumulative = (4, 8)
+        assert estimate_quantile(bounds, cumulative, 8, 0.5) == 1.0
+        assert estimate_quantile(bounds, cumulative, 8, 0.75) == 1.5
+
+    def test_lowest_bucket_interpolates_from_zero(self):
+        assert estimate_quantile((10.0,), (4,), 4, 0.5) == 5.0
+
+    def test_mass_beyond_last_finite_bound_clamps(self):
+        # Everything overflowed the buckets: the honest answer is the
+        # largest finite bound, not +Inf.
+        assert estimate_quantile((1.0, 2.0), (0, 0), 5, 0.99) == 2.0
+
+    def test_empty_histogram_is_zero(self):
+        assert estimate_quantile((1.0,), (0,), 0, 0.5) == 0.0
+        assert estimate_quantile((), (), 3, 0.5) == 0.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(InvalidParameterError, match="quantile"):
+            estimate_quantile((1.0,), (1,), 1, 1.5)
+
+    def test_histogram_quantile_method(self):
+        histogram = MetricsRegistry().histogram(
+            "latency_seconds", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.05, 0.5, 0.5):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == pytest.approx(0.1)
+        assert histogram.quantile(0.0) == 0.0
+
+    def test_json_export_carries_quantiles(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            histogram.observe(value)
+        data = json.loads(registry.to_json())
+        (metric,) = data["metrics"]
+        (series,) = metric["series"]
+        assert set(series["quantiles"]) == {"p50", "p95", "p99"}
+        assert series["quantiles"]["p50"] == pytest.approx(1.0)
+
+    def test_quantiles_from_exposition_text(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds", buckets=(1.0, 2.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            histogram.observe(value, endpoint="evaluate")
+        rows = dict(
+            histogram_quantiles_from_text(registry.to_prometheus_text())
+        )
+        entry = rows['latency_seconds{endpoint="evaluate"}']
+        assert entry["p50"] == pytest.approx(1.0)
+
+    def test_count_only_text_yields_no_quantiles(self):
+        text = "# TYPE calls_total counter\ncalls_total 3\n"
+        assert histogram_quantiles_from_text(text) == []
+
+
+class TestMergeDuplicateSeries:
+    """The worker die/respawn mid-scrape case: two parts both tagged
+    ``worker="N"`` must merge into valid exposition, not collide."""
+
+    def make_worker_text(self, calls, depth):
+        registry = MetricsRegistry()
+        registry.counter("serve_requests_total").inc(calls, endpoint="evaluate")
+        registry.gauge("serve_queue_depth").set(depth)
+        histogram = registry.histogram("serve_latency", buckets=(1.0,))
+        for _ in range(int(calls)):
+            histogram.observe(0.5)
+        return registry.to_prometheus_text()
+
+    def merged(self):
+        # The dead worker's scrape and its respawned replacement both
+        # land under worker="0".
+        return merge_prometheus_texts(
+            [
+                ({"worker": "0"}, self.make_worker_text(3, 7)),
+                ({"worker": "0"}, self.make_worker_text(4, 2)),
+            ]
+        )
+
+    def test_counters_sum(self):
+        samples = dict(iter_prometheus_samples(self.merged()))
+        key = 'serve_requests_total{endpoint="evaluate",worker="0"}'
+        assert samples[key] == 7.0
+
+    def test_histograms_sum(self):
+        samples = dict(iter_prometheus_samples(self.merged()))
+        assert samples['serve_latency_count{worker="0"}'] == 7.0
+        assert samples['serve_latency_bucket{le="+Inf",worker="0"}'] == 7.0
+
+    def test_gauges_take_last_value(self):
+        samples = dict(iter_prometheus_samples(self.merged()))
+        assert samples['serve_queue_depth{worker="0"}'] == 2.0
+
+    def test_no_duplicate_series_lines_survive(self):
+        lines = [
+            line
+            for line in self.merged().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(lines) == len(set(lines))
+
+    def test_rolling_drain_subset_still_merges(self):
+        # Mid-drain the router scrapes whoever is left: one worker
+        # already gone must not break the merged exposition.
+        merged = merge_prometheus_texts(
+            [
+                ({"worker": "router"}, self.make_worker_text(1, 1)),
+                ({"worker": "0"}, self.make_worker_text(3, 7)),
+            ]
+        )
+        samples = dict(iter_prometheus_samples(merged))
+        assert samples['serve_requests_total{endpoint="evaluate",worker="0"}'] == 3.0
+        assert not any('worker="1"' in key for key in samples)
+
+    def test_distinct_workers_still_do_not_merge(self):
+        merged = merge_prometheus_texts(
+            [
+                ({"worker": "0"}, self.make_worker_text(3, 7)),
+                ({"worker": "1"}, self.make_worker_text(4, 2)),
+            ]
+        )
+        samples = dict(iter_prometheus_samples(merged))
+        assert samples['serve_queue_depth{worker="0"}'] == 7.0
+        assert samples['serve_queue_depth{worker="1"}'] == 2.0

@@ -1,0 +1,115 @@
+"""The stdlib sampling profiler: sampling, export, leaf attribution."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(200))
+
+
+class TestSampling:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="hz"):
+            SamplingProfiler(hz=0.0)
+
+    def test_sample_once_counts_live_threads(self):
+        profiler = SamplingProfiler()
+        taken = profiler.sample_once()
+        assert taken >= 1  # at least this thread
+        assert profiler.samples == taken
+        counts = profiler.counts()
+        assert sum(counts.values()) == taken
+        # This test's own stack must be in there, root-first.
+        own = next(
+            stack
+            for stack in counts
+            if any("test_sample_once_counts_live_threads" in f for f in stack)
+        )
+        assert own[-1].endswith("sample_once") or any(
+            "test_sample" in frame for frame in own
+        )
+
+    def test_background_thread_is_observed(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler()
+            for _ in range(5):
+                profiler.sample_once()
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            worker.join()
+        assert any(
+            any(frame.endswith(":_spin") for frame in stack)
+            for stack in profiler.counts()
+        )
+
+    def test_start_stop_collects_samples(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            with SamplingProfiler(hz=200.0) as profiler:
+                time.sleep(0.15)
+        finally:
+            stop.set()
+            worker.join()
+        assert profiler.samples > 0
+
+    def test_double_start_raises(self):
+        profiler = SamplingProfiler().start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                profiler.start()
+        finally:
+            profiler.stop()
+        profiler.stop()  # idempotent
+
+
+class TestExport:
+    def seeded(self):
+        profiler = SamplingProfiler()
+        profiler._counts = {
+            ("mod:main", "repro.engine:kernel"): 3,
+            ("mod:main", "repro.engine:kernel", "numpy:dot"): 2,
+            ("mod:other",): 1,
+        }
+        profiler.samples = 6
+        return profiler
+
+    def test_collapsed_is_heaviest_first(self):
+        lines = self.seeded().collapsed().splitlines()
+        assert lines[0] == "mod:main;repro.engine:kernel 3"
+        assert lines[1] == "mod:main;repro.engine:kernel;numpy:dot 2"
+        assert lines[2] == "mod:other 1"
+
+    def test_write_collapsed(self, tmp_path):
+        path = tmp_path / "profile.collapsed"
+        self.seeded().write_collapsed(str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert "repro.engine:kernel 3" in text
+
+    def test_hotspots_attribute_to_deepest_repro_frame(self):
+        # Samples that dip into numpy still attribute to the deepest
+        # repro.* frame on their stack; non-repro stacks drop out.
+        hotspots = self.seeded().hotspots(prefix="repro.")
+        assert hotspots == [("repro.engine:kernel", 5)]
+
+    def test_empty_profiler_exports_cleanly(self, tmp_path):
+        profiler = SamplingProfiler()
+        assert profiler.collapsed() == ""
+        assert profiler.hotspots() == []
+        path = tmp_path / "empty.collapsed"
+        profiler.write_collapsed(str(path))
+        assert path.read_text() == ""

@@ -38,7 +38,10 @@ class TestActiveSession:
             get_registry().counter("session_probe_total").inc()
         assert current_tracer() is None
         events = json.loads(trace_path.read_text())["traceEvents"]
-        assert [event["name"] for event in events] == ["session.work"]
+        # Lane metadata (ph "M") rides alongside the complete events.
+        assert [
+            event["name"] for event in events if event["ph"] == "X"
+        ] == ["session.work"]
         assert "session_probe_total 1" in metrics_path.read_text()
 
     def test_run_manifest_records_the_run(self, tmp_path):

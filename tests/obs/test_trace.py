@@ -7,7 +7,9 @@ import pytest
 from repro.obs.trace import (
     NULL_SPAN,
     TRACE_SCHEMA,
+    SpanRecord,
     Tracer,
+    chrome_trace_from_spans,
     current_tracer,
     install_tracer,
     span,
@@ -79,6 +81,91 @@ class TestSpans:
         assert tracer.spans() == ()
 
 
+class TestRollingWindow:
+    def test_limit_drops_oldest_finished_spans(self):
+        tracer = Tracer(limit=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [record.name for record in tracer.spans()] == [
+            "s2", "s3", "s4",
+        ]
+
+    def test_limit_applies_to_adopted_spans_too(self):
+        tracer, remote = Tracer(limit=2), Tracer()
+        for i in range(4):
+            with remote.span(f"r{i}"):
+                pass
+        tracer.adopt(remote.spans())
+        assert [record.name for record in tracer.spans()] == ["r2", "r3"]
+
+    def test_unlimited_by_default(self):
+        tracer = Tracer()
+        for i in range(100):
+            with tracer.span(f"s{i}"):
+                pass
+        assert len(tracer.spans()) == 100
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError, match="limit"):
+            Tracer(limit=0)
+
+
+class TestProcessLanes:
+    def _span_dict(self, pid, name="work", **attributes):
+        return SpanRecord(
+            name=name,
+            span_id=f"{pid:x}-1",
+            parent_id=None,
+            start_unix_ns=0,
+            duration_ns=1,
+            cpu_ns=0,
+            thread_id=1,
+            process_id=pid,
+            attributes=attributes,
+        ).to_jsonable()
+
+    def _lanes(self, chrome):
+        """{pid: (label, sort_index)} from the metadata events."""
+        labels = {
+            e["pid"]: e["args"]["name"]
+            for e in chrome["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        order = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in chrome["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_sort_index"
+        }
+        return {pid: (labels[pid], order[pid]) for pid in labels}
+
+    def test_each_pid_gets_a_named_lane(self):
+        chrome = chrome_trace_from_spans(
+            [self._span_dict(10), self._span_dict(20)],
+            process_names={10: "router", 20: "worker 0"},
+        )
+        lanes = self._lanes(chrome)
+        assert lanes[10] == ("router", 0)
+        assert lanes[20] == ("worker 0", 1)
+
+    def test_router_lane_sorts_first_regardless_of_pid(self):
+        # The router's pid is numerically larger; its lane still leads.
+        chrome = chrome_trace_from_spans(
+            [self._span_dict(99), self._span_dict(5)],
+            process_names={99: "router", 5: "worker 1"},
+        )
+        lanes = self._lanes(chrome)
+        assert lanes[99][1] < lanes[5][1]
+
+    def test_worker_attribute_names_unmapped_pids(self):
+        chrome = chrome_trace_from_spans([self._span_dict(30, worker=2)])
+        assert self._lanes(chrome)[30][0] == "worker 2"
+
+    def test_anonymous_pid_falls_back_to_pid_label(self):
+        chrome = chrome_trace_from_spans([self._span_dict(42)])
+        assert self._lanes(chrome)[42][0] == "pid 42"
+
+
 class TestExports:
     def make_tracer(self):
         tracer = Tracer()
@@ -97,7 +184,8 @@ class TestExports:
     def test_chrome_trace_events(self):
         chrome = self.make_tracer().to_chrome_trace()
         events = chrome["traceEvents"]
-        assert {event["ph"] for event in events} == {"X"}
+        # Complete events plus one process-lane metadata pair.
+        assert {event["ph"] for event in events} == {"M", "X"}
         outer = next(e for e in events if e["name"] == "outer")
         assert outer["args"]["n"] == 2
         assert outer["dur"] > 0
@@ -110,7 +198,10 @@ class TestExports:
         tracer.write_chrome_trace(str(chrome_path))
         assert json.loads(trace_path.read_text())["schema"] == TRACE_SCHEMA
         reloaded = json.loads(chrome_path.read_text())
-        assert len(reloaded["traceEvents"]) == 2
+        complete = [
+            e for e in reloaded["traceEvents"] if e["ph"] == "X"
+        ]
+        assert len(complete) == 2
 
     def test_summary_aggregates_by_name(self):
         tracer = Tracer()
